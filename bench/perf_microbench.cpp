@@ -1,0 +1,154 @@
+// Performance microbenchmarks (google-benchmark):
+//  - annotateSchema throughput vs database size (the paper's linearity claim)
+//  - importance iteration cost vs neighborhood factor p
+//  - affinity / coverage matrix construction, and the walk-bound ablation
+//  - dominance computation
+//  - end-to-end summarize latency (the paper: "within 5 minutes")
+
+#include <benchmark/benchmark.h>
+
+#include "core/summarize.h"
+#include "datasets/mimi.h"
+#include "datasets/xmark.h"
+#include "stats/annotate.h"
+
+namespace {
+
+using namespace ssum;
+
+const XMarkDataset& SharedXMark(double sf) {
+  static XMarkDataset* small = [] {
+    XMarkParams p;
+    p.sf = 0.01;
+    return new XMarkDataset(p);
+  }();
+  static XMarkDataset* medium = [] {
+    XMarkParams p;
+    p.sf = 0.05;
+    return new XMarkDataset(p);
+  }();
+  static XMarkDataset* large = [] {
+    XMarkParams p;
+    p.sf = 0.25;
+    return new XMarkDataset(p);
+  }();
+  if (sf <= 0.01) return *small;
+  if (sf <= 0.05) return *medium;
+  return *large;
+}
+
+const Annotations& SharedAnnotations() {
+  static Annotations* ann = [] {
+    auto stream = SharedXMark(0.05).MakeStream();
+    auto res = AnnotateSchema(*stream);
+    return new Annotations(std::move(*res));
+  }();
+  return *ann;
+}
+
+void BM_AnnotateSchema(benchmark::State& state) {
+  double sf = static_cast<double>(state.range(0)) / 100.0;
+  const XMarkDataset& ds = SharedXMark(sf);
+  auto stream = ds.MakeStream();
+  for (auto _ : state) {
+    auto res = AnnotateSchema(*stream);
+    benchmark::DoNotOptimize(res);
+  }
+  CountingVisitor counter;
+  (void)stream->Accept(&counter);
+  state.counters["nodes"] = static_cast<double>(counter.nodes());
+  // items/s reflects annotation throughput: nodes per iteration, rated over
+  // total run time — the paper's linearity claim shows as a flat rate.
+  state.SetItemsProcessed(static_cast<int64_t>(counter.nodes()) *
+                          state.iterations());
+}
+BENCHMARK(BM_AnnotateSchema)->Arg(1)->Arg(5)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Importance(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.05);
+  const Annotations& ann = SharedAnnotations();
+  EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
+  ImportanceOptions opts;
+  opts.neighborhood_factor = static_cast<double>(state.range(0)) / 100.0;
+  int iterations = 0;
+  for (auto _ : state) {
+    ImportanceResult r = ComputeImportance(ds.schema(), ann, metrics, opts);
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_Importance)->Arg(10)->Arg(50)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AffinityMatrix(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.05);
+  EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), SharedAnnotations());
+  AffinityOptions opts;
+  opts.max_steps = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    AffinityMatrix m = AffinityMatrix::Compute(ds.schema(), metrics, opts);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_AffinityMatrix)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoverageMatrix(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.05);
+  const Annotations& ann = SharedAnnotations();
+  EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
+  CoverageOptions opts;
+  opts.max_steps = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    CoverageMatrix m =
+        CoverageMatrix::Compute(ds.schema(), ann, metrics, opts);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_CoverageMatrix)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Dominance(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.05);
+  const Annotations& ann = SharedAnnotations();
+  EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
+  CoverageMatrix cov = CoverageMatrix::Compute(ds.schema(), ann, metrics);
+  for (auto _ : state) {
+    DominanceResult d = ComputeDominance(ds.schema(), ann, cov);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Dominance)->Unit(benchmark::kMillisecond);
+
+void BM_SummarizeEndToEnd(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.05);
+  const Annotations& ann = SharedAnnotations();
+  for (auto _ : state) {
+    auto summary = Summarize(ds.schema(), ann, 10);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_SummarizeEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_SummarizeMimi(benchmark::State& state) {
+  static MimiDataset* ds = [] {
+    MimiParams p;
+    p.scale = 0.02;
+    return new MimiDataset(p);
+  }();
+  static Annotations* ann = [] {
+    auto stream = ds->MakeStream();
+    auto res = AnnotateSchema(*stream);
+    return new Annotations(std::move(*res));
+  }();
+  for (auto _ : state) {
+    auto summary = Summarize(ds->schema(), *ann, 10);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_SummarizeMimi)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

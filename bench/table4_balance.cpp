@@ -1,0 +1,89 @@
+// Regenerates paper Table 4: the impact of balancing importance and
+// coverage — BalanceSummary vs MaxImportance vs MaxCoverage. Also prints
+// the dominance-pruning statistics DESIGN.md calls out for ablation.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+
+using namespace ssum;
+
+int main() {
+  TablePrinter table({"Avg. cost", "XMark", "TPC-H", "MiMI"});
+  std::vector<BalanceRow> rows;
+  std::vector<std::string> prune_stats;
+  for (DatasetKind kind :
+       {DatasetKind::kXMark, DatasetKind::kTpch, DatasetKind::kMimi}) {
+    auto bundle = LoadDataset(kind);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", DatasetName(kind),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    auto row = RunBalanceRow(*bundle);
+    if (!row.ok()) {
+      std::fprintf(stderr, "failed on %s: %s\n", DatasetName(kind),
+                   row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(std::move(*row));
+    SummarizerContext context(bundle->schema, bundle->annotations);
+    size_t n = bundle->schema.size() - 1;  // candidates exclude the root
+    size_t remaining = context.dominance().candidates.size();
+    prune_stats.push_back(std::string(DatasetName(kind)) + ": " +
+                          std::to_string(n) + " -> " +
+                          std::to_string(remaining) + " candidates (" +
+                          Percent(1.0 - static_cast<double>(remaining) /
+                                            static_cast<double>(n)) +
+                          " pruned, " +
+                          std::to_string(context.dominance().pairs.size()) +
+                          " dominance pairs)");
+  }
+  auto saving = [](const BalanceRow& r, double cost) {
+    return r.best_first > 0 ? 1.0 - cost / r.best_first : 0.0;
+  };
+  auto line = [&](const char* label, auto fn) {
+    std::vector<std::string> cells{label};
+    for (const BalanceRow& r : rows) cells.push_back(fn(r));
+    table.AddRow(cells);
+  };
+  line("w/o summary (best first)", [](const BalanceRow& r) {
+    return FormatDouble(r.best_first, 2);
+  });
+  line("Summ. size", [](const BalanceRow& r) {
+    return std::to_string(r.summary_size);
+  });
+  table.AddSeparator();
+  line("w/ BalanceSummary", [](const BalanceRow& r) {
+    return FormatDouble(r.balance, 2);
+  });
+  line("Saving%", [&](const BalanceRow& r) {
+    return Percent(saving(r, r.balance));
+  });
+  table.AddSeparator();
+  line("w/ MaxImportance", [](const BalanceRow& r) {
+    return FormatDouble(r.max_importance, 2);
+  });
+  line("Saving%", [&](const BalanceRow& r) {
+    return Percent(saving(r, r.max_importance));
+  });
+  table.AddSeparator();
+  line("w/ MaxCoverage", [](const BalanceRow& r) {
+    return FormatDouble(r.max_coverage, 2);
+  });
+  line("Saving%", [&](const BalanceRow& r) {
+    return Percent(saving(r, r.max_coverage));
+  });
+  std::printf("Table 4: impact of balancing importance and coverage\n%s\n",
+              table.ToString().c_str());
+  std::printf("Dominance pruning (Figure 6 ablation):\n");
+  for (const std::string& s : prune_stats) std::printf("  %s\n", s.c_str());
+  std::printf(
+      "\nPaper reference (XMark / TPC-H / MiMI): Balance 6.65 / 12.05 / "
+      "3.90; MaxImportance 8.35 / 12.36 / 5.56; MaxCoverage 10.20 / 12.18 / "
+      "5.78 — balancing wins clearly on XMark and MiMI, all three tie on "
+      "TPC-H.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// End-to-end XML workflow: generate a database as an XML document, pretend
+// we received it from a stranger (schema unknown), infer a schema from the
+// document, annotate, summarize — then use the summary to formulate a query
+// skeleton, the paper's motivating task.
+//
+//   ./schema_inference [output.xml]
+//
+// When an output path is given, the intermediate document is also written
+// to disk so you can inspect it.
+
+#include <cstdio>
+
+#include "core/summarize.h"
+#include "core/summary_io.h"
+#include "datasets/mimi.h"
+#include "instance/materialize.h"
+#include "query/discovery.h"
+#include "query/formulate.h"
+#include "stats/annotate.h"
+#include "xml/infer_schema.h"
+#include "xml/instance_bridge.h"
+#include "xml/writer.h"
+
+using namespace ssum;
+
+int main(int argc, char** argv) {
+  // 1. A "foreign" database arrives as XML (we synthesize one from the MiMI
+  //    substrate at a small scale).
+  MimiParams params;
+  params.scale = 0.01;
+  MimiDataset source(params);
+  auto doc = MaterializeToXml(*source.MakeStream());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  std::string xml = WriteXml(*doc);
+  std::printf("received document: %zu bytes of XML\n", xml.size());
+  if (argc > 1) {
+    if (Status s = WriteXmlFile(*doc, argv[1]); !s.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("document written to %s\n", argv[1]);
+  }
+
+  // 2. No schema file came with it: infer one from the instance.
+  auto schema = InferSchema(*doc);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("inferred schema: %zu elements\n", schema->size());
+
+  // 3. Annotate the document against the inferred schema and summarize.
+  auto ann = AnnotateXmlDocument(*schema, *doc);
+  if (!ann.ok()) {
+    std::fprintf(stderr, "annotation failed: %s\n",
+                 ann.status().ToString().c_str());
+    return 1;
+  }
+  auto summary = Summarize(*schema, *ann, 8);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nsize-8 summary of the inferred schema:\n");
+  for (ElementId a : summary->abstract_elements) {
+    std::printf("  %-50s (%zu elements)\n", schema->PathOf(a).c_str(),
+                summary->Group(a).size());
+  }
+  std::printf("\nGraphviz view (paste into `dot -Tpng`):\n%s\n",
+              ExportSummaryDot(*summary, "inferred").c_str());
+
+  // 4. A user explores the summary for their query intention and gets a
+  //    query skeleton with the discovered paths filled in.
+  auto intention = MakeIntention(
+      *schema, "example",
+      {"mimi/molecules/molecule", "mimi/molecules/molecule/name",
+       "mimi/molecules/molecule/symbol"});
+  if (!intention.ok()) {
+    std::fprintf(stderr, "intention failed: %s\n",
+                 intention.status().ToString().c_str());
+    return 1;
+  }
+  DiscoveryOracle oracle(*schema);
+  DiscoveryResult without =
+      Discover(oracle, *intention, TraversalStrategy::kBestFirst);
+  DiscoveryResult with = DiscoverWithSummary(oracle, *summary, *intention);
+  std::printf(
+      "query discovery for {molecule, name, symbol}: best-first cost %llu, "
+      "with summary %llu\n\n",
+      static_cast<unsigned long long>(without.cost),
+      static_cast<unsigned long long>(with.cost));
+  auto skeleton = FormulateXQuerySkeleton(*schema, *intention);
+  if (skeleton.ok()) {
+    std::printf("generated XQuery skeleton:\n%s\n", skeleton->c_str());
+  }
+  return 0;
+}

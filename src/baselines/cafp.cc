@@ -1,0 +1,118 @@
+#include "baselines/cafp.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ssum {
+
+Result<SchemaSummary> CafpSummarize(const SchemaGraph& graph,
+                                    const SemanticLabeling& labeling,
+                                    size_t k, const CafpOptions& options) {
+  if (k == 0 || k >= graph.size()) {
+    return Status::InvalidArgument("CAFP: bad summary size");
+  }
+  const size_t n = graph.size();
+
+  // Weighted edge list (root excluded: the artificial root is organization,
+  // not semantics, and must not glue the top-level collections together).
+  struct Edge {
+    ElementId a, b;
+    double w;
+  };
+  std::vector<Edge> edges;
+  for (ElementId e = 0; e < n; ++e) {
+    for (const Neighbor& nbr : graph.neighbors(e)) {
+      if (!nbr.forward) continue;  // each physical link once
+      if (e == graph.root() || nbr.other == graph.root()) continue;
+      edges.push_back({e, nbr.other, labeling.WeightOf(nbr)});
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& x, const Edge& y) { return x.w > y.w; });
+
+  // Single-linkage agglomeration via union-find, highest weights first.
+  std::vector<ElementId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<uint32_t> rank(n, 0);
+  auto find = [&](ElementId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  size_t clusters = 0;
+  for (ElementId e = 0; e < n; ++e) {
+    if (e != graph.root()) ++clusters;
+  }
+  for (const Edge& edge : edges) {
+    if (clusters <= k) break;
+    if (edge.w < options.merge_threshold) break;
+    ElementId ra = find(edge.a);
+    ElementId rb = find(edge.b);
+    if (ra == rb) continue;
+    if (rank[ra] < rank[rb]) std::swap(ra, rb);
+    parent[rb] = ra;
+    if (rank[ra] == rank[rb]) ++rank[ra];
+    --clusters;
+  }
+
+  // Representative per cluster: maximum entity strength, then maximum
+  // degree, then smallest id — Simple elements only as a last resort.
+  std::vector<ElementId> rep_of_cluster(n, kInvalidElement);
+  auto better = [&](ElementId cand, ElementId cur) {
+    if (cur == kInvalidElement) return true;
+    bool cand_simple = graph.type(cand).kind == TypeKind::kSimple;
+    bool cur_simple = graph.type(cur).kind == TypeKind::kSimple;
+    if (cand_simple != cur_simple) return cur_simple;
+    double es_cand = labeling.entity_strength[cand];
+    double es_cur = labeling.entity_strength[cur];
+    if (es_cand != es_cur) return es_cand > es_cur;
+    size_t deg_cand = graph.neighbors(cand).size();
+    size_t deg_cur = graph.neighbors(cur).size();
+    if (deg_cand != deg_cur) return deg_cand > deg_cur;
+    return cand < cur;
+  };
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == graph.root()) continue;
+    ElementId root = find(e);
+    if (better(e, rep_of_cluster[root])) rep_of_cluster[root] = e;
+  }
+
+  std::vector<ElementId> selected;
+  std::vector<ElementId> representative(n, kInvalidElement);
+  representative[graph.root()] = graph.root();
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == graph.root()) continue;
+    ElementId rep = rep_of_cluster[find(e)];
+    representative[e] = rep;
+    if (rep == e) selected.push_back(e);
+  }
+  // The threshold may leave more than K clusters; keep the K with the most
+  // members and reassign the rest by the structural-parent fallback.
+  if (selected.size() > k) {
+    std::vector<size_t> member_count(n, 0);
+    for (ElementId e = 0; e < n; ++e) {
+      if (e != graph.root()) ++member_count[representative[e]];
+    }
+    std::stable_sort(selected.begin(), selected.end(),
+                     [&](ElementId a, ElementId b) {
+                       if (member_count[a] != member_count[b]) {
+                         return member_count[a] > member_count[b];
+                       }
+                       return labeling.entity_strength[a] >
+                              labeling.entity_strength[b];
+                     });
+    std::vector<bool> keep(n, false);
+    selected.resize(k);
+    for (ElementId s : selected) keep[s] = true;
+    for (ElementId e = 0; e < n; ++e) {
+      if (e == graph.root()) continue;
+      if (!keep[representative[e]]) representative[e] = kInvalidElement;
+    }
+  }
+  return BuildSummaryFromAssignment(graph, std::move(selected),
+                                    std::move(representative));
+}
+
+}  // namespace ssum

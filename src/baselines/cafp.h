@@ -1,0 +1,30 @@
+#pragma once
+
+#include "baselines/semantic_labels.h"
+#include "common/result.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Conceptual schema analysis after Castano, De Antonellis, Fugini and
+/// Pernici (TODS 1998) — the paper's baseline "CAFP [4]" in Table 6.
+///
+/// The original computes pairwise element *affinity* from semantically
+/// weighted relationship paths and clusters agglomeratively. Our
+/// reconstruction: single-linkage hierarchical clustering over link
+/// weights — repeatedly merge the two clusters joined by the heaviest
+/// remaining cross link until K clusters (besides the root) remain; each
+/// cluster's representative is its highest entity-strength (then
+/// highest-degree) member.
+struct CafpOptions {
+  /// Links below this weight never trigger a merge (keeps "reference"
+  /// links from gluing unrelated entities together).
+  double merge_threshold = 0.2;
+};
+
+Result<SchemaSummary> CafpSummarize(const SchemaGraph& graph,
+                                    const SemanticLabeling& labeling,
+                                    size_t k, const CafpOptions& options = {});
+
+}  // namespace ssum

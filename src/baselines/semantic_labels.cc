@@ -1,0 +1,110 @@
+#include "baselines/semantic_labels.h"
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+double SemanticsWeight(LinkSemantics s) {
+  switch (s) {
+    case LinkSemantics::kUnknown:
+      return 0.5;
+    case LinkSemantics::kAttributeOf:
+      return 0.9;
+    case LinkSemantics::kContainment:
+      return 1.0;
+    case LinkSemantics::kIsA:
+      return 0.8;
+    case LinkSemantics::kAssociation:
+      return 0.45;
+    case LinkSemantics::kReference:
+      return 0.15;
+  }
+  return 0.5;
+}
+
+double SemanticLabeling::WeightOf(const Neighbor& nbr) const {
+  LinkSemantics s =
+      nbr.is_structural ? structural[nbr.link] : value[nbr.link];
+  return SemanticsWeight(s);
+}
+
+SemanticLabeling SemanticLabeling::Heuristic(const SchemaGraph& graph) {
+  // Truly unsupervised: every link is Unknown. Even attribute-ness cannot
+  // be inferred from structure alone — a Simple child may be an identifying
+  // attribute, an idref reference, or a degenerate weak entity, and telling
+  // them apart is precisely the semantic judgement the paper says "most can
+  // not be done automatically" (Section 5.4).
+  SemanticLabeling l;
+  l.structural.resize(graph.structural_links().size(), LinkSemantics::kUnknown);
+  l.value.resize(graph.value_links().size(), LinkSemantics::kUnknown);
+  l.entity_strength.assign(graph.size(), 0.0);
+  return l;
+}
+
+Result<SemanticLabeling> MimiHumanLabeling(const SchemaGraph& schema) {
+  SemanticLabeling l = SemanticLabeling::Heuristic(schema);
+
+  // Attributes of an entity (identified by the administrators).
+  for (LinkId i = 0; i < schema.structural_links().size(); ++i) {
+    ElementId child = schema.structural_links()[i].child;
+    if (schema.type(child).kind == TypeKind::kSimple &&
+        schema.type(child).atomic != AtomicKind::kIdRef) {
+      l.structural[i] = LinkSemantics::kAttributeOf;
+    }
+  }
+
+  // Structural links inside an entity's subtree are containment; links from
+  // the root to the top-level collections are mere document organization
+  // (kept Unknown so the clusters do not glue everything to the root).
+  for (LinkId i = 0; i < schema.structural_links().size(); ++i) {
+    const StructuralLink& s = schema.structural_links()[i];
+    if (l.structural[i] == LinkSemantics::kAttributeOf) continue;
+    if (s.parent == schema.root()) continue;
+    l.structural[i] = LinkSemantics::kContainment;
+  }
+
+  // Value links: participation and evidence are associations; provenance and
+  // source bookkeeping are weak references.
+  for (LinkId i = 0; i < schema.value_links().size(); ++i) {
+    const ValueLink& v = schema.value_links()[i];
+    const std::string& referee = schema.label(v.referee);
+    if (referee == "source" || referee == "organism") {
+      l.value[i] = LinkSemantics::kReference;  // provenance / scoping
+    } else {
+      l.value[i] = LinkSemantics::kAssociation;  // participation / evidence
+    }
+  }
+
+  // Principal entities, by administrator judgement.
+  struct Strength {
+    const char* path;
+    double strength;
+  };
+  const Strength kStrengths[] = {
+      {"molecules/molecule", 3.0},
+      {"interactions/interaction", 2.6},
+      {"experiments/experiment", 2.0},
+      {"publications/publication", 1.8},
+      {"organisms/organism", 1.6},
+      {"pathways/pathway", 1.3},
+      {"domains/domain", 1.3},
+      {"sources/source", 1.1},
+      {"molecules/molecule/annotations/go_annotation", 1.2},
+      {"molecules/molecule/sequence", 1.0},
+      {"molecules/molecule/gene", 0.9},
+      {"interactions/interaction/confidence", 0.8},
+      {"molecules/molecule/structure", 0.7},
+      {"molecules/molecule/annotations", 0.6},
+      {"publications/publication/authors/author", 0.5},
+  };
+  for (const Strength& s : kStrengths) {
+    ElementId e;
+    auto res = schema.FindPath(s.path);
+    if (!res.ok()) return res.status().WithContext("MimiHumanLabeling");
+    e = *res;
+    l.entity_strength[e] = s.strength;
+  }
+  return l;
+}
+
+}  // namespace ssum

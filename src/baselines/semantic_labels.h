@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Semantic categories ER-model abstraction techniques expect on
+/// relationships (Section 5.4's Table 6 discussion: the paper had to label
+/// links — "with significant human efforts" — before TWBK/CAFP could run).
+enum class LinkSemantics : unsigned char {
+  kUnknown = 0,    ///< no information (the unsupervised default)
+  kAttributeOf,    ///< leaf detail of an entity
+  kContainment,    ///< weak entity / part-of
+  kIsA,            ///< specialization
+  kAssociation,    ///< meaningful domain relationship
+  kReference,      ///< lookup / provenance pointer (weak)
+};
+
+/// Closeness weight the clustering techniques assign each category.
+double SemanticsWeight(LinkSemantics s);
+
+/// Per-link semantic labels plus per-element entity strength (the human
+/// judgement of which elements are principal entities).
+struct SemanticLabeling {
+  std::vector<LinkSemantics> structural;  ///< per structural link id
+  std::vector<LinkSemantics> value;       ///< per value link id
+  std::vector<double> entity_strength;    ///< per element, 0 = unremarkable
+
+  /// Weight of the link behind an adjacency record.
+  double WeightOf(const Neighbor& nbr) const;
+
+  /// Unsupervised defaults ("w/o human"): links to Simple children are
+  /// recognizable as attributes, everything else is unknown, and no element
+  /// is distinguished as a principal entity.
+  static SemanticLabeling Heuristic(const SchemaGraph& graph);
+};
+
+/// Curated labels for the MiMI schema ("with human"): containment within
+/// entity subtrees, association for interaction participation and
+/// experimental evidence, reference for provenance, and entity strengths
+/// for the principal biological entities.
+Result<SemanticLabeling> MimiHumanLabeling(const SchemaGraph& schema);
+
+}  // namespace ssum

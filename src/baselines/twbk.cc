@@ -1,0 +1,79 @@
+#include "baselines/twbk.h"
+
+#include <algorithm>
+
+#include "core/path_engine.h"
+
+namespace ssum {
+
+Result<SchemaSummary> TwbkSummarize(const SchemaGraph& graph,
+                                    const SemanticLabeling& labeling,
+                                    size_t k, const TwbkOptions& options) {
+  if (k == 0 || k >= graph.size()) {
+    return Status::InvalidArgument("TWBK: bad summary size");
+  }
+  const size_t n = graph.size();
+
+  // 1-2. Major entity selection.
+  std::vector<double> score(n, 0.0);
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == graph.root()) continue;
+    if (graph.type(e).kind == TypeKind::kSimple) continue;  // never an entity
+    double degree = 0;
+    for (const Neighbor& nbr : graph.neighbors(e)) {
+      degree += labeling.WeightOf(nbr);
+    }
+    score[e] = (1.0 + labeling.entity_strength[e]) * degree;
+  }
+  std::vector<ElementId> order(n);
+  for (ElementId e = 0; e < n; ++e) order[e] = e;
+  std::stable_sort(order.begin(), order.end(), [&](ElementId a, ElementId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  std::vector<ElementId> centers;
+  for (ElementId e : order) {
+    if (score[e] <= 0) break;
+    centers.push_back(e);
+    if (centers.size() == k) break;
+  }
+  if (centers.size() < k) {
+    // Pathological schema; pad with any non-root elements.
+    for (ElementId e = 0; e < n && centers.size() < k; ++e) {
+      if (e == graph.root()) continue;
+      if (std::find(centers.begin(), centers.end(), e) == centers.end()) {
+        centers.push_back(e);
+      }
+    }
+  }
+
+  // 3. Grouping: strongest multiplicative semantic connection to a center.
+  EdgeFactors factors(n);
+  for (ElementId u = 0; u < n; ++u) {
+    const auto& nbrs = graph.neighbors(u);
+    factors[u].resize(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      factors[u][i] = labeling.WeightOf(nbrs[i]);
+    }
+  }
+  WalkSearchOptions walk;
+  walk.max_steps = options.max_steps;
+  walk.divide_by_steps = true;  // long grouping chains are weaker
+  std::vector<ElementId> representative(n, kInvalidElement);
+  representative[graph.root()] = graph.root();
+  std::vector<double> best(n, 0.0);
+  for (ElementId c : centers) {
+    std::vector<double> strength = MaxProductWalks(graph, factors, c, walk);
+    for (ElementId e = 0; e < n; ++e) {
+      if (strength[e] > best[e]) {
+        best[e] = strength[e];
+        representative[e] = c;
+      }
+    }
+  }
+  for (ElementId c : centers) representative[c] = c;
+  return BuildSummaryFromAssignment(graph, std::move(centers),
+                                    std::move(representative));
+}
+
+}  // namespace ssum

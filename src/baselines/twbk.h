@@ -1,0 +1,37 @@
+#pragma once
+
+#include "baselines/semantic_labels.h"
+#include "common/result.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// ER-model clustering after Teorey, Wei, Bolton and Koenig (CACM 1989) —
+/// the paper's baseline "TWBK [13]" in Table 6.
+///
+/// The original method picks "major entities" and applies grouping
+/// operations (dominance, abstraction, constraint, relationship grouping)
+/// that absorb surrounding entities along semantically strong
+/// relationships. Our reconstruction:
+///
+///   1. Score every element as a major-entity candidate:
+///        score = (1 + entity_strength) * sum of incident link weights.
+///   2. The K best-scoring elements become cluster centers.
+///   3. Every remaining element joins the center with the strongest
+///      semantic connection: the maximum product of link weights along a
+///      bounded-length path (grouping operations chain, so strength decays
+///      multiplicatively across links).
+///
+/// With heuristic labels (no human), weights are nearly uniform and the
+/// centers degenerate to high-degree hubs — the behaviour Table 6 reports
+/// as "w/o human".
+struct TwbkOptions {
+  uint32_t max_steps = 16;
+};
+
+Result<SchemaSummary> TwbkSummarize(const SchemaGraph& graph,
+                                    const SemanticLabeling& labeling,
+                                    size_t k, const TwbkOptions& options = {});
+
+}  // namespace ssum

@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssum {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level)
+    : level_(level),
+      enabled_(static_cast<int>(level) >=
+               g_min_level.load(std::memory_order_relaxed)) {}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::fprintf(stderr, "[ssum %s] %s\n", LevelTag(level_),
+               stream_.str().c_str());
+}
+
+}  // namespace internal
+
+void FatalError(const std::string& message) {
+  std::fprintf(stderr, "[ssum FATAL] %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace ssum

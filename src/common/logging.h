@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ssum {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: `LogMessage(kInfo) << "x=" << x;` emits on
+/// destruction. Kept deliberately tiny — the library logs sparingly.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SSUM_LOG(level) ::ssum::internal::LogMessage(::ssum::LogLevel::level)
+
+/// Fatal invariant check: prints the message and aborts. Used for internal
+/// invariants that indicate programming errors, never for user input.
+[[noreturn]] void FatalError(const std::string& message);
+
+#define SSUM_CHECK(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) ::ssum::FatalError(std::string("check failed: ") + \
+                                    #cond + " — " + (msg));          \
+  } while (false)
+
+}  // namespace ssum

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ssum {
+
+/// Value-or-error wrapper in the style of arrow::Result. A `Result<T>` holds
+/// either a `T` or a non-OK `Status`; constructing one from an OK status is a
+/// programming error (asserted in debug builds, degraded to Internal error in
+/// release builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result<T> must not be built from an OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Access to the held value. Caller must check ok() first.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value into `lhs` (which must already be declared).
+#define SSUM_ASSIGN_OR_RETURN(lhs, expr)            \
+  do {                                              \
+    auto _res = (expr);                             \
+    if (!_res.ok()) return _res.status();           \
+    lhs = std::move(_res).ValueOrDie();             \
+  } while (false)
+
+}  // namespace ssum

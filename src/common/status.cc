@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace ssum {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+}  // namespace ssum

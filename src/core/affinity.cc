@@ -1,0 +1,24 @@
+#include "core/affinity.h"
+
+namespace ssum {
+
+AffinityMatrix AffinityMatrix::Compute(const SchemaGraph& graph,
+                                       const EdgeMetrics& metrics,
+                                       const AffinityOptions& options) {
+  const size_t n = graph.size();
+  AffinityMatrix out;
+  out.m_ = SquareMatrix(n, 0.0);
+  WalkSearchOptions walk;
+  walk.max_steps = options.max_steps;
+  walk.divide_by_steps = true;
+  for (ElementId src = 0; src < n; ++src) {
+    std::vector<double> row =
+        MaxProductWalks(graph, metrics.edge_affinity, src, walk);
+    double* dst = out.m_.Row(src);
+    for (size_t t = 0; t < n; ++t) dst[t] = row[t];
+    dst[src] = 1.0;  // Formula 2 special case
+  }
+  return out;
+}
+
+}  // namespace ssum

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/path_engine.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+struct AffinityOptions {
+  /// Walk-length bound for the max-product search (see path_engine.h).
+  uint32_t max_steps = 16;
+};
+
+/// Dense all-pairs element affinity (paper Formula 2):
+///
+///   A(a->b) = max over paths of (1/steps) * prod 1/RC(e_{j-1} -> e_j)
+///   A(a->a) = 1
+///
+/// Per-edge affinities are capped at 1 (DESIGN.md interpretation notes), the
+/// division uses the number of *steps* (edges) on the path — the reading
+/// consistent with the paper's bidder/open_auction worked example.
+class AffinityMatrix {
+ public:
+  /// A(from -> to).
+  double At(ElementId from, ElementId to) const { return m_.At(from, to); }
+
+  size_t size() const { return m_.size(); }
+
+  static AffinityMatrix Compute(const SchemaGraph& graph,
+                                const EdgeMetrics& metrics,
+                                const AffinityOptions& options = {});
+
+ private:
+  SquareMatrix m_;
+};
+
+}  // namespace ssum

@@ -1,0 +1,40 @@
+#include "core/coverage.h"
+
+namespace ssum {
+
+CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
+                                       const Annotations& annotations,
+                                       const EdgeMetrics& metrics,
+                                       const CoverageOptions& options) {
+  const size_t n = graph.size();
+  // Step factor for u -> v (adjacency entry i at u):
+  //   edge_affinity(u->v) * W(v->u)
+  // where W(v->u) is read through the mirror index.
+  EdgeFactors factors(n);
+  for (ElementId u = 0; u < n; ++u) {
+    const auto& nbrs = graph.neighbors(u);
+    factors[u].resize(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const ElementId v = nbrs[i].other;
+      const uint32_t j = metrics.mirror[u][i];
+      factors[u][i] = metrics.edge_affinity[u][i] * metrics.w[v][j];
+    }
+  }
+  CoverageMatrix out;
+  out.m_ = SquareMatrix(n, 0.0);
+  WalkSearchOptions walk;
+  walk.max_steps = options.max_steps;
+  walk.divide_by_steps = false;
+  for (ElementId src = 0; src < n; ++src) {
+    std::vector<double> row = MaxProductWalks(graph, factors, src, walk);
+    double* dst = out.m_.Row(src);
+    for (size_t t = 0; t < n; ++t) {
+      dst[t] = row[t] * static_cast<double>(annotations.card(
+                            static_cast<ElementId>(t)));
+    }
+    dst[src] = static_cast<double>(annotations.card(src));  // special case
+  }
+  return out;
+}
+
+}  // namespace ssum

@@ -1,0 +1,95 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+
+namespace ssum {
+
+bool Dominates(const SchemaGraph& graph, const Annotations& annotations,
+               const CoverageMatrix& coverage, ElementId e1, ElementId e2) {
+  if (e1 == e2) return false;
+  const size_t n = graph.size();
+  // E, C1, C2 per Theorem 1.
+  double c1 = 0;
+  double c2 = 0;
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == graph.root()) continue;
+    const double by2 = coverage.At(e2, e);
+    const double by1 = coverage.At(e1, e);
+    if (by2 > by1) {
+      c1 += by1;
+      c2 += by2;
+    }
+  }
+  // e_c: the element besides e1 with the highest coverage of e1.
+  ElementId ec = kInvalidElement;
+  double ec_cov = -1.0;
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == e1 || e == graph.root()) continue;
+    const double c = coverage.At(e, e1);
+    if (c > ec_cov) {
+      ec = e;
+      ec_cov = c;
+    }
+  }
+  const double card1 = static_cast<double>(annotations.card(e1));
+  const double delta = c2 - c1;
+  if (delta > card1 - coverage.At(e2, e1)) return false;
+  if (ec != kInvalidElement && ec != e2) {
+    if (delta > card1 - ec_cov) return false;
+  }
+  return true;
+}
+
+std::vector<ElementId> ExtendedAncestors(const SchemaGraph& graph,
+                                         ElementId e) {
+  // BFS over "parent-like" edges: structural parent, and referees of value
+  // links where the current element is the referrer.
+  std::vector<bool> seen(graph.size(), false);
+  std::vector<ElementId> queue;
+  std::vector<ElementId> out;
+  auto push = [&](ElementId x) {
+    if (x != kInvalidElement && !seen[x]) {
+      seen[x] = true;
+      queue.push_back(x);
+      out.push_back(x);
+    }
+  };
+  seen[e] = true;
+  ElementId p = graph.parent(e);
+  push(p);
+  for (const Neighbor& nbr : graph.neighbors(e)) {
+    if (!nbr.is_structural && nbr.forward) push(nbr.other);  // referee
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    ElementId cur = queue[qi];
+    push(graph.parent(cur));
+    for (const Neighbor& nbr : graph.neighbors(cur)) {
+      if (!nbr.is_structural && nbr.forward) push(nbr.other);
+    }
+  }
+  return out;
+}
+
+DominanceResult ComputeDominance(const SchemaGraph& graph,
+                                 const Annotations& annotations,
+                                 const CoverageMatrix& coverage) {
+  DominanceResult result;
+  result.dominated.assign(graph.size(), false);
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (e == graph.root()) continue;
+    for (ElementId anc : ExtendedAncestors(graph, e)) {
+      if (anc == graph.root()) continue;
+      if (Dominates(graph, annotations, coverage, anc, e)) {
+        result.pairs.push_back({anc, e});
+        result.dominated[e] = true;
+      }
+    }
+  }
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (e == graph.root() || result.dominated[e]) continue;
+    result.candidates.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace ssum

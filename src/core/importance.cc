@@ -1,0 +1,85 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+std::vector<ElementId> ImportanceResult::Ranked() const {
+  std::vector<ElementId> ids(importance.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ElementId>(i);
+  std::stable_sort(ids.begin(), ids.end(), [&](ElementId a, ElementId b) {
+    if (importance[a] != importance[b]) return importance[a] > importance[b];
+    return a < b;
+  });
+  return ids;
+}
+
+ImportanceResult ComputeImportance(const SchemaGraph& graph,
+                                   const Annotations& annotations,
+                                   const EdgeMetrics& metrics,
+                                   const ImportanceOptions& options) {
+  const size_t n = graph.size();
+  SSUM_CHECK(options.neighborhood_factor >= 0.0 &&
+                 options.neighborhood_factor <= 1.0,
+             "neighborhood factor must lie in [0,1]");
+  ImportanceResult result;
+  result.importance.resize(n);
+  std::vector<double>& cur = result.importance;
+  for (ElementId e = 0; e < n; ++e) {
+    cur[e] = options.cardinality_init
+                 ? static_cast<double>(annotations.card(e))
+                 : 1.0;
+  }
+  const double p = options.neighborhood_factor;
+  if (p == 1.0) {
+    // Fully data driven: the iteration is the identity.
+    result.converged = true;
+    return result;
+  }
+  std::vector<double> next(n, 0.0);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Scatter pass: each element keeps p of its value and distributes the
+    // rest along its neighbor weights.
+    std::fill(next.begin(), next.end(), 0.0);
+    for (ElementId e = 0; e < n; ++e) {
+      next[e] += p * cur[e];
+      const auto& nbrs = graph.neighbors(e);
+      const auto& w = metrics.w[e];
+      const double share = (1.0 - p) * cur[e];
+      if (nbrs.empty()) {
+        next[e] += share;  // isolated element keeps everything
+        continue;
+      }
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        next[nbrs[i].other] += share * w[i];
+      }
+    }
+    bool done = true;
+    for (size_t e = 0; e < n; ++e) {
+      double denom = std::max(std::abs(cur[e]), 1e-12);
+      if (std::abs(next[e] - cur[e]) / denom > options.convergence_threshold) {
+        done = false;
+        break;
+      }
+    }
+    cur.swap(next);
+    result.iterations = iter;
+    if (done) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ImportanceResult ComputeImportance(const SchemaGraph& graph,
+                                   const Annotations& annotations,
+                                   const ImportanceOptions& options) {
+  EdgeMetrics metrics = EdgeMetrics::Compute(graph, annotations);
+  return ComputeImportance(graph, annotations, metrics, options);
+}
+
+}  // namespace ssum

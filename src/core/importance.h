@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// Parameters of the importance iteration (paper Formula 1).
+struct ImportanceOptions {
+  /// Neighborhood factor p in [0,1]. p=1 keeps the initial (cardinality)
+  /// distribution ("fully data driven", Section 5.4); small p propagates
+  /// importance mostly through the link structure.
+  double neighborhood_factor = 0.5;
+  /// Convergence threshold c: iteration stops when every element's relative
+  /// change falls below it. Paper default 0.1%.
+  double convergence_threshold = 0.001;
+  /// Hard iteration cap (the paper notes a cap "can also be set").
+  int max_iterations = 2000;
+  /// Initialize I^0 to element cardinalities (paper default). When false,
+  /// every element starts at 1 — combined with Annotations::Uniform this is
+  /// the "fully schema driven" mode of Section 5.4.
+  bool cardinality_init = true;
+};
+
+struct ImportanceResult {
+  /// Importance per element, same order as SchemaGraph ids.
+  std::vector<double> importance;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Element ids sorted by descending importance (ties by ascending id);
+  /// includes the root.
+  std::vector<ElementId> Ranked() const;
+};
+
+/// Runs Formula 1 until convergence:
+///
+///   I_e^r = p * I_e^{r-1} + (1-p) * sum_j W_{e_j->e} * I_{e_j}^{r-1}
+///
+/// where W are the neighbor weights from `metrics` (each element's outgoing
+/// weights sum to 1, so the total importance is invariant across
+/// iterations — checked in tests).
+ImportanceResult ComputeImportance(const SchemaGraph& graph,
+                                   const Annotations& annotations,
+                                   const EdgeMetrics& metrics,
+                                   const ImportanceOptions& options = {});
+
+/// Convenience overload computing EdgeMetrics internally.
+ImportanceResult ComputeImportance(const SchemaGraph& graph,
+                                   const Annotations& annotations,
+                                   const ImportanceOptions& options = {});
+
+}  // namespace ssum

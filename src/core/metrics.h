@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// Summary importance R_SS (Definition 3): the fraction of total element
+/// importance captured by the summary's elements (the root, always present
+/// in a summary, is included).
+double SummaryImportanceRatio(const SchemaGraph& graph,
+                              const std::vector<double>& importance,
+                              const SchemaSummary& summary);
+
+/// Absolute summary coverage: sum over elements of C(representative -> e),
+/// using the summary's group assignment (Definition 4 numerator). The root
+/// covers itself with its own cardinality.
+double SummaryCoverageValue(const SchemaGraph& graph,
+                            const Annotations& annotations,
+                            const CoverageMatrix& coverage,
+                            const SchemaSummary& summary);
+
+/// Summary coverage C_SS (Definition 4): the ratio of the absolute coverage
+/// to the total cardinality of all schema elements.
+double SummaryCoverageRatio(const SchemaGraph& graph,
+                            const Annotations& annotations,
+                            const CoverageMatrix& coverage,
+                            const SchemaSummary& summary);
+
+/// Coverage of an arbitrary candidate element set (used by MaxCoverage's
+/// exact and greedy searches): every element is assigned to the set member
+/// toward which it has the highest affinity, then member->element coverages
+/// are summed. The root is excluded (it always represents itself).
+double CoverageOfSet(const SchemaGraph& graph,
+                     const AffinityMatrix& affinity,
+                     const CoverageMatrix& coverage,
+                     const std::vector<ElementId>& set);
+
+}  // namespace ssum

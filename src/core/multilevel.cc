@@ -1,0 +1,208 @@
+#include "core/multilevel.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ssum {
+
+Result<CollapsedSchema> CollapseSummary(const SchemaGraph& graph,
+                                        const Annotations& annotations,
+                                        const SchemaSummary& summary) {
+  SSUM_RETURN_NOT_OK(ValidateSummary(summary));
+  CollapsedSchema out{SchemaGraph(graph.label(graph.root())), Annotations(),
+                      {}};
+
+  // Structural parent group of each abstract element: walk the original
+  // structural ancestry until hitting an element represented by a different
+  // abstract element (or the root).
+  auto parent_group = [&](ElementId rep) -> ElementId {
+    for (ElementId cur = graph.parent(rep); cur != kInvalidElement;
+         cur = graph.parent(cur)) {
+      if (cur == graph.root()) return graph.root();
+      if (summary.representative[cur] != rep) {
+        return summary.representative[cur];
+      }
+    }
+    return graph.root();
+  };
+
+  // Build elements in an order where parents precede children: repeatedly
+  // emit abstract elements whose parent group is already emitted.
+  std::map<ElementId, ElementId> emitted;  // original rep -> collapsed id
+  emitted[graph.root()] = out.graph.root();
+  out.origin.push_back(graph.root());
+  std::vector<ElementId> pending = summary.abstract_elements;
+  std::vector<ElementId> pgroup(graph.size(), kInvalidElement);
+  for (ElementId rep : pending) pgroup[rep] = parent_group(rep);
+  while (!emitted.empty() && emitted.size() < pending.size() + 1) {
+    bool progress = false;
+    for (ElementId rep : pending) {
+      if (emitted.count(rep)) continue;
+      auto it = emitted.find(pgroup[rep]);
+      if (it == emitted.end()) continue;
+      ElementType type = graph.type(rep);
+      type.abstract_ = true;
+      auto added = out.graph.AddElement(it->second, graph.label(rep), type);
+      SSUM_RETURN_NOT_OK(added.status());
+      emitted[rep] = *added;
+      out.origin.push_back(rep);
+      progress = true;
+    }
+    if (!progress) {
+      // Parent-group cycle through value links; attach the remainder to the
+      // root to keep the collapsed structure a tree.
+      for (ElementId rep : pending) {
+        if (emitted.count(rep)) continue;
+        ElementType type = graph.type(rep);
+        type.abstract_ = true;
+        auto added =
+            out.graph.AddElement(out.graph.root(), graph.label(rep), type);
+        SSUM_RETURN_NOT_OK(added.status());
+        emitted[rep] = *added;
+        out.origin.push_back(rep);
+      }
+    }
+  }
+
+  // Value links: every abstract link that is not the structural-parent edge.
+  std::map<std::pair<ElementId, ElementId>, uint64_t> vcounts;
+  for (const AbstractLink& l : summary.links) {
+    ElementId from = l.from;
+    ElementId to = l.to;
+    // Skip the edge realized as the collapsed structural parent.
+    if (to != graph.root() && pgroup[to] == from && l.has_structural) continue;
+    if (from == to) continue;
+    vcounts[{from, to}] += l.source_links;
+  }
+  out.annotations = Annotations(out.graph);
+  for (const auto& [key, count] : vcounts) {
+    auto fit = emitted.find(key.first);
+    auto tit = emitted.find(key.second);
+    if (fit == emitted.end() || tit == emitted.end()) continue;
+    if (fit->second == out.graph.root() || tit->second == out.graph.root()) {
+      continue;  // value links may not touch the root
+    }
+    auto link = out.graph.AddValueLink(fit->second, tit->second);
+    SSUM_RETURN_NOT_OK(link.status());
+  }
+
+  // Annotations sized for the final graph (links were added after the first
+  // sizing, so rebuild).
+  out.annotations = Annotations(out.graph);
+  for (ElementId c = 0; c < out.graph.size(); ++c) {
+    out.annotations.set_card(c, annotations.card(out.origin[c]));
+  }
+  for (LinkId l = 0; l < out.graph.structural_links().size(); ++l) {
+    const StructuralLink& s = out.graph.structural_links()[l];
+    out.annotations.set_structural_count(l, out.annotations.card(s.child));
+  }
+  {
+    LinkId l = 0;
+    for (const ValueLink& v : out.graph.value_links()) {
+      auto key = std::make_pair(out.origin[v.referrer], out.origin[v.referee]);
+      auto it = vcounts.find(key);
+      uint64_t c = it == vcounts.end() ? 1 : it->second;
+      // Scale the count to data terms: use the referrer cardinality as a
+      // conservative per-instance estimate when no data count is available.
+      out.annotations.set_value_count(
+          l, std::max<uint64_t>(c, out.annotations.card(v.referrer) > 0
+                                       ? out.annotations.card(v.referrer)
+                                       : 1));
+      ++l;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<SummaryLevel>> SummarizeMultiLevel(
+    const SchemaGraph& graph, const Annotations& annotations,
+    const std::vector<size_t>& sizes, Algorithm algorithm,
+    const SummarizeOptions& options) {
+  if (sizes.empty()) {
+    return Status::InvalidArgument("SummarizeMultiLevel: no sizes");
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] >= sizes[i - 1]) {
+      return Status::InvalidArgument(
+          "SummarizeMultiLevel: sizes must strictly decrease");
+    }
+  }
+  std::vector<SummaryLevel> levels;
+
+  // Level 0 on the original schema.
+  SchemaSummary base;
+  {
+    auto s = Summarize(graph, annotations, sizes[0], algorithm, options);
+    SSUM_RETURN_NOT_OK(s.status());
+    base = std::move(*s);
+  }
+  levels.push_back({base.abstract_elements, base.representative});
+
+  // Subsequent levels on collapsed graphs, composing representatives.
+  SchemaSummary current = base;
+  const SchemaGraph* cur_graph = &graph;
+  const Annotations* cur_ann = &annotations;
+  CollapsedSchema collapsed;  // keeps the latest collapse alive
+  std::vector<ElementId> to_original(graph.size());
+  for (ElementId e = 0; e < graph.size(); ++e) to_original[e] = e;
+
+  for (size_t li = 1; li < sizes.size(); ++li) {
+    auto col = CollapseSummary(*cur_graph, *cur_ann, current);
+    SSUM_RETURN_NOT_OK(col.status());
+    // Compose: map collapsed ids back to original ids.
+    std::vector<ElementId> col_to_original(col->graph.size());
+    for (ElementId c = 0; c < col->graph.size(); ++c) {
+      col_to_original[c] = to_original[col->origin[c]];
+    }
+    auto s = Summarize(col->graph, col->annotations, sizes[li], algorithm,
+                       options);
+    SSUM_RETURN_NOT_OK(s.status());
+
+    SummaryLevel level;
+    for (ElementId a : s->abstract_elements) {
+      level.abstract_elements.push_back(col_to_original[a]);
+    }
+    // Original element -> previous-level rep -> collapsed id -> new rep.
+    std::map<ElementId, ElementId> original_rep_to_collapsed;
+    for (ElementId c = 0; c < col->graph.size(); ++c) {
+      original_rep_to_collapsed[col_to_original[c]] = c;
+    }
+    const SummaryLevel& prev = levels.back();
+    level.representative.resize(graph.size());
+    for (ElementId e = 0; e < graph.size(); ++e) {
+      ElementId prev_rep = prev.representative[e];
+      auto it = original_rep_to_collapsed.find(prev_rep);
+      ElementId collapsed_id =
+          it == original_rep_to_collapsed.end() ? col->graph.root()
+                                                : it->second;
+      ElementId new_rep = s->representative[collapsed_id];
+      level.representative[e] = col_to_original[new_rep];
+    }
+    levels.push_back(std::move(level));
+
+    current = std::move(*s);
+    collapsed = std::move(*col);
+    // The summary's schema pointer tracked col->graph, which has just been
+    // moved into `collapsed`; re-anchor it.
+    current.schema = &collapsed.graph;
+    cur_graph = &collapsed.graph;
+    cur_ann = &collapsed.annotations;
+    to_original = std::move(col_to_original);
+  }
+  return levels;
+}
+
+Result<ExpandedView> ExpandAbstractElement(const SchemaSummary& summary,
+                                           ElementId abstract_rep) {
+  if (!summary.IsAbstract(abstract_rep)) {
+    return Status::InvalidArgument("element is not abstract in this summary");
+  }
+  ExpandedView view;
+  view.expanded_members = summary.Group(abstract_rep);
+  for (ElementId a : summary.abstract_elements) {
+    if (a != abstract_rep) view.abstract_elements.push_back(a);
+  }
+  return view;
+}
+
+}  // namespace ssum

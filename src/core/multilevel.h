@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/summarize.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// A summary collapsed into a standalone schema graph: one element per
+/// abstract element plus the root. Enables multi-level summarization
+/// (Section 2's extension): summarizing the collapsed graph produces a
+/// coarser summary of the original schema.
+struct CollapsedSchema {
+  SchemaGraph graph;
+  Annotations annotations;
+  /// origin[collapsed element] = original schema element (the
+  /// representative); origin[0] is the original root.
+  std::vector<ElementId> origin;
+};
+
+/// Collapses a summary into a schema graph:
+///  - each abstract element becomes a structural child of the group of its
+///    nearest represented structural ancestor (the root when none);
+///  - every remaining abstract link becomes a value link;
+///  - cardinalities are inherited from the representatives, structural link
+///    counts equal the child's cardinality, and value link counts aggregate
+///    the crossing original link counts.
+Result<CollapsedSchema> CollapseSummary(const SchemaGraph& graph,
+                                        const Annotations& annotations,
+                                        const SchemaSummary& summary);
+
+/// One level of a multi-level summary.
+struct SummaryLevel {
+  /// Abstract elements at this level, as *original-schema* element ids.
+  std::vector<ElementId> abstract_elements;
+  /// For each original element: its representative at this level.
+  std::vector<ElementId> representative;
+};
+
+/// Builds a multi-level summary with the given per-level sizes
+/// (sizes[0] > sizes[1] > ... — level 0 is the finest). Each level is a
+/// summary of the previous level's collapsed graph; representatives are
+/// composed back onto the original schema.
+Result<std::vector<SummaryLevel>> SummarizeMultiLevel(
+    const SchemaGraph& graph, const Annotations& annotations,
+    const std::vector<size_t>& sizes,
+    Algorithm algorithm = Algorithm::kBalanceSummary,
+    const SummarizeOptions& options = {});
+
+/// Expanded-summary view (paper Figure 2(C)): the elements visible when a
+/// single abstract element of `summary` is expanded — the members of its
+/// group plus the other abstract elements.
+struct ExpandedView {
+  /// Visible original elements (group members), pre-order by schema id.
+  std::vector<ElementId> expanded_members;
+  /// The remaining (still abstract) elements.
+  std::vector<ElementId> abstract_elements;
+};
+
+Result<ExpandedView> ExpandAbstractElement(const SchemaSummary& summary,
+                                           ElementId abstract_rep);
+
+}  // namespace ssum

@@ -1,0 +1,48 @@
+#include "core/path_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+std::vector<double> MaxProductWalks(const SchemaGraph& graph,
+                                    const EdgeFactors& factors,
+                                    ElementId source,
+                                    const WalkSearchOptions& options) {
+  const size_t n = graph.size();
+  SSUM_CHECK(source < n, "MaxProductWalks: source out of range");
+  SSUM_CHECK(factors.size() == n, "MaxProductWalks: factor shape mismatch");
+  std::vector<double> cur(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> best(n, 0.0);
+  cur[source] = 1.0;
+  // Track the set of reachable-so-far elements to skip dead rows early on.
+  for (uint32_t k = 1; k <= options.max_steps; ++k) {
+    std::fill(next.begin(), next.end(), 0.0);
+    bool any = false;
+    for (ElementId u = 0; u < n; ++u) {
+      const double base = cur[u];
+      if (base <= 0.0) continue;
+      const auto& nbrs = graph.neighbors(u);
+      const auto& f = factors[u];
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const double v = base * f[i];
+        if (v > next[nbrs[i].other]) {
+          next[nbrs[i].other] = v;
+          any = true;
+        }
+      }
+    }
+    const double scale = options.divide_by_steps ? 1.0 / k : 1.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double scored = next[t] * scale;
+      if (scored > best[t]) best[t] = scored;
+    }
+    if (!any) break;  // nothing reachable beyond k-1 steps
+    cur.swap(next);
+  }
+  return best;
+}
+
+}  // namespace ssum

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Per-adjacency multiplicative step factors: factors[e][i] applies when a
+/// walk steps from `e` to `graph.neighbors(e)[i].other`.
+using EdgeFactors = std::vector<std::vector<double>>;
+
+/// Maximum-product walk search with a step bound.
+///
+/// Both Formula 2 (affinity) and Formula 3 (coverage) take a maximum over
+/// all paths of a product of per-edge factors; affinity additionally divides
+/// by the path's step count. Neither objective is prefix-optimal, so instead
+/// of a shortest-path algorithm we run a dynamic program over bounded-length
+/// walks:
+///
+///   best_k[v] = max over k-step walks source->v of the factor product
+///
+/// and reduce over k. All factors used by this library are in [0,1]
+/// (edge affinities are capped at 1 and neighbor weights are normalized), so
+/// optimal walks never repeat profitable cycles and the step bound only
+/// needs to cover the graph diameter (see DESIGN.md interpretation notes).
+struct WalkSearchOptions {
+  /// Upper bound on walk steps. 16 exceeds the diameter of every evaluated
+  /// schema; raise for unusually deep schemas.
+  uint32_t max_steps = 16;
+  /// Divide the k-step product by k before reducing (Formula 2 semantics).
+  bool divide_by_steps = false;
+};
+
+/// Returns, for every target element, max over k in [1, max_steps] of
+/// (product of the best k-step walk) / (divide_by_steps ? k : 1).
+/// The source's own entry reports the best *cycle* value (callers overwrite
+/// it with the formula's special case).
+std::vector<double> MaxProductWalks(const SchemaGraph& graph,
+                                    const EdgeFactors& factors,
+                                    ElementId source,
+                                    const WalkSearchOptions& options);
+
+/// Dense square matrix helper used by the affinity/coverage caches.
+class SquareMatrix {
+ public:
+  SquareMatrix() = default;
+  SquareMatrix(size_t n, double fill) : n_(n), data_(n * n, fill) {}
+
+  double At(size_t row, size_t col) const { return data_[row * n_ + col]; }
+  void Set(size_t row, size_t col, double v) { data_[row * n_ + col] = v; }
+  double* Row(size_t row) { return data_.data() + row * n_; }
+  const double* Row(size_t row) const { return data_.data() + row * n_; }
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ssum

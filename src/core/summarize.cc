@@ -1,0 +1,277 @@
+#include "core/summarize.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "core/metrics.h"
+
+namespace ssum {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMaxImportance:
+      return "MaxImportance";
+    case Algorithm::kMaxCoverage:
+      return "MaxCoverage";
+    case Algorithm::kBalanceSummary:
+      return "BalanceSummary";
+  }
+  return "?";
+}
+
+SummarizerContext::SummarizerContext(const SchemaGraph& graph,
+                                     const Annotations& annotations,
+                                     const SummarizeOptions& options)
+    : graph_(&graph),
+      annotations_(&annotations),
+      options_(options),
+      metrics_(EdgeMetrics::Compute(graph, annotations)),
+      importance_(
+          ComputeImportance(graph, annotations, metrics_, options.importance)),
+      affinity_(AffinityMatrix::Compute(graph, metrics_, options.affinity)),
+      coverage_(CoverageMatrix::Compute(graph, annotations, metrics_,
+                                        options.coverage)),
+      dominance_(ComputeDominance(graph, annotations, coverage_)) {}
+
+namespace {
+
+Status CheckK(const SchemaGraph& graph, size_t k) {
+  if (k == 0) return Status::InvalidArgument("summary size must be positive");
+  if (k >= graph.size()) {
+    return Status::InvalidArgument(
+        "summary size " + std::to_string(k) +
+        " is not smaller than the schema (" + std::to_string(graph.size()) +
+        " elements)");
+  }
+  return Status::OK();
+}
+
+/// Enumerates k-subsets of `candidates` via lexicographic index vectors,
+/// tracking the best set under CoverageOfSet.
+std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
+                                        const std::vector<ElementId>& cands,
+                                        size_t k) {
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<ElementId> best_set;
+  double best_cov = -1.0;
+  std::vector<ElementId> cur(k);
+  const size_t n = cands.size();
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) cur[i] = cands[idx[i]];
+    double cov = CoverageOfSet(context.graph(), context.affinity(),
+                               context.coverage(), cur);
+    if (cov > best_cov) {
+      best_cov = cov;
+      best_set = cur;
+    }
+    // Advance the combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return best_set;
+    }
+    if (idx[0] > n - k) break;
+  }
+  return best_set;
+}
+
+std::vector<ElementId> GreedyMaxCoverage(const SummarizerContext& context,
+                                         const std::vector<ElementId>& cands,
+                                         size_t k) {
+  std::vector<ElementId> chosen;
+  std::vector<bool> used(context.graph().size(), false);
+  chosen.reserve(k);
+  for (size_t round = 0; round < k; ++round) {
+    ElementId best = kInvalidElement;
+    double best_cov = -1.0;
+    for (ElementId c : cands) {
+      if (used[c]) continue;
+      chosen.push_back(c);
+      double cov = CoverageOfSet(context.graph(), context.affinity(),
+                                 context.coverage(), chosen);
+      chosen.pop_back();
+      if (cov > best_cov) {
+        best_cov = cov;
+        best = c;
+      }
+    }
+    if (best == kInvalidElement) break;
+    chosen.push_back(best);
+    used[best] = true;
+  }
+  return chosen;
+}
+
+/// C(n, k) with saturation.
+uint64_t BinomialCapped(uint64_t n, uint64_t k, uint64_t cap) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, with overflow guard against the cap.
+    if (result > cap) return cap + 1;
+    result = result * (n - k + i) / i;
+  }
+  return std::min(result, cap + 1);
+}
+
+}  // namespace
+
+Result<std::vector<ElementId>> SelectMaxImportance(
+    const SummarizerContext& context, size_t k) {
+  SSUM_RETURN_NOT_OK(CheckK(context.graph(), k));
+  std::vector<ElementId> ranked = context.importance().Ranked();
+  std::vector<ElementId> out;
+  out.reserve(k);
+  for (ElementId e : ranked) {
+    if (e == context.graph().root()) continue;
+    out.push_back(e);
+    if (out.size() == k) break;
+  }
+  if (out.size() < k) {
+    return Status::Internal("fewer elements than requested summary size");
+  }
+  return out;
+}
+
+Result<std::vector<ElementId>> SelectMaxCoverage(
+    const SummarizerContext& context, size_t k) {
+  SSUM_RETURN_NOT_OK(CheckK(context.graph(), k));
+  const std::vector<ElementId>& cands = context.dominance().candidates;
+  if (cands.size() <= k) {
+    // Degenerate: everything non-dominated fits; top up with dominated
+    // elements by coverage-of-self to reach k.
+    std::vector<ElementId> out = cands;
+    for (ElementId e = 0; e < context.graph().size() && out.size() < k; ++e) {
+      if (e == context.graph().root()) continue;
+      if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
+    }
+    return out;
+  }
+  const uint64_t budget = context.options().max_coverage_enumeration_budget;
+  uint64_t sets = BinomialCapped(cands.size(), k, budget);
+  if (sets <= budget) {
+    return ExactMaxCoverage(context, cands, k);
+  }
+  SSUM_LOG(kInfo) << "MaxCoverage: C(" << cands.size() << "," << k
+                  << ") exceeds enumeration budget; using greedy search";
+  return GreedyMaxCoverage(context, cands, k);
+}
+
+Result<std::vector<ElementId>> SelectBalanced(const SummarizerContext& context,
+                                              size_t k) {
+  SSUM_RETURN_NOT_OK(CheckK(context.graph(), k));
+  const SchemaGraph& graph = context.graph();
+  const auto& importance = context.importance().importance;
+
+  // Dominance lookup in both directions.
+  const auto& pairs = context.dominance().pairs;
+  auto dominates = [&](ElementId a, ElementId b) {
+    for (const DominancePair& p : pairs) {
+      if (p.dominator == a && p.dominated == b) return true;
+    }
+    return false;
+  };
+
+  // Max-heap over importance (ties by id for determinism).
+  auto cmp = [&](ElementId a, ElementId b) {
+    if (importance[a] != importance[b]) return importance[a] < importance[b];
+    return a > b;
+  };
+  std::priority_queue<ElementId, std::vector<ElementId>, decltype(cmp)> heap(
+      cmp);
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (e != graph.root()) heap.push(e);
+  }
+
+  std::vector<ElementId> selected;
+  // skipped_due_to[e'] = elements skipped because e' dominated them.
+  std::vector<std::vector<ElementId>> skipped_due_to(graph.size());
+  std::vector<bool> in_selected(graph.size(), false);
+  size_t safety = graph.size() * graph.size() + 16;
+  while (!heap.empty() && selected.size() < k) {
+    SSUM_CHECK(safety-- > 0, "BalanceSummary failed to terminate");
+    ElementId e = heap.top();
+    heap.pop();
+    if (in_selected[e]) continue;
+    // Figure 7 line 6: skip elements dominated by a selected element.
+    ElementId dominator_in_E = kInvalidElement;
+    for (ElementId s : selected) {
+      if (dominates(s, e)) {
+        dominator_in_E = s;
+        break;
+      }
+    }
+    if (dominator_in_E != kInvalidElement) {
+      skipped_due_to[dominator_in_E].push_back(e);
+      continue;
+    }
+    // Figure 7 line 8: e may dominate already-selected elements; evict them
+    // and resurrect everything they had suppressed.
+    std::vector<ElementId> evicted;
+    for (ElementId s : selected) {
+      if (dominates(e, s)) evicted.push_back(s);
+    }
+    for (ElementId s : evicted) {
+      selected.erase(std::find(selected.begin(), selected.end(), s));
+      in_selected[s] = false;
+      for (ElementId back : skipped_due_to[s]) heap.push(back);
+      skipped_due_to[s].clear();
+      heap.push(s);  // the evicted element may still qualify later
+    }
+    selected.push_back(e);
+    in_selected[e] = true;
+  }
+  if (selected.size() < k) {
+    // Requested size exceeds the number of mutually non-dominated elements
+    // (possible for very large summaries): top up with the remaining
+    // elements in importance order — Figure 7 leaves this case open, and
+    // including dominated elements is the only way to reach the size.
+    for (ElementId e : context.importance().Ranked()) {
+      if (selected.size() == k) break;
+      if (e == graph.root() || in_selected[e]) continue;
+      selected.push_back(e);
+      in_selected[e] = true;
+    }
+  }
+  if (selected.size() < k) {
+    return Status::Internal(
+        "BalanceSummary could not fill the requested size");
+  }
+  return selected;
+}
+
+Result<SchemaSummary> Summarize(const SummarizerContext& context, size_t k,
+                                Algorithm algorithm) {
+  std::vector<ElementId> selected;
+  switch (algorithm) {
+    case Algorithm::kMaxImportance:
+      SSUM_ASSIGN_OR_RETURN(selected, SelectMaxImportance(context, k));
+      break;
+    case Algorithm::kMaxCoverage:
+      SSUM_ASSIGN_OR_RETURN(selected, SelectMaxCoverage(context, k));
+      break;
+    case Algorithm::kBalanceSummary:
+      SSUM_ASSIGN_OR_RETURN(selected, SelectBalanced(context, k));
+      break;
+  }
+  return BuildSummary(context.graph(), context.affinity(), context.coverage(),
+                      std::move(selected));
+}
+
+Result<SchemaSummary> Summarize(const SchemaGraph& graph,
+                                const Annotations& annotations, size_t k,
+                                Algorithm algorithm,
+                                const SummarizeOptions& options) {
+  SummarizerContext context(graph, annotations, options);
+  return Summarize(context, k, algorithm);
+}
+
+}  // namespace ssum

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/affinity.h"
+#include "core/coverage.h"
+#include "core/dominance.h"
+#include "core/importance.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// Selection algorithm (paper Section 4).
+enum class Algorithm : unsigned char {
+  kMaxImportance = 0,  ///< Figure 4
+  kMaxCoverage,        ///< Figure 6
+  kBalanceSummary,     ///< Figure 7
+};
+
+const char* AlgorithmName(Algorithm a);
+
+struct SummarizeOptions {
+  ImportanceOptions importance;
+  AffinityOptions affinity;
+  CoverageOptions coverage;
+  /// MaxCoverage enumerates all C(|CS|, K) candidate sets exactly when the
+  /// count is at most this budget; otherwise it falls back to a greedy
+  /// marginal-coverage maximizer (DESIGN.md interpretation notes).
+  uint64_t max_coverage_enumeration_budget = 20000;
+};
+
+/// Shared per-schema computation cache. All algorithm entry points accept a
+/// prepared context so that repeated summarizations (size sweeps, parameter
+/// studies) reuse the expensive matrices.
+class SummarizerContext {
+ public:
+  SummarizerContext(const SchemaGraph& graph, const Annotations& annotations,
+                    const SummarizeOptions& options = {});
+
+  const SchemaGraph& graph() const { return *graph_; }
+  const Annotations& annotations() const { return *annotations_; }
+  const SummarizeOptions& options() const { return options_; }
+  const EdgeMetrics& metrics() const { return metrics_; }
+  const ImportanceResult& importance() const { return importance_; }
+  const AffinityMatrix& affinity() const { return affinity_; }
+  const CoverageMatrix& coverage() const { return coverage_; }
+  const DominanceResult& dominance() const { return dominance_; }
+
+ private:
+  const SchemaGraph* graph_;
+  const Annotations* annotations_;
+  SummarizeOptions options_;
+  EdgeMetrics metrics_;
+  ImportanceResult importance_;
+  AffinityMatrix affinity_;
+  CoverageMatrix coverage_;
+  DominanceResult dominance_;
+};
+
+/// Figure 4: the K elements with the highest importance (root excluded).
+Result<std::vector<ElementId>> SelectMaxImportance(
+    const SummarizerContext& context, size_t k);
+
+/// Figure 6: the K-element set with the highest summary coverage among
+/// mutually non-dominated candidates — exact enumeration within budget,
+/// greedy otherwise.
+Result<std::vector<ElementId>> SelectMaxCoverage(
+    const SummarizerContext& context, size_t k);
+
+/// Figure 7: important elements filtered by coverage dominance.
+Result<std::vector<ElementId>> SelectBalanced(const SummarizerContext& context,
+                                              size_t k);
+
+/// Selects with the requested algorithm and assembles the full summary
+/// (group assignment + abstract links).
+Result<SchemaSummary> Summarize(const SummarizerContext& context, size_t k,
+                                Algorithm algorithm = Algorithm::kBalanceSummary);
+
+/// One-shot convenience: builds a context and summarizes.
+Result<SchemaSummary> Summarize(const SchemaGraph& graph,
+                                const Annotations& annotations, size_t k,
+                                Algorithm algorithm = Algorithm::kBalanceSummary,
+                                const SummarizeOptions& options = {});
+
+}  // namespace ssum

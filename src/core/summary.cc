@@ -1,0 +1,263 @@
+#include "core/summary.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ssum {
+
+bool SchemaSummary::IsAbstract(ElementId e) const {
+  return std::find(abstract_elements.begin(), abstract_elements.end(), e) !=
+         abstract_elements.end();
+}
+
+std::vector<ElementId> SchemaSummary::Group(ElementId abstract_rep) const {
+  std::vector<ElementId> out;
+  for (ElementId e = 0; e < representative.size(); ++e) {
+    if (representative[e] == abstract_rep && e != schema->root()) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckSelection(const SchemaGraph& graph,
+                      const std::vector<ElementId>& selected) {
+  if (selected.empty()) {
+    return Status::InvalidArgument("BuildSummary: empty selection");
+  }
+  std::vector<bool> seen(graph.size(), false);
+  for (ElementId e : selected) {
+    if (e >= graph.size()) {
+      return Status::InvalidArgument("BuildSummary: element out of range");
+    }
+    if (e == graph.root()) {
+      return Status::InvalidArgument("BuildSummary: root cannot be abstract");
+    }
+    if (seen[e]) {
+      return Status::InvalidArgument("BuildSummary: duplicate element '" +
+                                     graph.label(e) + "'");
+    }
+    seen[e] = true;
+  }
+  return Status::OK();
+}
+
+/// Resolves kInvalidElement assignments via the structural-parent rule and
+/// consolidates crossing links (shared by both summary builders).
+void FinalizeSummary(const SchemaGraph& graph, SchemaSummary* summary) {
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (summary->representative[e] != kInvalidElement) continue;
+    ElementId cur = graph.parent(e);
+    while (cur != kInvalidElement &&
+           (summary->representative[cur] == kInvalidElement ||
+            summary->representative[cur] == graph.root())) {
+      cur = graph.parent(cur);
+    }
+    summary->representative[e] =
+        (cur == kInvalidElement) ? summary->abstract_elements.front()
+                                 : summary->representative[cur];
+  }
+  std::map<std::pair<ElementId, ElementId>, AbstractLink> merged;
+  auto add = [&](ElementId from, ElementId to, bool structural) {
+    AbstractLink& l = merged[{from, to}];
+    l.from = from;
+    l.to = to;
+    l.has_structural |= structural;
+    l.has_value |= !structural;
+    ++l.source_links;
+  };
+  for (const StructuralLink& s : graph.structural_links()) {
+    ElementId a = summary->representative[s.parent];
+    ElementId b = summary->representative[s.child];
+    if (a != b) add(a, b, /*structural=*/true);
+  }
+  for (const ValueLink& v : graph.value_links()) {
+    ElementId a = summary->representative[v.referrer];
+    ElementId b = summary->representative[v.referee];
+    if (a != b) add(a, b, /*structural=*/false);
+  }
+  summary->links.clear();
+  summary->links.reserve(merged.size());
+  for (auto& [key, link] : merged) summary->links.push_back(link);
+}
+
+}  // namespace
+
+Result<SchemaSummary> BuildSummary(const SchemaGraph& graph,
+                                   const AffinityMatrix& affinity,
+                                   const CoverageMatrix& coverage,
+                                   std::vector<ElementId> selected) {
+  SSUM_RETURN_NOT_OK(CheckSelection(graph, selected));
+
+  SchemaSummary summary;
+  summary.schema = &graph;
+  summary.abstract_elements = std::move(selected);
+  summary.representative.assign(graph.size(), kInvalidElement);
+  summary.representative[graph.root()] = graph.root();
+  for (ElementId s : summary.abstract_elements) summary.representative[s] = s;
+
+  // Assign every remaining element to the summary element toward which it
+  // has the highest affinity (Section 3.2 / Definition 4 footnote).
+  // Affinities below kAffinityFloor carry no semantic signal (they arise
+  // from long multi-hop walks through unrelated regions) and are treated as
+  // zero, leaving the element to the structural fallbacks below.
+  constexpr double kAffinityFloor = 0.01;
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (summary.representative[e] != kInvalidElement) continue;
+    ElementId best = kInvalidElement;
+    double best_aff = 0.0;
+    double best_cov = -1.0;
+    for (ElementId s : summary.abstract_elements) {
+      const double a = affinity.At(e, s);
+      if (a < kAffinityFloor) continue;
+      const double c = coverage.At(s, e);
+      if (a > best_aff || (a == best_aff && c > best_cov) ||
+          (a == best_aff && c == best_cov && best != kInvalidElement &&
+           s < best)) {
+        best = s;
+        best_aff = a;
+        best_cov = c;
+      }
+    }
+    summary.representative[e] = best;  // may stay invalid; resolved below
+  }
+  // Containers with no meaningful affinity anywhere (e.g. top-level
+  // organizational elements) belong with their content: assign them to the
+  // group holding the bulk (by cardinality, read off the coverage
+  // diagonal) of their structural subtree.
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (summary.representative[e] != kInvalidElement) continue;
+    std::map<ElementId, double> votes;
+    for (ElementId m : graph.Subtree(e)) {
+      ElementId rep = summary.representative[m];
+      if (rep == kInvalidElement || rep == graph.root()) continue;
+      votes[rep] += coverage.At(m, m);  // C(m->m) = Card(m)
+    }
+    ElementId best = kInvalidElement;
+    double best_votes = 0.0;
+    for (const auto& [rep, weight] : votes) {
+      if (weight > best_votes) {
+        best = rep;
+        best_votes = weight;
+      }
+    }
+    summary.representative[e] = best;
+  }
+  // Remaining stragglers (e.g. lookup relations whose every affinity sits
+  // under the floor) join the group of their closest assigned neighbor,
+  // propagating until a fixpoint (chains: column -> relation -> ...).
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (ElementId e = 0; e < graph.size(); ++e) {
+      if (summary.representative[e] != kInvalidElement) continue;
+      ElementId best = kInvalidElement;
+      double best_w = 0.0;
+      for (const Neighbor& nbr : graph.neighbors(e)) {
+        ElementId rep = summary.representative[nbr.other];
+        if (rep == kInvalidElement || rep == graph.root()) continue;
+        double w = affinity.At(e, nbr.other);
+        if (w > best_w || (w == best_w && best != kInvalidElement &&
+                           rep < best)) {
+          best = rep;
+          best_w = w;
+        }
+      }
+      if (best != kInvalidElement) {
+        summary.representative[e] = best;
+        changed = true;
+      }
+    }
+  }
+  FinalizeSummary(graph, &summary);
+  return summary;
+}
+
+Result<SchemaSummary> BuildSummaryFromAssignment(
+    const SchemaGraph& graph, std::vector<ElementId> selected,
+    std::vector<ElementId> representative) {
+  SSUM_RETURN_NOT_OK(CheckSelection(graph, selected));
+  if (representative.size() != graph.size()) {
+    return Status::InvalidArgument(
+        "BuildSummaryFromAssignment: representative map has wrong size");
+  }
+  std::vector<bool> is_selected(graph.size(), false);
+  for (ElementId s : selected) is_selected[s] = true;
+  SchemaSummary summary;
+  summary.schema = &graph;
+  summary.abstract_elements = std::move(selected);
+  summary.representative = std::move(representative);
+  summary.representative[graph.root()] = graph.root();
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (e == graph.root()) continue;
+    ElementId r = summary.representative[e];
+    if (is_selected[e] && r != e) {
+      return Status::InvalidArgument(
+          "BuildSummaryFromAssignment: selected element '" + graph.label(e) +
+          "' does not map to itself");
+    }
+    if (r != kInvalidElement && (r >= graph.size() || !is_selected[r])) {
+      return Status::InvalidArgument(
+          "BuildSummaryFromAssignment: element '" + graph.label(e) +
+          "' assigned to a non-selected representative");
+    }
+  }
+  FinalizeSummary(graph, &summary);
+  return summary;
+}
+
+Status ValidateSummary(const SchemaSummary& summary) {
+  const SchemaGraph& graph = *summary.schema;
+  if (summary.representative.size() != graph.size()) {
+    return Status::FailedPrecondition("representative map has wrong size");
+  }
+  if (summary.representative[graph.root()] != graph.root()) {
+    return Status::FailedPrecondition("root must represent itself");
+  }
+  std::vector<bool> is_abstract(graph.size(), false);
+  for (ElementId s : summary.abstract_elements) {
+    if (s >= graph.size() || s == graph.root()) {
+      return Status::FailedPrecondition("bad abstract element id");
+    }
+    if (summary.representative[s] != s) {
+      return Status::FailedPrecondition(
+          "abstract element '" + graph.label(s) + "' does not map to itself");
+    }
+    is_abstract[s] = true;
+  }
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (e == graph.root()) continue;
+    ElementId r = summary.representative[e];
+    if (r >= graph.size() || !is_abstract[r]) {
+      return Status::FailedPrecondition(
+          "element '" + graph.label(e) +
+          "' is not represented by an abstract element (Definition 2)");
+    }
+  }
+  // Every crossing link must appear in exactly one abstract link; internal
+  // links must not.
+  std::map<std::pair<ElementId, ElementId>, uint32_t> expected;
+  for (const StructuralLink& s : graph.structural_links()) {
+    ElementId a = summary.representative[s.parent];
+    ElementId b = summary.representative[s.child];
+    if (a != b) ++expected[{a, b}];
+  }
+  for (const ValueLink& v : graph.value_links()) {
+    ElementId a = summary.representative[v.referrer];
+    ElementId b = summary.representative[v.referee];
+    if (a != b) ++expected[{a, b}];
+  }
+  if (expected.size() != summary.links.size()) {
+    return Status::FailedPrecondition("abstract link set mismatch");
+  }
+  for (const AbstractLink& l : summary.links) {
+    auto it = expected.find({l.from, l.to});
+    if (it == expected.end() || it->second != l.source_links) {
+      return Status::FailedPrecondition("abstract link count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssum

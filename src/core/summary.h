@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/affinity.h"
+#include "core/coverage.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Abstract link of a summary (Definition 2): a consolidated edge between
+/// two summary elements standing for one or more original links crossing
+/// their groups.
+struct AbstractLink {
+  ElementId from;
+  ElementId to;
+  bool has_structural = false;  ///< represents >=1 structural link
+  bool has_value = false;       ///< represents >=1 value link (drawn dashed)
+  uint32_t source_links = 0;    ///< number of original links consolidated
+};
+
+/// Full schema summary (Definition 2, full-summary case): every non-root
+/// element is represented by exactly one abstract element; the root
+/// represents itself.
+///
+/// The abstract-element set is stored as the ids of the *representative*
+/// original elements ("the abstract element assumes the identity of the
+/// representative element", Section 2); the correspondence set M is stored
+/// densely as `representative[e]` for every original element e.
+struct SchemaSummary {
+  const SchemaGraph* schema = nullptr;
+
+  /// Representative ids of the abstract elements, in selection order.
+  std::vector<ElementId> abstract_elements;
+
+  /// representative[e] = abstract element representing e; e itself when e is
+  /// a representative; root() for the root.
+  std::vector<ElementId> representative;
+
+  /// Consolidated links between distinct groups (and the root).
+  std::vector<AbstractLink> links;
+
+  size_t size() const { return abstract_elements.size(); }
+
+  /// True when `e` is one of the abstract-element representatives.
+  bool IsAbstract(ElementId e) const;
+
+  /// Original elements directly or indirectly represented by `abstract_rep`
+  /// (includes the representative itself).
+  std::vector<ElementId> Group(ElementId abstract_rep) const;
+};
+
+/// Builds the summary induced by a selected element set (Section 4 preamble):
+/// assigns every remaining element to the selected element toward which it
+/// has the highest affinity (ties broken by higher coverage, then lower id;
+/// elements unreachable from every selected element inherit their structural
+/// parent's group), then consolidates crossing links into abstract links.
+///
+/// `selected` must be non-empty, contain no duplicates, and not contain the
+/// root.
+Result<SchemaSummary> BuildSummary(const SchemaGraph& graph,
+                                   const AffinityMatrix& affinity,
+                                   const CoverageMatrix& coverage,
+                                   std::vector<ElementId> selected);
+
+/// Builds a summary from an externally-computed group assignment (used by
+/// the ER-abstraction baselines, which cluster by their own rules rather
+/// than by affinity). `representative[e]` must name a member of `selected`
+/// for every non-root element (kInvalidElement entries fall back to the
+/// structural-parent rule); representatives must map to themselves.
+Result<SchemaSummary> BuildSummaryFromAssignment(
+    const SchemaGraph& graph, std::vector<ElementId> selected,
+    std::vector<ElementId> representative);
+
+/// Verifies the Definition 2 invariants: total representation (every
+/// element maps to an abstract element or the root maps to itself), group
+/// representatives map to themselves, and every original link is either
+/// internal to a group or consolidated by exactly one abstract link.
+Status ValidateSummary(const SchemaSummary& summary);
+
+}  // namespace ssum

@@ -1,0 +1,145 @@
+#include "core/summary_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+std::string SerializeSummary(const SchemaSummary& summary) {
+  std::ostringstream os;
+  os << "ssum-summary v1\n";
+  for (ElementId a : summary.abstract_elements) os << "a\t" << a << '\n';
+  for (ElementId e = 0; e < summary.representative.size(); ++e) {
+    os << "m\t" << e << '\t' << summary.representative[e] << '\n';
+  }
+  return os.str();
+}
+
+Result<SchemaSummary> ParseSummary(const SchemaGraph& schema,
+                                   const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || TrimWhitespace(line) != "ssum-summary v1") {
+    return Status::ParseError("missing 'ssum-summary v1' header");
+  }
+  SchemaSummary summary;
+  summary.schema = &schema;
+  summary.representative.assign(schema.size(), kInvalidElement);
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> f = SplitString(line, '\t');
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (f[0] == "a") {
+      if (f.size() != 2) return fail("abstract line needs 2 fields");
+      int64_t id;
+      SSUM_ASSIGN_OR_RETURN(id, ParseInt64(f[1]));
+      if (id < 0 || static_cast<size_t>(id) >= schema.size()) {
+        return fail("abstract element id out of range");
+      }
+      summary.abstract_elements.push_back(static_cast<ElementId>(id));
+    } else if (f[0] == "m") {
+      if (f.size() != 3) return fail("mapping line needs 3 fields");
+      int64_t e, r;
+      SSUM_ASSIGN_OR_RETURN(e, ParseInt64(f[1]));
+      SSUM_ASSIGN_OR_RETURN(r, ParseInt64(f[2]));
+      if (e < 0 || static_cast<size_t>(e) >= schema.size() || r < 0 ||
+          static_cast<size_t>(r) >= schema.size()) {
+        return fail("mapping id out of range");
+      }
+      summary.representative[static_cast<size_t>(e)] =
+          static_cast<ElementId>(r);
+    } else {
+      return fail("unknown record type '" + f[0] + "'");
+    }
+  }
+  // Rebuild the derived abstract links, then check Definition 2.
+  std::map<std::pair<ElementId, ElementId>, AbstractLink> merged;
+  auto add = [&](ElementId from, ElementId to, bool structural) {
+    AbstractLink& l = merged[{from, to}];
+    l.from = from;
+    l.to = to;
+    l.has_structural |= structural;
+    l.has_value |= !structural;
+    ++l.source_links;
+  };
+  for (const StructuralLink& s : schema.structural_links()) {
+    ElementId a = summary.representative[s.parent];
+    ElementId b = summary.representative[s.child];
+    if (a == kInvalidElement || b == kInvalidElement) {
+      return Status::ParseError("summary mapping is not total");
+    }
+    if (a != b) add(a, b, /*structural=*/true);
+  }
+  for (const ValueLink& v : schema.value_links()) {
+    ElementId a = summary.representative[v.referrer];
+    ElementId b = summary.representative[v.referee];
+    if (a != b) add(a, b, /*structural=*/false);
+  }
+  for (auto& [key, link] : merged) summary.links.push_back(link);
+  SSUM_RETURN_NOT_OK(ValidateSummary(summary));
+  return summary;
+}
+
+Status WriteSummaryFile(const SchemaSummary& summary,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << SerializeSummary(summary);
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<SchemaSummary> ReadSummaryFile(const SchemaGraph& schema,
+                                      const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSummary(schema, buf.str());
+}
+
+std::string ExportSummaryDot(const SchemaSummary& summary,
+                             const std::string& graph_name) {
+  const SchemaGraph& schema = *summary.schema;
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "digraph \"" << escape(graph_name) << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontsize=11];\n";
+  os << "  n" << schema.root() << " [label=\""
+     << escape(schema.label(schema.root())) << "\"];\n";
+  for (ElementId a : summary.abstract_elements) {
+    std::string label = escape(schema.label(a));
+    if (schema.type(a).set_of) label += "*";
+    os << "  n" << a << " [label=\"" << label << "\\n("
+       << summary.Group(a).size() << " elements)\", style=\"rounded\"];\n";
+  }
+  for (const AbstractLink& l : summary.links) {
+    os << "  n" << l.from << " -> n" << l.to;
+    if (l.has_value && !l.has_structural) {
+      os << " [style=dashed]";
+    } else if (l.has_value) {
+      os << " [style=\"dashed\", color=\"black:black\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ssum

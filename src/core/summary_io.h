@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Line-oriented text format for summaries (companion to schema_io.h):
+///
+///   ssum-summary v1
+///   a <tab> <representative element id>            (selection order)
+///   m <tab> <element id> <tab> <representative id> (one per element)
+///
+/// Abstract links are not persisted — they are derived data and are
+/// reconstructed on load. The summary references its schema by element ids;
+/// the caller must supply the same schema on load (ids are validated).
+std::string SerializeSummary(const SchemaSummary& summary);
+
+/// Parses and revalidates against `schema` (Definition 2 invariants).
+Result<SchemaSummary> ParseSummary(const SchemaGraph& schema,
+                                   const std::string& text);
+
+Status WriteSummaryFile(const SchemaSummary& summary, const std::string& path);
+Result<SchemaSummary> ReadSummaryFile(const SchemaGraph& schema,
+                                      const std::string& path);
+
+/// Graphviz rendering of a summary in the paper's Figure 2 style: one box
+/// per abstract element annotated with its group size, solid arrows for
+/// abstract links that stand for structural links only, dashed arrows when
+/// a value link is consolidated.
+std::string ExportSummaryDot(const SchemaSummary& summary,
+                             const std::string& graph_name = "summary");
+
+}  // namespace ssum

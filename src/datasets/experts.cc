@@ -1,0 +1,134 @@
+#include "datasets/experts.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ssum {
+
+std::vector<ElementId> ExpertPanel::SummaryOf(size_t user, size_t k) const {
+  const std::vector<ElementId>& r = rankings[user];
+  size_t n = std::min(k, r.size());
+  return std::vector<ElementId>(r.begin(), r.begin() + n);
+}
+
+std::vector<ElementId> ExpertPanel::Consensus(size_t k,
+                                              size_t majority) const {
+  std::map<ElementId, size_t> votes;
+  for (size_t u = 0; u < rankings.size(); ++u) {
+    for (ElementId e : SummaryOf(u, k)) ++votes[e];
+  }
+  std::vector<ElementId> out;
+  // Preserve the first user's ranking order for determinism, then append
+  // any remaining majority elements in id order.
+  for (ElementId e : SummaryOf(0, k)) {
+    if (votes[e] >= majority) out.push_back(e);
+  }
+  for (const auto& [e, v] : votes) {
+    if (v >= majority &&
+        std::find(out.begin(), out.end(), e) == out.end()) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<ExpertPanel> PanelFromPaths(
+    const SchemaGraph& schema,
+    const std::vector<std::vector<const char*>>& users) {
+  ExpertPanel panel;
+  for (const auto& paths : users) {
+    std::vector<ElementId> ranking;
+    for (const char* p : paths) {
+      ElementId e;
+      auto res = schema.FindPath(p);
+      if (!res.ok()) return res.status().WithContext("expert path");
+      e = *res;
+      ranking.push_back(e);
+    }
+    panel.rankings.push_back(std::move(ranking));
+  }
+  return panel;
+}
+
+}  // namespace
+
+Result<ExpertPanel> XMarkExpertPanel(const SchemaGraph& schema) {
+  return PanelFromPaths(
+      schema,
+      {
+          // Expert 1: entity-centric view of the auction site.
+          {"people/person", "regions/namerica/item",
+           "open_auctions/open_auction", "closed_auctions/closed_auction",
+           "open_auctions/open_auction/bidder", "regions/europe/item",
+           "categories/category", "open_auctions/open_auction/seller",
+           "people/person/profile", "closed_auctions/closed_auction/buyer",
+           "people/person/address", "open_auctions/open_auction/annotation",
+           "regions/asia/item", "people/person/watches/watch",
+           "open_auctions/open_auction/interval"},
+          // Expert 2: catalog-oriented view (categories early, bidder later).
+          {"people/person", "open_auctions/open_auction",
+           "regions/namerica/item", "categories/category",
+           "open_auctions/open_auction/bidder",
+           "closed_auctions/closed_auction", "regions/europe/item",
+           "people/person/profile/interest",
+           "closed_auctions/closed_auction/price", "people/person/profile",
+           "open_auctions/open_auction/current", "regions/australia/item",
+           "catgraph/edge", "people/person/name",
+           "closed_auctions/closed_auction/annotation"},
+          // Expert 3: trading-activity view.
+          {"people/person", "regions/namerica/item",
+           "open_auctions/open_auction", "open_auctions/open_auction/bidder",
+           "closed_auctions/closed_auction",
+           "open_auctions/open_auction/seller", "regions/europe/item",
+           "people/person/address", "categories/category",
+           "people/person/profile", "open_auctions/open_auction/itemref",
+           "closed_auctions/closed_auction/buyer",
+           "people/person/watches/watch", "regions/samerica/item",
+           "open_auctions/open_auction/annotation"},
+      });
+}
+
+Result<ExpertPanel> MimiExpertPanel(const SchemaGraph& schema) {
+  return PanelFromPaths(
+      schema,
+      {
+          // Administrator 1: data-model view (annotations are MiMI's
+          // value-add, so they rank them early).
+          {"molecules/molecule", "interactions/interaction",
+           "molecules/molecule/annotations/go_annotation",
+           "experiments/experiment", "publications/publication",
+           "organisms/organism", "interactions/interaction/confidence",
+           "pathways/pathway", "molecules/molecule/sequence",
+           "domains/domain", "molecules/molecule/domain_hit",
+           "molecules/molecule/gene", "sources/source",
+           "molecules/molecule/external_accession",
+           "publications/publication/authors/author"},
+          // Administrator 2: integration-pipeline view (sources early).
+          {"molecules/molecule", "interactions/interaction",
+           "molecules/molecule/annotations/go_annotation",
+           "experiments/experiment", "sources/source",
+           "publications/publication", "organisms/organism",
+           "interactions/interaction/detection",
+           "molecules/molecule/external_accession",
+           "interactions/interaction/confidence", "pathways/pathway",
+           "molecules/molecule/sequence", "domains/domain",
+           "interactions/interaction/provenance_source",
+           "experiments/experiment/method"},
+          // Administrator 3: biologist-facing view.
+          {"molecules/molecule", "interactions/interaction",
+           "molecules/molecule/annotations/go_annotation",
+           "interactions/interaction/confidence",
+           "experiments/experiment", "publications/publication",
+           "molecules/molecule/gene", "organisms/organism",
+           "molecules/molecule/domain_hit", "pathways/pathway",
+           "molecules/molecule/sequence",
+           "molecules/molecule/protein_properties",
+           "molecules/molecule/tissue_expressions/tissue_expression",
+           "domains/domain",
+           "molecules/molecule/cellular_locations/cellular_location"},
+      });
+}
+
+}  // namespace ssum

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// A simulated expert panel (paper Section 5.2): each member supplies a
+/// ranked list of the schema elements they consider most worth surfacing;
+/// the member's size-k summary is the first k entries. The rankings below
+/// are hand-curated from domain knowledge of the datasets, with deliberate
+/// tail disagreement calibrated to the paper's reported inter-expert
+/// agreement levels (see DESIGN.md substitutions).
+struct ExpertPanel {
+  /// rankings[user] = ranked element list (>= 15 entries each).
+  std::vector<std::vector<ElementId>> rankings;
+
+  /// The first k elements of a member's ranking.
+  std::vector<ElementId> SummaryOf(size_t user, size_t k) const;
+
+  /// Elements chosen by at least `majority` members in their size-k
+  /// summaries ("user consensus summary").
+  std::vector<ElementId> Consensus(size_t k, size_t majority = 2) const;
+};
+
+/// Three XMark experts (benchmark power users).
+Result<ExpertPanel> XMarkExpertPanel(const SchemaGraph& schema);
+
+/// Three MiMI experts (the deployment's administrators).
+Result<ExpertPanel> MimiExpertPanel(const SchemaGraph& schema);
+
+}  // namespace ssum

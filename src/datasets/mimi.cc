@@ -1,0 +1,563 @@
+#include "datasets/mimi.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "schema/schema_builder.h"
+
+namespace ssum {
+
+const char* MimiVersionName(MimiVersion v) {
+  switch (v) {
+    case MimiVersion::kApr2004:
+      return "Apr 2004";
+    case MimiVersion::kJan2005:
+      return "Jan 2005";
+    case MimiVersion::kJan2006:
+      return "Jan 2006";
+  }
+  return "?";
+}
+
+MimiDataset::MimiDataset(MimiParams params) : params_(params) {
+  SchemaBuilder b("mimi");
+
+  // --- organisms -------------------------------------------------------------
+  organisms_ = b.Rcd(b.Root(), "organisms");
+  organism_ = b.SetRcd(organisms_, "organism");
+  org_id_ = b.Attr(organism_, "id", AtomicKind::kId);
+  org_name_ = b.Simple(organism_, "scientific_name");
+  org_common_ = b.Simple(organism_, "common_name");
+  strain_ = b.Simple(organism_, "strain");
+  taxonomy_ = b.Rcd(organism_, "taxonomy");
+  kingdom_ = b.Simple(taxonomy_, "kingdom");
+  phylum_ = b.Simple(taxonomy_, "phylum");
+  tax_class_ = b.Simple(taxonomy_, "class");
+  tax_order_ = b.Simple(taxonomy_, "order");
+  family_ = b.Simple(taxonomy_, "family");
+  genus_ = b.Simple(taxonomy_, "genus");
+  species_ = b.Simple(taxonomy_, "species");
+  genome_ = b.Rcd(organism_, "genome");  // sparse
+  assembly_ = b.Simple(genome_, "assembly");
+  genome_size_ = b.Simple(genome_, "size", AtomicKind::kInt);
+  gene_count_ = b.Simple(genome_, "gene_count", AtomicKind::kInt);
+
+  // --- sources ---------------------------------------------------------------
+  sources_ = b.Rcd(b.Root(), "sources");
+  source_ = b.SetRcd(sources_, "source");
+  src_id_ = b.Attr(source_, "id", AtomicKind::kId);
+  src_name_ = b.Simple(source_, "name");
+  src_version_ = b.Simple(source_, "version");
+  src_url_ = b.Simple(source_, "url");
+  src_imported_ = b.Simple(source_, "imported_date", AtomicKind::kDate);
+  src_records_ = b.Simple(source_, "record_count", AtomicKind::kInt);
+  src_contact_ = b.Simple(source_, "contact");
+  src_license_ = b.Simple(source_, "license");
+  src_citation_ = b.Simple(source_, "citation_policy");
+
+  // --- molecules (the central protein entity) --------------------------------
+  molecules_ = b.Rcd(b.Root(), "molecules");
+  molecule_ = b.SetRcd(molecules_, "molecule");
+  mol_id_ = b.Attr(molecule_, "id", AtomicKind::kId);
+  mol_type_ = b.Attr(molecule_, "type");
+  mol_name_ = b.Simple(molecule_, "name");
+  symbol_ = b.Simple(molecule_, "symbol");
+  mol_desc_ = b.Simple(molecule_, "description");
+  created_ = b.Simple(molecule_, "created_date", AtomicKind::kDate);
+  modified_ = b.Simple(molecule_, "modified_date", AtomicKind::kDate);
+  organism_ref_ = b.Simple(molecule_, "organism_ref", AtomicKind::kIdRef);
+  sequence_ = b.Rcd(molecule_, "sequence");
+  seq_length_ = b.Simple(sequence_, "length", AtomicKind::kInt);
+  seq_checksum_ = b.Simple(sequence_, "checksum");
+  seq_residues_ = b.Simple(sequence_, "residues");
+  seq_form_ = b.Simple(sequence_, "molecular_form");
+  gene_ = b.Rcd(molecule_, "gene");
+  locus_ = b.Simple(gene_, "locus");
+  chromosome_ = b.Simple(gene_, "chromosome");
+  gene_start_ = b.Simple(gene_, "start", AtomicKind::kInt);
+  gene_end_ = b.Simple(gene_, "end", AtomicKind::kInt);
+  strand_ = b.Simple(gene_, "strand");
+  map_location_ = b.Simple(gene_, "map_location");
+  protein_props_ = b.Rcd(molecule_, "protein_properties");
+  mol_weight_ = b.Simple(protein_props_, "molecular_weight", AtomicKind::kFloat);
+  iso_point_ = b.Simple(protein_props_, "isoelectric_point", AtomicKind::kFloat);
+  prop_length_ = b.Simple(protein_props_, "length", AtomicKind::kInt);
+  structure_ = b.Rcd(molecule_, "structure");  // sparse (solved structures)
+  pdb_id_ = b.Simple(structure_, "pdb_id", AtomicKind::kId);
+  resolution_ = b.Simple(structure_, "resolution", AtomicKind::kFloat);
+  struct_method_ = b.Simple(structure_, "method");
+  chains_ = b.Simple(structure_, "chains", AtomicKind::kInt);
+  deposited_ = b.Simple(structure_, "deposited_date", AtomicKind::kDate);
+  external_accession_ =
+      b.SetSimple(molecule_, "external_accession", AtomicKind::kIdRef);
+  synonyms_ = b.Rcd(molecule_, "synonyms");
+  synonym_ = b.SetSimple(synonyms_, "synonym");
+  keywords_ = b.Rcd(molecule_, "keywords");
+  keyword_ = b.SetSimple(keywords_, "keyword");
+  cellular_locations_ = b.Rcd(molecule_, "cellular_locations");
+  cellular_location_ = b.SetSimple(cellular_locations_, "cellular_location");
+  tissue_expressions_ = b.Rcd(molecule_, "tissue_expressions");
+  tissue_expression_ = b.SetRcd(tissue_expressions_, "tissue_expression");
+  tissue_ = b.Simple(tissue_expression_, "tissue");
+  level_ = b.Simple(tissue_expression_, "level");
+  annotations_ = b.Rcd(molecule_, "annotations");
+  go_annotation_ = b.SetRcd(annotations_, "go_annotation");
+  go_id_ = b.Attr(go_annotation_, "go_id");
+  go_aspect_ = b.Simple(go_annotation_, "aspect");
+  go_evidence_ = b.Simple(go_annotation_, "evidence");
+  go_term_ = b.Simple(go_annotation_, "term");
+  pathway_ref_ = b.SetSimple(annotations_, "pathway_ref", AtomicKind::kIdRef);
+  function_note_ = b.SetSimple(annotations_, "function_note");
+  domain_hit_ = b.SetRcd(molecule_, "domain_hit");
+  dh_domain_ = b.Attr(domain_hit_, "domain", AtomicKind::kIdRef);
+  dh_start_ = b.Simple(domain_hit_, "start", AtomicKind::kInt);
+  dh_end_ = b.Simple(domain_hit_, "end", AtomicKind::kInt);
+  dh_score_ = b.Simple(domain_hit_, "score", AtomicKind::kFloat);
+  interaction_ref_ =
+      b.SetSimple(molecule_, "interaction_ref", AtomicKind::kIdRef);
+
+  // --- interactions ------------------------------------------------------------
+  interactions_ = b.Rcd(b.Root(), "interactions");
+  interaction_ = b.SetRcd(interactions_, "interaction");
+  int_id_ = b.Attr(interaction_, "id", AtomicKind::kId);
+  int_type_ = b.Attr(interaction_, "type");
+  participant_a_ = b.Simple(interaction_, "participant_a", AtomicKind::kIdRef);
+  participant_b_ = b.Simple(interaction_, "participant_b", AtomicKind::kIdRef);
+  experiment_ref_ =
+      b.SetSimple(interaction_, "experiment_ref", AtomicKind::kIdRef);
+  confidence_ = b.Rcd(interaction_, "confidence");
+  conf_score_ = b.Simple(confidence_, "score", AtomicKind::kFloat);
+  conf_method_ = b.Simple(confidence_, "method");
+  detection_ = b.Rcd(interaction_, "detection");
+  det_method_ = b.Simple(detection_, "method");
+  det_class_ = b.Simple(detection_, "confidence_class");
+  kinetics_ = b.Rcd(interaction_, "kinetics");  // sparse
+  kd_ = b.Simple(kinetics_, "kd", AtomicKind::kFloat);
+  kon_ = b.Simple(kinetics_, "kon", AtomicKind::kFloat);
+  koff_ = b.Simple(kinetics_, "koff", AtomicKind::kFloat);
+  kin_unit_ = b.Simple(kinetics_, "unit");
+  binding_site_ = b.SetRcd(interaction_, "binding_site");
+  site_start_ = b.Simple(binding_site_, "start", AtomicKind::kInt);
+  site_end_ = b.Simple(binding_site_, "end", AtomicKind::kInt);
+  site_motif_ = b.Simple(binding_site_, "motif");
+  provenance_source_ =
+      b.Simple(interaction_, "provenance_source", AtomicKind::kIdRef);
+
+  // --- experiments ---------------------------------------------------------------
+  experiments_ = b.Rcd(b.Root(), "experiments");
+  experiment_ = b.SetRcd(experiments_, "experiment");
+  exp_id_ = b.Attr(experiment_, "id", AtomicKind::kId);
+  exp_type_ = b.Attr(experiment_, "type");
+  exp_desc_ = b.Simple(experiment_, "description");
+  exp_method_ = b.Rcd(experiment_, "method");
+  exp_method_name_ = b.Simple(exp_method_, "name");
+  exp_ontology_ = b.Simple(exp_method_, "ontology_ref");
+  conditions_ = b.Rcd(experiment_, "conditions");  // sparse
+  temperature_ = b.Simple(conditions_, "temperature", AtomicKind::kFloat);
+  ph_ = b.Simple(conditions_, "ph", AtomicKind::kFloat);
+  buffer_ = b.Simple(conditions_, "buffer");
+  publication_ref_ =
+      b.Simple(experiment_, "publication_ref", AtomicKind::kIdRef);
+  host_organism_ref_ =
+      b.Simple(experiment_, "host_organism_ref", AtomicKind::kIdRef);
+
+  // --- publications -----------------------------------------------------------------
+  publications_ = b.Rcd(b.Root(), "publications");
+  publication_ = b.SetRcd(publications_, "publication");
+  pub_pubmed_ = b.Attr(publication_, "pubmed", AtomicKind::kId);
+  pub_title_ = b.Simple(publication_, "title");
+  pub_journal_ = b.Simple(publication_, "journal");
+  pub_year_ = b.Simple(publication_, "year", AtomicKind::kInt);
+  pub_volume_ = b.Simple(publication_, "volume");
+  pub_pages_ = b.Simple(publication_, "pages");
+  pub_abstract_ = b.Simple(publication_, "abstract");
+  pub_doi_ = b.Simple(publication_, "doi");
+  pub_issue_ = b.Simple(publication_, "issue");
+  authors_ = b.Rcd(publication_, "authors");
+  author_ = b.SetSimple(authors_, "author");
+
+  // --- pathways ------------------------------------------------------------------------
+  pathways_ = b.Rcd(b.Root(), "pathways");
+  pathway_ = b.SetRcd(pathways_, "pathway");
+  path_id_ = b.Attr(pathway_, "id", AtomicKind::kId);
+  path_name_ = b.Simple(pathway_, "name");
+  path_category_ = b.Simple(pathway_, "category");
+  path_desc_ = b.Simple(pathway_, "description");
+  path_source_ref_ = b.Simple(pathway_, "source_ref", AtomicKind::kIdRef);
+  member_ref_ = b.SetSimple(pathway_, "member_ref", AtomicKind::kIdRef);
+
+  // --- domains (imported October 2005) ------------------------------------------------
+  domains_ = b.Rcd(b.Root(), "domains");
+  domain_ = b.SetRcd(domains_, "domain");
+  dom_id_ = b.Attr(domain_, "id", AtomicKind::kId);
+  dom_name_ = b.Simple(domain_, "name");
+  dom_family_ = b.Simple(domain_, "family");
+  dom_desc_ = b.Simple(domain_, "description");
+  dom_length_ = b.Simple(domain_, "length", AtomicKind::kInt);
+  dom_interpro_ = b.Simple(domain_, "interpro_id");
+  dom_source_ref_ = b.Simple(domain_, "source_ref", AtomicKind::kIdRef);
+
+  // --- value links (semantic endpoints are the enclosing entities) ----------
+  l_organism_ref_ = b.Link(molecule_, organism_, organism_ref_, org_id_);
+  l_external_ = b.Link(molecule_, source_, external_accession_, src_id_);
+  l_pathway_ref_ = b.Link(annotations_, pathway_, pathway_ref_, path_id_);
+  l_domain_hit_ = b.Link(domain_hit_, domain_, dh_domain_, dom_id_);
+  l_interaction_ref_ =
+      b.Link(molecule_, interaction_, interaction_ref_, int_id_);
+  l_participant_a_ = b.Link(interaction_, molecule_, participant_a_, mol_id_);
+  l_participant_b_ = b.Link(interaction_, molecule_, participant_b_, mol_id_);
+  l_experiment_ref_ =
+      b.Link(interaction_, experiment_, experiment_ref_, exp_id_);
+  l_provenance_ = b.Link(interaction_, source_, provenance_source_, src_id_);
+  l_publication_ref_ =
+      b.Link(experiment_, publication_, publication_ref_, pub_pubmed_);
+  l_host_organism_ =
+      b.Link(experiment_, organism_, host_organism_ref_, org_id_);
+  l_path_source_ = b.Link(pathway_, source_, path_source_ref_, src_id_);
+  l_path_member_ = b.Link(pathway_, molecule_, member_ref_, mol_id_);
+  l_dom_source_ = b.Link(domain_, source_, dom_source_ref_, src_id_);
+
+  graph_ = std::move(b).Build();
+}
+
+MimiDataset::Counts MimiDataset::CountsFor(MimiVersion v) const {
+  // Chosen so Jan 2006 yields ~7M data elements (Table 1: 7,055k); earlier
+  // versions reflect the deployment's growth and the October 2005
+  // protein-domain import (Table 5).
+  switch (v) {
+    case MimiVersion::kApr2004:
+      return {300, 6, 30000, 70000, 12000, 20000, 800, 0, 1.0, 0.0, 1.0};
+    case MimiVersion::kJan2005:
+      return {400, 11, 60000, 150000, 24000, 40000, 1800, 0, 1.3, 0.0, 1.2};
+    case MimiVersion::kJan2006:
+      return {500, 18, 80000, 200000, 30000, 45000, 2500, 10000, 2.0, 0.8,
+              1.4};
+  }
+  SSUM_CHECK(false, "bad MiMI version");
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generator
+// ---------------------------------------------------------------------------
+
+class MimiStream : public InstanceStream {
+ public:
+  explicit MimiStream(const MimiDataset* ds) : ds_(ds) {}
+
+  const SchemaGraph& schema() const override { return ds_->schema(); }
+
+  Status Accept(InstanceVisitor* v) const override {
+    const MimiDataset& d = *ds_;
+    MimiDataset::Counts c = d.CountsFor(d.params_.version);
+    const double scale = d.params_.scale;
+    auto n = [&](uint64_t base) {
+      return static_cast<uint64_t>(static_cast<double>(base) * scale + 0.5);
+    };
+    Rng rng(d.params_.seed);
+
+    v->OnEnter(schema().root());
+
+    // organisms
+    v->OnEnter(d.organisms_);
+    for (uint64_t i = 0; i < n(c.organisms); ++i) {
+      v->OnEnter(d.organism_);
+      Leaf(v, d.org_id_);
+      Leaf(v, d.org_name_);
+      if (rng.NextBool(0.5)) Leaf(v, d.org_common_);
+      if (rng.NextBool(0.4)) Leaf(v, d.strain_);
+      v->OnEnter(d.taxonomy_);
+      Leaf(v, d.kingdom_);
+      Leaf(v, d.phylum_);
+      Leaf(v, d.tax_class_);
+      Leaf(v, d.tax_order_);
+      Leaf(v, d.family_);
+      Leaf(v, d.genus_);
+      Leaf(v, d.species_);
+      v->OnLeave(d.taxonomy_);
+      if (rng.NextBool(0.3)) {
+        v->OnEnter(d.genome_);
+        Leaf(v, d.assembly_);
+        Leaf(v, d.genome_size_);
+        Leaf(v, d.gene_count_);
+        v->OnLeave(d.genome_);
+      }
+      v->OnLeave(d.organism_);
+    }
+    v->OnLeave(d.organisms_);
+
+    // sources
+    v->OnEnter(d.sources_);
+    for (uint64_t i = 0; i < n(c.sources); ++i) {
+      v->OnEnter(d.source_);
+      Leaf(v, d.src_id_);
+      Leaf(v, d.src_name_);
+      Leaf(v, d.src_version_);
+      Leaf(v, d.src_url_);
+      Leaf(v, d.src_imported_);
+      Leaf(v, d.src_records_);
+      Leaf(v, d.src_contact_);
+      Leaf(v, d.src_license_);
+      Leaf(v, d.src_citation_);
+      v->OnLeave(d.source_);
+    }
+    v->OnLeave(d.sources_);
+
+    // molecules
+    v->OnEnter(d.molecules_);
+    for (uint64_t i = 0; i < n(c.molecules); ++i) EmitMolecule(v, &rng, c);
+    v->OnLeave(d.molecules_);
+
+    // interactions
+    v->OnEnter(d.interactions_);
+    for (uint64_t i = 0; i < n(c.interactions); ++i) EmitInteraction(v, &rng);
+    v->OnLeave(d.interactions_);
+
+    // experiments
+    v->OnEnter(d.experiments_);
+    for (uint64_t i = 0; i < n(c.experiments); ++i) {
+      v->OnEnter(d.experiment_);
+      Leaf(v, d.exp_id_);
+      if (rng.NextBool(0.7)) Leaf(v, d.exp_type_);
+      Leaf(v, d.exp_desc_);
+      v->OnEnter(d.exp_method_);
+      Leaf(v, d.exp_method_name_);
+      if (rng.NextBool(0.6)) Leaf(v, d.exp_ontology_);
+      v->OnLeave(d.exp_method_);
+      if (rng.NextBool(0.05)) {  // sparse structured conditions
+        v->OnEnter(d.conditions_);
+        Leaf(v, d.temperature_);
+        Leaf(v, d.ph_);
+        Leaf(v, d.buffer_);
+        v->OnLeave(d.conditions_);
+      }
+      v->OnReference(d.l_publication_ref_);
+      Leaf(v, d.publication_ref_);
+      v->OnReference(d.l_host_organism_);
+      Leaf(v, d.host_organism_ref_);
+      v->OnLeave(d.experiment_);
+    }
+    v->OnLeave(d.experiments_);
+
+    // publications
+    v->OnEnter(d.publications_);
+    for (uint64_t i = 0; i < n(c.publications); ++i) {
+      v->OnEnter(d.publication_);
+      Leaf(v, d.pub_pubmed_);
+      Leaf(v, d.pub_title_);
+      Leaf(v, d.pub_journal_);
+      Leaf(v, d.pub_year_);
+      if (rng.NextBool(0.8)) Leaf(v, d.pub_volume_);
+      if (rng.NextBool(0.8)) Leaf(v, d.pub_pages_);
+      if (rng.NextBool(0.6)) Leaf(v, d.pub_abstract_);
+      if (rng.NextBool(0.5)) Leaf(v, d.pub_doi_);
+      if (rng.NextBool(0.7)) Leaf(v, d.pub_issue_);
+      v->OnEnter(d.authors_);
+      for (uint64_t a = 0, m = 1 + rng.NextPoisson(2.0); a < m; ++a) {
+        Leaf(v, d.author_);
+      }
+      v->OnLeave(d.authors_);
+      v->OnLeave(d.publication_);
+    }
+    v->OnLeave(d.publications_);
+
+    // pathways
+    v->OnEnter(d.pathways_);
+    for (uint64_t i = 0; i < n(c.pathways); ++i) {
+      v->OnEnter(d.pathway_);
+      Leaf(v, d.path_id_);
+      Leaf(v, d.path_name_);
+      if (rng.NextBool(0.7)) Leaf(v, d.path_category_);
+      if (rng.NextBool(0.5)) Leaf(v, d.path_desc_);
+      v->OnReference(d.l_path_source_);
+      Leaf(v, d.path_source_ref_);
+      for (uint64_t m = 0, k = rng.NextPoisson(8.0); m < k; ++m) {
+        v->OnReference(d.l_path_member_);
+        Leaf(v, d.member_ref_);
+      }
+      v->OnLeave(d.pathway_);
+    }
+    v->OnLeave(d.pathways_);
+
+    // domains (zero rows before Oct 2005)
+    v->OnEnter(d.domains_);
+    for (uint64_t i = 0; i < n(c.domains); ++i) {
+      v->OnEnter(d.domain_);
+      Leaf(v, d.dom_id_);
+      Leaf(v, d.dom_name_);
+      Leaf(v, d.dom_family_);
+      Leaf(v, d.dom_desc_);
+      Leaf(v, d.dom_length_);
+      if (rng.NextBool(0.8)) Leaf(v, d.dom_interpro_);
+      v->OnReference(d.l_dom_source_);
+      Leaf(v, d.dom_source_ref_);
+      v->OnLeave(d.domain_);
+    }
+    v->OnLeave(d.domains_);
+
+    v->OnLeave(schema().root());
+    return Status::OK();
+  }
+
+ private:
+  static void Leaf(InstanceVisitor* v, ElementId e) {
+    v->OnEnter(e);
+    v->OnLeave(e);
+  }
+
+  void EmitMolecule(InstanceVisitor* v, Rng* rng,
+                    const MimiDataset::Counts& c) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.molecule_);
+    Leaf(v, d.mol_id_);
+    Leaf(v, d.mol_type_);
+    Leaf(v, d.mol_name_);
+    if (rng->NextBool(0.8)) Leaf(v, d.symbol_);
+    if (rng->NextBool(0.6)) Leaf(v, d.mol_desc_);
+    Leaf(v, d.created_);
+    if (rng->NextBool(0.7)) Leaf(v, d.modified_);
+    v->OnReference(d.l_organism_ref_);
+    Leaf(v, d.organism_ref_);
+    if (rng->NextBool(0.9)) {
+      v->OnEnter(d.sequence_);
+      Leaf(v, d.seq_length_);
+      Leaf(v, d.seq_checksum_);
+      Leaf(v, d.seq_residues_);
+      if (rng->NextBool(0.4)) Leaf(v, d.seq_form_);
+      v->OnLeave(d.sequence_);
+    }
+    if (rng->NextBool(0.7)) {
+      v->OnEnter(d.gene_);
+      Leaf(v, d.locus_);
+      Leaf(v, d.chromosome_);
+      Leaf(v, d.gene_start_);
+      Leaf(v, d.gene_end_);
+      Leaf(v, d.strand_);
+      if (rng->NextBool(0.3)) Leaf(v, d.map_location_);
+      v->OnLeave(d.gene_);
+    }
+    if (rng->NextBool(0.6)) {
+      v->OnEnter(d.protein_props_);
+      Leaf(v, d.mol_weight_);
+      Leaf(v, d.iso_point_);
+      Leaf(v, d.prop_length_);
+      v->OnLeave(d.protein_props_);
+    }
+    if (rng->NextBool(0.03)) {  // sparse solved structures
+      v->OnEnter(d.structure_);
+      Leaf(v, d.pdb_id_);
+      Leaf(v, d.resolution_);
+      Leaf(v, d.struct_method_);
+      Leaf(v, d.chains_);
+      Leaf(v, d.deposited_);
+      v->OnLeave(d.structure_);
+    }
+    for (uint64_t i = 0, m = rng->NextPoisson(1.5); i < m; ++i) {
+      v->OnReference(d.l_external_);
+      Leaf(v, d.external_accession_);
+    }
+    v->OnEnter(d.synonyms_);
+    for (uint64_t i = 0, m = rng->NextPoisson(1.2); i < m; ++i)
+      Leaf(v, d.synonym_);
+    v->OnLeave(d.synonyms_);
+    v->OnEnter(d.keywords_);
+    for (uint64_t i = 0, m = rng->NextPoisson(1.5); i < m; ++i)
+      Leaf(v, d.keyword_);
+    v->OnLeave(d.keywords_);
+    v->OnEnter(d.cellular_locations_);
+    for (uint64_t i = 0, m = rng->NextPoisson(0.8); i < m; ++i)
+      Leaf(v, d.cellular_location_);
+    v->OnLeave(d.cellular_locations_);
+    v->OnEnter(d.tissue_expressions_);
+    for (uint64_t i = 0, m = rng->NextPoisson(0.5); i < m; ++i) {
+      v->OnEnter(d.tissue_expression_);
+      Leaf(v, d.tissue_);
+      Leaf(v, d.level_);
+      v->OnLeave(d.tissue_expression_);
+    }
+    v->OnLeave(d.tissue_expressions_);
+    v->OnEnter(d.annotations_);
+    for (uint64_t i = 0, m = rng->NextPoisson(c.go_per_molecule); i < m; ++i) {
+      v->OnEnter(d.go_annotation_);
+      Leaf(v, d.go_id_);
+      Leaf(v, d.go_aspect_);
+      Leaf(v, d.go_evidence_);
+      Leaf(v, d.go_term_);
+      v->OnLeave(d.go_annotation_);
+    }
+    for (uint64_t i = 0, m = rng->NextPoisson(0.4); i < m; ++i) {
+      v->OnReference(d.l_pathway_ref_);
+      Leaf(v, d.pathway_ref_);
+    }
+    for (uint64_t i = 0, m = rng->NextPoisson(0.3); i < m; ++i)
+      Leaf(v, d.function_note_);
+    v->OnLeave(d.annotations_);
+    for (uint64_t i = 0, m = rng->NextPoisson(c.domains_per_molecule); i < m;
+         ++i) {
+      v->OnEnter(d.domain_hit_);
+      v->OnReference(d.l_domain_hit_);
+      Leaf(v, d.dh_domain_);
+      Leaf(v, d.dh_start_);
+      Leaf(v, d.dh_end_);
+      Leaf(v, d.dh_score_);
+      v->OnLeave(d.domain_hit_);
+    }
+    for (uint64_t i = 0,
+                  m = rng->NextPoisson(c.interaction_refs_per_molecule);
+         i < m; ++i) {
+      v->OnReference(d.l_interaction_ref_);
+      Leaf(v, d.interaction_ref_);
+    }
+    v->OnLeave(d.molecule_);
+  }
+
+  void EmitInteraction(InstanceVisitor* v, Rng* rng) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.interaction_);
+    Leaf(v, d.int_id_);
+    Leaf(v, d.int_type_);
+    v->OnReference(d.l_participant_a_);
+    Leaf(v, d.participant_a_);
+    v->OnReference(d.l_participant_b_);
+    Leaf(v, d.participant_b_);
+    for (uint64_t i = 0, m = 1 + rng->NextPoisson(0.9); i < m; ++i) {
+      v->OnReference(d.l_experiment_ref_);
+      Leaf(v, d.experiment_ref_);
+    }
+    v->OnEnter(d.confidence_);
+    Leaf(v, d.conf_score_);
+    Leaf(v, d.conf_method_);
+    v->OnLeave(d.confidence_);
+    if (rng->NextBool(0.7)) {
+      v->OnEnter(d.detection_);
+      Leaf(v, d.det_method_);
+      Leaf(v, d.det_class_);
+      v->OnLeave(d.detection_);
+    }
+    if (rng->NextBool(0.02)) {  // sparse kinetics measurements
+      v->OnEnter(d.kinetics_);
+      Leaf(v, d.kd_);
+      Leaf(v, d.kon_);
+      Leaf(v, d.koff_);
+      Leaf(v, d.kin_unit_);
+      v->OnLeave(d.kinetics_);
+    }
+    for (uint64_t i = 0, m = rng->NextPoisson(0.3); i < m; ++i) {
+      v->OnEnter(d.binding_site_);
+      Leaf(v, d.site_start_);
+      Leaf(v, d.site_end_);
+      if (rng->NextBool(0.5)) Leaf(v, d.site_motif_);
+      v->OnLeave(d.binding_site_);
+    }
+    v->OnReference(d.l_provenance_);
+    Leaf(v, d.provenance_source_);
+    v->OnLeave(d.interaction_);
+  }
+
+  const MimiDataset* ds_;
+};
+
+std::unique_ptr<InstanceStream> MimiDataset::MakeStream() const {
+  return std::make_unique<MimiStream>(this);
+}
+
+}  // namespace ssum

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+
+#include "instance/event_stream.h"
+#include "query/workload.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Archived versions of the MiMI database (paper Table 5). The real MiMI is
+/// unavailable; the synthetic substrate mirrors its published description —
+/// a protein-centric integration of heterogeneous sources whose coverage
+/// grew over time, with protein-domain data imported in October 2005.
+enum class MimiVersion : unsigned char {
+  kApr2004 = 0,  ///< early deployment: fewer sources, no domains
+  kJan2005,      ///< broad growth vs Apr 2004
+  kJan2006,      ///< "current" version used throughout Section 5
+};
+
+const char* MimiVersionName(MimiVersion v);
+
+struct MimiParams {
+  MimiVersion version = MimiVersion::kJan2006;
+  uint64_t seed = 17;
+  /// Global scale multiplier over the version's base counts (1.0 yields
+  /// ~7M data elements for Jan 2006, matching Table 1's 7,055k).
+  double scale = 1.0;
+};
+
+/// The MiMI substrate: a 155-element protein-interaction schema, a
+/// version-dependent skewed data generator, a 52-query workload mirroring
+/// the deployment's trace profile (real queries concentrate on the central
+/// entities — Section 5.4's observation), and simulated expert summaries
+/// (see datasets/experts.h).
+///
+/// Schema design notes (mirroring real integrated biomedical databases):
+///  - reference leaves (interaction_ref, participant_a, ...) are Simple
+///    idref carriers whose value links connect the enclosing entities;
+///  - several structurally rich but sparsely populated subtrees exist
+///    (structure, kinetics, conditions, genome) — elaborate integration
+///    substructures with little data, which purely schema-driven
+///    summarization overvalues (Figure 9's MiMI result).
+class MimiDataset {
+ public:
+  explicit MimiDataset(MimiParams params = {});
+
+  const SchemaGraph& schema() const { return graph_; }
+  const MimiParams& params() const { return params_; }
+
+  std::unique_ptr<InstanceStream> MakeStream() const;
+
+  /// The 52 query intentions (identical across versions so Table 5
+  /// compares like with like).
+  Workload Queries() const;
+
+ private:
+  friend class MimiStream;
+
+  /// Version-dependent entity counts (at scale 1).
+  struct Counts {
+    uint64_t organisms, sources, molecules, interactions, experiments,
+        publications, pathways, domains;
+    double go_per_molecule;
+    double domains_per_molecule;     // 0 before Oct 2005
+    double interaction_refs_per_molecule;
+  };
+  Counts CountsFor(MimiVersion v) const;
+
+  MimiParams params_;
+  SchemaGraph graph_;
+
+  // Element ids (named after their schema paths).
+  ElementId organisms_, organism_, org_id_, org_name_, org_common_, strain_;
+  ElementId taxonomy_, kingdom_, phylum_, tax_class_, tax_order_, family_,
+      genus_, species_;
+  ElementId genome_, assembly_, genome_size_, gene_count_;
+  ElementId sources_, source_, src_id_, src_name_, src_version_, src_url_,
+      src_imported_, src_records_, src_contact_, src_license_, src_citation_;
+  ElementId molecules_, molecule_, mol_id_, mol_type_, mol_name_, symbol_,
+      mol_desc_, created_, modified_;
+  ElementId organism_ref_;
+  ElementId sequence_, seq_length_, seq_checksum_, seq_residues_, seq_form_;
+  ElementId gene_, locus_, chromosome_, gene_start_, gene_end_, strand_,
+      map_location_;
+  ElementId protein_props_, mol_weight_, iso_point_, prop_length_;
+  ElementId structure_, pdb_id_, resolution_, struct_method_, chains_,
+      deposited_;
+  ElementId external_accession_;
+  ElementId synonyms_, synonym_;
+  ElementId keywords_, keyword_;
+  ElementId cellular_locations_, cellular_location_;
+  ElementId tissue_expressions_, tissue_expression_, tissue_, level_;
+  ElementId annotations_, go_annotation_, go_id_, go_aspect_, go_evidence_,
+      go_term_, pathway_ref_, function_note_;
+  ElementId domain_hit_, dh_domain_, dh_start_, dh_end_, dh_score_;
+  ElementId interaction_ref_;
+  ElementId interactions_, interaction_, int_id_, int_type_;
+  ElementId participant_a_, participant_b_, experiment_ref_;
+  ElementId confidence_, conf_score_, conf_method_;
+  ElementId detection_, det_method_, det_class_;
+  ElementId kinetics_, kd_, kon_, koff_, kin_unit_;
+  ElementId binding_site_, site_start_, site_end_, site_motif_;
+  ElementId provenance_source_;
+  ElementId experiments_, experiment_, exp_id_, exp_type_, exp_desc_;
+  ElementId exp_method_, exp_method_name_, exp_ontology_;
+  ElementId conditions_, temperature_, ph_, buffer_;
+  ElementId publication_ref_, host_organism_ref_;
+  ElementId publications_, publication_, pub_pubmed_, pub_title_,
+      pub_journal_, pub_year_, pub_volume_, pub_pages_, pub_abstract_,
+      pub_doi_, pub_issue_, authors_, author_;
+  ElementId pathways_, pathway_, path_id_, path_name_, path_category_,
+      path_desc_, path_source_ref_, member_ref_;
+  ElementId domains_, domain_, dom_id_, dom_name_, dom_family_, dom_desc_,
+      dom_length_, dom_interpro_, dom_source_ref_;
+
+  // Value links.
+  LinkId l_organism_ref_, l_external_, l_pathway_ref_, l_domain_hit_,
+      l_interaction_ref_, l_participant_a_, l_participant_b_,
+      l_experiment_ref_, l_provenance_, l_publication_ref_,
+      l_host_organism_, l_path_source_, l_path_member_, l_dom_source_;
+};
+
+}  // namespace ssum

@@ -1,0 +1,179 @@
+#include <vector>
+
+#include "common/logging.h"
+#include "datasets/mimi.h"
+
+namespace ssum {
+
+// The 52 MiMI query-group intentions. The real six-month query trace is
+// unavailable; this workload mirrors its published profile — 52 clustered
+// query groups, average intention size ~3.35, heavily concentrated on the
+// protein (molecule) and interaction entities with a tail touching
+// experiments, publications, pathways, organisms and sources (the paper's
+// observation that "real queries tend to focus on the important elements").
+Workload MimiDataset::Queries() const {
+  struct Spec {
+    const char* name;
+    std::vector<const char*> paths;
+  };
+  const char* kMol = "molecules/molecule";
+  const char* kInt = "interactions/interaction";
+  const char* kExp = "experiments/experiment";
+  const char* kPub = "publications/publication";
+  const std::vector<Spec> specs = {
+      // --- molecule lookups (the dominant group) ---------------------------
+      {"g01", {kMol, "molecules/molecule/@id", "molecules/molecule/name"}},
+      {"g02", {kMol, "molecules/molecule/symbol"}},
+      {"g03", {kMol, "molecules/molecule/name", "molecules/molecule/symbol"}},
+      {"g04",
+       {kMol, "molecules/molecule/synonyms/synonym",
+        "molecules/molecule/name"}},
+      {"g05",
+       {kMol, "molecules/molecule/keywords/keyword",
+        "molecules/molecule/name"}},
+      {"g06", {kMol, "molecules/molecule/description"}},
+      {"g07",
+       {kMol, "molecules/molecule/@id",
+        "molecules/molecule/external_accession"}},
+      {"g08",
+       {kMol, "molecules/molecule/external_accession",
+        "sources/source/name"}},
+      // --- molecule <-> interaction joins ----------------------------------
+      {"g09",
+       {kMol, "molecules/molecule/interaction_ref", kInt}},
+      {"g10",
+       {kMol, "molecules/molecule/@id", kInt,
+        "interactions/interaction/participant_a"}},
+      {"g11",
+       {kInt, "interactions/interaction/participant_a",
+        "interactions/interaction/participant_b"}},
+      {"g12",
+       {kInt, "interactions/interaction/confidence/score"}},
+      {"g13",
+       {kInt, "interactions/interaction/confidence/score",
+        "interactions/interaction/confidence/method"}},
+      {"g14",
+       {kInt, "interactions/interaction/@type",
+        "interactions/interaction/detection/method"}},
+      {"g15",
+       {kMol, kInt, "interactions/interaction/confidence/score",
+        "molecules/molecule/symbol"}},
+      {"g16",
+       {kInt, "interactions/interaction/binding_site",
+        "interactions/interaction/binding_site/start"}},
+      {"g17",
+       {kInt, "interactions/interaction/provenance_source", "sources/source/name"}},
+      // --- GO / annotation queries -----------------------------------------
+      {"g18",
+       {kMol, "molecules/molecule/annotations/go_annotation",
+        "molecules/molecule/annotations/go_annotation/term"}},
+      {"g19",
+       {kMol, "molecules/molecule/annotations/go_annotation/@go_id",
+        "molecules/molecule/annotations/go_annotation/aspect"}},
+      {"g20",
+       {kMol, "molecules/molecule/annotations/go_annotation/evidence",
+        "molecules/molecule/name"}},
+      {"g21",
+       {kMol, "molecules/molecule/annotations/function_note"}},
+      // --- organism-scoped queries ------------------------------------------
+      {"g22",
+       {kMol, "molecules/molecule/organism_ref",
+        "organisms/organism/scientific_name"}},
+      {"g23",
+       {kMol, "organisms/organism", "organisms/organism/common_name",
+        "molecules/molecule/name"}},
+      {"g24",
+       {"organisms/organism", "organisms/organism/taxonomy/genus",
+        "organisms/organism/taxonomy/species"}},
+      // --- sequence / gene / protein properties ------------------------------
+      {"g25",
+       {kMol, "molecules/molecule/sequence/residues",
+        "molecules/molecule/sequence/length"}},
+      {"g26", {kMol, "molecules/molecule/sequence/checksum"}},
+      {"g27",
+       {kMol, "molecules/molecule/gene/locus",
+        "molecules/molecule/gene/chromosome"}},
+      {"g28",
+       {kMol, "molecules/molecule/gene/start", "molecules/molecule/gene/end",
+        "molecules/molecule/gene/strand"}},
+      {"g29",
+       {kMol, "molecules/molecule/protein_properties/molecular_weight"}},
+      {"g30",
+       {kMol, "molecules/molecule/protein_properties/isoelectric_point",
+        "molecules/molecule/protein_properties/length"}},
+      {"g31",
+       {kMol, "molecules/molecule/cellular_locations/cellular_location"}},
+      {"g32",
+       {kMol, "molecules/molecule/tissue_expressions/tissue_expression",
+        "molecules/molecule/tissue_expressions/tissue_expression/tissue"}},
+      // --- experiment / publication provenance -------------------------------
+      {"g33",
+       {kInt, "interactions/interaction/experiment_ref",
+        kExp}},
+      {"g34",
+       {kExp, "experiments/experiment/method/name"}},
+      {"g35",
+       {kExp, "experiments/experiment/method/name",
+        "experiments/experiment/description"}},
+      {"g36",
+       {kExp, "experiments/experiment/publication_ref", kPub,
+        "publications/publication/title"}},
+      {"g37",
+       {kPub, "publications/publication/title",
+        "publications/publication/year"}},
+      {"g38",
+       {kPub, "publications/publication/authors/author",
+        "publications/publication/journal"}},
+      {"g39",
+       {kInt, kExp, "experiments/experiment/host_organism_ref",
+        "organisms/organism/scientific_name"}},
+      {"g40",
+       {kExp, "experiments/experiment/host_organism_ref"}},
+      // --- pathways ------------------------------------------------------------
+      {"g41",
+       {kMol, "molecules/molecule/annotations/pathway_ref",
+        "pathways/pathway"}},
+      {"g42",
+       {"pathways/pathway", "pathways/pathway/name"}},
+      {"g43",
+       {kMol, "pathways/pathway/name", "molecules/molecule/symbol"}},
+      // --- domains (post Oct-2005 queries) --------------------------------------
+      {"g44",
+       {kMol, "molecules/molecule/domain_hit", "domains/domain"}},
+      {"g45",
+       {"domains/domain", "domains/domain/name", "domains/domain/family"}},
+      {"g46",
+       {kMol, "molecules/molecule/domain_hit/score",
+        "domains/domain/name"}},
+      // --- source / administrative -----------------------------------------------
+      {"g47",
+       {"sources/source", "sources/source/name", "sources/source/version"}},
+      {"g48",
+       {"sources/source", "sources/source/imported_date"}},
+      // --- cross-entity analytical groups -------------------------------------------
+      {"g49",
+       {kMol, kInt, "interactions/interaction/experiment_ref",
+        "experiments/experiment/method/name"}},
+      {"g50",
+       {kMol, "molecules/molecule/organism_ref", kInt,
+        "interactions/interaction/confidence/score"}},
+      {"g51",
+       {kInt, "interactions/interaction/participant_a",
+        "molecules/molecule/symbol", "molecules/molecule/name"}},
+      {"g52",
+       {kMol, "molecules/molecule/keywords/keyword",
+        "molecules/molecule/annotations/go_annotation/term",
+        "molecules/molecule/symbol"}},
+  };
+  Workload w;
+  w.name = "mimi";
+  for (const Spec& s : specs) {
+    std::vector<std::string> paths(s.paths.begin(), s.paths.end());
+    auto q = MakeIntention(graph_, s.name, paths);
+    SSUM_CHECK(q.ok(), q.status().ToString());
+    w.queries.push_back(std::move(*q));
+  }
+  return w;
+}
+
+}  // namespace ssum

@@ -1,0 +1,94 @@
+#include "datasets/registry.h"
+
+#include "datasets/tpch.h"
+#include "datasets/xmark.h"
+
+namespace ssum {
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kXMark:
+      return "XMark";
+    case DatasetKind::kTpch:
+      return "TPC-H";
+    case DatasetKind::kMimi:
+      return "MiMI";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<uint64_t> CountNodes(const InstanceStream& stream) {
+  CountingVisitor counter;
+  SSUM_RETURN_NOT_OK(stream.Accept(&counter));
+  return counter.nodes();
+}
+
+}  // namespace
+
+Result<DatasetBundle> LoadMimi(MimiVersion version, double scale) {
+  MimiParams params;
+  params.version = version;
+  params.scale = scale;
+  MimiDataset ds(params);
+  auto stream = ds.MakeStream();
+  Annotations ann;
+  SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
+  uint64_t nodes;
+  SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+  DatasetBundle bundle{std::string("MiMI (") + MimiVersionName(version) + ")",
+                       SchemaGraph("tmp"),
+                       std::move(ann),
+                       ds.Queries(),
+                       /*paper_summary_size=*/10,
+                       nodes};
+  bundle.schema = ds.schema();  // SchemaGraph is a cheap value type (~300 elements)
+  return bundle;
+}
+
+Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale) {
+  switch (kind) {
+    case DatasetKind::kXMark: {
+      XMarkParams params;
+      params.sf = scale;
+      XMarkDataset ds(params);
+      auto stream = ds.MakeStream();
+      Annotations ann;
+      SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
+      uint64_t nodes;
+      SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+      DatasetBundle bundle{"XMark",
+                           SchemaGraph("tmp"),
+                           std::move(ann),
+                           ds.Queries(),
+                           /*paper_summary_size=*/10,
+                           nodes};
+      bundle.schema = ds.schema();  // SchemaGraph is a cheap value type (~300 elements)
+      return bundle;
+    }
+    case DatasetKind::kTpch: {
+      TpchParams params;
+      params.sf = 0.1 * scale;
+      TpchDataset ds(params);
+      auto stream = ds.MakeStream();
+      Annotations ann;
+      SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
+      uint64_t nodes;
+      SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+      DatasetBundle bundle{"TPC-H",
+                           SchemaGraph("tmp"),
+                           std::move(ann),
+                           ds.Queries(),
+                           /*paper_summary_size=*/5,
+                           nodes};
+      bundle.schema = ds.schema();  // SchemaGraph is a cheap value type (~300 elements)
+      return bundle;
+    }
+    case DatasetKind::kMimi:
+      return LoadMimi(MimiVersion::kJan2006, scale);
+  }
+  return Status::InvalidArgument("unknown dataset kind");
+}
+
+}  // namespace ssum

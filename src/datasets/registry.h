@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "datasets/mimi.h"
+#include "query/workload.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+enum class DatasetKind : unsigned char { kXMark = 0, kTpch, kMimi };
+
+const char* DatasetName(DatasetKind kind);
+
+/// One fully-prepared evaluation dataset: schema, database statistics (from
+/// a full annotateSchema pass over the generated instance), the query
+/// workload, and the summary size the paper uses for it in Tables 3/4 and
+/// Figure 9.
+struct DatasetBundle {
+  std::string name;
+  SchemaGraph schema;
+  Annotations annotations;
+  Workload workload;
+  size_t paper_summary_size;
+  uint64_t data_elements;  ///< total data nodes in the generated instance
+};
+
+/// Generates and annotates a dataset at the paper's scale
+/// (XMark sf 1, TPC-H sf 0.1, MiMI Jan-2006). `scale` multiplies the
+/// instance size (use < 1 for quick tests; statistics-derived RCs are
+/// scale-invariant by design).
+Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale = 1.0);
+
+/// MiMI at a specific archived version (Table 5).
+Result<DatasetBundle> LoadMimi(MimiVersion version, double scale = 1.0);
+
+}  // namespace ssum

@@ -1,0 +1,143 @@
+#include <vector>
+
+#include "common/logging.h"
+#include "datasets/tpch.h"
+
+namespace ssum {
+
+// The 22 TPC-H queries as intentions: every relation plus every column a
+// query's select / where / group-by clauses reference (Section 5.4: TPC-H
+// intentions are "reverse engineered from the actual query"). Join keys are
+// included — the user must locate them to express the join.
+Workload TpchDataset::Queries() const {
+  struct Spec {
+    const char* name;
+    std::vector<const char*> paths;
+  };
+  const std::vector<Spec> specs = {
+      {"q01",
+       {"lineitem", "lineitem/l_returnflag", "lineitem/l_linestatus",
+        "lineitem/l_quantity", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "lineitem/l_tax", "lineitem/l_shipdate"}},
+      {"q02",
+       {"part", "supplier", "partsupp", "nation", "region",
+        "supplier/s_acctbal", "supplier/s_name", "nation/n_name",
+        "part/p_partkey", "part/p_mfgr", "supplier/s_address",
+        "supplier/s_phone", "supplier/s_comment", "part/p_size",
+        "part/p_type", "partsupp/ps_partkey", "partsupp/ps_suppkey",
+        "partsupp/ps_supplycost", "region/r_name", "nation/n_regionkey",
+        "supplier/s_nationkey"}},
+      {"q03",
+       {"customer", "orders", "lineitem", "customer/c_mktsegment",
+        "customer/c_custkey", "orders/o_custkey", "orders/o_orderkey",
+        "lineitem/l_orderkey", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "orders/o_orderdate", "orders/o_shippriority",
+        "lineitem/l_shipdate"}},
+      {"q04",
+       {"orders", "lineitem", "orders/o_orderpriority", "orders/o_orderdate",
+        "orders/o_orderkey", "lineitem/l_orderkey", "lineitem/l_commitdate",
+        "lineitem/l_receiptdate"}},
+      {"q05",
+       {"customer", "orders", "lineitem", "supplier", "nation", "region",
+        "nation/n_name", "lineitem/l_extendedprice", "lineitem/l_discount",
+        "customer/c_custkey", "orders/o_custkey", "lineitem/l_orderkey",
+        "orders/o_orderkey", "lineitem/l_suppkey", "supplier/s_suppkey",
+        "customer/c_nationkey", "supplier/s_nationkey", "nation/n_regionkey",
+        "region/r_regionkey", "region/r_name", "orders/o_orderdate"}},
+      {"q06",
+       {"lineitem", "lineitem/l_extendedprice", "lineitem/l_discount",
+        "lineitem/l_shipdate", "lineitem/l_quantity"}},
+      {"q07",
+       {"supplier", "lineitem", "orders", "customer", "nation",
+        "nation/n_name", "lineitem/l_shipdate", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "supplier/s_suppkey", "lineitem/l_suppkey",
+        "orders/o_orderkey", "lineitem/l_orderkey", "customer/c_custkey",
+        "orders/o_custkey", "supplier/s_nationkey", "customer/c_nationkey"}},
+      {"q08",
+       {"part", "supplier", "lineitem", "orders", "customer", "nation",
+        "region", "orders/o_orderdate", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "region/r_name", "part/p_type",
+        "nation/n_name", "part/p_partkey", "lineitem/l_partkey",
+        "supplier/s_suppkey", "lineitem/l_suppkey"}},
+      {"q09",
+       {"part", "supplier", "lineitem", "partsupp", "orders", "nation",
+        "nation/n_name", "orders/o_orderdate", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "partsupp/ps_supplycost",
+        "lineitem/l_quantity", "part/p_name", "part/p_partkey",
+        "lineitem/l_partkey", "partsupp/ps_partkey", "partsupp/ps_suppkey",
+        "lineitem/l_suppkey"}},
+      {"q10",
+       {"customer", "orders", "lineitem", "nation", "customer/c_custkey",
+        "customer/c_name", "lineitem/l_extendedprice", "lineitem/l_discount",
+        "customer/c_acctbal", "nation/n_name", "customer/c_address",
+        "customer/c_phone", "customer/c_comment", "orders/o_orderdate",
+        "lineitem/l_returnflag", "orders/o_custkey", "lineitem/l_orderkey",
+        "customer/c_nationkey"}},
+      {"q11",
+       {"partsupp", "supplier", "nation", "partsupp/ps_partkey",
+        "partsupp/ps_supplycost", "partsupp/ps_availqty",
+        "partsupp/ps_suppkey", "supplier/s_suppkey", "supplier/s_nationkey",
+        "nation/n_name"}},
+      {"q12",
+       {"orders", "lineitem", "lineitem/l_shipmode",
+        "orders/o_orderpriority", "lineitem/l_commitdate",
+        "lineitem/l_shipdate", "lineitem/l_receiptdate",
+        "orders/o_orderkey", "lineitem/l_orderkey"}},
+      {"q13",
+       {"customer", "orders", "customer/c_custkey", "orders/o_custkey",
+        "orders/o_orderkey", "orders/o_comment"}},
+      {"q14",
+       {"lineitem", "part", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "part/p_type", "lineitem/l_shipdate",
+        "part/p_partkey", "lineitem/l_partkey"}},
+      {"q15",
+       {"supplier", "lineitem", "supplier/s_suppkey", "supplier/s_name",
+        "supplier/s_address", "supplier/s_phone", "lineitem/l_suppkey",
+        "lineitem/l_extendedprice", "lineitem/l_discount",
+        "lineitem/l_shipdate"}},
+      {"q16",
+       {"partsupp", "part", "supplier", "part/p_brand", "part/p_type",
+        "part/p_size", "partsupp/ps_suppkey", "partsupp/ps_partkey",
+        "part/p_partkey", "supplier/s_suppkey", "supplier/s_comment"}},
+      {"q17",
+       {"lineitem", "part", "part/p_brand", "part/p_container",
+        "lineitem/l_quantity", "lineitem/l_extendedprice", "part/p_partkey",
+        "lineitem/l_partkey"}},
+      {"q18",
+       {"customer", "orders", "lineitem", "customer/c_name",
+        "customer/c_custkey", "orders/o_orderkey", "orders/o_orderdate",
+        "orders/o_totalprice", "lineitem/l_quantity", "orders/o_custkey",
+        "lineitem/l_orderkey"}},
+      {"q19",
+       {"lineitem", "part", "lineitem/l_extendedprice",
+        "lineitem/l_discount", "part/p_brand", "part/p_container",
+        "lineitem/l_quantity", "part/p_size", "lineitem/l_shipmode",
+        "lineitem/l_shipinstruct", "part/p_partkey", "lineitem/l_partkey"}},
+      {"q20",
+       {"supplier", "nation", "partsupp", "part", "lineitem",
+        "supplier/s_name", "supplier/s_address", "nation/n_name",
+        "part/p_name", "partsupp/ps_availqty", "lineitem/l_quantity",
+        "lineitem/l_shipdate", "partsupp/ps_partkey", "partsupp/ps_suppkey",
+        "supplier/s_suppkey", "supplier/s_nationkey"}},
+      {"q21",
+       {"supplier", "lineitem", "orders", "nation", "supplier/s_name",
+        "lineitem/l_receiptdate", "lineitem/l_commitdate",
+        "orders/o_orderstatus", "nation/n_name", "lineitem/l_suppkey",
+        "supplier/s_suppkey", "orders/o_orderkey", "lineitem/l_orderkey",
+        "supplier/s_nationkey"}},
+      {"q22",
+       {"customer", "orders", "customer/c_phone", "customer/c_acctbal",
+        "orders/o_custkey", "customer/c_custkey"}},
+  };
+  Workload w;
+  w.name = "tpch";
+  for (const Spec& s : specs) {
+    std::vector<std::string> paths(s.paths.begin(), s.paths.end());
+    auto q = MakeIntention(schema(), s.name, paths);
+    SSUM_CHECK(q.ok(), q.status().ToString());
+    w.queries.push_back(std::move(*q));
+  }
+  return w;
+}
+
+}  // namespace ssum

@@ -1,0 +1,490 @@
+#include "datasets/xmark.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "schema/schema_builder.h"
+
+namespace ssum {
+
+const std::array<const char*, 6>& XMarkDataset::RegionNames() {
+  static const std::array<const char*, 6> kNames{
+      "africa", "asia", "australia", "europe", "namerica", "samerica"};
+  return kNames;
+}
+
+namespace {
+
+/// Builds the (text | parlist) description content model with the parlist
+/// recursion unfolded once (DESIGN.md: recursion is cut to keep the schema
+/// finite, matching the paper's finite element count).
+XMarkDataset::DescriptionIds BuildDescription(SchemaBuilder* b,
+                                              ElementId parent) {
+  XMarkDataset::DescriptionIds d;
+  d.description = b->Choice(parent, "description");
+  d.text = b->Rcd(d.description, "text");
+  d.bold = b->SetSimple(d.text, "bold");
+  d.keyword = b->SetSimple(d.text, "keyword");
+  d.emph = b->SetSimple(d.text, "emph");
+  d.parlist = b->Rcd(d.description, "parlist");
+  d.listitem = b->SetRcd(d.parlist, "listitem");
+  d.li_text = b->Rcd(d.listitem, "text");
+  d.li_bold = b->SetSimple(d.li_text, "bold");
+  d.li_keyword = b->SetSimple(d.li_text, "keyword");
+  d.li_emph = b->SetSimple(d.li_text, "emph");
+  return d;
+}
+
+}  // namespace
+
+XMarkDataset::XMarkDataset(XMarkParams params) : params_(params) {
+  SchemaBuilder b("site");
+
+  // --- regions / items -----------------------------------------------------
+  regions_ = b.Rcd(b.Root(), "regions");
+  for (size_t r = 0; r < 6; ++r) {
+    region_[r] = b.Rcd(regions_, RegionNames()[r]);
+    ItemIds& it = item_[r];
+    it.item = b.SetRcd(region_[r], "item");
+    it.id = b.Attr(it.item, "id", AtomicKind::kId);
+    it.featured = b.Attr(it.item, "featured");
+    it.location = b.Simple(it.item, "location");
+    it.quantity = b.Simple(it.item, "quantity", AtomicKind::kInt);
+    it.name = b.Simple(it.item, "name");
+    it.payment = b.Simple(it.item, "payment");
+    XMarkDataset::DescriptionIds d = BuildDescription(&b, it.item);
+    it.description = d.description;
+    it.text = d.text;
+    it.bold = d.bold;
+    it.keyword = d.keyword;
+    it.emph = d.emph;
+    it.parlist = d.parlist;
+    it.listitem = d.listitem;
+    it.li_text = d.li_text;
+    it.li_bold = d.li_bold;
+    it.li_keyword = d.li_keyword;
+    it.li_emph = d.li_emph;
+    it.shipping = b.Simple(it.item, "shipping");
+    it.incategory = b.SetRcd(it.item, "incategory");
+    it.incategory_category =
+        b.Attr(it.incategory, "category", AtomicKind::kIdRef);
+    it.mailbox = b.Rcd(it.item, "mailbox");
+    it.mail = b.SetRcd(it.mailbox, "mail");
+    it.mail_from = b.Simple(it.mail, "from");
+    it.mail_to = b.Simple(it.mail, "to");
+    it.mail_date = b.Simple(it.mail, "date", AtomicKind::kDate);
+    it.mail_text = b.Rcd(it.mail, "text");
+    it.mail_bold = b.SetSimple(it.mail_text, "bold");
+    it.mail_keyword = b.SetSimple(it.mail_text, "keyword");
+    it.mail_emph = b.SetSimple(it.mail_text, "emph");
+  }
+
+  // --- categories / catgraph ----------------------------------------------
+  categories_ = b.Rcd(b.Root(), "categories");
+  category_ = b.SetRcd(categories_, "category");
+  category_id_ = b.Attr(category_, "id", AtomicKind::kId);
+  category_name_ = b.Simple(category_, "name");
+  category_desc_ = BuildDescription(&b, category_);
+  catgraph_ = b.Rcd(b.Root(), "catgraph");
+  edge_ = b.SetRcd(catgraph_, "edge");
+  edge_from_ = b.Attr(edge_, "from", AtomicKind::kIdRef);
+  edge_to_ = b.Attr(edge_, "to", AtomicKind::kIdRef);
+
+  // --- people ---------------------------------------------------------------
+  people_ = b.Rcd(b.Root(), "people");
+  person_ = b.SetRcd(people_, "person");
+  person_id_ = b.Attr(person_, "id", AtomicKind::kId);
+  person_name_ = b.Simple(person_, "name");
+  emailaddress_ = b.Simple(person_, "emailaddress");
+  phone_ = b.Simple(person_, "phone");
+  address_ = b.Rcd(person_, "address");
+  street_ = b.Simple(address_, "street");
+  city_ = b.Simple(address_, "city");
+  country_ = b.Simple(address_, "country");
+  province_ = b.Simple(address_, "province");
+  zipcode_ = b.Simple(address_, "zipcode");
+  homepage_ = b.Simple(person_, "homepage");
+  creditcard_ = b.Simple(person_, "creditcard");
+  profile_ = b.Rcd(person_, "profile");
+  income_ = b.Attr(profile_, "income", AtomicKind::kFloat);
+  interest_ = b.SetRcd(profile_, "interest");
+  interest_category_ = b.Attr(interest_, "category", AtomicKind::kIdRef);
+  education_ = b.Simple(profile_, "education");
+  gender_ = b.Simple(profile_, "gender");
+  business_ = b.Simple(profile_, "business");
+  age_ = b.Simple(profile_, "age", AtomicKind::kInt);
+  watches_ = b.Rcd(person_, "watches");
+  watch_ = b.SetRcd(watches_, "watch");
+  watch_auction_ = b.Attr(watch_, "open_auction", AtomicKind::kIdRef);
+
+  // --- open auctions ---------------------------------------------------------
+  open_auctions_ = b.Rcd(b.Root(), "open_auctions");
+  open_auction_ = b.SetRcd(open_auctions_, "open_auction");
+  oa_id_ = b.Attr(open_auction_, "id", AtomicKind::kId);
+  initial_ = b.Simple(open_auction_, "initial", AtomicKind::kFloat);
+  reserve_ = b.Simple(open_auction_, "reserve", AtomicKind::kFloat);
+  bidder_ = b.SetRcd(open_auction_, "bidder");
+  bidder_person_attr_ = b.Attr(bidder_, "person", AtomicKind::kIdRef);
+  bid_date_ = b.Simple(bidder_, "date", AtomicKind::kDate);
+  bid_time_ = b.Simple(bidder_, "time");
+  increase_ = b.Simple(bidder_, "increase", AtomicKind::kFloat);
+  current_ = b.Simple(open_auction_, "current", AtomicKind::kFloat);
+  privacy_ = b.Simple(open_auction_, "privacy");
+  oa_itemref_ = b.Rcd(open_auction_, "itemref");
+  oa_itemref_item_ = b.Attr(oa_itemref_, "item", AtomicKind::kIdRef);
+  seller_ = b.Rcd(open_auction_, "seller");
+  seller_person_ = b.Attr(seller_, "person", AtomicKind::kIdRef);
+  oa_annotation_.annotation = b.Rcd(open_auction_, "annotation");
+  oa_annotation_.author = b.Rcd(oa_annotation_.annotation, "author");
+  oa_annotation_.author_person =
+      b.Attr(oa_annotation_.author, "person", AtomicKind::kIdRef);
+  oa_annotation_.desc = BuildDescription(&b, oa_annotation_.annotation);
+  oa_annotation_.happiness =
+      b.Simple(oa_annotation_.annotation, "happiness", AtomicKind::kInt);
+  oa_quantity_ = b.Simple(open_auction_, "quantity", AtomicKind::kInt);
+  oa_type_ = b.Simple(open_auction_, "type");
+  interval_ = b.Rcd(open_auction_, "interval");
+  start_ = b.Simple(interval_, "start", AtomicKind::kDate);
+  end_ = b.Simple(interval_, "end", AtomicKind::kDate);
+
+  // --- closed auctions --------------------------------------------------------
+  closed_auctions_ = b.Rcd(b.Root(), "closed_auctions");
+  closed_auction_ = b.SetRcd(closed_auctions_, "closed_auction");
+  ca_seller_ = b.Rcd(closed_auction_, "seller");
+  ca_seller_person_ = b.Attr(ca_seller_, "person", AtomicKind::kIdRef);
+  ca_buyer_ = b.Rcd(closed_auction_, "buyer");
+  ca_buyer_person_ = b.Attr(ca_buyer_, "person", AtomicKind::kIdRef);
+  ca_itemref_ = b.Rcd(closed_auction_, "itemref");
+  ca_itemref_item_ = b.Attr(ca_itemref_, "item", AtomicKind::kIdRef);
+  price_ = b.Simple(closed_auction_, "price", AtomicKind::kFloat);
+  ca_date_ = b.Simple(closed_auction_, "date", AtomicKind::kDate);
+  ca_quantity_ = b.Simple(closed_auction_, "quantity", AtomicKind::kInt);
+  ca_type_ = b.Simple(closed_auction_, "type");
+  ca_annotation_.annotation = b.Rcd(closed_auction_, "annotation");
+  ca_annotation_.author = b.Rcd(ca_annotation_.annotation, "author");
+  ca_annotation_.author_person =
+      b.Attr(ca_annotation_.author, "person", AtomicKind::kIdRef);
+  ca_annotation_.desc = BuildDescription(&b, ca_annotation_.annotation);
+  ca_annotation_.happiness =
+      b.Simple(ca_annotation_.annotation, "happiness", AtomicKind::kInt);
+
+  // --- value links (semantic parent-level endpoints, Section 2) -------------
+  for (size_t r = 0; r < 6; ++r) {
+    l_incategory_[r] = b.Link(item_[r].incategory, category_,
+                              item_[r].incategory_category, category_id_);
+  }
+  l_edge_from_ = b.Link(edge_, category_, edge_from_, category_id_);
+  l_edge_to_ = b.Link(edge_, category_, edge_to_, category_id_);
+  l_interest_ = b.Link(interest_, category_, interest_category_, category_id_);
+  l_watch_ = b.Link(watch_, open_auction_, watch_auction_, oa_id_);
+  // The paper treats bidder/@person -> person/@id as bidder -> person.
+  l_bidder_person_ = b.Link(bidder_, person_, bidder_person_attr_, person_id_);
+  l_seller_person_ = b.Link(seller_, person_, seller_person_, person_id_);
+  l_author_oa_ = b.Link(oa_annotation_.author, person_,
+                        oa_annotation_.author_person, person_id_);
+  l_ca_seller_ = b.Link(ca_seller_, person_, ca_seller_person_, person_id_);
+  l_ca_buyer_ = b.Link(ca_buyer_, person_, ca_buyer_person_, person_id_);
+  l_author_ca_ = b.Link(ca_annotation_.author, person_,
+                        ca_annotation_.author_person, person_id_);
+  for (size_t r = 0; r < 6; ++r) {
+    l_oa_itemref_[r] =
+        b.Link(oa_itemref_, item_[r].item, oa_itemref_item_, item_[r].id);
+    l_ca_itemref_[r] =
+        b.Link(ca_itemref_, item_[r].item, ca_itemref_item_, item_[r].id);
+  }
+
+  graph_ = std::move(b).Build();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generator
+// ---------------------------------------------------------------------------
+
+class XMarkStream : public InstanceStream {
+ public:
+  explicit XMarkStream(const XMarkDataset* ds) : ds_(ds) {}
+
+  const SchemaGraph& schema() const override { return ds_->schema(); }
+
+  Status Accept(InstanceVisitor* v) const override {
+    const XMarkParams& p = ds_->params_;
+    Rng rng(p.seed);
+    auto scaled = [&](uint32_t base) {
+      return static_cast<uint64_t>(static_cast<double>(base) * p.sf + 0.5);
+    };
+
+    v->OnEnter(schema().root());
+
+    // regions / items
+    v->OnEnter(ds_->regions_);
+    for (size_t r = 0; r < 6; ++r) {
+      v->OnEnter(ds_->region_[r]);
+      const uint64_t n = scaled(p.items_per_region[r]);
+      for (uint64_t i = 0; i < n; ++i) EmitItem(v, &rng, r);
+      v->OnLeave(ds_->region_[r]);
+    }
+    v->OnLeave(ds_->regions_);
+
+    // categories
+    v->OnEnter(ds_->categories_);
+    for (uint64_t i = 0, n = scaled(p.categories); i < n; ++i) {
+      v->OnEnter(ds_->category_);
+      Leaf(v, ds_->category_id_);
+      Leaf(v, ds_->category_name_);
+      EmitDescription(v, &rng, ds_->category_desc_);
+      v->OnLeave(ds_->category_);
+    }
+    v->OnLeave(ds_->categories_);
+
+    // catgraph
+    v->OnEnter(ds_->catgraph_);
+    for (uint64_t i = 0, n = scaled(p.catgraph_edges); i < n; ++i) {
+      v->OnEnter(ds_->edge_);
+      v->OnReference(ds_->l_edge_from_);
+      v->OnReference(ds_->l_edge_to_);
+      Leaf(v, ds_->edge_from_);
+      Leaf(v, ds_->edge_to_);
+      v->OnLeave(ds_->edge_);
+    }
+    v->OnLeave(ds_->catgraph_);
+
+    // people
+    v->OnEnter(ds_->people_);
+    for (uint64_t i = 0, n = scaled(p.persons); i < n; ++i) {
+      EmitPerson(v, &rng);
+    }
+    v->OnLeave(ds_->people_);
+
+    // open auctions
+    v->OnEnter(ds_->open_auctions_);
+    for (uint64_t i = 0, n = scaled(p.open_auctions); i < n; ++i) {
+      EmitOpenAuction(v, &rng);
+    }
+    v->OnLeave(ds_->open_auctions_);
+
+    // closed auctions
+    v->OnEnter(ds_->closed_auctions_);
+    for (uint64_t i = 0, n = scaled(p.closed_auctions); i < n; ++i) {
+      EmitClosedAuction(v, &rng);
+    }
+    v->OnLeave(ds_->closed_auctions_);
+
+    v->OnLeave(schema().root());
+    return Status::OK();
+  }
+
+ private:
+  static void Leaf(InstanceVisitor* v, ElementId e) {
+    v->OnEnter(e);
+    v->OnLeave(e);
+  }
+
+  /// Picks the region an item reference points to, weighted by item counts.
+  size_t PickRegion(Rng* rng) const {
+    const auto& per = ds_->params_.items_per_region;
+    double total = 0;
+    for (uint32_t c : per) total += c;
+    double x = rng->NextDouble() * total;
+    for (size_t r = 0; r < 6; ++r) {
+      x -= per[r];
+      if (x <= 0) return r;
+    }
+    return 5;
+  }
+
+  void EmitText(InstanceVisitor* v, Rng* rng, ElementId text, ElementId bold,
+                ElementId keyword, ElementId emph) const {
+    const XMarkParams& p = ds_->params_;
+    v->OnEnter(text);
+    for (uint64_t i = 0, n = rng->NextPoisson(p.markup_mean); i < n; ++i)
+      Leaf(v, bold);
+    for (uint64_t i = 0, n = rng->NextPoisson(p.markup_mean); i < n; ++i)
+      Leaf(v, keyword);
+    for (uint64_t i = 0, n = rng->NextPoisson(p.markup_mean); i < n; ++i)
+      Leaf(v, emph);
+    v->OnLeave(text);
+  }
+
+  void EmitDescription(InstanceVisitor* v, Rng* rng,
+                       const XMarkDataset::DescriptionIds& d) const {
+    const XMarkParams& p = ds_->params_;
+    v->OnEnter(d.description);
+    if (rng->NextBool(p.prob_parlist)) {
+      v->OnEnter(d.parlist);
+      uint64_t items = 1 + rng->NextPoisson(p.listitem_mean - 1.0);
+      for (uint64_t i = 0; i < items; ++i) {
+        v->OnEnter(d.listitem);
+        EmitText(v, rng, d.li_text, d.li_bold, d.li_keyword, d.li_emph);
+        v->OnLeave(d.listitem);
+      }
+      v->OnLeave(d.parlist);
+    } else {
+      EmitText(v, rng, d.text, d.bold, d.keyword, d.emph);
+    }
+    v->OnLeave(d.description);
+  }
+
+  void EmitAnnotation(InstanceVisitor* v, Rng* rng,
+                      const XMarkDataset::AnnotationIds& a,
+                      LinkId author_link) const {
+    v->OnEnter(a.annotation);
+    v->OnEnter(a.author);
+    v->OnReference(author_link);
+    Leaf(v, a.author_person);
+    v->OnLeave(a.author);
+    EmitDescription(v, rng, a.desc);
+    Leaf(v, a.happiness);
+    v->OnLeave(a.annotation);
+  }
+
+  void EmitItem(InstanceVisitor* v, Rng* rng, size_t r) const {
+    const XMarkParams& p = ds_->params_;
+    const XMarkDataset::ItemIds& it = ds_->item_[r];
+    v->OnEnter(it.item);
+    Leaf(v, it.id);
+    if (rng->NextBool(0.1)) Leaf(v, it.featured);
+    Leaf(v, it.location);
+    Leaf(v, it.quantity);
+    Leaf(v, it.name);
+    Leaf(v, it.payment);
+    XMarkDataset::DescriptionIds d{it.description, it.text,    it.bold,
+                                   it.keyword,     it.emph,    it.parlist,
+                                   it.listitem,    it.li_text, it.li_bold,
+                                   it.li_keyword,  it.li_emph};
+    EmitDescription(v, rng, d);
+    Leaf(v, it.shipping);
+    uint64_t cats = 1 + rng->NextPoisson(p.incategory_mean - 1.0);
+    for (uint64_t c = 0; c < cats; ++c) {
+      v->OnEnter(it.incategory);
+      v->OnReference(ds_->l_incategory_[r]);
+      Leaf(v, it.incategory_category);
+      v->OnLeave(it.incategory);
+    }
+    v->OnEnter(it.mailbox);
+    for (uint64_t m = 0, n = rng->NextPoisson(p.mail_mean); m < n; ++m) {
+      v->OnEnter(it.mail);
+      Leaf(v, it.mail_from);
+      Leaf(v, it.mail_to);
+      Leaf(v, it.mail_date);
+      EmitText(v, rng, it.mail_text, it.mail_bold, it.mail_keyword,
+               it.mail_emph);
+      v->OnLeave(it.mail);
+    }
+    v->OnLeave(it.mailbox);
+    v->OnLeave(it.item);
+  }
+
+  void EmitPerson(InstanceVisitor* v, Rng* rng) const {
+    const XMarkParams& p = ds_->params_;
+    v->OnEnter(ds_->person_);
+    Leaf(v, ds_->person_id_);
+    Leaf(v, ds_->person_name_);
+    Leaf(v, ds_->emailaddress_);
+    if (rng->NextBool(p.prob_phone)) Leaf(v, ds_->phone_);
+    if (rng->NextBool(p.prob_address)) {
+      v->OnEnter(ds_->address_);
+      Leaf(v, ds_->street_);
+      Leaf(v, ds_->city_);
+      Leaf(v, ds_->country_);
+      if (rng->NextBool(0.5)) Leaf(v, ds_->province_);
+      Leaf(v, ds_->zipcode_);
+      v->OnLeave(ds_->address_);
+    }
+    if (rng->NextBool(p.prob_homepage)) Leaf(v, ds_->homepage_);
+    if (rng->NextBool(p.prob_creditcard)) Leaf(v, ds_->creditcard_);
+    if (rng->NextBool(p.prob_profile)) {
+      v->OnEnter(ds_->profile_);
+      Leaf(v, ds_->income_);
+      for (uint64_t i = 0, n = rng->NextPoisson(p.interest_mean); i < n; ++i) {
+        v->OnEnter(ds_->interest_);
+        v->OnReference(ds_->l_interest_);
+        Leaf(v, ds_->interest_category_);
+        v->OnLeave(ds_->interest_);
+      }
+      if (rng->NextBool(p.prob_education)) Leaf(v, ds_->education_);
+      if (rng->NextBool(p.prob_gender)) Leaf(v, ds_->gender_);
+      Leaf(v, ds_->business_);
+      if (rng->NextBool(p.prob_age)) Leaf(v, ds_->age_);
+      v->OnLeave(ds_->profile_);
+    }
+    v->OnEnter(ds_->watches_);
+    for (uint64_t i = 0, n = rng->NextPoisson(p.watches_mean); i < n; ++i) {
+      v->OnEnter(ds_->watch_);
+      v->OnReference(ds_->l_watch_);
+      Leaf(v, ds_->watch_auction_);
+      v->OnLeave(ds_->watch_);
+    }
+    v->OnLeave(ds_->watches_);
+    v->OnLeave(ds_->person_);
+  }
+
+  void EmitOpenAuction(InstanceVisitor* v, Rng* rng) const {
+    const XMarkParams& p = ds_->params_;
+    v->OnEnter(ds_->open_auction_);
+    Leaf(v, ds_->oa_id_);
+    Leaf(v, ds_->initial_);
+    if (rng->NextBool(p.prob_reserve)) Leaf(v, ds_->reserve_);
+    uint64_t bidders = rng->NextPoisson(p.bidders_mean);
+    for (uint64_t i = 0; i < bidders; ++i) {
+      v->OnEnter(ds_->bidder_);
+      v->OnReference(ds_->l_bidder_person_);
+      Leaf(v, ds_->bidder_person_attr_);
+      Leaf(v, ds_->bid_date_);
+      Leaf(v, ds_->bid_time_);
+      Leaf(v, ds_->increase_);
+      v->OnLeave(ds_->bidder_);
+    }
+    Leaf(v, ds_->current_);
+    if (rng->NextBool(p.prob_privacy)) Leaf(v, ds_->privacy_);
+    v->OnEnter(ds_->oa_itemref_);
+    v->OnReference(ds_->l_oa_itemref_[PickRegion(rng)]);
+    Leaf(v, ds_->oa_itemref_item_);
+    v->OnLeave(ds_->oa_itemref_);
+    v->OnEnter(ds_->seller_);
+    v->OnReference(ds_->l_seller_person_);
+    Leaf(v, ds_->seller_person_);
+    v->OnLeave(ds_->seller_);
+    if (rng->NextBool(p.prob_annotation)) {
+      EmitAnnotation(v, rng, ds_->oa_annotation_, ds_->l_author_oa_);
+    }
+    Leaf(v, ds_->oa_quantity_);
+    Leaf(v, ds_->oa_type_);
+    v->OnEnter(ds_->interval_);
+    Leaf(v, ds_->start_);
+    Leaf(v, ds_->end_);
+    v->OnLeave(ds_->interval_);
+    v->OnLeave(ds_->open_auction_);
+  }
+
+  void EmitClosedAuction(InstanceVisitor* v, Rng* rng) const {
+    const XMarkParams& p = ds_->params_;
+    v->OnEnter(ds_->closed_auction_);
+    v->OnEnter(ds_->ca_seller_);
+    v->OnReference(ds_->l_ca_seller_);
+    Leaf(v, ds_->ca_seller_person_);
+    v->OnLeave(ds_->ca_seller_);
+    v->OnEnter(ds_->ca_buyer_);
+    v->OnReference(ds_->l_ca_buyer_);
+    Leaf(v, ds_->ca_buyer_person_);
+    v->OnLeave(ds_->ca_buyer_);
+    v->OnEnter(ds_->ca_itemref_);
+    v->OnReference(ds_->l_ca_itemref_[PickRegion(rng)]);
+    Leaf(v, ds_->ca_itemref_item_);
+    v->OnLeave(ds_->ca_itemref_);
+    Leaf(v, ds_->price_);
+    Leaf(v, ds_->ca_date_);
+    Leaf(v, ds_->ca_quantity_);
+    Leaf(v, ds_->ca_type_);
+    if (rng->NextBool(p.prob_annotation)) {
+      EmitAnnotation(v, rng, ds_->ca_annotation_, ds_->l_author_ca_);
+    }
+    v->OnLeave(ds_->closed_auction_);
+  }
+
+  const XMarkDataset* ds_;
+};
+
+std::unique_ptr<InstanceStream> XMarkDataset::MakeStream() const {
+  return std::make_unique<XMarkStream>(this);
+}
+
+}  // namespace ssum

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "instance/event_stream.h"
+#include "query/workload.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Generation parameters for the synthetic XMark auction database
+/// (substitute for the original xmlgen, see DESIGN.md). Entity counts below
+/// are the xmlgen scale-factor-1 values; fanouts approximate the benchmark's
+/// distributions.
+struct XMarkParams {
+  double sf = 1.0;  ///< scale factor (paper: 1.0)
+  uint64_t seed = 42;
+
+  // Entity counts at sf = 1 (scaled linearly).
+  std::array<uint32_t, 6> items_per_region{550, 2000, 2200, 6000, 10000, 1000};
+  uint32_t persons = 25500;
+  uint32_t open_auctions = 12000;
+  uint32_t closed_auctions = 9750;
+  uint32_t categories = 1000;
+  uint32_t catgraph_edges = 3800;
+
+  // Fanouts / presence probabilities (scale independent).
+  double bidders_mean = 7.0;
+  double incategory_mean = 3.0;
+  double mail_mean = 1.2;
+  double interest_mean = 1.2;
+  double watches_mean = 1.0;
+  double prob_phone = 0.4;
+  double prob_address = 0.6;
+  double prob_homepage = 0.4;
+  double prob_creditcard = 0.35;
+  double prob_profile = 0.7;
+  double prob_education = 0.5;
+  double prob_gender = 0.6;
+  double prob_age = 0.5;
+  double prob_reserve = 0.4;
+  double prob_privacy = 0.3;
+  double prob_annotation = 0.4;
+  double prob_parlist = 0.3;      ///< description branches to parlist
+  double markup_mean = 1.2;       ///< bold/keyword/emph occurrences per text
+  double listitem_mean = 1.8;
+};
+
+/// The XMark benchmark substrate: the expanded auction schema (the DTD
+/// unfolded per context, the paper's hierarchical-schema treatment), a
+/// streaming instance generator, and the 20 benchmark query intentions.
+class XMarkDataset {
+ public:
+  explicit XMarkDataset(XMarkParams params = {});
+
+  const SchemaGraph& schema() const { return graph_; }
+  const XMarkParams& params() const { return params_; }
+
+  /// Streaming instance generator; every Accept replays the identical
+  /// database (re-seeded from params().seed).
+  std::unique_ptr<InstanceStream> MakeStream() const;
+
+  /// The 20 XMark benchmark queries as schema-element intentions.
+  Workload Queries() const;
+
+  /// Region names in schema order (africa .. samerica).
+  static const std::array<const char*, 6>& RegionNames();
+
+  // Nested id bundles are public so that the generator implementation (a
+  // separate translation unit) can traverse them; the id fields themselves
+  // stay private.
+
+  /// Element ids of one region's unfolded item subtree.
+  struct ItemIds {
+    ElementId item, id, featured, location, quantity, name, payment, shipping;
+    ElementId incategory, incategory_category;
+    ElementId mailbox, mail, mail_from, mail_to, mail_date;
+    ElementId mail_text, mail_bold, mail_keyword, mail_emph;
+    // description subtree
+    ElementId description, text, bold, keyword, emph;
+    ElementId parlist, listitem, li_text, li_bold, li_keyword, li_emph;
+  };
+  /// Description subtree ids (shared shape, distinct ids per context).
+  struct DescriptionIds {
+    ElementId description, text, bold, keyword, emph;
+    ElementId parlist, listitem, li_text, li_bold, li_keyword, li_emph;
+  };
+  struct AnnotationIds {
+    ElementId annotation, author, author_person, happiness;
+    DescriptionIds desc;
+  };
+
+ private:
+  friend class XMarkStream;
+
+  XMarkParams params_;
+  SchemaGraph graph_;
+
+  // Named element ids used by the generator and the query workload.
+  ElementId regions_;
+  std::array<ElementId, 6> region_;
+  std::array<ItemIds, 6> item_;
+  ElementId categories_, category_, category_id_, category_name_;
+  DescriptionIds category_desc_;
+  ElementId catgraph_, edge_, edge_from_, edge_to_;
+  ElementId people_, person_, person_id_, person_name_, emailaddress_, phone_;
+  ElementId address_, street_, city_, country_, province_, zipcode_;
+  ElementId homepage_, creditcard_;
+  ElementId profile_, income_, interest_, interest_category_, education_,
+      gender_, business_, age_;
+  ElementId watches_, watch_, watch_auction_;
+  ElementId open_auctions_, open_auction_, oa_id_, initial_, reserve_,
+      current_, privacy_, oa_quantity_, oa_type_;
+  // The paper's Figure 1 flattens xmlgen's personref wrapper: @person is a
+  // direct attribute of bidder, and the value link runs bidder -> person.
+  ElementId bidder_, bidder_person_attr_, bid_date_, bid_time_, increase_;
+  ElementId oa_itemref_, oa_itemref_item_, seller_, seller_person_;
+  ElementId interval_, start_, end_;
+  AnnotationIds oa_annotation_;
+  ElementId closed_auctions_, closed_auction_, ca_seller_, ca_seller_person_,
+      ca_buyer_, ca_buyer_person_, ca_itemref_, ca_itemref_item_, price_,
+      ca_date_, ca_quantity_, ca_type_;
+  AnnotationIds ca_annotation_;
+
+  // Value links (LinkIds) used when emitting references.
+  LinkId l_incategory_[6];
+  LinkId l_edge_from_, l_edge_to_;
+  LinkId l_interest_, l_watch_;
+  LinkId l_bidder_person_, l_seller_person_, l_oa_itemref_[6];
+  LinkId l_ca_seller_, l_ca_buyer_, l_ca_itemref_[6];
+  LinkId l_author_oa_, l_author_ca_;
+};
+
+}  // namespace ssum

@@ -1,0 +1,112 @@
+#include <vector>
+
+#include "common/logging.h"
+#include "datasets/xmark.h"
+
+namespace ssum {
+
+// The 20 XMark benchmark queries (Schmidt et al., "The XML Benchmark
+// Project") translated into query intentions: the schema elements each
+// query's English formulation references (Section 5.4's methodology —
+// intentions extracted from the query descriptions).
+Workload XMarkDataset::Queries() const {
+  struct Spec {
+    const char* name;
+    std::vector<const char*> paths;
+  };
+  const std::vector<Spec> specs = {
+      // Q1: name of the person with id 'person0'.
+      {"q01", {"people/person", "people/person/@id", "people/person/name"}},
+      // Q2: initial increases of all bids.
+      {"q02",
+       {"open_auctions/open_auction", "open_auctions/open_auction/bidder",
+        "open_auctions/open_auction/bidder/increase"}},
+      // Q3: first and current increases of auctions.
+      {"q03",
+       {"open_auctions/open_auction/bidder/increase",
+        "open_auctions/open_auction/current"}},
+      // Q4: auctions where a given person bid before another; return reserve.
+      {"q04",
+       {"open_auctions/open_auction",
+        "open_auctions/open_auction/bidder/@person",
+        "open_auctions/open_auction/reserve"}},
+      // Q5: closed auctions with price at least 40.
+      {"q05",
+       {"closed_auctions/closed_auction",
+        "closed_auctions/closed_auction/price"}},
+      // Q6: items per region.
+      {"q06",
+       {"regions", "regions/europe/item", "regions/namerica/item"}},
+      // Q7: amount of prose (descriptions, annotations, mails).
+      {"q07",
+       {"regions/europe/item/description",
+        "regions/europe/item/mailbox/mail",
+        "open_auctions/open_auction/annotation/description"}},
+      // Q8: ended auctions per person (join buyer with person).
+      {"q08",
+       {"people/person", "people/person/@id",
+        "closed_auctions/closed_auction/buyer"}},
+      // Q9: like Q8, also returning the item sold.
+      {"q09",
+       {"people/person", "closed_auctions/closed_auction/buyer",
+        "closed_auctions/closed_auction/itemref", "regions/europe/item"}},
+      // Q10: person profiles grouped by interest (wide projection).
+      {"q10",
+       {"people/person", "people/person/profile",
+        "people/person/profile/interest", "people/person/profile/gender",
+        "people/person/profile/age", "people/person/profile/education",
+        "people/person/profile/@income", "people/person/name",
+        "people/person/address/city", "people/person/address/country"}},
+      // Q11: join person income with auction initial price.
+      {"q11",
+       {"people/person", "people/person/profile/@income",
+        "open_auctions/open_auction/initial"}},
+      // Q12: like Q11 with reserve.
+      {"q12",
+       {"people/person", "people/person/profile/@income",
+        "open_auctions/open_auction/reserve"}},
+      // Q13: names and descriptions of australian items.
+      {"q13",
+       {"regions/australia/item", "regions/australia/item/name",
+        "regions/australia/item/description"}},
+      // Q14: items whose description mentions a keyword.
+      {"q14",
+       {"regions/namerica/item", "regions/namerica/item/name",
+        "regions/namerica/item/description/text"}},
+      // Q15: deeply nested keyword inside auction annotations.
+      {"q15",
+       {"open_auctions/open_auction/annotation",
+        "open_auctions/open_auction/annotation/description/parlist/listitem",
+        "open_auctions/open_auction/annotation/description/parlist/listitem/"
+        "text/keyword"}},
+      // Q16: like Q15 but returning the seller.
+      {"q16",
+       {"open_auctions/open_auction/seller",
+        "open_auctions/open_auction/annotation",
+        "open_auctions/open_auction/annotation/description"}},
+      // Q17: persons without a homepage.
+      {"q17",
+       {"people/person", "people/person/name", "people/person/homepage"}},
+      // Q18: user-defined function over reserves.
+      {"q18",
+       {"open_auctions/open_auction", "open_auctions/open_auction/reserve"}},
+      // Q19: items sorted by location.
+      {"q19",
+       {"regions/asia/item", "regions/asia/item/location",
+        "regions/asia/item/name"}},
+      // Q20: persons counted by income bracket.
+      {"q20",
+       {"people/person/profile", "people/person/profile/@income"}},
+  };
+  Workload w;
+  w.name = "xmark";
+  for (const Spec& s : specs) {
+    std::vector<std::string> paths(s.paths.begin(), s.paths.end());
+    auto q = MakeIntention(graph_, s.name, paths);
+    SSUM_CHECK(q.ok(), q.status().ToString());
+    w.queries.push_back(std::move(*q));
+  }
+  return w;
+}
+
+}  // namespace ssum

@@ -1,0 +1,31 @@
+#include "eval/agreement.h"
+
+#include <algorithm>
+
+namespace ssum {
+
+double SummaryAgreement(const std::vector<ElementId>& a,
+                        const std::vector<ElementId>& b, size_t k) {
+  if (k == 0) return 0;
+  size_t common = 0;
+  for (ElementId e : a) {
+    if (std::find(b.begin(), b.end(), e) != b.end()) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(k);
+}
+
+double PanelAgreement(const ExpertPanel& panel, size_t k) {
+  if (panel.rankings.empty() || k == 0) return 0;
+  std::vector<ElementId> common = panel.SummaryOf(0, k);
+  for (size_t u = 1; u < panel.rankings.size(); ++u) {
+    std::vector<ElementId> s = panel.SummaryOf(u, k);
+    std::vector<ElementId> next;
+    for (ElementId e : common) {
+      if (std::find(s.begin(), s.end(), e) != s.end()) next.push_back(e);
+    }
+    common = std::move(next);
+  }
+  return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+}  // namespace ssum

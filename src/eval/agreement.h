@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "datasets/experts.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Agreement between two summaries of nominal size k (paper Section 5.2):
+/// the fraction of elements selected by both, over the summary size.
+double SummaryAgreement(const std::vector<ElementId>& a,
+                        const std::vector<ElementId>& b, size_t k);
+
+/// "User agreement": fraction of the size-k summary all panel members
+/// selected in common.
+double PanelAgreement(const ExpertPanel& panel, size_t k);
+
+}  // namespace ssum

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/summarize.h"
+#include "datasets/registry.h"
+#include "query/discovery.h"
+
+namespace ssum {
+
+/// One dataset's row of Table 3: query discovery cost without a summary
+/// (all three strategies) and with a BalanceSummary of the paper's size.
+struct QueryDiscoveryRow {
+  std::string dataset;
+  double depth_first = 0;
+  double breadth_first = 0;
+  double best_first = 0;
+  double with_summary = 0;
+  size_t summary_size = 0;
+  double summary_fraction = 0;  ///< size / schema size
+  size_t rounds = 0;            ///< number of queries evaluated
+  double saving = 0;            ///< 1 - with_summary / best_first
+};
+
+Result<QueryDiscoveryRow> RunQueryDiscoveryRow(
+    const DatasetBundle& bundle, const SummarizeOptions& options = {});
+
+/// One dataset's row of Table 4: best-first cost with summaries from each
+/// of the three algorithms.
+struct BalanceRow {
+  std::string dataset;
+  double best_first = 0;  ///< no-summary baseline
+  double balance = 0;
+  double max_importance = 0;
+  double max_coverage = 0;
+  size_t summary_size = 0;
+};
+
+Result<BalanceRow> RunBalanceRow(const DatasetBundle& bundle,
+                                 const SummarizeOptions& options = {});
+
+/// Figure 8: with-summary discovery cost for each summary size.
+struct SizeSweepPoint {
+  size_t size;
+  double cost;
+};
+Result<std::vector<SizeSweepPoint>> RunSizeSweep(
+    const DatasetBundle& bundle, const std::vector<size_t>& sizes,
+    const SummarizeOptions& options = {});
+
+/// Figure 9: the three importance modes of Section 5.4.
+struct StructureVsDataRow {
+  std::string dataset;
+  double data_driven = 0;    ///< p = 1 (cardinalities only)
+  double schema_driven = 0;  ///< RC = 1, I0 = 1 (structure only)
+  double balanced = 0;       ///< p = 0.5 over real annotations
+  size_t summary_size = 0;
+};
+Result<StructureVsDataRow> RunStructureVsDataRow(
+    const DatasetBundle& bundle, const SummarizeOptions& options = {});
+
+/// Evaluates an externally-built summary (expert/baseline) on the bundle's
+/// workload with the best-first strategy.
+Result<double> EvaluateSummaryCost(const DatasetBundle& bundle,
+                                   const SchemaSummary& summary);
+
+}  // namespace ssum

@@ -1,0 +1,70 @@
+#include "eval/summary_diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+SummaryDiff DiffSummaries(const SchemaSummary& before,
+                          const SchemaSummary& after) {
+  SSUM_CHECK(before.schema == after.schema,
+             "DiffSummaries requires summaries over the same schema");
+  const SchemaGraph& schema = *before.schema;
+  SummaryDiff diff;
+  size_t common = 0;
+  for (ElementId a : after.abstract_elements) {
+    if (std::find(before.abstract_elements.begin(),
+                  before.abstract_elements.end(),
+                  a) == before.abstract_elements.end()) {
+      diff.added_abstract.push_back(a);
+    } else {
+      ++common;
+    }
+  }
+  for (ElementId a : before.abstract_elements) {
+    if (std::find(after.abstract_elements.begin(),
+                  after.abstract_elements.end(),
+                  a) == after.abstract_elements.end()) {
+      diff.removed_abstract.push_back(a);
+    }
+  }
+  for (ElementId e = 0; e < schema.size(); ++e) {
+    if (e == schema.root()) continue;
+    if (before.representative[e] != after.representative[e]) {
+      diff.moved.push_back(e);
+    }
+  }
+  size_t denom =
+      std::max(before.abstract_elements.size(), after.abstract_elements.size());
+  diff.agreement =
+      denom == 0 ? 1.0 : static_cast<double>(common) / static_cast<double>(denom);
+  return diff;
+}
+
+std::string SummaryDiff::Report(const SchemaGraph& schema) const {
+  std::ostringstream os;
+  if (Unchanged()) {
+    os << "summaries identical\n";
+    return os.str();
+  }
+  for (ElementId a : added_abstract) {
+    os << "+ " << schema.PathOf(a) << "\n";
+  }
+  for (ElementId a : removed_abstract) {
+    os << "- " << schema.PathOf(a) << "\n";
+  }
+  // Moves are usually a consequence of the +/- lines; cap the listing.
+  size_t shown = 0;
+  for (ElementId e : moved) {
+    if (++shown > 20) {
+      os << "~ ... (" << moved.size() - 20 << " more moved elements)\n";
+      break;
+    }
+    os << "~ " << schema.PathOf(e) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ssum

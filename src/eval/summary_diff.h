@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Structural comparison of two summaries over the same schema — the
+/// analysis behind the paper's data-evolution discussion (Section 3.3,
+/// Table 5): which abstract elements entered or left, and which elements
+/// changed group.
+struct SummaryDiff {
+  /// Abstract in `after` but not in `before`.
+  std::vector<ElementId> added_abstract;
+  /// Abstract in `before` but not in `after`.
+  std::vector<ElementId> removed_abstract;
+  /// Elements (excluding the root) whose representative changed.
+  std::vector<ElementId> moved;
+  /// |before ∩ after| / max(|before|, |after|).
+  double agreement = 0;
+
+  bool Unchanged() const {
+    return added_abstract.empty() && removed_abstract.empty() &&
+           moved.empty();
+  }
+
+  /// Human-readable multi-line report ("+ domains/domain", "- ...",
+  /// "~ element: old_group -> new_group").
+  std::string Report(const SchemaGraph& schema) const;
+};
+
+/// Both summaries must be over the same schema object.
+SummaryDiff DiffSummaries(const SchemaSummary& before,
+                          const SchemaSummary& after);
+
+}  // namespace ssum

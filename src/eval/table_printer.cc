@@ -1,0 +1,67 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&](char fill) {
+    std::string out = "+";
+    for (size_t w : widths) {
+      out += std::string(w + 2, fill);
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += ' ';
+      out += cell;
+      out += std::string(widths[c] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = line('-');
+  out += emit_row(headers_);
+  out += line('=');
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += line('-');
+    } else {
+      out += emit_row(row);
+    }
+  }
+  out += line('-');
+  return out;
+}
+
+std::string Percent(double fraction) {
+  return FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace ssum

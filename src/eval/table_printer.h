@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssum {
+
+/// Fixed-width console table, for the benchmark binaries that regenerate
+/// the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Adds a horizontal separator before the next row.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/// "12.3%" with one decimal.
+std::string Percent(double fraction);
+
+}  // namespace ssum

@@ -1,0 +1,56 @@
+#include "instance/conformance.h"
+
+#include <unordered_map>
+
+namespace ssum {
+
+Status CheckConformance(const DataTree& tree,
+                        const ConformanceOptions& options) {
+  const SchemaGraph& schema = tree.schema();
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    ElementId e = tree.element(n);
+    const ElementType& t = schema.type(e);
+    if (t.kind == TypeKind::kSimple && !tree.children(n).empty()) {
+      return Status::FailedPrecondition("Simple node of element '" +
+                                        schema.label(e) + "' has children");
+    }
+    if (n != tree.root() &&
+        schema.parent(e) != tree.element(tree.parent(n))) {
+      return Status::FailedPrecondition("node parentage mismatch at '" +
+                                        schema.label(e) + "'");
+    }
+    // Per-parent occurrence counts by child element.
+    std::unordered_map<ElementId, uint32_t> occur;
+    for (NodeId c : tree.children(n)) {
+      ++occur[tree.element(c)];
+    }
+    for (const auto& [child_elem, count] : occur) {
+      if (!schema.type(child_elem).set_of && count > 1) {
+        return Status::FailedPrecondition(
+            "non-SetOf element '" + schema.label(child_elem) + "' occurs " +
+            std::to_string(count) + " times under one '" + schema.label(e) +
+            "' node");
+      }
+    }
+    if (options.require_all_rcd_children && t.kind == TypeKind::kRcd) {
+      for (ElementId child : schema.children(e)) {
+        if (!schema.type(child).set_of && occur.find(child) == occur.end()) {
+          return Status::FailedPrecondition(
+              "Rcd child '" + schema.label(child) + "' missing under '" +
+              schema.label(e) + "'");
+        }
+      }
+    }
+    if (options.enforce_choice && t.kind == TypeKind::kChoice &&
+        !schema.children(e).empty()) {
+      if (occur.size() != 1) {
+        return Status::FailedPrecondition(
+            "Choice node of '" + schema.label(e) + "' instantiates " +
+            std::to_string(occur.size()) + " branches (expected 1)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssum

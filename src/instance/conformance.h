@@ -1,0 +1,28 @@
+#pragma once
+
+#include "common/status.h"
+#include "instance/data_tree.h"
+
+namespace ssum {
+
+/// Conformance options; defaults match the paper's data model (Section 2).
+struct ConformanceOptions {
+  /// Require every Rcd child that is not SetOf to appear exactly once
+  /// (false: at most once — tolerates optional elements, the common case in
+  /// real XML data).
+  bool require_all_rcd_children = false;
+  /// Require Choice parents to instantiate exactly one child branch.
+  bool enforce_choice = true;
+};
+
+/// Verifies that a DataTree conforms to its schema:
+///  - every node's element has the node's parent's element as schema parent
+///    (structurally guaranteed by DataTree, re-checked for completeness);
+///  - non-SetOf children occur at most once (exactly once when
+///    require_all_rcd_children) per parent node;
+///  - Choice parents instantiate exactly one child element kind;
+///  - Simple nodes are leaves.
+Status CheckConformance(const DataTree& tree,
+                        const ConformanceOptions& options = {});
+
+}  // namespace ssum

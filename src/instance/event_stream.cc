@@ -1,0 +1,6 @@
+#include "instance/event_stream.h"
+
+// Interface-only translation unit: anchors the vtables of InstanceVisitor
+// and InstanceStream so that every user does not emit its own copy.
+
+namespace ssum {}  // namespace ssum

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Visitor receiving a depth-first pre-order traversal of a database
+/// instance — exactly the traversal annotateSchema (paper Figure 3)
+/// performs. Implementations must be cheap: generators stream millions of
+/// events without materializing the database.
+class InstanceVisitor {
+ public:
+  virtual ~InstanceVisitor() = default;
+
+  /// A data node of schema element `e` is entered. For every node except the
+  /// root, the parent data node (whose schema element is `schema.parent(e)`)
+  /// is the most recently entered unclosed node.
+  virtual void OnEnter(ElementId e) = 0;
+
+  /// The current (most recently entered, unclosed) data node emits one
+  /// reference instance along value link `vlink`, acting as referrer.
+  virtual void OnReference(LinkId vlink) = 0;
+
+  /// The most recently entered unclosed node is closed.
+  virtual void OnLeave(ElementId e) { (void)e; }
+};
+
+/// A database instance traversable in depth-first pre-order. Concrete
+/// sources: in-memory DataTree, XML documents, relational tables, and the
+/// synthetic dataset generators.
+class InstanceStream {
+ public:
+  virtual ~InstanceStream() = default;
+
+  /// Schema the instance conforms to. Must outlive the stream.
+  virtual const SchemaGraph& schema() const = 0;
+
+  /// Runs one full traversal, invoking the visitor for every node and
+  /// reference. May be called multiple times; each call replays the same
+  /// instance (generators re-seed internally).
+  virtual Status Accept(InstanceVisitor* visitor) const = 0;
+};
+
+/// Counts nodes and references; useful for dataset statistics and tests.
+class CountingVisitor : public InstanceVisitor {
+ public:
+  void OnEnter(ElementId) override { ++nodes_; }
+  void OnReference(LinkId) override { ++references_; }
+
+  uint64_t nodes() const { return nodes_; }
+  uint64_t references() const { return references_; }
+
+ private:
+  uint64_t nodes_ = 0;
+  uint64_t references_ = 0;
+};
+
+}  // namespace ssum

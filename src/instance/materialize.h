@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+
+#include "common/result.h"
+#include "instance/data_tree.h"
+#include "instance/event_stream.h"
+#include "xml/parser.h"
+
+namespace ssum {
+
+/// Materializes an instance stream into an in-memory DataTree.
+///
+/// Reference instances are *not* materialized: a stream reports only that a
+/// reference exists (which is all annotation needs), not which node it
+/// targets, and DataTree references require concrete endpoints. Use
+/// MaterializeToXml for a lossless-for-annotation round trip.
+///
+/// Intended for small instances (tests, examples); the benchmark-scale
+/// generators should be annotated directly from the stream.
+Result<DataTree> MaterializeToDataTree(const InstanceStream& stream);
+
+/// Options for XML materialization.
+struct XmlMaterializeOptions {
+  /// Seed for the synthesized atomic values (deterministic).
+  uint64_t value_seed = 1;
+};
+
+/// Materializes an instance stream into an XML document:
+///  - elements labeled "@name" become attributes of their parent;
+///  - Simple elements become childless elements;
+///  - atomic values are synthesized deterministically by kind (so id/idref
+///    carriers are non-empty, preserving value-link instance counts when
+///    the document is re-annotated through XmlInstanceStream).
+///
+/// Together with xml/infer_schema.h this closes the loop:
+///   generator -> XML -> parse -> infer/annotate  ==  generator -> annotate
+Result<XmlDocument> MaterializeToXml(const InstanceStream& stream,
+                                     const XmlMaterializeOptions& options = {});
+
+}  // namespace ssum

@@ -1,0 +1,95 @@
+#include "instance/random_instance.h"
+
+#include <vector>
+
+namespace ssum {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const SchemaGraph& schema, const RandomInstanceOptions& options)
+      : schema_(schema),
+        options_(options),
+        rng_(options.seed),
+        tree_(&schema),
+        nodes_of_(schema.size()) {}
+
+  Result<DataTree> Run() {
+    nodes_of_[schema_.root()].push_back(tree_.root());
+    SSUM_RETURN_NOT_OK(Populate(tree_.root(), schema_.root()));
+    SSUM_RETURN_NOT_OK(AttachReferences());
+    return std::move(tree_);
+  }
+
+ private:
+  Status Populate(NodeId node, ElementId element) {
+    const ElementType& type = schema_.type(element);
+    if (type.kind == TypeKind::kChoice && !schema_.children(element).empty()) {
+      // Exactly one branch.
+      const auto& kids = schema_.children(element);
+      ElementId branch = kids[rng_.NextBounded(kids.size())];
+      return Instantiate(node, branch,
+                         schema_.type(branch).set_of
+                             ? 1 + rng_.NextPoisson(options_.setof_mean - 1.0)
+                             : 1);
+    }
+    for (ElementId child : schema_.children(element)) {
+      uint64_t count;
+      if (schema_.type(child).set_of) {
+        count = rng_.NextPoisson(options_.setof_mean);
+      } else {
+        count = rng_.NextBool(options_.presence) ? 1 : 0;
+      }
+      SSUM_RETURN_NOT_OK(Instantiate(node, child, count));
+    }
+    return Status::OK();
+  }
+
+  Status Instantiate(NodeId parent, ElementId element, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      if (tree_.size() >= options_.max_nodes) {
+        return Status::OutOfRange("random instance exceeds max_nodes");
+      }
+      NodeId node;
+      {
+        auto added = tree_.AddNode(parent, element);
+        SSUM_RETURN_NOT_OK(added.status());
+        node = *added;
+      }
+      nodes_of_[element].push_back(node);
+      SSUM_RETURN_NOT_OK(Populate(node, element));
+    }
+    return Status::OK();
+  }
+
+  Status AttachReferences() {
+    for (LinkId l = 0; l < schema_.value_links().size(); ++l) {
+      const ValueLink& link = schema_.value_links()[l];
+      const auto& referees = nodes_of_[link.referee];
+      if (referees.empty()) continue;
+      for (NodeId referrer : nodes_of_[link.referrer]) {
+        if (!rng_.NextBool(options_.reference_prob)) continue;
+        NodeId target = referees[rng_.NextBounded(referees.size())];
+        SSUM_RETURN_NOT_OK(tree_.AddReference(l, referrer, target));
+      }
+    }
+    return Status::OK();
+  }
+
+  const SchemaGraph& schema_;
+  const RandomInstanceOptions& options_;
+  Rng rng_;
+  DataTree tree_;
+  std::vector<std::vector<NodeId>> nodes_of_;
+};
+
+}  // namespace
+
+Result<DataTree> GenerateRandomInstance(const SchemaGraph& schema,
+                                        const RandomInstanceOptions& options) {
+  Generator generator(schema, options);
+  return generator.Run();
+}
+
+}  // namespace ssum

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+#include "instance/data_tree.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Random database synthesis for an arbitrary schema — conformance fuzzing,
+/// property tests, and quick experiments on hand-written schemas ("what
+/// would my schema's summary look like with plausible data?").
+struct RandomInstanceOptions {
+  uint64_t seed = 7;
+  /// Mean occurrence count for SetOf elements (Poisson distributed).
+  double setof_mean = 2.0;
+  /// Presence probability for optional single-valued children.
+  double presence = 0.8;
+  /// Per value link: probability that a referrer node emits a reference
+  /// (targets are sampled uniformly from the referee's nodes).
+  double reference_prob = 0.9;
+  /// Hard cap on generated nodes (guards against explosive schemas).
+  size_t max_nodes = 200000;
+};
+
+/// Builds a DataTree conforming to `schema`: Rcd children are instantiated
+/// with probability `presence` (SetOf children Poisson-many times), Choice
+/// parents instantiate exactly one branch, and value-link references are
+/// attached between existing nodes in a second pass (so CheckConformance
+/// and AnnotateSchema both accept the result). Fails with OutOfRange when
+/// max_nodes is exceeded.
+Result<DataTree> GenerateRandomInstance(const SchemaGraph& schema,
+                                        const RandomInstanceOptions& options = {});
+
+}  // namespace ssum

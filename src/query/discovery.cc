@@ -1,0 +1,482 @@
+#include "query/discovery.h"
+
+#include "core/multilevel.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+const char* TraversalStrategyName(TraversalStrategy s) {
+  switch (s) {
+    case TraversalStrategy::kDepthFirst:
+      return "DepthFirst";
+    case TraversalStrategy::kBreadthFirst:
+      return "BreadthFirst";
+    case TraversalStrategy::kBestFirst:
+      return "BestFirst";
+  }
+  return "?";
+}
+
+DiscoveryOracle::DiscoveryOracle(const SchemaGraph& graph) : graph_(&graph) {
+  const size_t n = graph.size();
+  successors_.resize(n);
+  for (ElementId e = 0; e < n; ++e) {
+    std::vector<ElementId>& succ = successors_[e];
+    for (ElementId c : graph.children(e)) succ.push_back(c);
+    for (const Neighbor& nbr : graph.neighbors(e)) {
+      if (!nbr.is_structural && nbr.forward) {
+        if (std::find(succ.begin(), succ.end(), nbr.other) == succ.end()) {
+          succ.push_back(nbr.other);
+        }
+      }
+    }
+  }
+  // Reachability closure (graphs are small; O(N * E) DFS per source).
+  reach_.assign(n, std::vector<bool>(n, false));
+  std::vector<ElementId> stack;
+  for (ElementId s = 0; s < n; ++s) {
+    std::vector<bool>& r = reach_[s];
+    stack.clear();
+    stack.push_back(s);
+    r[s] = true;
+    while (!stack.empty()) {
+      ElementId cur = stack.back();
+      stack.pop_back();
+      for (ElementId nxt : successors_[cur]) {
+        if (!r[nxt]) {
+          r[nxt] = true;
+          stack.push_back(nxt);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Shared bookkeeping of one simulated discovery session.
+struct Session {
+  std::vector<bool> is_intent;
+  std::vector<bool> found;     // intention elements already located
+  std::vector<bool> visited;   // elements already examined (revisits free)
+  size_t unfound = 0;
+  uint64_t cost = 0;
+  uint64_t visits = 0;
+  std::vector<ElementId> trace;
+
+  Session(size_t n, const QueryIntention& intention)
+      : is_intent(n, false), found(n, false), visited(n, false) {
+    for (ElementId e : intention.elements) {
+      if (!is_intent[e]) {
+        is_intent[e] = true;
+        ++unfound;
+      }
+    }
+  }
+
+  bool done() const { return unfound == 0; }
+
+  /// Examines `e`; charges one unit unless it belongs to the intention.
+  void Visit(ElementId e) {
+    if (visited[e]) return;
+    visited[e] = true;
+    ++visits;
+    trace.push_back(e);
+    if (is_intent[e]) {
+      if (!found[e]) {
+        found[e] = true;
+        --unfound;
+      }
+    } else {
+      ++cost;
+    }
+  }
+};
+
+DiscoveryResult LinearScan(const DiscoveryOracle& oracle,
+                           const QueryIntention& intention, bool depth_first) {
+  const SchemaGraph& graph = oracle.graph();
+  Session s(graph.size(), intention);
+  std::deque<ElementId> frontier;
+  std::vector<bool> queued(graph.size(), false);
+  // The root is the free starting position; enqueue its successors.
+  queued[graph.root()] = true;
+  s.visited[graph.root()] = true;
+  const auto& root_succ = oracle.successors(graph.root());
+  if (depth_first) {
+    for (auto it = root_succ.rbegin(); it != root_succ.rend(); ++it) {
+      frontier.push_back(*it);
+      queued[*it] = true;
+    }
+  } else {
+    for (ElementId c : root_succ) {
+      frontier.push_back(c);
+      queued[c] = true;
+    }
+  }
+  while (!frontier.empty() && !s.done()) {
+    ElementId cur;
+    if (depth_first) {
+      cur = frontier.back();
+      frontier.pop_back();
+    } else {
+      cur = frontier.front();
+      frontier.pop_front();
+    }
+    s.Visit(cur);
+    if (s.done()) break;
+    const auto& succ = oracle.successors(cur);
+    if (depth_first) {
+      for (auto it = succ.rbegin(); it != succ.rend(); ++it) {
+        if (!s.visited[*it] && !queued[*it]) {
+          frontier.push_back(*it);
+          queued[*it] = true;
+        }
+      }
+    } else {
+      for (ElementId c : succ) {
+        if (!s.visited[c] && !queued[c]) {
+          frontier.push_back(c);
+          queued[c] = true;
+        }
+      }
+    }
+  }
+  return {s.cost, s.visits, s.done(), std::move(s.trace)};
+}
+
+/// Best-first exploration (Section 5.3): at the current element, children
+/// are examined one at a time in schema order; the label oracle then tells
+/// whether the examined child's subtree holds an element of interest, and
+/// the walk descends into the first one that does.
+class BestFirstExplorer {
+ public:
+  BestFirstExplorer(const DiscoveryOracle& oracle, Session* session)
+      : oracle_(oracle),
+        session_(session),
+        on_stack_(oracle.graph().size(), false) {}
+
+  /// True when any unfound intention element is reachable from `e`.
+  bool HasUnfound(ElementId e) const {
+    const auto& graph = oracle_.graph();
+    for (ElementId t = 0; t < graph.size(); ++t) {
+      if (session_->is_intent[t] && !session_->found[t] &&
+          oracle_.Reaches(e, t)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Explores from `x` (already visited by the caller) until no unfound
+  /// intention element reachable from `x` remains or no progress is
+  /// possible through unexplored routes.
+  void Explore(ElementId x) {
+    if (session_->done()) return;
+    on_stack_[x] = true;
+    bool progress = true;
+    while (progress && !session_->done()) {
+      progress = false;
+      for (ElementId c : oracle_.successors(x)) {
+        if (session_->done()) break;
+        // The oracle tells the user when this subtree owes nothing more;
+        // they stop examining its children immediately.
+        if (!HasUnfound(x)) break;
+        if (on_stack_[c]) continue;
+        const bool first_look = !session_->visited[c];
+        // Examining the child is a visit (charged unless in the intention).
+        size_t before = session_->unfound;
+        if (first_look) {
+          session_->Visit(c);
+          if (session_->unfound < before) progress = true;
+        }
+        // The label oracle: descend when interest lies below.
+        if (HasUnfound(c)) {
+          size_t before_explore = session_->unfound;
+          Explore(c);
+          if (session_->unfound < before_explore) progress = true;
+        }
+        if (session_->done()) break;
+      }
+      // Re-scan only while this subtree still owes us elements and the last
+      // pass achieved something (guards against value-link cycles).
+      if (!HasUnfound(x)) break;
+    }
+    on_stack_[x] = false;
+  }
+
+ private:
+  const DiscoveryOracle& oracle_;
+  Session* session_;
+  std::vector<bool> on_stack_;
+};
+
+}  // namespace
+
+DiscoveryResult Discover(const DiscoveryOracle& oracle,
+                         const QueryIntention& intention,
+                         TraversalStrategy strategy) {
+  if (strategy != TraversalStrategy::kBestFirst) {
+    return LinearScan(oracle, intention,
+                      strategy == TraversalStrategy::kDepthFirst);
+  }
+  const SchemaGraph& graph = oracle.graph();
+  Session s(graph.size(), intention);
+  s.visited[graph.root()] = true;  // free starting position
+  if (s.is_intent[graph.root()]) {
+    s.found[graph.root()] = true;
+    --s.unfound;
+  }
+  BestFirstExplorer explorer(oracle, &s);
+  explorer.Explore(graph.root());
+  return {s.cost, s.visits, s.done(), std::move(s.trace)};
+}
+
+namespace {
+
+/// Shared group-expansion machinery for summary-based discovery: owns the
+/// member partition (original element -> representative) and the best-first
+/// exploration of an expanded group outward from its representative.
+class GroupExplorer {
+ public:
+  GroupExplorer(const SchemaGraph& graph, Session* session,
+                const std::vector<ElementId>& representative)
+      : graph_(graph), session_(session), members_(graph.size()) {
+    for (ElementId e = 0; e < graph.size(); ++e) {
+      if (e == graph.root()) continue;
+      members_[representative[e]].push_back(e);
+    }
+  }
+
+  bool GroupHasUnfound(ElementId rep) const {
+    for (ElementId m : members_[rep]) {
+      if (session_->is_intent[m] && !session_->found[m]) return true;
+    }
+    return false;
+  }
+
+  const std::vector<ElementId>& Group(ElementId rep) const {
+    return members_[rep];
+  }
+
+  /// Explores the expanded group of `rep` (see DiscoverWithSummary's model
+  /// comment) until it owes no intention elements.
+  void ExploreGroup(ElementId rep) {
+    Session& s = *session_;
+    const std::vector<ElementId>& group = members_[rep];
+    std::vector<bool> in_group(graph_.size(), false);
+    for (ElementId m : group) in_group[m] = true;
+    // Directional label oracle: does any unfound intention element lie in
+    // the group region reachable from `c` WITHOUT passing back through
+    // `from`? (The subtree-containment oracle of Section 5.3, generalized
+    // to the group's internal graph.)
+    auto has_unfound_beyond = [&](ElementId c, ElementId from) {
+      std::vector<ElementId> stack{c};
+      std::vector<bool> seen(graph_.size(), false);
+      seen[c] = true;
+      if (from != kInvalidElement) seen[from] = true;
+      while (!stack.empty()) {
+        ElementId cur = stack.back();
+        stack.pop_back();
+        if (s.is_intent[cur] && !s.found[cur]) return true;
+        for (ElementId nxt : GroupNeighbors(cur)) {
+          if (in_group[nxt] && !seen[nxt]) {
+            seen[nxt] = true;
+            stack.push_back(nxt);
+          }
+        }
+      }
+      return false;
+    };
+    std::vector<bool> on_stack(graph_.size(), false);
+    std::function<void(ElementId, ElementId)> explore =
+        [&](ElementId x, ElementId came_from) {
+      on_stack[x] = true;
+      for (ElementId c : GroupNeighbors(x)) {
+        if (s.done()) break;
+        if (!has_unfound_beyond(x, came_from)) break;  // region exhausted
+        if (!in_group[c] || on_stack[c] || c == came_from) continue;
+        if (!s.visited[c]) s.Visit(c);
+        if (s.done()) break;
+        if (has_unfound_beyond(c, x)) explore(c, x);
+      }
+      on_stack[x] = false;
+    };
+    if (has_unfound_beyond(rep, kInvalidElement)) {
+      explore(rep, kInvalidElement);
+    }
+    // Disconnected remainder (groups are usually affinity-connected, but an
+    // assignment may strand members): scan remaining members in order.
+    while (GroupHasUnfound(rep) && !s.done()) {
+      bool progress = false;
+      for (ElementId m : group) {
+        if (s.done()) break;
+        if (s.visited[m]) continue;
+        size_t before = s.unfound;
+        s.Visit(m);
+        if (s.unfound < before) progress = true;
+        if (has_unfound_beyond(m, kInvalidElement)) explore(m, kInvalidElement);
+      }
+      if (!progress) break;
+    }
+  }
+
+ private:
+  /// Group-internal adjacency in exploration order. The expanded view lays
+  /// out the group below its representative, with interior (entity-like)
+  /// elements visually salient; the user examines entity neighbors first —
+  /// structural children, then linked entities — before reading leaf
+  /// attributes, and the enclosing container last.
+  std::vector<ElementId> GroupNeighbors(ElementId e) const {
+    std::vector<ElementId> out;
+    for (ElementId c : graph_.children(e)) {
+      if (graph_.type(c).kind != TypeKind::kSimple) out.push_back(c);
+    }
+    for (const Neighbor& nbr : graph_.neighbors(e)) {
+      if (!nbr.is_structural && nbr.forward) out.push_back(nbr.other);
+    }
+    for (const Neighbor& nbr : graph_.neighbors(e)) {
+      if (!nbr.is_structural && !nbr.forward) out.push_back(nbr.other);
+    }
+    for (ElementId c : graph_.children(e)) {
+      if (graph_.type(c).kind == TypeKind::kSimple) out.push_back(c);
+    }
+    if (graph_.parent(e) != kInvalidElement) out.push_back(graph_.parent(e));
+    return out;
+  }
+
+  const SchemaGraph& graph_;
+  Session* session_;
+  std::vector<std::vector<ElementId>> members_;
+};
+
+Session StartSummarySession(const SchemaGraph& graph,
+                            const QueryIntention& intention) {
+  Session s(graph.size(), intention);
+  s.visited[graph.root()] = true;
+  if (s.is_intent[graph.root()]) {
+    s.found[graph.root()] = true;
+    --s.unfound;
+  }
+  return s;
+}
+
+}  // namespace
+
+DiscoveryResult DiscoverWithSummary(const DiscoveryOracle& oracle,
+                                    const SchemaSummary& summary,
+                                    const QueryIntention& intention) {
+  // Model (Section 5.3, and Section 2's "the abstract element assumes the
+  // identity of the representative element"):
+  //  - The full summary presents its abstract elements in selection order —
+  //    "presenting early on the elements that are more likely to be
+  //    queried". The user examines them one at a time; examining an
+  //    abstract element is a visit of its *representative* original element
+  //    (free when the representative is in the intention, one unit
+  //    otherwise).
+  //  - When the label oracle reports interest inside the examined group,
+  //    the user expands it and explores the group's internal structure
+  //    best-first *outward from the representative*, one unit per visited
+  //    non-intention element. Group-internal moves may follow structural
+  //    and value links in either direction (the expanded view lays out the
+  //    whole group, Figure 2(C)).
+  //  - Groups partition the schema, so one pass over the summary finds
+  //    every intention element.
+  const SchemaGraph& graph = oracle.graph();
+  SSUM_CHECK(summary.schema == &graph, "summary/oracle schema mismatch");
+  Session s = StartSummarySession(graph, intention);
+  GroupExplorer explorer(graph, &s, summary.representative);
+  for (ElementId a : summary.abstract_elements) {
+    if (s.done()) break;
+    if (!s.visited[a]) s.Visit(a);
+    if (explorer.GroupHasUnfound(a)) explorer.ExploreGroup(a);
+  }
+  return {s.cost, s.visits, s.done(), std::move(s.trace)};
+}
+
+DiscoveryResult DiscoverWithMultiLevel(const DiscoveryOracle& oracle,
+                                       const std::vector<SummaryLevel>& levels,
+                                       const QueryIntention& intention) {
+  const SchemaGraph& graph = oracle.graph();
+  SSUM_CHECK(!levels.empty(), "multi-level discovery needs >= 1 level");
+  for (const SummaryLevel& level : levels) {
+    SSUM_CHECK(level.representative.size() == graph.size(),
+               "summary levels are over a different schema");
+  }
+  Session s = StartSummarySession(graph, intention);
+  // Groups at the finest level drive the original-element exploration.
+  GroupExplorer explorer(graph, &s, levels[0].representative);
+
+  // territory(a, L): does the set of original elements represented by `a`
+  // at level L hold unfound intention elements?
+  auto territory_has_unfound = [&](size_t level, ElementId a) {
+    const std::vector<ElementId>& rep = levels[level].representative;
+    for (ElementId e = 0; e < graph.size(); ++e) {
+      if (e == graph.root() || rep[e] != a) continue;
+      if (s.is_intent[e] && !s.found[e]) return true;
+    }
+    return false;
+  };
+
+  // The user scans a level's abstract elements in presentation order and
+  // drills into the finer level below any element owing interest.
+  std::function<void(size_t, const std::vector<ElementId>&)> scan =
+      [&](size_t level, const std::vector<ElementId>& candidates) {
+        for (ElementId a : candidates) {
+          if (s.done()) break;
+          if (!s.visited[a]) s.Visit(a);
+          if (!territory_has_unfound(level, a)) continue;
+          if (level == 0) {
+            explorer.ExploreGroup(a);
+            continue;
+          }
+          // Finer-level abstract elements represented by `a`, in the finer
+          // level's own presentation order.
+          std::vector<ElementId> finer;
+          for (ElementId f : levels[level - 1].abstract_elements) {
+            if (levels[level].representative[f] == a) finer.push_back(f);
+          }
+          scan(level - 1, finer);
+          // Fallback: elements of a's territory whose finest-level group
+          // representative is not itself represented by `a` (possible when
+          // level maps disagree on boundaries) — rescan the finest level.
+          if (territory_has_unfound(level, a) && !s.done()) {
+            scan(0, levels[0].abstract_elements);
+          }
+        }
+      };
+  scan(levels.size() - 1, levels.back().abstract_elements);
+  // Completeness fallback: sweep the finest level.
+  if (!s.done()) scan(0, levels[0].abstract_elements);
+  return {s.cost, s.visits, s.done(), std::move(s.trace)};
+}
+
+double AverageDiscoveryCost(const DiscoveryOracle& oracle,
+                            const Workload& workload,
+                            TraversalStrategy strategy) {
+  if (workload.queries.empty()) return 0;
+  double total = 0;
+  for (const QueryIntention& q : workload.queries) {
+    total += static_cast<double>(Discover(oracle, q, strategy).cost);
+  }
+  return total / static_cast<double>(workload.queries.size());
+}
+
+double AverageDiscoveryCostWithSummary(const DiscoveryOracle& oracle,
+                                       const SchemaSummary& summary,
+                                       const Workload& workload) {
+  if (workload.queries.empty()) return 0;
+  double total = 0;
+  for (const QueryIntention& q : workload.queries) {
+    total +=
+        static_cast<double>(DiscoverWithSummary(oracle, summary, q).cost);
+  }
+  return total / static_cast<double>(workload.queries.size());
+}
+
+}  // namespace ssum

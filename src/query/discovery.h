@@ -1,0 +1,101 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/summary.h"
+#include "query/intention.h"
+#include "query/workload.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Schema-exploration strategies without a summary (Section 5.3). Traversal
+/// follows structural children plus outgoing value links (the paper's
+/// relational-schema provision), in schema order.
+enum class TraversalStrategy : unsigned char {
+  kDepthFirst = 0,   ///< pre-order scan
+  kBreadthFirst,     ///< level-order scan
+  kBestFirst,        ///< optimistic label-oracle traversal
+};
+
+const char* TraversalStrategyName(TraversalStrategy s);
+
+struct DiscoveryResult {
+  /// Units charged: one per visited element not in the intention (plus one
+  /// per abstract element visited, in the summary variant). The root is the
+  /// free starting position.
+  uint64_t cost = 0;
+  /// Total elements visited (intention members included, root excluded).
+  uint64_t visited = 0;
+  /// All intention elements were located.
+  bool complete = false;
+  /// Elements in visit order (for session replay / debugging).
+  std::vector<ElementId> trace;
+};
+
+/// Precomputed traversal adjacency and reachability oracle for one schema.
+/// Build once, evaluate many queries.
+class DiscoveryOracle {
+ public:
+  explicit DiscoveryOracle(const SchemaGraph& graph);
+
+  const SchemaGraph& graph() const { return *graph_; }
+
+  /// Traversal successors of `e`: structural children, then value-link
+  /// referees, in schema order.
+  const std::vector<ElementId>& successors(ElementId e) const {
+    return successors_[e];
+  }
+
+  /// True when `target` is reachable from `from` via traversal edges
+  /// (including from == target).
+  bool Reaches(ElementId from, ElementId target) const {
+    return reach_[from][target];
+  }
+
+ private:
+  const SchemaGraph* graph_;
+  std::vector<std::vector<ElementId>> successors_;
+  std::vector<std::vector<bool>> reach_;
+};
+
+/// Simulates query discovery on the raw schema with the given strategy.
+DiscoveryResult Discover(const DiscoveryOracle& oracle,
+                         const QueryIntention& intention,
+                         TraversalStrategy strategy);
+
+/// Simulates best-first query discovery with a schema summary (Section 5.3):
+/// the user walks the abstract-link graph from the root, pays one unit per
+/// abstract element visited, expands abstract elements whose groups contain
+/// unfound intention elements, and explores expanded groups best-first along
+/// their internal structural links (one unit per visited non-intention
+/// original element).
+DiscoveryResult DiscoverWithSummary(const DiscoveryOracle& oracle,
+                                    const SchemaSummary& summary,
+                                    const QueryIntention& intention);
+
+/// Simulates best-first discovery with a multi-level summary (the paper's
+/// Section 2 extension for very large schemas). The user scans the coarsest
+/// level in presentation order; a coarse abstract element whose territory
+/// holds unfound intention elements expands into the finer-level abstract
+/// elements it represents, and the finest level expands into original
+/// elements explored from the representative (same charging rules as
+/// DiscoverWithSummary). `levels` must come from SummarizeMultiLevel (level
+/// 0 finest) over the oracle's schema.
+DiscoveryResult DiscoverWithMultiLevel(
+    const DiscoveryOracle& oracle,
+    const std::vector<struct SummaryLevel>& levels,
+    const QueryIntention& intention);
+
+/// Average cost over a workload (raw schema).
+double AverageDiscoveryCost(const DiscoveryOracle& oracle,
+                            const Workload& workload,
+                            TraversalStrategy strategy);
+
+/// Average cost over a workload (with summary).
+double AverageDiscoveryCostWithSummary(const DiscoveryOracle& oracle,
+                                       const SchemaSummary& summary,
+                                       const Workload& workload);
+
+}  // namespace ssum

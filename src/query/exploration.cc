@@ -1,0 +1,138 @@
+#include "query/exploration.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+ExplorationSession::ExplorationSession(const SchemaGraph& schema,
+                                       const SchemaSummary& summary)
+    : schema_(schema), summary_(summary), expanded_(schema.size(), false) {
+  SSUM_CHECK(summary.schema == &schema, "summary is over a different schema");
+}
+
+Status ExplorationSession::Expand(ElementId abstract_rep) {
+  if (!summary_.IsAbstract(abstract_rep)) {
+    return Status::InvalidArgument("'" + schema_.label(abstract_rep) +
+                                   "' is not an abstract element");
+  }
+  if (expanded_[abstract_rep]) {
+    return Status::FailedPrecondition("'" + schema_.label(abstract_rep) +
+                                      "' is already expanded");
+  }
+  expanded_[abstract_rep] = true;
+  return Status::OK();
+}
+
+Status ExplorationSession::Collapse(ElementId abstract_rep) {
+  if (!summary_.IsAbstract(abstract_rep)) {
+    return Status::InvalidArgument("'" + schema_.label(abstract_rep) +
+                                   "' is not an abstract element");
+  }
+  if (!expanded_[abstract_rep]) {
+    return Status::FailedPrecondition("'" + schema_.label(abstract_rep) +
+                                      "' is not expanded");
+  }
+  expanded_[abstract_rep] = false;
+  return Status::OK();
+}
+
+bool ExplorationSession::IsExpanded(ElementId abstract_rep) const {
+  return abstract_rep < expanded_.size() && expanded_[abstract_rep];
+}
+
+ElementId ExplorationSession::ProxyOf(ElementId e) const {
+  if (e == schema_.root()) return e;
+  ElementId rep = summary_.representative[e];
+  return expanded_[rep] ? e : rep;
+}
+
+std::vector<ElementId> ExplorationSession::VisibleElements() const {
+  std::vector<ElementId> out;
+  for (ElementId e = 0; e < schema_.size(); ++e) {
+    if (e == schema_.root()) {
+      out.push_back(e);
+      continue;
+    }
+    ElementId rep = summary_.representative[e];
+    if (expanded_[rep] ? true : e == rep) out.push_back(e);
+  }
+  return out;
+}
+
+size_t ExplorationSession::VisibleCount() const {
+  return VisibleElements().size();
+}
+
+std::vector<ExplorationSession::VisibleLink>
+ExplorationSession::VisibleLinks() const {
+  // Consolidate original links between visible proxies; within an expanded
+  // group original links stay original, across collapsed groups they merge.
+  std::map<std::pair<ElementId, ElementId>, VisibleLink> merged;
+  auto add = [&](ElementId a, ElementId b, bool value_kind) {
+    ElementId from = ProxyOf(a);
+    ElementId to = ProxyOf(b);
+    if (from == to) return;
+    auto [it, inserted] = merged.try_emplace(
+        {from, to},
+        VisibleLink{from, to,
+                    summary_.IsAbstract(from) && !expanded_[from],
+                    summary_.IsAbstract(to) && !expanded_[to], value_kind});
+    if (!inserted) it->second.dashed |= value_kind;
+  };
+  for (const StructuralLink& s : schema_.structural_links()) {
+    add(s.parent, s.child, /*value_kind=*/false);
+  }
+  for (const ValueLink& v : schema_.value_links()) {
+    add(v.referrer, v.referee, /*value_kind=*/true);
+  }
+  std::vector<VisibleLink> out;
+  out.reserve(merged.size());
+  for (auto& [key, link] : merged) out.push_back(link);
+  return out;
+}
+
+std::string ExplorationSession::ToDot(const std::string& graph_name) const {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "digraph \"" << escape(graph_name) << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  os << "  n" << schema_.root() << " [label=\""
+     << escape(schema_.label(schema_.root())) << "\"];\n";
+  size_t cluster = 0;
+  for (ElementId a : summary_.abstract_elements) {
+    std::string label = escape(schema_.label(a));
+    if (schema_.type(a).set_of) label += "*";
+    if (!expanded_[a]) {
+      os << "  n" << a << " [label=\"" << label << "\", style=rounded];\n";
+      continue;
+    }
+    // Expanded group: a dashed cluster frame, Figure 2(C) style.
+    os << "  subgraph cluster_" << cluster++ << " {\n"
+       << "    label=\"" << label << "\"; style=dashed;\n";
+    for (ElementId m : summary_.Group(a)) {
+      std::string mlabel = escape(schema_.label(m));
+      if (schema_.type(m).set_of) mlabel += "*";
+      os << "    n" << m << " [label=\"" << mlabel << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (const VisibleLink& l : VisibleLinks()) {
+    os << "  n" << l.from << " -> n" << l.to;
+    if (l.dashed) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ssum

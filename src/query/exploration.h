@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Interactive expanded-summary view (paper Figure 2(C)): starting from a
+/// full summary, the user selectively expands abstract elements, revealing
+/// the original elements of their groups while the rest of the schema stays
+/// abstracted. This is the stateful API a schema browser builds on.
+///
+/// The session never mutates the summary; expansion state lives here.
+class ExplorationSession {
+ public:
+  /// `schema` and `summary` must outlive the session; the summary must be
+  /// over `schema`.
+  ExplorationSession(const SchemaGraph& schema, const SchemaSummary& summary);
+
+  /// Reveals the group of `abstract_rep`. Fails when the element is not an
+  /// abstract element of the summary.
+  Status Expand(ElementId abstract_rep);
+
+  /// Hides the group again. Fails when the element is not abstract or was
+  /// not expanded.
+  Status Collapse(ElementId abstract_rep);
+
+  bool IsExpanded(ElementId abstract_rep) const;
+
+  /// Elements currently on screen: the root, collapsed abstract elements,
+  /// and the members of every expanded group — in schema-id order.
+  std::vector<ElementId> VisibleElements() const;
+
+  /// Number of elements on screen — the "information density" the user is
+  /// currently exposed to (paper Section 1).
+  size_t VisibleCount() const;
+
+  /// A link on screen. `abstract_from` / `abstract_to` tell whether the
+  /// endpoint is a collapsed abstract element; `dashed` marks links that
+  /// stand for (or are) value links, per the paper's drawing convention.
+  struct VisibleLink {
+    ElementId from;
+    ElementId to;
+    bool abstract_from;
+    bool abstract_to;
+    bool dashed;
+  };
+
+  /// Links between visible elements, consolidated across collapsed groups.
+  std::vector<VisibleLink> VisibleLinks() const;
+
+  /// Graphviz rendering of the current view: collapsed abstract elements as
+  /// rounded boxes, expanded members as plain boxes inside a cluster
+  /// (Figure 2(C)'s dashed frame).
+  std::string ToDot(const std::string& graph_name = "exploration") const;
+
+ private:
+  /// The visible node standing for original element `e`: `e` itself when
+  /// its group is expanded, its representative otherwise (the root stands
+  /// for itself).
+  ElementId ProxyOf(ElementId e) const;
+
+  const SchemaGraph& schema_;
+  const SchemaSummary& summary_;
+  std::vector<bool> expanded_;  // indexed by ElementId (representatives)
+};
+
+}  // namespace ssum

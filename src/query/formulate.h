@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "query/intention.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Query formulation support (the step after discovery, Section 5.3's
+/// worked example): once the user has located the schema elements of an
+/// intention, generate a query skeleton with the paths filled in. The user
+/// supplies predicates/logic; the skeleton removes the path-hunting.
+
+/// Builds an XQuery FLWOR skeleton for a hierarchical schema. Each distinct
+/// nearest SetOf ancestor of the intention elements becomes a `for`
+/// variable bound to its absolute path; leaf intention elements become
+/// return-clause paths relative to their variable. Mirrors the paper's
+/// example:
+///
+///   for $a in /site/people/person
+///   where $a/@id = (...)
+///   return <res>{ $a/name }</res>
+Result<std::string> FormulateXQuerySkeleton(const SchemaGraph& schema,
+                                            const QueryIntention& intention);
+
+/// Builds a SQL skeleton for a relational schema graph (relations = SetOf
+/// children of the root, columns = their Simple children): SELECT the
+/// intention columns FROM the intention relations, with JOIN predicates
+/// derived from the value links (foreign keys) connecting the chosen
+/// relations.
+Result<std::string> FormulateSqlSkeleton(const SchemaGraph& schema,
+                                         const QueryIntention& intention);
+
+}  // namespace ssum

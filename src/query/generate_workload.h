@@ -1,0 +1,40 @@
+#pragma once
+
+#include "common/random.h"
+#include "query/workload.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Synthetic workload generation (extension of the paper's Section 5.4
+/// discussion). The paper conjectures that schema summaries help *real*
+/// workloads — which concentrate on important elements — more than
+/// benchmark workloads, which "spread their queries around the schema",
+/// but notes its experiments "do not provide enough information to verify
+/// this conjecture". This generator parameterizes exactly that axis so the
+/// conjecture can be tested (see bench/conjecture_workload_focus).
+struct WorkloadGenOptions {
+  /// Number of query intentions.
+  size_t num_queries = 50;
+  /// Mean intention size (>= 1; sizes are 1 + Poisson(mean - 1)).
+  double mean_size = 3.0;
+  /// Focus in [0, 1]: 0 samples anchor elements uniformly at random
+  /// (benchmark-like), 1 samples them proportionally to importance^2
+  /// (sharply concentrated, real-trace-like). Intermediate values
+  /// interpolate the exponent.
+  double focus = 1.0;
+  /// Probability that each additional intention element is drawn from the
+  /// anchor's structural subtree (locality); otherwise it is drawn like a
+  /// fresh anchor.
+  double locality = 0.7;
+  uint64_t seed = 99;
+};
+
+/// Samples a workload over `schema`. `importance` must be indexed by
+/// ElementId (e.g. ImportanceResult::importance). The root is never
+/// sampled.
+Workload GenerateWorkload(const SchemaGraph& schema,
+                          const std::vector<double>& importance,
+                          const WorkloadGenOptions& options = {});
+
+}  // namespace ssum

@@ -1,0 +1,28 @@
+#include "query/intention.h"
+
+#include <algorithm>
+
+namespace ssum {
+
+Result<QueryIntention> MakeIntention(const SchemaGraph& graph,
+                                     std::string name,
+                                     const std::vector<std::string>& paths) {
+  QueryIntention q;
+  q.name = std::move(name);
+  for (const std::string& p : paths) {
+    ElementId e;
+    auto res = graph.FindPath(p);
+    if (!res.ok()) return res.status().WithContext("intention '" + q.name + "'");
+    e = *res;
+    if (std::find(q.elements.begin(), q.elements.end(), e) ==
+        q.elements.end()) {
+      q.elements.push_back(e);
+    }
+  }
+  if (q.elements.empty()) {
+    return Status::InvalidArgument("intention '" + q.name + "' is empty");
+  }
+  return q;
+}
+
+}  // namespace ssum

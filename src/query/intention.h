@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// A query intention (Section 5.3): the set of schema elements the user
+/// wants to reference but whose locations in the schema she does not know.
+struct QueryIntention {
+  std::string name;
+  std::vector<ElementId> elements;
+
+  size_t size() const { return elements.size(); }
+};
+
+/// Builds an intention from slash-separated element paths; fails when a path
+/// does not resolve. Duplicate paths collapse to one element.
+Result<QueryIntention> MakeIntention(const SchemaGraph& graph,
+                                     std::string name,
+                                     const std::vector<std::string>& paths);
+
+}  // namespace ssum

@@ -1,0 +1,55 @@
+#include "query/workload.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+double Workload::AverageIntentionSize() const {
+  if (queries.empty()) return 0;
+  double total = 0;
+  for (const QueryIntention& q : queries) total += static_cast<double>(q.size());
+  return total / static_cast<double>(queries.size());
+}
+
+std::string SerializeWorkload(const SchemaGraph& graph,
+                              const Workload& workload) {
+  std::ostringstream os;
+  for (const QueryIntention& q : workload.queries) {
+    os << q.name;
+    for (ElementId e : q.elements) os << '\t' << graph.PathOf(e);
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<Workload> ParseWorkload(const SchemaGraph& graph, std::string name,
+                               const std::string& text) {
+  Workload w;
+  w.name = std::move(name);
+  std::istringstream is(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> f = SplitString(line, '\t');
+    if (f.size() < 2) {
+      return Status::ParseError("workload line " + std::to_string(line_no) +
+                                ": need a name and at least one path");
+    }
+    std::vector<std::string> paths(f.begin() + 1, f.end());
+    QueryIntention q;
+    auto res = MakeIntention(graph, f[0], paths);
+    if (!res.ok()) {
+      return res.status().WithContext("workload line " +
+                                      std::to_string(line_no));
+    }
+    w.queries.push_back(std::move(*res));
+  }
+  return w;
+}
+
+}  // namespace ssum

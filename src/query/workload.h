@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/intention.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// A named set of query intentions over one schema (a dataset's query set).
+struct Workload {
+  std::string name;
+  std::vector<QueryIntention> queries;
+
+  size_t size() const { return queries.size(); }
+
+  /// Average number of elements per intention (Table 1's
+  /// "avg. query intention size").
+  double AverageIntentionSize() const;
+};
+
+/// Text round-trip. Format: one query per line,
+///   <name> <tab> <path> <tab> <path> ...
+/// Blank lines and '#' comments ignored.
+std::string SerializeWorkload(const SchemaGraph& graph,
+                              const Workload& workload);
+Result<Workload> ParseWorkload(const SchemaGraph& graph, std::string name,
+                               const std::string& text);
+
+}  // namespace ssum

@@ -1,0 +1,102 @@
+#include "relational/bridge.h"
+
+namespace ssum {
+
+namespace {
+
+AtomicKind ToAtomic(ColumnType t, bool primary_key) {
+  if (primary_key) return AtomicKind::kId;
+  switch (t) {
+    case ColumnType::kInt:
+      return AtomicKind::kInt;
+    case ColumnType::kFloat:
+      return AtomicKind::kFloat;
+    case ColumnType::kDate:
+      return AtomicKind::kDate;
+    case ColumnType::kString:
+      return AtomicKind::kString;
+  }
+  return AtomicKind::kString;
+}
+
+}  // namespace
+
+Result<RelationalSchemaMapping> BuildRelationalSchema(const Catalog& catalog,
+                                                      std::string root_label) {
+  SSUM_RETURN_NOT_OK(catalog.Validate());
+  RelationalSchemaMapping m{SchemaGraph(std::move(root_label)), {}, {}, {}};
+  const auto& tables = catalog.tables();
+  m.table_elements.resize(tables.size());
+  m.column_elements.resize(tables.size());
+  m.fk_links.resize(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    auto table_elem =
+        m.graph.AddElement(m.graph.root(), tables[t].name, ElementType::Rcd(true));
+    SSUM_RETURN_NOT_OK(table_elem.status());
+    m.table_elements[t] = *table_elem;
+    m.column_elements[t].resize(tables[t].columns.size());
+    for (size_t c = 0; c < tables[t].columns.size(); ++c) {
+      const ColumnDef& col = tables[t].columns[c];
+      auto col_elem = m.graph.AddElement(
+          *table_elem, col.name,
+          ElementType::Simple(ToAtomic(col.type, col.primary_key)));
+      SSUM_RETURN_NOT_OK(col_elem.status());
+      m.column_elements[t][c] = *col_elem;
+    }
+  }
+  for (size_t t = 0; t < tables.size(); ++t) {
+    m.fk_links[t].resize(tables[t].foreign_keys.size());
+    for (size_t f = 0; f < tables[t].foreign_keys.size(); ++f) {
+      const ForeignKeyDef& fk = tables[t].foreign_keys[f];
+      int ref_t = catalog.TableIndex(fk.ref_table);
+      int col = tables[t].ColumnIndex(fk.column);
+      int ref_col = catalog.tables()[static_cast<size_t>(ref_t)].ColumnIndex(
+          fk.ref_column);
+      auto link = m.graph.AddValueLink(
+          m.table_elements[t], m.table_elements[static_cast<size_t>(ref_t)],
+          m.column_elements[t][static_cast<size_t>(col)],
+          m.column_elements[static_cast<size_t>(ref_t)]
+                           [static_cast<size_t>(ref_col)]);
+      SSUM_RETURN_NOT_OK(link.status());
+      m.fk_links[t][f] = *link;
+    }
+  }
+  return m;
+}
+
+RelationalInstanceStream::RelationalInstanceStream(
+    const RelationalSchemaMapping* mapping, const Database* database)
+    : mapping_(mapping), database_(database) {}
+
+Status RelationalInstanceStream::Accept(InstanceVisitor* visitor) const {
+  const SchemaGraph& graph = mapping_->graph;
+  visitor->OnEnter(graph.root());
+  for (size_t t = 0; t < database_->num_tables(); ++t) {
+    const Table& table = database_->table(t);
+    const TableDef& def = table.def();
+    // Precompute foreign-key column indices.
+    std::vector<std::pair<size_t, LinkId>> fk_cols;
+    for (size_t f = 0; f < def.foreign_keys.size(); ++f) {
+      int col = def.ColumnIndex(def.foreign_keys[f].column);
+      fk_cols.emplace_back(static_cast<size_t>(col), mapping_->fk_links[t][f]);
+    }
+    const ElementId table_elem = mapping_->table_elements[t];
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      visitor->OnEnter(table_elem);
+      for (const auto& [col, link] : fk_cols) {
+        if (!table.IsNull(r, col)) visitor->OnReference(link);
+      }
+      for (size_t c = 0; c < def.columns.size(); ++c) {
+        if (table.IsNull(r, c)) continue;
+        const ElementId col_elem = mapping_->column_elements[t][c];
+        visitor->OnEnter(col_elem);
+        visitor->OnLeave(col_elem);
+      }
+      visitor->OnLeave(table_elem);
+    }
+  }
+  visitor->OnLeave(graph.root());
+  return Status::OK();
+}
+
+}  // namespace ssum

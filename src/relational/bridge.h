@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "instance/event_stream.h"
+#include "relational/table.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// A relational catalog lowered into the paper's schema-graph model
+/// (Definition 1): an artificial root with one SetOf Rcd child per relation,
+/// Simple children for columns, and value links for foreign keys (the
+/// referring relation is the referrer; the key columns are the carriers).
+struct RelationalSchemaMapping {
+  SchemaGraph graph;
+  /// table index -> relation element.
+  std::vector<ElementId> table_elements;
+  /// table index, column index -> column element.
+  std::vector<std::vector<ElementId>> column_elements;
+  /// table index, foreign-key index -> value link.
+  std::vector<std::vector<LinkId>> fk_links;
+};
+
+/// Lowers the catalog. Fails when Catalog::Validate fails.
+Result<RelationalSchemaMapping> BuildRelationalSchema(
+    const Catalog& catalog, std::string root_label = "catalog");
+
+/// Streams a materialized Database as instance events: one node per row,
+/// one node per non-NULL cell, one reference per non-NULL foreign-key cell.
+class RelationalInstanceStream : public InstanceStream {
+ public:
+  /// `mapping` and `database` must outlive the stream; the database must
+  /// instantiate the catalog the mapping was built from.
+  RelationalInstanceStream(const RelationalSchemaMapping* mapping,
+                           const Database* database);
+
+  const SchemaGraph& schema() const override { return mapping_->graph; }
+  Status Accept(InstanceVisitor* visitor) const override;
+
+ private:
+  const RelationalSchemaMapping* mapping_;
+  const Database* database_;
+};
+
+}  // namespace ssum

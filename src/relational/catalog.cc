@@ -1,0 +1,88 @@
+#include "relational/catalog.h"
+
+#include <set>
+
+namespace ssum {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kFloat:
+      return "float";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+int TableDef::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Catalog::AddTable(TableDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table with empty name");
+  }
+  if (TableIndex(def.name) >= 0) {
+    return Status::AlreadyExists("table '" + def.name + "' already defined");
+  }
+  std::set<std::string> seen;
+  for (const ColumnDef& c : def.columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("column with empty name in table '" +
+                                     def.name + "'");
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::AlreadyExists("duplicate column '" + c.name +
+                                   "' in table '" + def.name + "'");
+    }
+  }
+  for (const ForeignKeyDef& fk : def.foreign_keys) {
+    if (def.ColumnIndex(fk.column) < 0) {
+      return Status::InvalidArgument("foreign key on unknown column '" +
+                                     fk.column + "' in table '" + def.name +
+                                     "'");
+    }
+  }
+  tables_.push_back(std::move(def));
+  return Status::OK();
+}
+
+int Catalog::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  int idx = TableIndex(name);
+  return idx < 0 ? nullptr : &tables_[static_cast<size_t>(idx)];
+}
+
+Status Catalog::Validate() const {
+  for (const TableDef& t : tables_) {
+    for (const ForeignKeyDef& fk : t.foreign_keys) {
+      const TableDef* ref = FindTable(fk.ref_table);
+      if (ref == nullptr) {
+        return Status::InvalidArgument("table '" + t.name +
+                                       "' references unknown table '" +
+                                       fk.ref_table + "'");
+      }
+      if (ref->ColumnIndex(fk.ref_column) < 0) {
+        return Status::InvalidArgument(
+            "table '" + t.name + "' references unknown column '" +
+            fk.ref_table + "." + fk.ref_column + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssum

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ssum {
+
+enum class ColumnType : unsigned char { kInt = 0, kFloat, kString, kDate };
+
+const char* ColumnTypeName(ColumnType t);
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool primary_key = false;
+};
+
+/// Single-column foreign key (the paper decomposes n-ary value links into
+/// unary ones, Section 2).
+struct ForeignKeyDef {
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<ForeignKeyDef> foreign_keys;
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+};
+
+/// Relational catalog: an ordered set of table definitions with
+/// foreign-key constraints. The order defines schema-graph element order.
+class Catalog {
+ public:
+  /// Adds a table; fails on duplicate table or column names.
+  Status AddTable(TableDef def);
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+  /// Index of the named table, or -1.
+  int TableIndex(const std::string& name) const;
+  const TableDef* FindTable(const std::string& name) const;
+
+  /// Checks that every foreign key references an existing table and column.
+  Status Validate() const;
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace ssum

@@ -1,0 +1,141 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+namespace {
+
+Result<std::vector<std::string>> ParseLine(const std::string& line,
+                                           const CsvOptions& options,
+                                           size_t line_no) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (options.allow_quotes && c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == options.delimiter) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote at line " +
+                              std::to_string(line_no));
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Status LoadCsv(const std::string& text, Table* table,
+               const CsvOptions& options) {
+  std::istringstream is(text);
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = !options.header;
+  const size_t ncols = table->def().columns.size();
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    SSUM_ASSIGN_OR_RETURN(fields, ParseLine(line, options, line_no));
+    // TPC-H dialect: tolerate one trailing empty field from a trailing '|'.
+    if (!options.allow_quotes && fields.size() == ncols + 1 &&
+        fields.back().empty()) {
+      fields.pop_back();
+    }
+    if (!saw_header) {
+      saw_header = true;
+      if (fields.size() != ncols) {
+        return Status::ParseError("header has " +
+                                  std::to_string(fields.size()) +
+                                  " fields, table has " +
+                                  std::to_string(ncols) + " columns");
+      }
+      for (size_t i = 0; i < ncols; ++i) {
+        if (fields[i] != table->def().columns[i].name) {
+          return Status::ParseError("header field '" + fields[i] +
+                                    "' does not match column '" +
+                                    table->def().columns[i].name + "'");
+        }
+      }
+      continue;
+    }
+    if (fields.size() != ncols) {
+      return Status::ParseError("line " + std::to_string(line_no) + " has " +
+                                std::to_string(fields.size()) +
+                                " fields (expected " + std::to_string(ncols) +
+                                ")");
+    }
+    SSUM_RETURN_NOT_OK(table->AppendRow(std::move(fields)));
+  }
+  return Status::OK();
+}
+
+Status LoadCsvFile(const std::string& path, Table* table,
+                   const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadCsv(buf.str(), table, options);
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::ostringstream os;
+  auto emit = [&](const std::string& field) {
+    bool needs_quotes =
+        options.allow_quotes &&
+        (field.find(options.delimiter) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos);
+    if (!needs_quotes) {
+      os << field;
+      return;
+    }
+    os << '"';
+    for (char c : field) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  if (options.header) {
+    for (size_t i = 0; i < table.def().columns.size(); ++i) {
+      if (i) os << options.delimiter;
+      emit(table.def().columns[i].name);
+    }
+    os << '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.def().columns.size(); ++c) {
+      if (c) os << options.delimiter;
+      emit(table.cell(r, c));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ssum

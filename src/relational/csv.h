@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace ssum {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names; validated against the table definition.
+  bool header = true;
+  /// Fields may be wrapped in double quotes; embedded quotes are doubled.
+  bool allow_quotes = true;
+};
+
+/// Parses delimiter-separated text into `table` (appends rows). Supports
+/// the quoting dialect above plus TPC-H style '|'-separated files (set
+/// delimiter='|', header=false, allow_quotes=false; a trailing delimiter at
+/// end of line is tolerated in that mode).
+Status LoadCsv(const std::string& text, Table* table,
+               const CsvOptions& options = {});
+
+Status LoadCsvFile(const std::string& path, Table* table,
+                   const CsvOptions& options = {});
+
+/// Serializes a table (with header when options.header).
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+}  // namespace ssum

@@ -1,0 +1,282 @@
+#include "relational/ddl.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+namespace {
+
+/// Token stream over the DDL text: identifiers/keywords, numbers, and
+/// punctuation; `--` comments skipped. Keywords compare case-insensitively.
+class DdlLexer {
+ public:
+  explicit DdlLexer(const std::string& text) : text_(text) {}
+
+  /// Next token, empty at end of input. Punctuation tokens are single
+  /// characters "(", ")", ",", ";".
+  std::string Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) return "";
+    char c = text_[pos_];
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    if (c == '"' || c == '`') {  // quoted identifier
+      char quote = c;
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      std::string out = text_.substr(start, pos_ - start);
+      if (pos_ < text_.size()) ++pos_;
+      return out;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')' && text_[pos_] != ',' &&
+           text_[pos_] != ';') {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string Peek() {
+    size_t saved = pos_;
+    std::string tok = Next();
+    pos_ = saved;
+    return tok;
+  }
+
+  size_t line() const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return line;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '-' &&
+          text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool KeywordIs(const std::string& token, const char* keyword) {
+  return AsciiToLower(token) == keyword;
+}
+
+/// Maps a SQL type name to a ColumnType; false when unrecognized.
+bool TypeFromSql(const std::string& name, ColumnType* out) {
+  std::string t = AsciiToLower(name);
+  if (t == "int" || t == "integer" || t == "bigint" || t == "smallint") {
+    *out = ColumnType::kInt;
+  } else if (t == "float" || t == "double" || t == "real" || t == "decimal" ||
+             t == "numeric") {
+    *out = ColumnType::kFloat;
+  } else if (t == "date" || t == "time" || t == "timestamp") {
+    *out = ColumnType::kDate;
+  } else if (t == "char" || t == "varchar" || t == "text" || t == "string") {
+    *out = ColumnType::kString;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status ParseError(const DdlLexer& lexer, const std::string& why) {
+  return Status::ParseError("DDL line " + std::to_string(lexer.line()) +
+                            ": " + why);
+}
+
+/// Consumes a parenthesized argument list "(...)" when present (type
+/// precision suffixes like VARCHAR(79) or DECIMAL(12,2)).
+Status SkipPrecision(DdlLexer* lexer) {
+  if (lexer->Peek() != "(") return Status::OK();
+  lexer->Next();
+  for (;;) {
+    std::string tok = lexer->Next();
+    if (tok.empty()) return ParseError(*lexer, "unterminated type arguments");
+    if (tok == ")") return Status::OK();
+  }
+}
+
+/// Parses "(ident [, ident ...])" into out.
+Status ParseIdentList(DdlLexer* lexer, std::vector<std::string>* out) {
+  if (lexer->Next() != "(") return ParseError(*lexer, "expected '('");
+  for (;;) {
+    std::string ident = lexer->Next();
+    if (ident.empty()) return ParseError(*lexer, "unterminated column list");
+    out->push_back(ident);
+    std::string sep = lexer->Next();
+    if (sep == ")") return Status::OK();
+    if (sep != ",") return ParseError(*lexer, "expected ',' or ')'");
+  }
+}
+
+Status ParseTableBody(DdlLexer* lexer, TableDef* def) {
+  if (lexer->Next() != "(") return ParseError(*lexer, "expected '('");
+  for (;;) {
+    std::string tok = lexer->Next();
+    if (tok.empty()) return ParseError(*lexer, "unterminated CREATE TABLE");
+    if (tok == ")") break;
+    if (KeywordIs(tok, "primary")) {
+      if (!KeywordIs(lexer->Next(), "key")) {
+        return ParseError(*lexer, "expected KEY after PRIMARY");
+      }
+      std::vector<std::string> cols;
+      SSUM_RETURN_NOT_OK(ParseIdentList(lexer, &cols));
+      for (const std::string& c : cols) {
+        int idx = def->ColumnIndex(c);
+        if (idx < 0) {
+          return ParseError(*lexer, "PRIMARY KEY on unknown column '" + c +
+                                        "'");
+        }
+        def->columns[static_cast<size_t>(idx)].primary_key = true;
+      }
+    } else if (KeywordIs(tok, "foreign")) {
+      if (!KeywordIs(lexer->Next(), "key")) {
+        return ParseError(*lexer, "expected KEY after FOREIGN");
+      }
+      std::vector<std::string> cols;
+      SSUM_RETURN_NOT_OK(ParseIdentList(lexer, &cols));
+      if (!KeywordIs(lexer->Next(), "references")) {
+        return ParseError(*lexer, "expected REFERENCES");
+      }
+      std::string ref_table = lexer->Next();
+      if (ref_table.empty() || ref_table == "(") {
+        return ParseError(*lexer, "expected referenced table name");
+      }
+      std::vector<std::string> ref_cols;
+      SSUM_RETURN_NOT_OK(ParseIdentList(lexer, &ref_cols));
+      if (cols.size() != ref_cols.size()) {
+        return ParseError(*lexer, "FOREIGN KEY column count mismatch");
+      }
+      // N-ary keys decompose into unary links (paper Section 2).
+      for (size_t i = 0; i < cols.size(); ++i) {
+        def->foreign_keys.push_back({cols[i], ref_table, ref_cols[i]});
+      }
+    } else {
+      // Column definition: <name> <type>[(n[,m])] [modifiers...]
+      ColumnDef col;
+      col.name = tok;
+      std::string type_name = lexer->Next();
+      if (!TypeFromSql(type_name, &col.type)) {
+        return ParseError(*lexer, "unknown type '" + type_name + "'");
+      }
+      SSUM_RETURN_NOT_OK(SkipPrecision(lexer));
+      // Modifiers until ',' or ')'.
+      for (;;) {
+        std::string m = lexer->Peek();
+        if (m == "," || m == ")" || m.empty()) break;
+        lexer->Next();
+        if (KeywordIs(m, "primary")) {
+          if (!KeywordIs(lexer->Next(), "key")) {
+            return ParseError(*lexer, "expected KEY after PRIMARY");
+          }
+          col.primary_key = true;
+        } else if (KeywordIs(m, "not")) {
+          if (!KeywordIs(lexer->Next(), "null")) {
+            return ParseError(*lexer, "expected NULL after NOT");
+          }
+        } else if (KeywordIs(m, "unique")) {
+          // accepted, no-op
+        } else if (KeywordIs(m, "default")) {
+          lexer->Next();  // skip the literal
+        } else {
+          return ParseError(*lexer, "unsupported column modifier '" + m + "'");
+        }
+      }
+      def->columns.push_back(std::move(col));
+    }
+    std::string sep = lexer->Peek();
+    if (sep == ",") lexer->Next();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Catalog> ParseDdl(const std::string& sql) {
+  DdlLexer lexer(sql);
+  Catalog catalog;
+  for (;;) {
+    std::string tok = lexer.Next();
+    if (tok.empty()) break;
+    if (!KeywordIs(tok, "create")) {
+      return ParseError(lexer, "expected CREATE, got '" + tok + "'");
+    }
+    if (!KeywordIs(lexer.Next(), "table")) {
+      return ParseError(lexer, "only CREATE TABLE is supported");
+    }
+    TableDef def;
+    def.name = lexer.Next();
+    if (def.name.empty() || def.name == "(") {
+      return ParseError(lexer, "missing table name");
+    }
+    SSUM_RETURN_NOT_OK(ParseTableBody(&lexer, &def));
+    SSUM_RETURN_NOT_OK(catalog.AddTable(std::move(def)));
+    if (lexer.Peek() == ";") lexer.Next();
+  }
+  if (catalog.tables().empty()) {
+    return Status::ParseError("DDL contains no CREATE TABLE statement");
+  }
+  SSUM_RETURN_NOT_OK(catalog.Validate());
+  return catalog;
+}
+
+std::string WriteDdl(const Catalog& catalog) {
+  std::ostringstream os;
+  for (const TableDef& table : catalog.tables()) {
+    os << "CREATE TABLE " << table.name << " (\n";
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const ColumnDef& col = table.columns[c];
+      os << "  " << col.name << " ";
+      switch (col.type) {
+        case ColumnType::kInt:
+          os << "INTEGER";
+          break;
+        case ColumnType::kFloat:
+          os << "FLOAT";
+          break;
+        case ColumnType::kDate:
+          os << "DATE";
+          break;
+        case ColumnType::kString:
+          os << "VARCHAR";
+          break;
+      }
+      if (col.primary_key) os << " PRIMARY KEY";
+      bool last = c + 1 == table.columns.size() && table.foreign_keys.empty();
+      if (!last) os << ",";
+      os << "\n";
+    }
+    for (size_t f = 0; f < table.foreign_keys.size(); ++f) {
+      const ForeignKeyDef& fk = table.foreign_keys[f];
+      os << "  FOREIGN KEY (" << fk.column << ") REFERENCES " << fk.ref_table
+         << "(" << fk.ref_column << ")";
+      if (f + 1 != table.foreign_keys.size()) os << ",";
+      os << "\n";
+    }
+    os << ");\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace ssum

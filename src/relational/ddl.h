@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace ssum {
+
+/// Parses a pragmatic SQL DDL subset into a Catalog — the natural entry
+/// point for summarizing an existing relational database from its schema
+/// dump:
+///
+///   CREATE TABLE orders (
+///     o_orderkey   INTEGER PRIMARY KEY,
+///     o_custkey    INTEGER,
+///     o_orderdate  DATE,
+///     o_comment    VARCHAR(79),
+///     FOREIGN KEY (o_custkey) REFERENCES customer(c_custkey)
+///   );
+///
+/// Supported: column types INT/INTEGER/BIGINT/SMALLINT (int),
+/// FLOAT/DOUBLE/REAL/DECIMAL/NUMERIC (float), DATE/TIME/TIMESTAMP (date),
+/// CHAR/VARCHAR/TEXT (string), optional (n[,m]) suffixes; inline
+/// PRIMARY KEY and NOT NULL; table-level PRIMARY KEY (col[, ...]) and
+/// FOREIGN KEY (col) REFERENCES table(col); `--` line comments;
+/// case-insensitive keywords; quoted or bare identifiers.
+/// Ignored (accepted and skipped): NOT NULL, UNIQUE, DEFAULT <literal>.
+Result<Catalog> ParseDdl(const std::string& sql);
+
+/// Emits CREATE TABLE statements reproducing the catalog (ParseDdl of the
+/// output round-trips).
+std::string WriteDdl(const Catalog& catalog);
+
+}  // namespace ssum

@@ -1,0 +1,74 @@
+#include "relational/table.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+Status Table::AppendRow(std::vector<std::string> cells) {
+  if (cells.size() != def_->columns.size()) {
+    return Status::InvalidArgument(
+        "row with " + std::to_string(cells.size()) + " cells for table '" +
+        def_->name + "' (" + std::to_string(def_->columns.size()) +
+        " columns)");
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+Result<int64_t> Table::IntCell(size_t r, size_t c) const {
+  return ParseInt64(rows_[r][c]);
+}
+
+Result<double> Table::FloatCell(size_t r, size_t c) const {
+  return ParseDouble(rows_[r][c]);
+}
+
+Database::Database(const Catalog* catalog) : catalog_(catalog) {
+  tables_.reserve(catalog->tables().size());
+  for (const TableDef& def : catalog->tables()) {
+    tables_.emplace_back(&def);
+  }
+}
+
+Result<Table*> Database::FindTable(const std::string& name) {
+  int idx = catalog_->TableIndex(name);
+  if (idx < 0) return Status::NotFound("no table '" + name + "'");
+  return &tables_[static_cast<size_t>(idx)];
+}
+
+Status Database::CheckForeignKeys() const {
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const Table& table = tables_[t];
+    for (const ForeignKeyDef& fk : table.def().foreign_keys) {
+      int col = table.def().ColumnIndex(fk.column);
+      int ref_tidx = catalog_->TableIndex(fk.ref_table);
+      if (ref_tidx < 0) {
+        return Status::FailedPrecondition("unknown referenced table '" +
+                                          fk.ref_table + "'");
+      }
+      const Table& ref = tables_[static_cast<size_t>(ref_tidx)];
+      int ref_col = ref.def().ColumnIndex(fk.ref_column);
+      if (col < 0 || ref_col < 0) {
+        return Status::FailedPrecondition("foreign key column missing");
+      }
+      std::set<std::string> keys;
+      for (size_t r = 0; r < ref.num_rows(); ++r) {
+        keys.insert(ref.cell(r, static_cast<size_t>(ref_col)));
+      }
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const std::string& v = table.cell(r, static_cast<size_t>(col));
+        if (v.empty()) continue;  // NULL
+        if (keys.find(v) == keys.end()) {
+          return Status::FailedPrecondition(
+              "dangling foreign key " + table.def().name + "." + fk.column +
+              " = '" + v + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssum

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace ssum {
+
+/// Row-major in-memory table. Cells are stored as strings ("" = NULL), with
+/// typed accessors; this keeps the storage layer simple — the multi-million
+/// row benchmark datasets bypass materialization entirely and stream events
+/// (see datasets/).
+class Table {
+ public:
+  explicit Table(const TableDef* def) : def_(def) {}
+
+  const TableDef& def() const { return *def_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; must have exactly one cell per column.
+  Status AppendRow(std::vector<std::string> cells);
+
+  const std::vector<std::string>& row(size_t r) const { return rows_[r]; }
+  const std::string& cell(size_t r, size_t c) const { return rows_[r][c]; }
+  bool IsNull(size_t r, size_t c) const { return rows_[r][c].empty(); }
+
+  Result<int64_t> IntCell(size_t r, size_t c) const;
+  Result<double> FloatCell(size_t r, size_t c) const;
+
+ private:
+  const TableDef* def_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A set of tables instantiating a catalog.
+class Database {
+ public:
+  explicit Database(const Catalog* catalog);
+
+  const Catalog& catalog() const { return *catalog_; }
+  Table& table(size_t index) { return tables_[index]; }
+  const Table& table(size_t index) const { return tables_[index]; }
+  size_t num_tables() const { return tables_.size(); }
+
+  Result<Table*> FindTable(const std::string& name);
+
+  /// Verifies referential integrity: every non-NULL foreign-key cell matches
+  /// some referenced-column value.
+  Status CheckForeignKeys() const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace ssum

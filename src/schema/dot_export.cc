@@ -1,0 +1,54 @@
+#include "schema/dot_export.h"
+
+#include <sstream>
+
+namespace ssum {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportDot(const SchemaGraph& graph, const DotOptions& options) {
+  std::vector<bool> visible(graph.size(), false);
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (graph.depth(e) > options.max_depth) continue;
+    if (options.hide_simple && graph.type(e).kind == TypeKind::kSimple)
+      continue;
+    visible[e] = true;
+  }
+  std::ostringstream os;
+  os << "digraph \"" << EscapeDot(options.graph_name) << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    if (!visible[e]) continue;
+    std::string label = EscapeDot(graph.label(e));
+    if (graph.type(e).set_of) label += "*";
+    os << "  n" << e << " [label=\"" << label << "\"";
+    if (graph.type(e).abstract_) os << ", style=dashed";
+    if (e < options.highlight.size() && options.highlight[e]) {
+      os << ", peripheries=2";
+    }
+    os << "];\n";
+  }
+  for (const StructuralLink& s : graph.structural_links()) {
+    if (!visible[s.parent] || !visible[s.child]) continue;
+    os << "  n" << s.parent << " -> n" << s.child << ";\n";
+  }
+  for (const ValueLink& v : graph.value_links()) {
+    if (!visible[v.referrer] || !visible[v.referee]) continue;
+    os << "  n" << v.referrer << " -> n" << v.referee << " [style=dashed];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ssum

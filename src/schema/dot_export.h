@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Rendering options for Graphviz export.
+struct DotOptions {
+  /// Suppress elements deeper than this (0 = root only, default unlimited).
+  uint32_t max_depth = 0xffffffff;
+  /// Skip Simple elements (columns / attributes) to reduce clutter.
+  bool hide_simple = false;
+  /// Graph name emitted in the DOT header.
+  std::string graph_name = "schema";
+  /// Optional set of element ids to highlight (doubled border). Indexed by
+  /// ElementId; empty means no highlighting.
+  std::vector<bool> highlight;
+};
+
+/// Renders the schema graph in Graphviz DOT: structural links as solid
+/// edges, value links as dashed edges, SetOf elements marked with '*'
+/// (matching the paper's Figure 1 conventions).
+std::string ExportDot(const SchemaGraph& graph, const DotOptions& options = {});
+
+}  // namespace ssum

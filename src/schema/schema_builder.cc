@@ -1,0 +1,52 @@
+#include "schema/schema_builder.h"
+
+#include "common/logging.h"
+
+namespace ssum {
+
+ElementId SchemaBuilder::Add(ElementId parent, std::string label,
+                             ElementType type) {
+  auto res = graph_.AddElement(parent, std::move(label), type);
+  SSUM_CHECK(res.ok(), res.status().ToString());
+  return *res;
+}
+
+ElementId SchemaBuilder::Rcd(ElementId parent, std::string label) {
+  return Add(parent, std::move(label), ElementType::Rcd(false));
+}
+
+ElementId SchemaBuilder::SetRcd(ElementId parent, std::string label) {
+  return Add(parent, std::move(label), ElementType::Rcd(true));
+}
+
+ElementId SchemaBuilder::Choice(ElementId parent, std::string label,
+                                bool set_of) {
+  return Add(parent, std::move(label), ElementType::Choice(set_of));
+}
+
+ElementId SchemaBuilder::Simple(ElementId parent, std::string label,
+                                AtomicKind atomic) {
+  return Add(parent, std::move(label), ElementType::Simple(atomic, false));
+}
+
+ElementId SchemaBuilder::SetSimple(ElementId parent, std::string label,
+                                   AtomicKind atomic) {
+  return Add(parent, std::move(label), ElementType::Simple(atomic, true));
+}
+
+ElementId SchemaBuilder::Attr(ElementId parent, std::string name,
+                              AtomicKind atomic) {
+  SSUM_CHECK(!name.empty(), "Attr: empty name");
+  std::string label = name[0] == '@' ? std::move(name) : "@" + name;
+  return Add(parent, std::move(label), ElementType::Simple(atomic, false));
+}
+
+LinkId SchemaBuilder::Link(ElementId referrer, ElementId referee,
+                           ElementId referrer_field, ElementId referee_field) {
+  auto res =
+      graph_.AddValueLink(referrer, referee, referrer_field, referee_field);
+  SSUM_CHECK(res.ok(), res.status().ToString());
+  return *res;
+}
+
+}  // namespace ssum

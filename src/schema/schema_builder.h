@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Ergonomic construction wrapper for hand-written schemas (datasets, tests).
+///
+/// All methods fatal-check their arguments: misuse is a programming error in
+/// schema-authoring code, not a runtime condition. Code assembling schemas
+/// from untrusted input should use SchemaGraph's Status-returning API
+/// directly.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string root_label = "root")
+      : graph_(std::move(root_label)) {}
+
+  ElementId Root() const { return graph_.root(); }
+
+  /// Record child occurring once under its parent.
+  ElementId Rcd(ElementId parent, std::string label);
+  /// Record child occurring many times (SetOf Rcd) — collections, relations.
+  ElementId SetRcd(ElementId parent, std::string label);
+  /// Choice group child.
+  ElementId Choice(ElementId parent, std::string label, bool set_of = false);
+  /// Single-valued Simple child (column / attribute / text leaf).
+  ElementId Simple(ElementId parent, std::string label,
+                   AtomicKind atomic = AtomicKind::kString);
+  /// Set-valued Simple child.
+  ElementId SetSimple(ElementId parent, std::string label,
+                      AtomicKind atomic = AtomicKind::kString);
+  /// XML-style attribute: Simple child labeled "@name".
+  ElementId Attr(ElementId parent, std::string name,
+                 AtomicKind atomic = AtomicKind::kString);
+
+  /// Value link between semantic endpoints, with optional Simple carriers.
+  LinkId Link(ElementId referrer, ElementId referee,
+              ElementId referrer_field = kInvalidElement,
+              ElementId referee_field = kInvalidElement);
+
+  /// Access during construction (e.g. to look up paths).
+  const SchemaGraph& graph() const { return graph_; }
+
+  /// Finalizes the schema. The builder must not be used afterwards.
+  SchemaGraph Build() && { return std::move(graph_); }
+
+ private:
+  ElementId Add(ElementId parent, std::string label, ElementType type);
+
+  SchemaGraph graph_;
+};
+
+}  // namespace ssum

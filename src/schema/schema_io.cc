@@ -1,0 +1,117 @@
+#include "schema/schema_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+namespace {
+
+std::string IdOrDash(ElementId id) {
+  return id == kInvalidElement ? "-" : std::to_string(id);
+}
+
+Result<ElementId> ParseIdOrDash(const std::string& field) {
+  if (field == "-") return kInvalidElement;
+  int64_t v;
+  SSUM_ASSIGN_OR_RETURN(v, ParseInt64(field));
+  if (v < 0) return Status::ParseError("negative element id");
+  return static_cast<ElementId>(v);
+}
+
+}  // namespace
+
+std::string SerializeSchema(const SchemaGraph& graph) {
+  std::ostringstream os;
+  os << "ssum-schema v1\n";
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    os << "e\t" << e << '\t' << IdOrDash(graph.parent(e)) << '\t'
+       << TypeToString(graph.type(e)) << '\t' << graph.label(e) << '\n';
+  }
+  for (const ValueLink& v : graph.value_links()) {
+    os << "v\t" << v.referrer << '\t' << v.referee << '\t'
+       << IdOrDash(v.referrer_field) << '\t' << IdOrDash(v.referee_field)
+       << '\n';
+  }
+  return os.str();
+}
+
+Result<SchemaGraph> ParseSchema(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || TrimWhitespace(line) != "ssum-schema v1") {
+    return Status::ParseError("missing 'ssum-schema v1' header");
+  }
+  SchemaGraph graph("pending-root");
+  bool saw_root = false;
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> f = SplitString(line, '\t');
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (f[0] == "e") {
+      if (f.size() != 5) return fail("element line needs 5 fields");
+      int64_t id;
+      SSUM_ASSIGN_OR_RETURN(id, ParseInt64(f[1]));
+      ElementId parent;
+      SSUM_ASSIGN_OR_RETURN(parent, ParseIdOrDash(f[2]));
+      ElementType type;
+      if (!TypeFromString(f[3], &type)) return fail("bad type '" + f[3] + "'");
+      const std::string& label = f[4];
+      if (!saw_root) {
+        if (parent != kInvalidElement || id != 0) {
+          return fail("first element must be the root with id 0");
+        }
+        graph = SchemaGraph(label, type);
+        saw_root = true;
+        continue;
+      }
+      if (id != static_cast<int64_t>(graph.size())) {
+        return fail("element ids must be dense and in order");
+      }
+      auto res = graph.AddElement(parent, label, type);
+      if (!res.ok()) return res.status().WithContext("line " +
+                                                     std::to_string(line_no));
+    } else if (f[0] == "v") {
+      if (f.size() != 5) return fail("value-link line needs 5 fields");
+      if (!saw_root) return fail("value link before any element");
+      ElementId referrer, referee, rfield, efield;
+      SSUM_ASSIGN_OR_RETURN(referrer, ParseIdOrDash(f[1]));
+      SSUM_ASSIGN_OR_RETURN(referee, ParseIdOrDash(f[2]));
+      SSUM_ASSIGN_OR_RETURN(rfield, ParseIdOrDash(f[3]));
+      SSUM_ASSIGN_OR_RETURN(efield, ParseIdOrDash(f[4]));
+      auto res = graph.AddValueLink(referrer, referee, rfield, efield);
+      if (!res.ok()) return res.status().WithContext("line " +
+                                                     std::to_string(line_no));
+    } else {
+      return fail("unknown record type '" + f[0] + "'");
+    }
+  }
+  if (!saw_root) return Status::ParseError("schema has no elements");
+  return graph;
+}
+
+Status WriteSchemaFile(const SchemaGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << SerializeSchema(graph);
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<SchemaGraph> ReadSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSchema(buf.str());
+}
+
+}  // namespace ssum

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Line-oriented, tab-separated text format for schema graphs:
+///
+///   ssum-schema v1
+///   e <tab> <id> <tab> <parent|-> <tab> <type> <tab> <label>
+///   v <tab> <referrer> <tab> <referee> <tab> <rfield|-> <tab> <efield|->
+///
+/// Elements appear in id order (so parents precede children); the first
+/// element line is the root with parent "-". Labels may contain any
+/// character except tab and newline.
+std::string SerializeSchema(const SchemaGraph& graph);
+
+/// Parses the text format. Fails with ParseError on any malformed line and
+/// with the underlying graph error on inconsistent structure.
+Result<SchemaGraph> ParseSchema(const std::string& text);
+
+/// File convenience wrappers.
+Status WriteSchemaFile(const SchemaGraph& graph, const std::string& path);
+Result<SchemaGraph> ReadSchemaFile(const std::string& path);
+
+}  // namespace ssum

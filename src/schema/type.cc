@@ -1,0 +1,89 @@
+#include "schema/type.h"
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+namespace {
+
+const char* AtomicName(AtomicKind a) {
+  switch (a) {
+    case AtomicKind::kString:
+      return "str";
+    case AtomicKind::kInt:
+      return "int";
+    case AtomicKind::kFloat:
+      return "float";
+    case AtomicKind::kDate:
+      return "date";
+    case AtomicKind::kId:
+      return "id";
+    case AtomicKind::kIdRef:
+      return "idref";
+    case AtomicKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+bool AtomicFromName(const std::string& name, AtomicKind* out) {
+  if (name == "str") *out = AtomicKind::kString;
+  else if (name == "int") *out = AtomicKind::kInt;
+  else if (name == "float") *out = AtomicKind::kFloat;
+  else if (name == "date") *out = AtomicKind::kDate;
+  else if (name == "id") *out = AtomicKind::kId;
+  else if (name == "idref") *out = AtomicKind::kIdRef;
+  else if (name == "none") *out = AtomicKind::kNone;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::string TypeToString(const ElementType& type) {
+  std::string out;
+  if (type.abstract_) out += "Abstract ";
+  if (type.set_of) out += "SetOf ";
+  switch (type.kind) {
+    case TypeKind::kSimple:
+      out += "Simple(";
+      out += AtomicName(type.atomic);
+      out += ")";
+      break;
+    case TypeKind::kRcd:
+      out += "Rcd";
+      break;
+    case TypeKind::kChoice:
+      out += "Choice";
+      break;
+  }
+  return out;
+}
+
+bool TypeFromString(const std::string& text, ElementType* out) {
+  ElementType t;
+  std::string rest = text;
+  if (StartsWith(rest, "Abstract ")) {
+    t.abstract_ = true;
+    rest = rest.substr(9);
+  }
+  if (StartsWith(rest, "SetOf ")) {
+    t.set_of = true;
+    rest = rest.substr(6);
+  }
+  if (rest == "Rcd") {
+    t.kind = TypeKind::kRcd;
+  } else if (rest == "Choice") {
+    t.kind = TypeKind::kChoice;
+  } else if (StartsWith(rest, "Simple(") && EndsWith(rest, ")")) {
+    t.kind = TypeKind::kSimple;
+    std::string atom = rest.substr(7, rest.size() - 8);
+    if (!AtomicFromName(atom, &t.atomic)) return false;
+  } else {
+    return false;
+  }
+  *out = t;
+  return true;
+}
+
+}  // namespace ssum

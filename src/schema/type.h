@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+namespace ssum {
+
+/// Structural kind of an element's type (Definition 1).
+///
+///   tau ::= SetOf tau | Simple | (Rcd | Choice)[e1:tau1, ..., en:taun]
+///
+/// `SetOf` is modeled as a flag on the element rather than a wrapper node:
+/// an element is either single-valued or set-valued under its parent.
+/// Summaries add an `Abstract` wrapper (Definition 2), likewise a flag.
+enum class TypeKind : unsigned char {
+  kSimple = 0,  ///< atomic value (relational column, XML attribute/text)
+  kRcd,         ///< record: all children present ("all"/"sequence" groups)
+  kChoice,      ///< choice: exactly one child present
+};
+
+/// Atomic value domain for Simple elements. Used by the instance layer and
+/// the relational catalog; the summarization algorithms never inspect it.
+enum class AtomicKind : unsigned char {
+  kString = 0,
+  kInt,
+  kFloat,
+  kDate,
+  kId,     ///< unique key within the element's extent
+  kIdRef,  ///< reference to an Id element (value-link source)
+  kNone,   ///< not a Simple element
+};
+
+/// Full element type: kind plus the SetOf / Abstract wrappers.
+struct ElementType {
+  TypeKind kind = TypeKind::kRcd;
+  bool set_of = false;    ///< SetOf wrapper: may occur multiple times
+  bool abstract_ = false; ///< Abstract wrapper: summary element
+  AtomicKind atomic = AtomicKind::kNone;
+
+  static ElementType Simple(AtomicKind a = AtomicKind::kString,
+                            bool set_of = false) {
+    return {TypeKind::kSimple, set_of, false, a};
+  }
+  static ElementType Rcd(bool set_of = false) {
+    return {TypeKind::kRcd, set_of, false, AtomicKind::kNone};
+  }
+  static ElementType Choice(bool set_of = false) {
+    return {TypeKind::kChoice, set_of, false, AtomicKind::kNone};
+  }
+
+  bool operator==(const ElementType&) const = default;
+};
+
+/// Short printable form, e.g. "SetOf Rcd", "Simple(int)", "Abstract Rcd".
+std::string TypeToString(const ElementType& type);
+
+/// Inverse of TypeToString for the schema text format. Returns false on
+/// unrecognized input.
+bool TypeFromString(const std::string& text, ElementType* out);
+
+}  // namespace ssum

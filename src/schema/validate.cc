@@ -1,0 +1,58 @@
+#include "schema/validate.h"
+
+namespace ssum {
+
+Status ValidateSchemaGraph(const SchemaGraph& graph, bool strict) {
+  // Root uniqueness: every non-root element has a parent by construction,
+  // so it suffices to check the root has none.
+  if (graph.parent(graph.root()) != kInvalidElement) {
+    return Status::Internal("root has a structural parent");
+  }
+  for (ElementId e = 0; e < graph.size(); ++e) {
+    const ElementType& t = graph.type(e);
+    if (t.kind == TypeKind::kSimple && !graph.children(e).empty()) {
+      return Status::FailedPrecondition("Simple element '" + graph.PathOf(e) +
+                                        "' has children");
+    }
+    if (strict && e != graph.root() && t.kind != TypeKind::kSimple &&
+        graph.children(e).empty()) {
+      return Status::FailedPrecondition("interior element '" +
+                                        graph.PathOf(e) + "' has no children");
+    }
+    if (e != graph.root() && graph.label(e).empty()) {
+      return Status::FailedPrecondition("element with empty label");
+    }
+  }
+  for (const ValueLink& v : graph.value_links()) {
+    if (v.referrer == graph.root() || v.referee == graph.root()) {
+      return Status::FailedPrecondition("value link touches the root");
+    }
+    if (v.referrer_field != kInvalidElement) {
+      if (graph.type(v.referrer_field).kind != TypeKind::kSimple) {
+        return Status::FailedPrecondition(
+            "referrer field '" + graph.PathOf(v.referrer_field) +
+            "' is not Simple");
+      }
+      if (!graph.IsStructuralAncestor(v.referrer, v.referrer_field)) {
+        return Status::FailedPrecondition(
+            "referrer field '" + graph.PathOf(v.referrer_field) +
+            "' is outside referrer subtree");
+      }
+    }
+    if (v.referee_field != kInvalidElement) {
+      if (graph.type(v.referee_field).kind != TypeKind::kSimple) {
+        return Status::FailedPrecondition("referee field '" +
+                                          graph.PathOf(v.referee_field) +
+                                          "' is not Simple");
+      }
+      if (!graph.IsStructuralAncestor(v.referee, v.referee_field)) {
+        return Status::FailedPrecondition("referee field '" +
+                                          graph.PathOf(v.referee_field) +
+                                          "' is outside referee subtree");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssum

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "common/status.h"
+#include "schema/schema_graph.h"
+
+namespace ssum {
+
+/// Structural well-formedness checks beyond what the append-only API already
+/// guarantees (Definition 1):
+///  - exactly one element (the root) has no incoming structural link;
+///  - Simple elements have no children;
+///  - Rcd/Choice interior elements have at least one child (warning-level:
+///    reported as FailedPrecondition only when `strict`);
+///  - value-link carrier fields, when present, are Simple elements inside
+///    their endpoint's subtree;
+///  - value-link endpoints are not the root.
+Status ValidateSchemaGraph(const SchemaGraph& graph, bool strict = false);
+
+}  // namespace ssum

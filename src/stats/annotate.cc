@@ -1,0 +1,185 @@
+#include "stats/annotate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+Annotations::Annotations(const SchemaGraph& graph)
+    : card_(graph.size(), 0),
+      slink_count_(graph.structural_links().size(), 0),
+      vlink_count_(graph.value_links().size(), 0) {}
+
+Annotations Annotations::Uniform(const SchemaGraph& graph) {
+  Annotations a(graph);
+  std::fill(a.card_.begin(), a.card_.end(), 1);
+  std::fill(a.slink_count_.begin(), a.slink_count_.end(), 1);
+  std::fill(a.vlink_count_.begin(), a.vlink_count_.end(), 1);
+  return a;
+}
+
+double Annotations::TotalCard() const {
+  double total = 0;
+  for (uint64_t c : card_) total += static_cast<double>(c);
+  return total;
+}
+
+double Annotations::RelativeCardinality(const SchemaGraph& graph,
+                                        ElementId owner,
+                                        const Neighbor& nbr) const {
+  (void)graph;
+  uint64_t owner_card = card_[owner];
+  if (owner_card == 0) return 0.0;
+  uint64_t count =
+      nbr.is_structural ? slink_count_[nbr.link] : vlink_count_[nbr.link];
+  return static_cast<double>(count) / static_cast<double>(owner_card);
+}
+
+namespace {
+
+/// Figure 3 visitor: counts element and link instances while checking the
+/// stream is a well-formed pre-order traversal.
+class AnnotateVisitor : public InstanceVisitor {
+ public:
+  explicit AnnotateVisitor(const SchemaGraph& schema)
+      : schema_(schema), annotations_(schema) {}
+
+  void OnEnter(ElementId e) override {
+    if (!status_.ok()) return;
+    if (e >= schema_.size()) {
+      status_ = Status::FailedPrecondition("stream: element id out of range");
+      return;
+    }
+    if (stack_.empty()) {
+      if (e != schema_.root()) {
+        status_ = Status::FailedPrecondition(
+            "stream: first node is not the schema root");
+        return;
+      }
+    } else {
+      if (schema_.parent(e) != stack_.back()) {
+        status_ = Status::FailedPrecondition(
+            "stream: node '" + schema_.label(e) +
+            "' entered under node of element '" +
+            schema_.label(stack_.back()) + "' but its schema parent is '" +
+            (schema_.parent(e) == kInvalidElement
+                 ? std::string("<none>")
+                 : schema_.label(schema_.parent(e))) +
+            "'");
+        return;
+      }
+      annotations_.increment_structural(schema_.parent_link(e));
+    }
+    annotations_.increment_card(e);
+    stack_.push_back(e);
+  }
+
+  void OnReference(LinkId vlink) override {
+    if (!status_.ok()) return;
+    if (vlink >= schema_.value_links().size()) {
+      status_ = Status::FailedPrecondition("stream: vlink id out of range");
+      return;
+    }
+    if (stack_.empty()) {
+      status_ = Status::FailedPrecondition("stream: reference outside a node");
+      return;
+    }
+    if (schema_.value_links()[vlink].referrer != stack_.back()) {
+      status_ = Status::FailedPrecondition(
+          "stream: reference emitted by element '" +
+          schema_.label(stack_.back()) + "' but link referrer is '" +
+          schema_.label(schema_.value_links()[vlink].referrer) + "'");
+      return;
+    }
+    annotations_.increment_value(vlink);
+  }
+
+  void OnLeave(ElementId e) override {
+    if (!status_.ok()) return;
+    if (stack_.empty() || stack_.back() != e) {
+      status_ = Status::FailedPrecondition("stream: unbalanced leave event");
+      return;
+    }
+    stack_.pop_back();
+  }
+
+  Status Finish() {
+    if (!status_.ok()) return status_;
+    if (!stack_.empty()) {
+      return Status::FailedPrecondition("stream: unclosed nodes at end");
+    }
+    return Status::OK();
+  }
+
+  Annotations Take() { return std::move(annotations_); }
+
+ private:
+  const SchemaGraph& schema_;
+  Annotations annotations_;
+  std::vector<ElementId> stack_;
+  Status status_;
+};
+
+}  // namespace
+
+Result<Annotations> AnnotateSchema(const InstanceStream& stream) {
+  AnnotateVisitor visitor(stream.schema());
+  SSUM_RETURN_NOT_OK(stream.Accept(&visitor));
+  SSUM_RETURN_NOT_OK(visitor.Finish());
+  return visitor.Take();
+}
+
+EdgeMetrics EdgeMetrics::Compute(const SchemaGraph& graph,
+                                 const Annotations& annotations) {
+  const size_t n = graph.size();
+  EdgeMetrics m;
+  m.rc.resize(n);
+  m.w.resize(n);
+  m.edge_affinity.resize(n);
+  m.mirror.resize(n);
+  for (ElementId e = 0; e < n; ++e) {
+    const auto& nbrs = graph.neighbors(e);
+    auto& rc = m.rc[e];
+    auto& w = m.w[e];
+    auto& aff = m.edge_affinity[e];
+    auto& mir = m.mirror[e];
+    rc.resize(nbrs.size());
+    w.resize(nbrs.size());
+    aff.resize(nbrs.size());
+    mir.resize(nbrs.size());
+    double total_rc = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      rc[i] = annotations.RelativeCardinality(graph, e, nbrs[i]);
+      total_rc += rc[i];
+      aff[i] = rc[i] > 0 ? std::min(rc[i], 1.0 / rc[i]) : 0.0;
+      // Locate the mirror adjacency record at the other endpoint: the entry
+      // with the same link id and class, opposite direction.
+      const auto& other_nbrs = graph.neighbors(nbrs[i].other);
+      uint32_t found = 0;
+      bool ok = false;
+      for (size_t j = 0; j < other_nbrs.size(); ++j) {
+        if (other_nbrs[j].link == nbrs[i].link &&
+            other_nbrs[j].is_structural == nbrs[i].is_structural &&
+            other_nbrs[j].forward != nbrs[i].forward) {
+          found = static_cast<uint32_t>(j);
+          ok = true;
+          break;
+        }
+      }
+      SSUM_CHECK(ok, "mirror adjacency entry not found");
+      mir[i] = found;
+    }
+    if (total_rc > 0) {
+      for (size_t i = 0; i < nbrs.size(); ++i) w[i] = rc[i] / total_rc;
+    } else if (!nbrs.empty()) {
+      // Zero-cardinality element: distribute uniformly so the importance
+      // iteration still conserves total importance.
+      double u = 1.0 / static_cast<double>(nbrs.size());
+      std::fill(w.begin(), w.end(), u);
+    }
+  }
+  return m;
+}
+
+}  // namespace ssum

@@ -1,0 +1,92 @@
+#include "stats/annotations_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+std::string SerializeAnnotations(const Annotations& annotations) {
+  std::ostringstream os;
+  os << "ssum-annotations v1\n";
+  for (size_t e = 0; e < annotations.num_elements(); ++e) {
+    uint64_t c = annotations.card(static_cast<ElementId>(e));
+    if (c) os << "c\t" << e << '\t' << c << '\n';
+  }
+  for (size_t l = 0; l < annotations.num_structural_links(); ++l) {
+    uint64_t c = annotations.structural_count(static_cast<LinkId>(l));
+    if (c) os << "s\t" << l << '\t' << c << '\n';
+  }
+  for (size_t l = 0; l < annotations.num_value_links(); ++l) {
+    uint64_t c = annotations.value_count(static_cast<LinkId>(l));
+    if (c) os << "w\t" << l << '\t' << c << '\n';
+  }
+  return os.str();
+}
+
+Result<Annotations> ParseAnnotations(const SchemaGraph& graph,
+                                     const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) ||
+      TrimWhitespace(line) != "ssum-annotations v1") {
+    return Status::ParseError("missing 'ssum-annotations v1' header");
+  }
+  Annotations annotations(graph);
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> f = SplitString(line, '\t');
+    auto fail = [&](const std::string& why) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+    };
+    if (f.size() != 3) return fail("expected 3 fields");
+    int64_t id, count;
+    SSUM_ASSIGN_OR_RETURN(id, ParseInt64(f[1]));
+    SSUM_ASSIGN_OR_RETURN(count, ParseInt64(f[2]));
+    if (id < 0 || count < 0) return fail("negative id or count");
+    if (f[0] == "c") {
+      if (static_cast<size_t>(id) >= graph.size())
+        return fail("element id out of range");
+      annotations.set_card(static_cast<ElementId>(id),
+                           static_cast<uint64_t>(count));
+    } else if (f[0] == "s") {
+      if (static_cast<size_t>(id) >= graph.structural_links().size())
+        return fail("structural link id out of range");
+      annotations.set_structural_count(static_cast<LinkId>(id),
+                                       static_cast<uint64_t>(count));
+    } else if (f[0] == "w") {
+      if (static_cast<size_t>(id) >= graph.value_links().size())
+        return fail("value link id out of range");
+      annotations.set_value_count(static_cast<LinkId>(id),
+                                  static_cast<uint64_t>(count));
+    } else {
+      return fail("unknown record type '" + f[0] + "'");
+    }
+  }
+  return annotations;
+}
+
+Status WriteAnnotationsFile(const Annotations& annotations,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << SerializeAnnotations(annotations);
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Annotations> ReadAnnotationsFile(const SchemaGraph& graph,
+                                        const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseAnnotations(graph, buf.str());
+}
+
+}  // namespace ssum

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// Text round-trip for annotations, so expensive annotation passes over
+/// large databases can be cached next to the schema file. Format:
+///
+///   ssum-annotations v1
+///   c <tab> <element id> <tab> <cardinality>
+///   s <tab> <structural link id> <tab> <count>
+///   w <tab> <value link id> <tab> <count>
+///
+/// Zero entries may be omitted.
+std::string SerializeAnnotations(const Annotations& annotations);
+
+/// Parses annotations shaped for `graph`; ids out of range fail.
+Result<Annotations> ParseAnnotations(const SchemaGraph& graph,
+                                     const std::string& text);
+
+Status WriteAnnotationsFile(const Annotations& annotations,
+                            const std::string& path);
+Result<Annotations> ReadAnnotationsFile(const SchemaGraph& graph,
+                                        const std::string& path);
+
+}  // namespace ssum

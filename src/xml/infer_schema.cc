@@ -1,0 +1,100 @@
+#include "xml/infer_schema.h"
+
+#include <map>
+#include <set>
+
+namespace ssum {
+
+namespace {
+
+/// Inference node mirroring the eventual schema tree.
+struct InferNode {
+  std::string label;
+  bool set_of = false;
+  bool has_text = false;
+  bool has_structure = false;  // children or attributes observed
+  std::vector<InferNode*> ordered_children;
+  std::map<std::string, InferNode*> children;
+};
+
+class InferArena {
+ public:
+  InferNode* New(std::string label) {
+    nodes_.push_back(std::make_unique<InferNode>());
+    nodes_.back()->label = std::move(label);
+    return nodes_.back().get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<InferNode>> nodes_;
+};
+
+InferNode* ChildOf(InferArena* arena, InferNode* parent,
+                   const std::string& label) {
+  auto it = parent->children.find(label);
+  if (it != parent->children.end()) return it->second;
+  InferNode* child = arena->New(label);
+  parent->children.emplace(label, child);
+  parent->ordered_children.push_back(child);
+  return child;
+}
+
+void Observe(InferArena* arena, InferNode* node, const XmlElement& elem) {
+  if (!elem.text.empty()) node->has_text = true;
+  if (!elem.attributes.empty() || !elem.children.empty()) {
+    node->has_structure = true;
+  }
+  for (const auto& [name, value] : elem.attributes) {
+    InferNode* attr = ChildOf(arena, node, "@" + name);
+    attr->has_text = true;
+    (void)value;
+  }
+  std::map<std::string, int> sibling_count;
+  for (const XmlElement& child : elem.children) {
+    InferNode* cnode = ChildOf(arena, node, child.name);
+    if (++sibling_count[child.name] > 1) cnode->set_of = true;
+    Observe(arena, cnode, child);
+  }
+}
+
+Status Emit(SchemaGraph* graph, ElementId parent, const InferNode& node) {
+  for (const InferNode* child : node.ordered_children) {
+    ElementType type;
+    if (!child->has_structure) {
+      type = ElementType::Simple(AtomicKind::kString, child->set_of);
+    } else {
+      type = ElementType::Rcd(child->set_of);
+    }
+    auto added = graph->AddElement(parent, child->label, type);
+    SSUM_RETURN_NOT_OK(added.status());
+    SSUM_RETURN_NOT_OK(Emit(graph, *added, *child));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaGraph> InferSchema(const std::vector<const XmlDocument*>& docs) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("InferSchema: no documents");
+  }
+  InferArena arena;
+  InferNode* root = arena.New(docs[0]->root.name);
+  for (const XmlDocument* doc : docs) {
+    if (doc->root.name != root->label) {
+      return Status::InvalidArgument(
+          "InferSchema: documents disagree on the root element ('" +
+          root->label + "' vs '" + doc->root.name + "')");
+    }
+    Observe(&arena, root, doc->root);
+  }
+  SchemaGraph graph(root->label);
+  SSUM_RETURN_NOT_OK(Emit(&graph, graph.root(), *root));
+  return graph;
+}
+
+Result<SchemaGraph> InferSchema(const XmlDocument& doc) {
+  return InferSchema(std::vector<const XmlDocument*>{&doc});
+}
+
+}  // namespace ssum

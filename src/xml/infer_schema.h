@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+#include "xml/parser.h"
+
+namespace ssum {
+
+/// Derives a schema graph from example documents (the paper's setting of
+/// "generating summaries from existing databases" when no schema file is
+/// available). Rules:
+///  - schema elements are identified by their label *path* (hierarchical
+///    model, one schema node per context);
+///  - an element observed more than once under a single parent node in any
+///    document becomes SetOf;
+///  - attributes become Simple children labeled "@name";
+///  - childless, attributeless elements with text become Simple; everything
+///    else becomes Rcd (Choice cannot be inferred from instances alone).
+///
+/// All documents must share the same root element name.
+Result<SchemaGraph> InferSchema(const std::vector<const XmlDocument*>& docs);
+
+/// Single-document convenience.
+Result<SchemaGraph> InferSchema(const XmlDocument& doc);
+
+}  // namespace ssum

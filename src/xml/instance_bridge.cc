@@ -1,0 +1,92 @@
+#include "xml/instance_bridge.h"
+
+#include "stats/annotate.h"
+
+namespace ssum {
+
+XmlInstanceStream::XmlInstanceStream(const SchemaGraph* schema,
+                                     const XmlDocument* doc)
+    : schema_(schema), doc_(doc), carriers_(schema->size()) {
+  for (LinkId l = 0; l < schema_->value_links().size(); ++l) {
+    const ValueLink& v = schema_->value_links()[l];
+    if (v.referrer_field == kInvalidElement) continue;
+    carriers_[v.referrer].emplace_back(l, schema_->label(v.referrer_field));
+  }
+}
+
+Status XmlInstanceStream::Walk(InstanceVisitor* visitor,
+                               const XmlElement& elem,
+                               ElementId element) const {
+  visitor->OnEnter(element);
+  // References first: the annotator requires them while this node is open
+  // and before any child node is entered — both orders are legal, this one
+  // is simplest.
+  for (const auto& [link, carrier_label] : carriers_[element]) {
+    if (!carrier_label.empty() && carrier_label[0] == '@') {
+      std::string_view attr_name =
+          std::string_view(carrier_label).substr(1);
+      for (const auto& [name, value] : elem.attributes) {
+        if (name == attr_name && !value.empty()) visitor->OnReference(link);
+      }
+    } else {
+      for (const XmlElement& child : elem.children) {
+        if (child.name == carrier_label && !child.text.empty()) {
+          visitor->OnReference(link);
+        }
+      }
+    }
+  }
+  // Attributes become Simple data nodes.
+  for (const auto& [name, value] : elem.attributes) {
+    std::string label = "@" + name;
+    ElementId attr_elem = kInvalidElement;
+    for (ElementId c : schema_->children(element)) {
+      if (schema_->label(c) == label) {
+        attr_elem = c;
+        break;
+      }
+    }
+    if (attr_elem == kInvalidElement) {
+      return Status::FailedPrecondition("attribute '" + label +
+                                        "' not declared under '" +
+                                        schema_->PathOf(element) + "'");
+    }
+    visitor->OnEnter(attr_elem);
+    visitor->OnLeave(attr_elem);
+    (void)value;
+  }
+  for (const XmlElement& child : elem.children) {
+    ElementId child_elem = kInvalidElement;
+    for (ElementId c : schema_->children(element)) {
+      if (schema_->label(c) == child.name) {
+        child_elem = c;
+        break;
+      }
+    }
+    if (child_elem == kInvalidElement) {
+      return Status::FailedPrecondition("element '" + child.name +
+                                        "' not declared under '" +
+                                        schema_->PathOf(element) + "'");
+    }
+    SSUM_RETURN_NOT_OK(Walk(visitor, child, child_elem));
+  }
+  visitor->OnLeave(element);
+  return Status::OK();
+}
+
+Status XmlInstanceStream::Accept(InstanceVisitor* visitor) const {
+  if (doc_->root.name != schema_->label(schema_->root())) {
+    return Status::FailedPrecondition(
+        "document root '" + doc_->root.name + "' does not match schema root '" +
+        schema_->label(schema_->root()) + "'");
+  }
+  return Walk(visitor, doc_->root, schema_->root());
+}
+
+Result<Annotations> AnnotateXmlDocument(const SchemaGraph& schema,
+                                        const XmlDocument& doc) {
+  XmlInstanceStream stream(&schema, &doc);
+  return AnnotateSchema(stream);
+}
+
+}  // namespace ssum

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "instance/event_stream.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+#include "xml/parser.h"
+
+namespace ssum {
+
+/// Adapts a parsed XML document into an InstanceStream over a given schema,
+/// so that annotateSchema runs directly on documents.
+///
+/// Element resolution is by label under the current schema context
+/// (attributes resolve as "@name"). Value-link reference instances are
+/// emitted from the link's declared referrer carrier field: one OnReference
+/// per instance of the carrier (attribute occurrence or child element) on a
+/// referrer node. Reference *targets* are not resolved — annotation needs
+/// only instance counts (paper Figure 3).
+class XmlInstanceStream : public InstanceStream {
+ public:
+  /// `schema` and `doc` must outlive the stream. Fails later, in Accept(),
+  /// when the document does not match the schema.
+  XmlInstanceStream(const SchemaGraph* schema, const XmlDocument* doc);
+
+  const SchemaGraph& schema() const override { return *schema_; }
+  Status Accept(InstanceVisitor* visitor) const override;
+
+ private:
+  Status Walk(InstanceVisitor* visitor, const XmlElement& elem,
+              ElementId element) const;
+
+  const SchemaGraph* schema_;
+  const XmlDocument* doc_;
+  /// Per element: value links for which this element is the referrer,
+  /// paired with the carrier label (from the link's referrer_field).
+  std::vector<std::vector<std::pair<LinkId, std::string>>> carriers_;
+};
+
+/// Convenience: annotates `doc` against an explicit schema.
+Result<Annotations> AnnotateXmlDocument(const SchemaGraph& schema,
+                                        const XmlDocument& doc);
+
+}  // namespace ssum

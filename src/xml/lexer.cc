@@ -1,0 +1,254 @@
+#include "xml/lexer.h"
+
+#include <cctype>
+
+namespace ssum {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.' || c == '@';
+}
+
+}  // namespace
+
+XmlLexer::XmlLexer(std::string_view input) : input_(input) {}
+
+char XmlLexer::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  return i < input_.size() ? input_[i] : '\0';
+}
+
+bool XmlLexer::Consume(std::string_view expected) {
+  if (input_.substr(pos_, expected.size()) != expected) return false;
+  for (char c : expected) {
+    if (c == '\n') ++line_;
+  }
+  pos_ += expected.size();
+  return true;
+}
+
+void XmlLexer::SkipWhitespace() {
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (c == '\n') ++line_;
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+bool XmlLexer::SkipMisc() {
+  if (Consume("<!--")) {
+    size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) {
+      pos_ = input_.size();
+    } else {
+      for (size_t i = pos_; i < end; ++i) {
+        if (input_[i] == '\n') ++line_;
+      }
+      pos_ = end + 3;
+    }
+    return true;
+  }
+  if (Consume("<?")) {
+    size_t end = input_.find("?>", pos_);
+    pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+    return true;
+  }
+  if (Consume("<!DOCTYPE") || Consume("<!doctype")) {
+    // Skip to the matching '>' (internal subsets in brackets supported).
+    int depth = 1;
+    while (pos_ < input_.size() && depth > 0) {
+      char c = input_[pos_++];
+      if (c == '<') ++depth;
+      if (c == '>') --depth;
+      if (c == '\n') ++line_;
+    }
+    return true;
+  }
+  return false;
+}
+
+Result<std::string> XmlLexer::LexName() {
+  if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+    return Status::ParseError("expected name at line " + std::to_string(line_));
+  }
+  size_t start = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+Result<std::string> XmlLexer::DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity at line " +
+                                std::to_string(line_));
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "lt") out.push_back('<');
+    else if (ent == "gt") out.push_back('>');
+    else if (ent == "amp") out.push_back('&');
+    else if (ent == "apos") out.push_back('\'');
+    else if (ent == "quot") out.push_back('"');
+    else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      bool ok = ent.size() > 1;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        for (size_t j = 2; j < ent.size() && ok; ++j) {
+          char c = ent[j];
+          int d;
+          if (c >= '0' && c <= '9') d = c - '0';
+          else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+          else { ok = false; break; }
+          code = code * 16 + d;
+        }
+      } else {
+        for (size_t j = 1; j < ent.size() && ok; ++j) {
+          if (ent[j] < '0' || ent[j] > '9') { ok = false; break; }
+          code = code * 10 + (ent[j] - '0');
+        }
+      }
+      if (!ok || code <= 0 || code > 0x10ffff) {
+        return Status::ParseError("bad character reference at line " +
+                                  std::to_string(line_));
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return Status::ParseError("unknown entity '&" + std::string(ent) +
+                                ";' at line " + std::to_string(line_));
+    }
+    i = semi;
+  }
+  return out;
+}
+
+Result<XmlToken> XmlLexer::Next() {
+  if (in_tag_) {
+    SkipWhitespace();
+    if (Consume("/>")) {
+      in_tag_ = false;
+      return XmlToken{XmlTokenKind::kTagSelfClose, "", line_};
+    }
+    if (Consume(">")) {
+      in_tag_ = false;
+      return XmlToken{XmlTokenKind::kTagClose, "", line_};
+    }
+    return Status::ParseError("unexpected character in tag at line " +
+                              std::to_string(line_));
+  }
+  for (;;) {
+    if (pos_ >= input_.size()) {
+      return XmlToken{XmlTokenKind::kEndOfInput, "", line_};
+    }
+    if (Peek() == '<') {
+      if (SkipMisc()) continue;
+      if (Consume("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA at line " +
+                                    std::to_string(line_));
+        }
+        std::string text(input_.substr(pos_, end - pos_));
+        for (char c : text) {
+          if (c == '\n') ++line_;
+        }
+        pos_ = end + 3;
+        return XmlToken{XmlTokenKind::kText, std::move(text), line_};
+      }
+      if (Consume("</")) {
+        std::string name;
+        SSUM_ASSIGN_OR_RETURN(name, LexName());
+        SkipWhitespace();
+        if (!Consume(">")) {
+          return Status::ParseError("malformed end tag at line " +
+                                    std::to_string(line_));
+        }
+        return XmlToken{XmlTokenKind::kEndTag, std::move(name), line_};
+      }
+      ++pos_;  // consume '<'
+      std::string name;
+      SSUM_ASSIGN_OR_RETURN(name, LexName());
+      in_tag_ = true;
+      return XmlToken{XmlTokenKind::kStartTagOpen, std::move(name), line_};
+    }
+    // Character data up to the next '<'.
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '<') {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    std::string decoded;
+    SSUM_ASSIGN_OR_RETURN(decoded,
+                          DecodeEntities(input_.substr(start, pos_ - start)));
+    return XmlToken{XmlTokenKind::kText, std::move(decoded), line_};
+  }
+}
+
+Result<bool> XmlLexer::PullAttribute(std::string* name, std::string* value) {
+  SkipWhitespace();
+  if (Peek() == '>' || (Peek() == '/' && Peek(1) == '>') ||
+      pos_ >= input_.size()) {
+    return false;
+  }
+  SSUM_ASSIGN_OR_RETURN(*name, LexName());
+  SkipWhitespace();
+  if (!Consume("=")) {
+    return Status::ParseError("expected '=' after attribute name at line " +
+                              std::to_string(line_));
+  }
+  SkipWhitespace();
+  char quote = Peek();
+  if (quote != '"' && quote != '\'') {
+    return Status::ParseError("expected quoted attribute value at line " +
+                              std::to_string(line_));
+  }
+  ++pos_;
+  size_t start = pos_;
+  while (pos_ < input_.size() && input_[pos_] != quote) {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  if (pos_ >= input_.size()) {
+    return Status::ParseError("unterminated attribute value at line " +
+                              std::to_string(line_));
+  }
+  std::string decoded;
+  SSUM_ASSIGN_OR_RETURN(decoded,
+                        DecodeEntities(input_.substr(start, pos_ - start)));
+  *value = std::move(decoded);
+  ++pos_;  // closing quote
+  return true;
+}
+
+}  // namespace ssum

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ssum {
+
+/// Token kinds produced by the XML lexer. The lexer works at markup
+/// granularity: a tag-open token carries the tag name; attributes are lexed
+/// by the parser using PullAttribute while inside a tag.
+enum class XmlTokenKind : unsigned char {
+  kStartTagOpen,   ///< "<name"           (text = name)
+  kEndTag,         ///< "</name ... >"    (text = name)
+  kTagClose,       ///< ">"
+  kTagSelfClose,   ///< "/>"
+  kText,           ///< character data, entity-decoded (text = content)
+  kEndOfInput,
+};
+
+struct XmlToken {
+  XmlTokenKind kind;
+  std::string text;
+  size_t line = 0;
+};
+
+/// Streaming lexer for a pragmatic XML subset: elements, attributes,
+/// character data, CDATA sections, comments, processing instructions and
+/// DOCTYPE (the latter three are skipped), and the five predefined entities
+/// plus decimal/hex character references. No namespace processing (colons
+/// are ordinary name characters).
+class XmlLexer {
+ public:
+  explicit XmlLexer(std::string_view input);
+
+  /// Next markup-level token.
+  Result<XmlToken> Next();
+
+  /// Inside a start tag (after kStartTagOpen, before kTagClose /
+  /// kTagSelfClose): lexes one attribute into *name / *value. Returns false
+  /// when the tag has no further attributes.
+  Result<bool> PullAttribute(std::string* name, std::string* value);
+
+  size_t line() const { return line_; }
+
+ private:
+  void SkipWhitespace();
+  bool SkipMisc();  ///< comments, PIs, DOCTYPE; returns true when skipped
+  Result<std::string> LexName();
+  Result<std::string> DecodeEntities(std::string_view raw);
+  char Peek(size_t ahead = 0) const;
+  bool Consume(std::string_view expected);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  bool in_tag_ = false;
+};
+
+}  // namespace ssum

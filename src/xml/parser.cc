@@ -1,0 +1,130 @@
+#include "xml/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "xml/lexer.h"
+
+namespace ssum {
+
+const std::string* XmlElement::FindAttribute(std::string_view attr_name) const {
+  for (const auto& [n, v] : attributes) {
+    if (n == attr_name) return &v;
+  }
+  return nullptr;
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view child_name) const {
+  for (const XmlElement& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::FindChildren(
+    std::string_view child_name) const {
+  std::vector<const XmlElement*> out;
+  for (const XmlElement& c : children) {
+    if (c.name == child_name) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent body parser; the start tag's name has been consumed.
+Status ParseElementBody(XmlLexer* lexer, XmlElement* element, int depth) {
+  if (depth > 512) {
+    return Status::ParseError("document nesting exceeds 512 levels");
+  }
+  // Attributes.
+  std::string name, value;
+  for (;;) {
+    auto more = lexer->PullAttribute(&name, &value);
+    SSUM_RETURN_NOT_OK(more.status());
+    if (!*more) break;
+    element->attributes.emplace_back(std::move(name), std::move(value));
+  }
+  XmlToken tok;
+  SSUM_ASSIGN_OR_RETURN(tok, lexer->Next());
+  if (tok.kind == XmlTokenKind::kTagSelfClose) return Status::OK();
+  if (tok.kind != XmlTokenKind::kTagClose) {
+    return Status::ParseError("expected '>' at line " +
+                              std::to_string(tok.line));
+  }
+  // Content until the matching end tag.
+  for (;;) {
+    SSUM_ASSIGN_OR_RETURN(tok, lexer->Next());
+    switch (tok.kind) {
+      case XmlTokenKind::kText: {
+        std::string_view trimmed = TrimWhitespace(tok.text);
+        if (!trimmed.empty()) {
+          if (!element->text.empty()) element->text += ' ';
+          element->text += trimmed;
+        }
+        break;
+      }
+      case XmlTokenKind::kStartTagOpen: {
+        XmlElement child;
+        child.name = std::move(tok.text);
+        SSUM_RETURN_NOT_OK(ParseElementBody(lexer, &child, depth + 1));
+        element->children.push_back(std::move(child));
+        break;
+      }
+      case XmlTokenKind::kEndTag:
+        if (tok.text != element->name) {
+          return Status::ParseError("mismatched end tag </" + tok.text +
+                                    "> for <" + element->name + "> at line " +
+                                    std::to_string(tok.line));
+        }
+        return Status::OK();
+      case XmlTokenKind::kEndOfInput:
+        return Status::ParseError("unexpected end of input inside <" +
+                                  element->name + ">");
+      default:
+        return Status::ParseError("unexpected token at line " +
+                                  std::to_string(tok.line));
+    }
+  }
+}
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input) {
+  XmlLexer lexer(input);
+  XmlToken tok;
+  SSUM_ASSIGN_OR_RETURN(tok, lexer.Next());
+  // Leading whitespace text is tolerated.
+  while (tok.kind == XmlTokenKind::kText &&
+         TrimWhitespace(tok.text).empty()) {
+    SSUM_ASSIGN_OR_RETURN(tok, lexer.Next());
+  }
+  if (tok.kind != XmlTokenKind::kStartTagOpen) {
+    return Status::ParseError("document has no root element");
+  }
+  XmlDocument doc;
+  doc.root.name = std::move(tok.text);
+  SSUM_RETURN_NOT_OK(ParseElementBody(&lexer, &doc.root, 0));
+  // Only whitespace may follow.
+  for (;;) {
+    SSUM_ASSIGN_OR_RETURN(tok, lexer.Next());
+    if (tok.kind == XmlTokenKind::kEndOfInput) break;
+    if (tok.kind == XmlTokenKind::kText && TrimWhitespace(tok.text).empty()) {
+      continue;
+    }
+    return Status::ParseError("trailing content after root element");
+  }
+  return doc;
+}
+
+Result<XmlDocument> ReadXmlFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  return ParseXml(text);
+}
+
+}  // namespace ssum

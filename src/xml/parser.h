@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ssum {
+
+/// DOM element node. Mixed content is simplified: all character data inside
+/// an element is concatenated into `text` (sufficient for data-centric XML,
+/// which is what schema summarization targets).
+struct XmlElement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlElement> children;
+  std::string text;
+
+  /// First attribute with the given name, or nullptr.
+  const std::string* FindAttribute(std::string_view attr_name) const;
+  /// First child with the given name, or nullptr.
+  const XmlElement* FindChild(std::string_view child_name) const;
+  /// All children with the given name.
+  std::vector<const XmlElement*> FindChildren(std::string_view child_name) const;
+};
+
+struct XmlDocument {
+  XmlElement root;
+};
+
+/// Parses a complete document; exactly one top-level element is required.
+Result<XmlDocument> ParseXml(std::string_view input);
+
+/// File convenience wrapper.
+Result<XmlDocument> ReadXmlFile(const std::string& path);
+
+}  // namespace ssum

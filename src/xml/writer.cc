@@ -1,0 +1,84 @@
+#include "xml/writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ssum {
+
+namespace {
+
+void EscapeInto(std::ostringstream& os, const std::string& s, bool attribute) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        os << "&lt;";
+        break;
+      case '>':
+        os << "&gt;";
+        break;
+      case '&':
+        os << "&amp;";
+        break;
+      case '"':
+        if (attribute) {
+          os << "&quot;";
+        } else {
+          os << c;
+        }
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+void WriteElement(std::ostringstream& os, const XmlElement& e, int depth,
+                  int indent) {
+  std::string pad(static_cast<size_t>(depth * indent), ' ');
+  os << pad << '<' << e.name;
+  for (const auto& [n, v] : e.attributes) {
+    os << ' ' << n << "=\"";
+    EscapeInto(os, v, /*attribute=*/true);
+    os << '"';
+  }
+  if (e.children.empty() && e.text.empty()) {
+    os << "/>";
+    if (indent) os << '\n';
+    return;
+  }
+  os << '>';
+  if (!e.text.empty()) EscapeInto(os, e.text, /*attribute=*/false);
+  if (!e.children.empty()) {
+    if (indent) os << '\n';
+    for (const XmlElement& c : e.children) {
+      WriteElement(os, c, depth + 1, indent);
+    }
+    os << pad;
+  }
+  os << "</" << e.name << '>';
+  if (indent) os << '\n';
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  std::ostringstream os;
+  if (options.declaration) {
+    os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent) os << '\n';
+  }
+  WriteElement(os, doc.root, 0, options.indent);
+  return os.str();
+}
+
+Status WriteXmlFile(const XmlDocument& doc, const std::string& path,
+                    const XmlWriteOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteXml(doc, options);
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ssum

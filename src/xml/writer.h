@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/parser.h"
+
+namespace ssum {
+
+struct XmlWriteOptions {
+  /// Indentation per nesting level; 0 writes a compact single line.
+  int indent = 2;
+  /// Emit the "<?xml version=...?>" declaration.
+  bool declaration = true;
+};
+
+/// Serializes a document (attribute and text values escaped).
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options = {});
+
+Status WriteXmlFile(const XmlDocument& doc, const std::string& path,
+                    const XmlWriteOptions& options = {});
+
+}  // namespace ssum

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace ssum {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::NotFound("x").WithContext("loading file");
+  EXPECT_EQ(s.ToString(), "NotFound: loading file: x");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  int h;
+  SSUM_ASSIGN_OR_RETURN(h, Half(x));
+  SSUM_ASSIGN_OR_RETURN(h, Half(h));
+  return h;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_FALSE(ParseDouble("1.5.2").ok());
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1000), "-1,000");
+  EXPECT_EQ(FormatWithCommas(12), "12");
+  EXPECT_EQ(AsciiToLower("AbC-9"), "abc-9");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PoissonMeanRoughlyRight) {
+  Rng rng(4);
+  for (double mean : {0.5, 3.0, 50.0}) {
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += static_cast<double>(rng.NextPoisson(mean));
+    EXPECT_NEAR(total / n, mean, mean * 0.1 + 0.05);
+  }
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0u);
+}
+
+TEST(RngTest, WeightedSampling) {
+  Rng rng(5);
+  std::vector<double> w{0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextWeighted(w), 1u);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_EQ(rng.NextWeighted(zero), zero.size());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::multiset<int> s(v.begin(), v.end());
+  EXPECT_EQ(s, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(7);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  EXPECT_NE(child1.Next(), child2.Next());
+}
+
+TEST(ZipfTest, SkewsTowardZero) {
+  Rng rng(8);
+  ZipfTable zipf(100, 1.2);
+  size_t low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) < 10) ++low;
+  }
+  EXPECT_GT(low, static_cast<size_t>(n / 2));  // top 10% gets most mass
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SSUM_LOG(kInfo) << "suppressed";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace ssum

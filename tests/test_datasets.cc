@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/experts.h"
+#include "datasets/mimi.h"
+#include "datasets/registry.h"
+#include "datasets/tpch.h"
+#include "datasets/xmark.h"
+#include "schema/validate.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+namespace {
+
+// Small scales keep the suite fast; the generators are scale-linear, and
+// RCs are scale-invariant by construction.
+
+TEST(XMarkTest, SchemaShape) {
+  XMarkDataset ds;
+  const SchemaGraph& g = ds.schema();
+  // The expanded XMark schema: ~300 elements (paper reports 327 for its
+  // expansion; see EXPERIMENTS.md).
+  EXPECT_GT(g.size(), 250u);
+  EXPECT_LT(g.size(), 400u);
+  EXPECT_TRUE(ValidateSchemaGraph(g, /*strict=*/false).ok());
+  // Six per-region item elements.
+  EXPECT_EQ(g.FindByLabel("item").size(), 6u);
+  EXPECT_TRUE(g.FindPath("site/people/person/profile/interest").ok());
+  EXPECT_TRUE(g.FindPath("site/open_auctions/open_auction/bidder").ok());
+  // bidder -> person value link exists with the paper's semantics.
+  bool found = false;
+  for (const ValueLink& v : g.value_links()) {
+    if (g.label(v.referrer) == "bidder" && g.label(v.referee) == "person") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(XMarkTest, GeneratorIsWellFormedAndDeterministic) {
+  XMarkParams params;
+  params.sf = 0.01;
+  XMarkDataset ds(params);
+  auto stream = ds.MakeStream();
+  auto a1 = AnnotateSchema(*stream);
+  ASSERT_TRUE(a1.ok()) << a1.status().ToString();
+  auto a2 = AnnotateSchema(*stream);  // replay must be identical
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(*a1, *a2);
+}
+
+TEST(XMarkTest, CardinalitiesScaleLinearly) {
+  XMarkParams small;
+  small.sf = 0.01;
+  XMarkParams large;
+  large.sf = 0.02;
+  XMarkDataset ds_small(small), ds_large(large);
+  Annotations a_small = *AnnotateSchema(*ds_small.MakeStream());
+  Annotations a_large = *AnnotateSchema(*ds_large.MakeStream());
+  ElementId person = *ds_small.schema().FindPath("site/people/person");
+  EXPECT_NEAR(static_cast<double>(a_large.card(person)),
+              2.0 * static_cast<double>(a_small.card(person)),
+              0.05 * static_cast<double>(a_large.card(person)) + 2);
+}
+
+TEST(XMarkTest, BidderFanoutMatchesParams) {
+  XMarkParams params;
+  params.sf = 0.02;
+  XMarkDataset ds(params);
+  Annotations ann = *AnnotateSchema(*ds.MakeStream());
+  ElementId auction = *ds.schema().FindPath("site/open_auctions/open_auction");
+  ElementId bidder =
+      *ds.schema().FindPath("site/open_auctions/open_auction/bidder");
+  double rc = static_cast<double>(ann.card(bidder)) /
+              static_cast<double>(ann.card(auction));
+  EXPECT_NEAR(rc, params.bidders_mean, 0.5);
+}
+
+TEST(XMarkTest, QueriesResolveAndMatchPaperProfile) {
+  XMarkDataset ds;
+  Workload w = ds.Queries();
+  EXPECT_EQ(w.size(), 20u);
+  EXPECT_GT(w.AverageIntentionSize(), 2.5);
+  EXPECT_LT(w.AverageIntentionSize(), 5.0);
+  for (const QueryIntention& q : w.queries) {
+    EXPECT_FALSE(q.elements.empty());
+    for (ElementId e : q.elements) EXPECT_LT(e, ds.schema().size());
+  }
+}
+
+TEST(TpchTest, SchemaShape) {
+  TpchDataset ds;
+  // 8 tables + 61 columns + root = 70 (paper Table 1: 70).
+  EXPECT_EQ(ds.schema().size(), 70u);
+  EXPECT_EQ(ds.catalog().tables().size(), 8u);
+  EXPECT_TRUE(ValidateSchemaGraph(ds.schema(), /*strict=*/true).ok());
+  EXPECT_TRUE(ds.schema().FindPath("tpch/lineitem/l_shipdate").ok());
+}
+
+TEST(TpchTest, RowCountsFollowSpec) {
+  TpchParams params;
+  params.sf = 0.1;
+  TpchDataset ds(params);
+  EXPECT_EQ(ds.RowsOf(0), 5u);       // region
+  EXPECT_EQ(ds.RowsOf(1), 25u);      // nation
+  EXPECT_EQ(ds.RowsOf(2), 1000u);    // supplier
+  EXPECT_EQ(ds.RowsOf(5), 15000u);   // customer
+  EXPECT_EQ(ds.RowsOf(6), 150000u);  // orders
+  EXPECT_EQ(ds.RowsOf(7), 600000u);  // lineitem
+}
+
+TEST(TpchTest, StreamMatchesRowCounts) {
+  TpchParams params;
+  params.sf = 0.002;
+  TpchDataset ds(params);
+  Annotations ann = *AnnotateSchema(*ds.MakeStream());
+  for (size_t t = 0; t < ds.catalog().tables().size(); ++t) {
+    EXPECT_EQ(ann.card(ds.mapping().table_elements[t]), ds.RowsOf(t))
+        << ds.catalog().tables()[t].name;
+  }
+  // Every lineitem row references an order.
+  int li = ds.catalog().TableIndex("lineitem");
+  EXPECT_EQ(ann.value_count(ds.mapping().fk_links[li][0]), ds.RowsOf(7));
+}
+
+TEST(TpchTest, MaterializedDatabaseHasValidForeignKeys) {
+  TpchParams params;
+  params.sf = 0.001;
+  TpchDataset ds(params);
+  auto db = ds.GenerateDatabase();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(db->CheckForeignKeys().ok());
+  EXPECT_EQ(db->table(6).num_rows(), ds.RowsOf(6));
+  // Refuses benchmark-scale materialization.
+  TpchParams big;
+  big.sf = 10.0;
+  TpchDataset ds_big(big);
+  EXPECT_FALSE(ds_big.GenerateDatabase().ok());
+}
+
+TEST(TpchTest, QueriesMatchPaperProfile) {
+  TpchDataset ds;
+  Workload w = ds.Queries();
+  EXPECT_EQ(w.size(), 22u);
+  // Paper: avg intention 13.4 (wide queries).
+  EXPECT_GT(w.AverageIntentionSize(), 8.0);
+  EXPECT_LT(w.AverageIntentionSize(), 18.0);
+}
+
+TEST(MimiTest, SchemaShape) {
+  MimiDataset ds;
+  // Paper Table 1: 155 schema elements.
+  EXPECT_GT(ds.schema().size(), 130u);
+  EXPECT_LT(ds.schema().size(), 180u);
+  EXPECT_TRUE(ValidateSchemaGraph(ds.schema(), /*strict=*/false).ok());
+  EXPECT_TRUE(ds.schema().FindPath("mimi/molecules/molecule").ok());
+  EXPECT_TRUE(
+      ds.schema().FindPath("mimi/interactions/interaction/participant_a").ok());
+}
+
+TEST(MimiTest, VersionsShareSchemaButNotData) {
+  MimiParams apr;
+  apr.version = MimiVersion::kApr2004;
+  apr.scale = 0.01;
+  MimiParams now;
+  now.version = MimiVersion::kJan2006;
+  now.scale = 0.01;
+  MimiDataset ds_apr(apr), ds_now(now);
+  EXPECT_EQ(ds_apr.schema().size(), ds_now.schema().size());
+  Annotations a_apr = *AnnotateSchema(*ds_apr.MakeStream());
+  Annotations a_now = *AnnotateSchema(*ds_now.MakeStream());
+  ElementId domain = *ds_apr.schema().FindPath("mimi/domains/domain");
+  EXPECT_EQ(a_apr.card(domain), 0u);  // pre-import
+  EXPECT_GT(a_now.card(domain), 0u);
+  ElementId molecule = *ds_apr.schema().FindPath("mimi/molecules/molecule");
+  EXPECT_LT(a_apr.card(molecule), a_now.card(molecule));
+}
+
+TEST(MimiTest, QueriesMatchPaperProfile) {
+  MimiDataset ds;
+  Workload w = ds.Queries();
+  EXPECT_EQ(w.size(), 52u);
+  EXPECT_GT(w.AverageIntentionSize(), 2.5);
+  EXPECT_LT(w.AverageIntentionSize(), 4.5);
+  std::set<std::string> names;
+  for (const QueryIntention& q : w.queries) names.insert(q.name);
+  EXPECT_EQ(names.size(), 52u);  // distinct query groups
+}
+
+TEST(RegistryTest, LoadsScaledBundles) {
+  auto bundle = LoadDataset(DatasetKind::kXMark, 0.01);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->name, "XMark");
+  EXPECT_EQ(bundle->paper_summary_size, 10u);
+  EXPECT_GT(bundle->data_elements, 1000u);
+  EXPECT_EQ(bundle->workload.size(), 20u);
+  EXPECT_GT(bundle->annotations.card(bundle->schema.root()), 0u);
+}
+
+TEST(ExpertsTest, PanelsResolveAndBehave) {
+  XMarkDataset xmark;
+  auto panel = XMarkExpertPanel(xmark.schema());
+  ASSERT_TRUE(panel.ok()) << panel.status().ToString();
+  EXPECT_EQ(panel->rankings.size(), 3u);
+  for (const auto& r : panel->rankings) EXPECT_GE(r.size(), 15u);
+  EXPECT_EQ(panel->SummaryOf(0, 5).size(), 5u);
+  // Consensus at size 5 contains only majority picks.
+  std::vector<ElementId> consensus = panel->Consensus(5);
+  for (ElementId e : consensus) {
+    int votes = 0;
+    for (size_t u = 0; u < 3; ++u) {
+      auto s = panel->SummaryOf(u, 5);
+      if (std::find(s.begin(), s.end(), e) != s.end()) ++votes;
+    }
+    EXPECT_GE(votes, 2);
+  }
+  MimiDataset mimi;
+  auto mimi_panel = MimiExpertPanel(mimi.schema());
+  ASSERT_TRUE(mimi_panel.ok()) << mimi_panel.status().ToString();
+}
+
+}  // namespace
+}  // namespace ssum

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "datasets/tpch.h"
+#include "relational/bridge.h"
+#include "relational/ddl.h"
+
+namespace ssum {
+namespace {
+
+constexpr const char* kSample = R"(
+-- A miniature order-management schema.
+CREATE TABLE customer (
+  c_custkey INTEGER PRIMARY KEY,
+  c_name    VARCHAR(40) NOT NULL,
+  c_balance DECIMAL(12,2) DEFAULT 0
+);
+
+CREATE TABLE orders (
+  o_orderkey  INTEGER,
+  o_custkey   INTEGER,
+  o_orderdate DATE,
+  o_comment   TEXT,
+  PRIMARY KEY (o_orderkey),
+  FOREIGN KEY (o_custkey) REFERENCES customer(c_custkey)
+);
+)";
+
+TEST(DdlTest, ParsesTypesKeysAndComments) {
+  auto catalog = ParseDdl(kSample);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_EQ(catalog->tables().size(), 2u);
+  const TableDef* customer = catalog->FindTable("customer");
+  ASSERT_NE(customer, nullptr);
+  EXPECT_EQ(customer->columns.size(), 3u);
+  EXPECT_TRUE(customer->columns[0].primary_key);
+  EXPECT_EQ(customer->columns[0].type, ColumnType::kInt);
+  EXPECT_EQ(customer->columns[1].type, ColumnType::kString);
+  EXPECT_EQ(customer->columns[2].type, ColumnType::kFloat);
+  const TableDef* orders = catalog->FindTable("orders");
+  ASSERT_NE(orders, nullptr);
+  EXPECT_TRUE(orders->columns[0].primary_key);  // table-level PRIMARY KEY
+  EXPECT_EQ(orders->columns[2].type, ColumnType::kDate);
+  ASSERT_EQ(orders->foreign_keys.size(), 1u);
+  EXPECT_EQ(orders->foreign_keys[0].column, "o_custkey");
+  EXPECT_EQ(orders->foreign_keys[0].ref_table, "customer");
+  EXPECT_EQ(orders->foreign_keys[0].ref_column, "c_custkey");
+}
+
+TEST(DdlTest, QuotedIdentifiersAndCaseInsensitiveKeywords) {
+  auto catalog = ParseDdl(
+      "create table \"Order Lines\" (id integer primary key, "
+      "`weird name` varchar);");
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_NE(catalog->FindTable("Order Lines"), nullptr);
+  EXPECT_EQ(catalog->FindTable("Order Lines")->columns[1].name, "weird name");
+}
+
+TEST(DdlTest, CompositeForeignKeysDecompose) {
+  auto catalog = ParseDdl(R"(
+    CREATE TABLE parent (a INTEGER, b INTEGER, PRIMARY KEY (a, b));
+    CREATE TABLE child (
+      x INTEGER, y INTEGER,
+      FOREIGN KEY (x, y) REFERENCES parent(a, b)
+    );
+  )");
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  const TableDef* child = catalog->FindTable("child");
+  ASSERT_EQ(child->foreign_keys.size(), 2u);  // unary decomposition
+  EXPECT_EQ(child->foreign_keys[0].column, "x");
+  EXPECT_EQ(child->foreign_keys[0].ref_column, "a");
+  EXPECT_EQ(child->foreign_keys[1].column, "y");
+  EXPECT_EQ(child->foreign_keys[1].ref_column, "b");
+}
+
+TEST(DdlTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseDdl("").status().IsParseError());
+  EXPECT_TRUE(ParseDdl("DROP TABLE x;").status().IsParseError());
+  EXPECT_TRUE(ParseDdl("CREATE INDEX i ON t(a);").status().IsParseError());
+  EXPECT_TRUE(ParseDdl("CREATE TABLE t (a BLOB);").status().IsParseError());
+  EXPECT_TRUE(ParseDdl("CREATE TABLE t (a INTEGER").status().IsParseError());
+  EXPECT_TRUE(ParseDdl("CREATE TABLE t (PRIMARY KEY (ghost));")
+                  .status().IsParseError());
+  // Dangling foreign key caught by catalog validation.
+  EXPECT_FALSE(ParseDdl("CREATE TABLE t (a INTEGER, "
+                        "FOREIGN KEY (a) REFERENCES ghost(x));")
+                   .ok());
+  // Duplicate table.
+  EXPECT_FALSE(ParseDdl("CREATE TABLE t (a INTEGER); "
+                        "CREATE TABLE t (b INTEGER);")
+                   .ok());
+}
+
+TEST(DdlTest, RoundTripsThroughWriteDdl) {
+  auto catalog = ParseDdl(kSample);
+  ASSERT_TRUE(catalog.ok());
+  std::string ddl = WriteDdl(*catalog);
+  auto again = ParseDdl(ddl);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << ddl;
+  ASSERT_EQ(again->tables().size(), catalog->tables().size());
+  for (size_t t = 0; t < catalog->tables().size(); ++t) {
+    const TableDef& a = catalog->tables()[t];
+    const TableDef& b = again->tables()[t];
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.columns.size(), b.columns.size());
+    for (size_t c = 0; c < a.columns.size(); ++c) {
+      EXPECT_EQ(a.columns[c].name, b.columns[c].name);
+      EXPECT_EQ(a.columns[c].type, b.columns[c].type);
+      EXPECT_EQ(a.columns[c].primary_key, b.columns[c].primary_key);
+    }
+    EXPECT_EQ(a.foreign_keys.size(), b.foreign_keys.size());
+  }
+}
+
+TEST(DdlTest, TpchCatalogRoundTrips) {
+  // The built-in TPC-H catalog survives DDL write -> parse -> bridge.
+  TpchDataset ds;
+  std::string ddl = WriteDdl(ds.catalog());
+  auto parsed = ParseDdl(ddl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto mapping = BuildRelationalSchema(*parsed, "tpch");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->graph.size(), ds.schema().size());
+  EXPECT_EQ(mapping->graph.value_links().size(),
+            ds.schema().value_links().size());
+}
+
+}  // namespace
+}  // namespace ssum

@@ -1,0 +1,152 @@
+// Edge-case coverage: extreme summary sizes, deep multi-level stacks,
+// discovery trace invariants, and tiny schemas.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/multilevel.h"
+#include "core/summarize.h"
+#include "datasets/mimi.h"
+#include "query/discovery.h"
+#include "schema/schema_builder.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+namespace {
+
+struct Fixture {
+  MimiDataset ds;
+  Annotations ann;
+
+  Fixture() : ds(Small()), ann(*AnnotateSchema(*ds.MakeStream())) {}
+
+  static MimiParams Small() {
+    MimiParams p;
+    p.scale = 0.002;
+    return p;
+  }
+};
+
+TEST(EdgeCaseTest, SummaryAtAlmostFullSchemaSize) {
+  // K = N-1 (every non-root element abstract). BalanceSummary must top up
+  // past the non-dominated candidate set and still produce a valid summary.
+  Fixture f;
+  const size_t k = f.ds.schema().size() - 1;
+  auto summary = Summarize(f.ds.schema(), f.ann, k);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->size(), k);
+  EXPECT_TRUE(ValidateSummary(*summary).ok());
+  // Every element represents itself.
+  for (ElementId e = 1; e < f.ds.schema().size(); ++e) {
+    EXPECT_EQ(summary->representative[e], e);
+  }
+  // Discovery degenerates to scanning the summary but stays complete.
+  DiscoveryOracle oracle(f.ds.schema());
+  for (const QueryIntention& q : f.ds.Queries().queries) {
+    EXPECT_TRUE(DiscoverWithSummary(oracle, *summary, q).complete) << q.name;
+  }
+}
+
+TEST(EdgeCaseTest, SummaryOfSizeOne) {
+  Fixture f;
+  auto summary = Summarize(f.ds.schema(), f.ann, 1);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->size(), 1u);
+  EXPECT_TRUE(ValidateSummary(*summary).ok());
+  // The single group holds every non-root element.
+  EXPECT_EQ(summary->Group(summary->abstract_elements[0]).size(),
+            f.ds.schema().size() - 1);
+}
+
+TEST(EdgeCaseTest, ThreeLevelSummaryComposes) {
+  Fixture f;
+  auto levels = SummarizeMultiLevel(f.ds.schema(), f.ann, {24, 9, 3});
+  ASSERT_TRUE(levels.ok()) << levels.status().ToString();
+  ASSERT_EQ(levels->size(), 3u);
+  EXPECT_EQ((*levels)[0].abstract_elements.size(), 24u);
+  EXPECT_EQ((*levels)[1].abstract_elements.size(), 9u);
+  EXPECT_EQ((*levels)[2].abstract_elements.size(), 3u);
+  // Nesting: each level's representative map refines the next coarser one.
+  for (size_t l = 1; l < levels->size(); ++l) {
+    const SummaryLevel& fine = (*levels)[l - 1];
+    const SummaryLevel& coarse = (*levels)[l];
+    for (ElementId e = 1; e < f.ds.schema().size(); ++e) {
+      EXPECT_EQ(coarse.representative[e],
+                coarse.representative[fine.representative[e]])
+          << "level " << l << " element " << f.ds.schema().PathOf(e);
+    }
+  }
+  // Multi-level discovery works with three levels.
+  DiscoveryOracle oracle(f.ds.schema());
+  for (const QueryIntention& q : f.ds.Queries().queries) {
+    EXPECT_TRUE(DiscoverWithMultiLevel(oracle, *levels, q).complete)
+        << q.name;
+  }
+}
+
+TEST(EdgeCaseTest, TraceInvariants) {
+  // Traces: no duplicates; cost equals the number of traced non-intention
+  // elements; every intention element found appears in the trace (unless it
+  // is the root, which is the free start).
+  Fixture f;
+  auto summary = Summarize(f.ds.schema(), f.ann, 8);
+  ASSERT_TRUE(summary.ok());
+  DiscoveryOracle oracle(f.ds.schema());
+  for (const QueryIntention& q : f.ds.Queries().queries) {
+    for (int mode = 0; mode < 4; ++mode) {
+      DiscoveryResult r =
+          mode < 3 ? Discover(oracle, q, static_cast<TraversalStrategy>(mode))
+                   : DiscoverWithSummary(oracle, *summary, q);
+      std::set<ElementId> seen;
+      uint64_t charged = 0;
+      for (ElementId e : r.trace) {
+        EXPECT_TRUE(seen.insert(e).second) << "duplicate trace entry";
+        if (std::find(q.elements.begin(), q.elements.end(), e) ==
+            q.elements.end()) {
+          ++charged;
+        }
+      }
+      EXPECT_EQ(charged, r.cost) << q.name << " mode " << mode;
+      EXPECT_EQ(r.trace.size(), r.visited);
+      if (r.complete) {
+        for (ElementId e : q.elements) {
+          if (e == f.ds.schema().root()) continue;
+          EXPECT_NE(std::find(r.trace.begin(), r.trace.end(), e),
+                    r.trace.end())
+              << "found element missing from trace";
+        }
+      }
+    }
+  }
+}
+
+TEST(EdgeCaseTest, MinimalSchemas) {
+  // Two-element schema: the only possible summary is {child}.
+  SchemaBuilder b("r");
+  ElementId child = b.SetRcd(b.Root(), "only");
+  SchemaGraph g = std::move(b).Build();
+  Annotations ann = Annotations::Uniform(g);
+  auto summary = Summarize(g, ann, 1);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->abstract_elements, std::vector<ElementId>{child});
+  // Size 2 impossible (root excluded).
+  EXPECT_FALSE(Summarize(g, ann, 2).ok());
+  // Root-only schema cannot be summarized at all.
+  SchemaGraph root_only("alone");
+  EXPECT_FALSE(Summarize(root_only, Annotations::Uniform(root_only), 1).ok());
+}
+
+TEST(EdgeCaseTest, EmptyDatabaseStillSummarizes) {
+  // All cardinalities zero: importance degenerates but nothing crashes and
+  // the summary is still structurally valid.
+  Fixture f;
+  Annotations empty(f.ds.schema());
+  auto summary = Summarize(f.ds.schema(), empty, 5);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_TRUE(ValidateSummary(*summary).ok());
+}
+
+}  // namespace
+}  // namespace ssum

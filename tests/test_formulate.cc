@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "datasets/tpch.h"
+#include "datasets/xmark.h"
+#include "query/formulate.h"
+
+namespace ssum {
+namespace {
+
+TEST(FormulateXQueryTest, PaperExample) {
+  // The paper's Section 5.3 example: {person, name, id} — one iteration
+  // entity (person) with two leaves.
+  XMarkDataset ds;
+  auto q = MakeIntention(ds.schema(), "paper",
+                         {"people/person", "people/person/name",
+                          "people/person/@id"});
+  ASSERT_TRUE(q.ok());
+  auto skeleton = FormulateXQuerySkeleton(ds.schema(), *q);
+  ASSERT_TRUE(skeleton.ok()) << skeleton.status().ToString();
+  EXPECT_NE(skeleton->find("for $a in /site/people/person"),
+            std::string::npos)
+      << *skeleton;
+  EXPECT_NE(skeleton->find("$a/name"), std::string::npos);
+  EXPECT_NE(skeleton->find("$a/@id"), std::string::npos);
+  EXPECT_NE(skeleton->find("return"), std::string::npos);
+}
+
+TEST(FormulateXQueryTest, NestedEntitiesShareOuterVariable) {
+  // bidder is SetOf inside open_auction (also SetOf): the inner `for`
+  // binds relative to the outer variable.
+  XMarkDataset ds;
+  auto q = MakeIntention(
+      ds.schema(), "nested",
+      {"open_auctions/open_auction/reserve",
+       "open_auctions/open_auction/bidder/increase"});
+  ASSERT_TRUE(q.ok());
+  auto skeleton = FormulateXQuerySkeleton(ds.schema(), *q);
+  ASSERT_TRUE(skeleton.ok());
+  EXPECT_NE(skeleton->find("for $a in /site/open_auctions/open_auction"),
+            std::string::npos)
+      << *skeleton;
+  EXPECT_NE(skeleton->find("for $b in $a/bidder"), std::string::npos)
+      << *skeleton;
+  EXPECT_NE(skeleton->find("$b/increase"), std::string::npos);
+}
+
+TEST(FormulateXQueryTest, ErrorCases) {
+  XMarkDataset ds;
+  QueryIntention empty{"empty", {}};
+  EXPECT_FALSE(FormulateXQuerySkeleton(ds.schema(), empty).ok());
+  QueryIntention bogus{"bogus", {999999}};
+  EXPECT_FALSE(FormulateXQuerySkeleton(ds.schema(), bogus).ok());
+}
+
+TEST(FormulateSqlTest, SingleTableProjection) {
+  TpchDataset ds;
+  auto q = MakeIntention(ds.schema(), "q",
+                         {"lineitem/l_quantity", "lineitem/l_shipdate"});
+  ASSERT_TRUE(q.ok());
+  auto sql = FormulateSqlSkeleton(ds.schema(), *q);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("SELECT lineitem.l_quantity, lineitem.l_shipdate"),
+            std::string::npos)
+      << *sql;
+  EXPECT_NE(sql->find("FROM lineitem"), std::string::npos);
+}
+
+TEST(FormulateSqlTest, JoinsFollowForeignKeys) {
+  TpchDataset ds;
+  auto q = MakeIntention(ds.schema(), "q",
+                         {"orders", "customer/c_name", "orders/o_orderdate"});
+  ASSERT_TRUE(q.ok());
+  auto sql = FormulateSqlSkeleton(ds.schema(), *q);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("FROM customer, orders"), std::string::npos) << *sql;
+  EXPECT_NE(sql->find("orders.o_custkey = customer.c_custkey"),
+            std::string::npos)
+      << *sql;
+}
+
+TEST(FormulateSqlTest, BareRelationSelectsStar) {
+  TpchDataset ds;
+  auto q = MakeIntention(ds.schema(), "q", {"region"});
+  ASSERT_TRUE(q.ok());
+  auto sql = FormulateSqlSkeleton(ds.schema(), *q);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("SELECT *"), std::string::npos);
+  EXPECT_NE(sql->find("FROM region"), std::string::npos);
+}
+
+TEST(FormulateSqlTest, ErrorCases) {
+  TpchDataset ds;
+  QueryIntention empty{"empty", {}};
+  EXPECT_FALSE(FormulateSqlSkeleton(ds.schema(), empty).ok());
+  QueryIntention root_only{"root", {ds.schema().root()}};
+  EXPECT_FALSE(FormulateSqlSkeleton(ds.schema(), root_only).ok());
+}
+
+TEST(FormulateSqlTest, WorksForEveryTpchQuery) {
+  TpchDataset ds;
+  for (const QueryIntention& q : ds.Queries().queries) {
+    auto sql = FormulateSqlSkeleton(ds.schema(), q);
+    EXPECT_TRUE(sql.ok()) << q.name << ": " << sql.status().ToString();
+  }
+}
+
+TEST(FormulateXQueryTest, WorksForEveryXMarkQuery) {
+  XMarkDataset ds;
+  for (const QueryIntention& q : ds.Queries().queries) {
+    auto xq = FormulateXQuerySkeleton(ds.schema(), q);
+    EXPECT_TRUE(xq.ok()) << q.name << ": " << xq.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ssum

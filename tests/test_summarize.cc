@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "core/summarize.h"
+#include "schema/schema_builder.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+namespace {
+
+/// Three top-level entities with unequal weight plus attached detail.
+struct Fixture {
+  // Ids precede `schema`: Make() fills them during schema construction.
+  ElementId big = 0, big_leaf = 0, mid = 0, mid_leaf = 0, small = 0,
+            small_leaf = 0;
+  SchemaGraph schema;
+  Annotations ann;
+
+  Fixture() : schema(Make(this)), ann(schema) {
+    ann.set_card(schema.root(), 1);
+    Set(big, 1000);
+    Set(big_leaf, 3000);
+    Set(mid, 300);
+    Set(mid_leaf, 600);
+    Set(small, 10);
+    Set(small_leaf, 10);
+  }
+
+  void Set(ElementId e, uint64_t c) {
+    ann.set_card(e, c);
+    ann.set_structural_count(schema.parent_link(e), c);
+  }
+
+  static SchemaGraph Make(Fixture* f) {
+    SchemaBuilder b("db");
+    f->big = b.SetRcd(b.Root(), "big");
+    f->big_leaf = b.SetSimple(f->big, "big_leaf");
+    f->mid = b.SetRcd(b.Root(), "mid");
+    f->mid_leaf = b.SetSimple(f->mid, "mid_leaf");
+    f->small = b.SetRcd(b.Root(), "small");
+    f->small_leaf = b.Simple(f->small, "small_leaf");
+    return std::move(b).Build();
+  }
+};
+
+TEST(SummarizeTest, MaxImportancePicksTopK) {
+  Fixture f;
+  SummarizerContext context(f.schema, f.ann);
+  auto selected = SelectMaxImportance(context, 2);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+  const auto& imp = context.importance().importance;
+  // Selected importances are >= any unselected non-root element's.
+  double min_selected = 1e300;
+  for (ElementId e : *selected) min_selected = std::min(min_selected, imp[e]);
+  for (ElementId e = 1; e < f.schema.size(); ++e) {
+    if (std::find(selected->begin(), selected->end(), e) != selected->end())
+      continue;
+    EXPECT_LE(imp[e], min_selected + 1e-9);
+  }
+  // Root never selected.
+  EXPECT_EQ(std::find(selected->begin(), selected->end(), f.schema.root()),
+            selected->end());
+}
+
+TEST(SummarizeTest, SizeValidation) {
+  Fixture f;
+  SummarizerContext context(f.schema, f.ann);
+  EXPECT_FALSE(SelectMaxImportance(context, 0).ok());
+  EXPECT_FALSE(SelectMaxImportance(context, f.schema.size()).ok());
+  EXPECT_FALSE(SelectMaxCoverage(context, 0).ok());
+  EXPECT_FALSE(SelectBalanced(context, 0).ok());
+}
+
+TEST(SummarizeTest, ExactMaxCoverageBeatsOrMatchesGreedy) {
+  Fixture f;
+  SummarizeOptions exact_opts;
+  exact_opts.max_coverage_enumeration_budget = 1000000;
+  SummarizerContext exact_ctx(f.schema, f.ann, exact_opts);
+  auto exact = SelectMaxCoverage(exact_ctx, 2);
+  ASSERT_TRUE(exact.ok());
+
+  SummarizeOptions greedy_opts;
+  greedy_opts.max_coverage_enumeration_budget = 0;  // force greedy
+  SummarizerContext greedy_ctx(f.schema, f.ann, greedy_opts);
+  auto greedy = SelectMaxCoverage(greedy_ctx, 2);
+  ASSERT_TRUE(greedy.ok());
+
+  double exact_cov = CoverageOfSet(f.schema, exact_ctx.affinity(),
+                                   exact_ctx.coverage(), *exact);
+  double greedy_cov = CoverageOfSet(f.schema, greedy_ctx.affinity(),
+                                    greedy_ctx.coverage(), *greedy);
+  EXPECT_GE(exact_cov + 1e-9, greedy_cov);
+}
+
+TEST(SummarizeTest, MaxCoverageAvoidsDominatedElements) {
+  Fixture f;
+  SummarizerContext context(f.schema, f.ann);
+  auto selected = SelectMaxCoverage(context, 2);
+  ASSERT_TRUE(selected.ok());
+  const auto& dominated = context.dominance().dominated;
+  // Candidates sufficed (the schema is larger than k), so no selected
+  // element is dominated.
+  if (context.dominance().candidates.size() >= 2) {
+    for (ElementId e : *selected) EXPECT_FALSE(dominated[e]);
+  }
+}
+
+TEST(SummarizeTest, BalancedSkipsDominatedDuplicates) {
+  Fixture f;
+  SummarizerContext context(f.schema, f.ann);
+  auto selected = SelectBalanced(context, 3);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 3u);
+  // No selected element may be dominated by another selected element.
+  const auto& pairs = context.dominance().pairs;
+  for (ElementId a : *selected) {
+    for (ElementId b : *selected) {
+      bool dominates = false;
+      for (const DominancePair& p : pairs) {
+        if (p.dominator == a && p.dominated == b) dominates = true;
+      }
+      EXPECT_FALSE(dominates) << f.schema.label(a) << " dominates "
+                              << f.schema.label(b) << " within the summary";
+    }
+  }
+}
+
+TEST(SummarizeTest, FacadeProducesValidSummaries) {
+  Fixture f;
+  for (Algorithm alg : {Algorithm::kMaxImportance, Algorithm::kMaxCoverage,
+                        Algorithm::kBalanceSummary}) {
+    auto summary = Summarize(f.schema, f.ann, 2, alg);
+    ASSERT_TRUE(summary.ok()) << AlgorithmName(alg);
+    EXPECT_TRUE(ValidateSummary(*summary).ok()) << AlgorithmName(alg);
+    EXPECT_EQ(summary->size(), 2u);
+  }
+}
+
+TEST(SummarizeTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMaxImportance), "MaxImportance");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMaxCoverage), "MaxCoverage");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBalanceSummary), "BalanceSummary");
+}
+
+TEST(SummarizeTest, DeterministicAcrossRuns) {
+  Fixture f;
+  auto s1 = Summarize(f.schema, f.ann, 3, Algorithm::kBalanceSummary);
+  auto s2 = Summarize(f.schema, f.ann, 3, Algorithm::kBalanceSummary);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1->abstract_elements, s2->abstract_elements);
+  EXPECT_EQ(s1->representative, s2->representative);
+}
+
+TEST(SummarizeTest, ImportanceRatioGrowsWithK) {
+  Fixture f;
+  SummarizerContext context(f.schema, f.ann);
+  double prev = 0;
+  for (size_t k = 1; k <= 4; ++k) {
+    auto summary = Summarize(context, k, Algorithm::kMaxImportance);
+    ASSERT_TRUE(summary.ok());
+    double ratio = SummaryImportanceRatio(
+        f.schema, context.importance().importance, *summary);
+    EXPECT_GE(ratio + 1e-12, prev);
+    prev = ratio;
+  }
+  EXPECT_LE(prev, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace ssum

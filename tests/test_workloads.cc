@@ -1,0 +1,133 @@
+// Workload serialization and the three datasets' query workloads.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/mimi.h"
+#include "datasets/tpch.h"
+#include "datasets/xmark.h"
+#include "query/workload.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+namespace {
+
+TEST(WorkloadIoTest, RoundTrip) {
+  XMarkDataset ds;
+  Workload w = ds.Queries();
+  std::string text = SerializeWorkload(ds.schema(), w);
+  auto parsed = ParseWorkload(ds.schema(), "xmark", text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(parsed->queries[i].name, w.queries[i].name);
+    EXPECT_EQ(parsed->queries[i].elements, w.queries[i].elements);
+  }
+  EXPECT_DOUBLE_EQ(parsed->AverageIntentionSize(), w.AverageIntentionSize());
+}
+
+TEST(WorkloadIoTest, ParserRejectsBadInput) {
+  XMarkDataset ds;
+  EXPECT_TRUE(ParseWorkload(ds.schema(), "w", "nameonly\n")
+                  .status().IsParseError());
+  EXPECT_FALSE(ParseWorkload(ds.schema(), "w", "q\tsite/nonexistent\n").ok());
+  // Comments and blank lines are fine.
+  auto ok = ParseWorkload(ds.schema(), "w",
+                          "# comment\n\nq1\tpeople/person\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->size(), 1u);
+}
+
+TEST(WorkloadIoTest, EmptyWorkloadStats) {
+  Workload empty;
+  EXPECT_DOUBLE_EQ(empty.AverageIntentionSize(), 0.0);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(IntentionTest, DeduplicatesAndValidates) {
+  XMarkDataset ds;
+  auto q = MakeIntention(ds.schema(), "dup",
+                         {"people/person", "site/people/person"});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 1u);  // same element via two spellings
+  EXPECT_FALSE(MakeIntention(ds.schema(), "bad", {"no/such/path"}).ok());
+  EXPECT_FALSE(MakeIntention(ds.schema(), "empty", {}).ok());
+}
+
+// Shared invariants for each dataset's benchmark workload.
+void CheckWorkloadInvariants(const SchemaGraph& schema, const Workload& w,
+                             size_t expected_queries) {
+  EXPECT_EQ(w.size(), expected_queries);
+  std::set<std::string> names;
+  for (const QueryIntention& q : w.queries) {
+    EXPECT_TRUE(names.insert(q.name).second) << "duplicate name " << q.name;
+    EXPECT_GE(q.size(), 1u);
+    std::set<ElementId> elems;
+    for (ElementId e : q.elements) {
+      EXPECT_LT(e, schema.size());
+      EXPECT_NE(e, schema.root());
+      EXPECT_TRUE(elems.insert(e).second)
+          << q.name << " repeats " << schema.PathOf(e);
+    }
+  }
+}
+
+TEST(DatasetWorkloadTest, XMark) {
+  XMarkDataset ds;
+  CheckWorkloadInvariants(ds.schema(), ds.Queries(), 20);
+}
+
+TEST(DatasetWorkloadTest, Tpch) {
+  TpchDataset ds;
+  Workload w = ds.Queries();
+  CheckWorkloadInvariants(ds.schema(), w, 22);
+  // Every TPC-H query references at least one relation element.
+  for (const QueryIntention& q : w.queries) {
+    bool has_relation = false;
+    for (ElementId e : q.elements) {
+      if (ds.schema().parent(e) == ds.schema().root()) has_relation = true;
+    }
+    EXPECT_TRUE(has_relation) << q.name;
+  }
+}
+
+TEST(DatasetWorkloadTest, MimiIsMoleculeCentric) {
+  MimiDataset ds;
+  Workload w = ds.Queries();
+  CheckWorkloadInvariants(ds.schema(), w, 52);
+  // The trace profile: a majority of query groups touch the molecule or
+  // interaction subtrees (the paper's "real queries focus on the important
+  // elements").
+  ElementId molecules = *ds.schema().FindPath("mimi/molecules");
+  ElementId interactions = *ds.schema().FindPath("mimi/interactions");
+  size_t central = 0;
+  for (const QueryIntention& q : w.queries) {
+    for (ElementId e : q.elements) {
+      if (ds.schema().IsStructuralAncestor(molecules, e) ||
+          ds.schema().IsStructuralAncestor(interactions, e)) {
+        ++central;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(central, w.size() * 6 / 10);
+}
+
+TEST(DatasetWorkloadTest, WorkloadsIdenticalAcrossMimiVersions) {
+  // Table 5 compares versions under the same workload.
+  MimiParams apr;
+  apr.version = MimiVersion::kApr2004;
+  MimiParams now;
+  now.version = MimiVersion::kJan2006;
+  MimiDataset a(apr), b(now);
+  Workload wa = a.Queries();
+  Workload wb = b.Queries();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa.queries[i].elements, wb.queries[i].elements);
+  }
+}
+
+}  // namespace
+}  // namespace ssum

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "schema/schema_builder.h"
+#include "stats/annotate.h"
+#include "xml/infer_schema.h"
+#include "xml/instance_bridge.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace ssum {
+namespace {
+
+TEST(XmlParserTest, BasicDocument) {
+  auto doc = ParseXml(R"(<?xml version="1.0"?>
+<site>
+  <person id="p1">
+    <name>Alice &amp; Bob</name>
+    <age>30</age>
+  </person>
+  <person id="p2"/>
+</site>)");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const XmlElement& root = doc->root;
+  EXPECT_EQ(root.name, "site");
+  ASSERT_EQ(root.children.size(), 2u);
+  const XmlElement& p1 = root.children[0];
+  EXPECT_EQ(*p1.FindAttribute("id"), "p1");
+  ASSERT_NE(p1.FindChild("name"), nullptr);
+  EXPECT_EQ(p1.FindChild("name")->text, "Alice & Bob");
+  EXPECT_EQ(p1.FindChildren("name").size(), 1u);
+  EXPECT_EQ(root.children[1].children.size(), 0u);
+}
+
+TEST(XmlParserTest, EntitiesAndCharRefs) {
+  auto doc = ParseXml("<a>&lt;x&gt; &quot;q&quot; &#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.text, "<x> \"q\" AB");
+}
+
+TEST(XmlParserTest, CommentsCdataAndPi) {
+  auto doc = ParseXml(
+      "<!DOCTYPE site [<!ELEMENT a ANY>]>"
+      "<a><!-- hidden --><?pi data?><![CDATA[1 < 2]]></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root.text, "1 < 2");
+}
+
+TEST(XmlParserTest, ErrorCases) {
+  EXPECT_TRUE(ParseXml("").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a><b></a>").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a>").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a></a><b></b>").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a attr=unquoted></a>").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a>&bogus;</a>").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a>&#xZZ;</a>").status().IsParseError());
+}
+
+TEST(XmlWriterTest, RoundTrip) {
+  const char* text = R"(<site>
+  <person id="p1" status="a&quot;b">
+    <name>Alice &amp; Bob</name>
+  </person>
+  <empty/>
+</site>)";
+  auto doc = ParseXml(text);
+  ASSERT_TRUE(doc.ok());
+  std::string written = WriteXml(*doc);
+  auto again = ParseXml(written);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << written;
+  EXPECT_EQ(WriteXml(*again), written);
+  EXPECT_EQ(again->root.children[0].FindAttribute("status")[0], "a\"b");
+}
+
+TEST(XmlWriterTest, CompactMode) {
+  XmlDocument doc;
+  doc.root.name = "r";
+  doc.root.children.push_back({"c", {}, {}, "t"});
+  XmlWriteOptions opts;
+  opts.indent = 0;
+  opts.declaration = false;
+  EXPECT_EQ(WriteXml(doc, opts), "<r><c>t</c></r>");
+}
+
+TEST(InferSchemaTest, StructureAndSetOf) {
+  auto doc = ParseXml(R"(<site>
+    <person id="1"><name>A</name><hobby>x</hobby><hobby>y</hobby></person>
+    <person id="2"><name>B</name></person>
+  </site>)");
+  ASSERT_TRUE(doc.ok());
+  auto schema = InferSchema(*doc);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ElementId person = *schema->FindPath("site/person");
+  EXPECT_TRUE(schema->type(person).set_of);
+  ElementId hobby = *schema->FindPath("site/person/hobby");
+  EXPECT_TRUE(schema->type(hobby).set_of);
+  EXPECT_EQ(schema->type(hobby).kind, TypeKind::kSimple);
+  ElementId name = *schema->FindPath("site/person/name");
+  EXPECT_FALSE(schema->type(name).set_of);
+  ElementId id = *schema->FindPath("site/person/@id");
+  EXPECT_EQ(schema->type(id).kind, TypeKind::kSimple);
+}
+
+TEST(InferSchemaTest, MergesMultipleDocuments) {
+  auto d1 = ParseXml("<r><a><x>1</x></a></r>");
+  auto d2 = ParseXml("<r><a><y>2</y></a><a/></r>");
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  auto schema = InferSchema({&*d1, &*d2});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->FindPath("r/a/x").ok());
+  EXPECT_TRUE(schema->FindPath("r/a/y").ok());
+  EXPECT_TRUE(schema->type(*schema->FindPath("r/a")).set_of);
+  auto d3 = ParseXml("<other/>");
+  EXPECT_FALSE(InferSchema({&*d1, &*d3}).ok());
+}
+
+TEST(XmlBridgeTest, AnnotatesDocument) {
+  SchemaBuilder b("site");
+  ElementId person = b.SetRcd(b.Root(), "person");
+  ElementId pid = b.Attr(person, "id", AtomicKind::kId);
+  b.Simple(person, "name");
+  ElementId friend_ref = b.SetRcd(person, "friend");
+  ElementId friend_attr = b.Attr(friend_ref, "person", AtomicKind::kIdRef);
+  b.Link(friend_ref, person, friend_attr, pid);
+  SchemaGraph schema = std::move(b).Build();
+
+  auto doc = ParseXml(R"(<site>
+    <person id="1"><name>A</name><friend person="2"/></person>
+    <person id="2"><name>B</name>
+      <friend person="1"/><friend person="3"/></person>
+    <person id="3"><name>C</name></person>
+  </site>)");
+  ASSERT_TRUE(doc.ok());
+  auto ann = AnnotateXmlDocument(schema, *doc);
+  ASSERT_TRUE(ann.ok()) << ann.status().ToString();
+  EXPECT_EQ(ann->card(person), 3u);
+  EXPECT_EQ(ann->card(friend_ref), 3u);
+  EXPECT_EQ(ann->value_count(0), 3u);  // three friend references
+  EXPECT_EQ(ann->card(*schema.FindPath("site/person/name")), 3u);
+  EXPECT_EQ(ann->card(pid), 3u);
+}
+
+TEST(XmlBridgeTest, RejectsUndeclaredContent) {
+  SchemaBuilder b("site");
+  b.SetRcd(b.Root(), "person");
+  SchemaGraph schema = std::move(b).Build();
+  auto doc = ParseXml("<site><alien/></site>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(AnnotateXmlDocument(schema, *doc).status()
+                  .IsFailedPrecondition());
+  auto doc2 = ParseXml("<site><person x=\"1\"/></site>");
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_TRUE(AnnotateXmlDocument(schema, *doc2).status()
+                  .IsFailedPrecondition());
+  auto doc3 = ParseXml("<wrongroot/>");
+  ASSERT_TRUE(doc3.ok());
+  EXPECT_TRUE(AnnotateXmlDocument(schema, *doc3).status()
+                  .IsFailedPrecondition());
+}
+
+TEST(XmlBridgeTest, InferredSchemaAnnotatesItsOwnDocument) {
+  auto doc = ParseXml(R"(<library>
+    <book><title>T1</title><tag>a</tag><tag>b</tag></book>
+    <book><title>T2</title></book>
+  </library>)");
+  ASSERT_TRUE(doc.ok());
+  auto schema = InferSchema(*doc);
+  ASSERT_TRUE(schema.ok());
+  auto ann = AnnotateXmlDocument(*schema, *doc);
+  ASSERT_TRUE(ann.ok()) << ann.status().ToString();
+  EXPECT_EQ(ann->card(*schema->FindPath("library/book")), 2u);
+  EXPECT_EQ(ann->card(*schema->FindPath("library/book/tag")), 2u);
+}
+
+}  // namespace
+}  // namespace ssum

@@ -1,0 +1,360 @@
+// ssum — command-line front end for the schema summarization library.
+//
+//   ssum infer <input.xml> [-o schema.ssg]
+//   ssum annotate <schema.ssg> <input.xml> [-o annotations.txt]
+//   ssum summarize <schema.ssg> -k N [-a annotations.txt]
+//                  [-g balance|importance|coverage] [-o summary.txt]
+//                  [--dot summary.dot]
+//   ssum dot <schema.ssg> [-o schema.dot] [--hide-simple] [--max-depth N]
+//   ssum relational <schema.sql> -k N [--data <dir>] [--dialect csv|pipe]
+//   ssum discover <schema.ssg> <summary.txt> <path> [path...]
+//   ssum demo <xmark|tpch|mimi> [-k N]
+//
+// All commands exit non-zero with a diagnostic on stderr when anything
+// fails; nothing throws.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/summarize.h"
+#include "core/summary_io.h"
+#include "datasets/registry.h"
+#include "query/discovery.h"
+#include "query/formulate.h"
+#include "relational/bridge.h"
+#include "relational/csv.h"
+#include "relational/ddl.h"
+#include "schema/dot_export.h"
+#include "schema/schema_io.h"
+#include "stats/annotate.h"
+#include "stats/annotations_io.h"
+#include "xml/infer_schema.h"
+#include "xml/instance_bridge.h"
+#include "xml/parser.h"
+
+namespace ssum {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ssum infer <input.xml> [-o schema.ssg]\n"
+      "  ssum annotate <schema.ssg> <input.xml> [-o annotations.txt]\n"
+      "  ssum summarize <schema.ssg> -k N [-a annotations.txt]\n"
+      "                 [-g balance|importance|coverage] [-o summary.txt]\n"
+      "                 [--dot summary.dot]\n"
+      "  ssum dot <schema.ssg> [-o schema.dot] [--hide-simple] "
+      "[--max-depth N]\n"
+      "  ssum relational <schema.sql> -k N [--data <dir>] "
+      "[--dialect csv|pipe]\n"
+      "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
+      "  ssum demo <xmark|tpch|mimi> [-k N]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "ssum: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Tiny flag parser: positional arguments plus "-x value" / "--flag [value]".
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // value-less flags map to ""
+
+  static Args Parse(int argc, char** argv, int from,
+                    const std::vector<std::string>& value_flags) {
+    Args args;
+    for (int i = from; i < argc; ++i) {
+      std::string a = argv[i];
+      if (!a.empty() && a[0] == '-') {
+        bool takes_value =
+            std::find(value_flags.begin(), value_flags.end(), a) !=
+            value_flags.end();
+        if (takes_value && i + 1 < argc) {
+          args.options[a] = argv[++i];
+        } else {
+          args.options[a] = "";
+        }
+      } else {
+        args.positional.push_back(std::move(a));
+      }
+    }
+    return args;
+  }
+
+  const std::string* Get(const std::string& flag) const {
+    auto it = options.find(flag);
+    return it == options.end() ? nullptr : &it->second;
+  }
+};
+
+Status WriteOrPrint(const std::string& content, const std::string* path,
+                    const char* what) {
+  if (path == nullptr) {
+    std::fputs(content.c_str(), stdout);
+    return Status::OK();
+  }
+  std::ofstream out(*path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + *path + "'");
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + *path + "'");
+  std::fprintf(stderr, "ssum: %s written to %s\n", what, path->c_str());
+  return Status::OK();
+}
+
+int CmdInfer(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto doc = ReadXmlFile(args.positional[0]);
+  if (!doc.ok()) return Fail(doc.status());
+  auto schema = InferSchema(*doc);
+  if (!schema.ok()) return Fail(schema.status());
+  std::fprintf(stderr, "ssum: inferred %zu elements\n", schema->size());
+  Status s = WriteOrPrint(SerializeSchema(*schema), args.Get("-o"), "schema");
+  return s.ok() ? 0 : Fail(s);
+}
+
+int CmdAnnotate(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto schema = ReadSchemaFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status());
+  auto doc = ReadXmlFile(args.positional[1]);
+  if (!doc.ok()) return Fail(doc.status());
+  auto ann = AnnotateXmlDocument(*schema, *doc);
+  if (!ann.ok()) return Fail(ann.status());
+  Status s = WriteOrPrint(SerializeAnnotations(*ann), args.Get("-o"),
+                          "annotations");
+  return s.ok() ? 0 : Fail(s);
+}
+
+Result<Algorithm> ParseAlgorithm(const Args& args) {
+  const std::string* g = args.Get("-g");
+  if (g == nullptr || *g == "balance") return Algorithm::kBalanceSummary;
+  if (*g == "importance") return Algorithm::kMaxImportance;
+  if (*g == "coverage") return Algorithm::kMaxCoverage;
+  return Status::InvalidArgument("unknown algorithm '" + *g +
+                                 "' (balance|importance|coverage)");
+}
+
+int CmdSummarize(const Args& args) {
+  if (args.positional.empty() || args.Get("-k") == nullptr) return Usage();
+  auto schema = ReadSchemaFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status());
+  auto k = ParseInt64(*args.Get("-k"));
+  if (!k.ok() || *k <= 0) {
+    return Fail(Status::InvalidArgument("-k needs a positive integer"));
+  }
+  Annotations ann = Annotations::Uniform(*schema);
+  if (const std::string* apath = args.Get("-a")) {
+    auto loaded = ReadAnnotationsFile(*schema, *apath);
+    if (!loaded.ok()) return Fail(loaded.status());
+    ann = std::move(*loaded);
+  } else {
+    std::fprintf(stderr,
+                 "ssum: no annotations given; falling back to uniform "
+                 "(schema-driven) statistics\n");
+  }
+  Algorithm alg;
+  {
+    auto parsed = ParseAlgorithm(args);
+    if (!parsed.ok()) return Fail(parsed.status());
+    alg = *parsed;
+  }
+  auto summary = Summarize(*schema, ann, static_cast<size_t>(*k), alg);
+  if (!summary.ok()) return Fail(summary.status());
+  std::fprintf(stderr, "ssum: %s selected:\n", AlgorithmName(alg));
+  for (ElementId a : summary->abstract_elements) {
+    std::fprintf(stderr, "  %-55s (%zu elements)\n",
+                 schema->PathOf(a).c_str(), summary->Group(a).size());
+  }
+  if (const std::string* dot = args.Get("--dot")) {
+    Status s = WriteOrPrint(ExportSummaryDot(*summary), dot, "summary DOT");
+    if (!s.ok()) return Fail(s);
+  }
+  Status s = WriteOrPrint(SerializeSummary(*summary), args.Get("-o"),
+                          "summary");
+  return s.ok() ? 0 : Fail(s);
+}
+
+int CmdDot(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto schema = ReadSchemaFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status());
+  DotOptions options;
+  options.hide_simple = args.Get("--hide-simple") != nullptr;
+  if (const std::string* d = args.Get("--max-depth")) {
+    auto depth = ParseInt64(*d);
+    if (!depth.ok() || *depth < 0) {
+      return Fail(Status::InvalidArgument("--max-depth needs an integer"));
+    }
+    options.max_depth = static_cast<uint32_t>(*depth);
+  }
+  Status s = WriteOrPrint(ExportDot(*schema, options), args.Get("-o"), "DOT");
+  return s.ok() ? 0 : Fail(s);
+}
+
+int CmdDiscover(const Args& args) {
+  if (args.positional.size() < 3) return Usage();
+  auto schema = ReadSchemaFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status());
+  auto summary = ReadSummaryFile(*schema, args.positional[1]);
+  if (!summary.ok()) return Fail(summary.status());
+  std::vector<std::string> paths(args.positional.begin() + 2,
+                                 args.positional.end());
+  auto intention = MakeIntention(*schema, "cli", paths);
+  if (!intention.ok()) return Fail(intention.status());
+  DiscoveryOracle oracle(*schema);
+  DiscoveryResult without =
+      Discover(oracle, *intention, TraversalStrategy::kBestFirst);
+  DiscoveryResult with = DiscoverWithSummary(oracle, *summary, *intention);
+  std::printf("best-first without summary: cost %llu\n",
+              static_cast<unsigned long long>(without.cost));
+  std::printf("best-first with summary:    cost %llu\n",
+              static_cast<unsigned long long>(with.cost));
+  auto skeleton = FormulateXQuerySkeleton(*schema, *intention);
+  if (skeleton.ok()) {
+    std::printf("\nXQuery skeleton:\n%s\n", skeleton->c_str());
+  }
+  return 0;
+}
+
+int CmdRelational(const Args& args) {
+  if (args.positional.empty() || args.Get("-k") == nullptr) return Usage();
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    return Fail(Status::IoError("cannot open '" + args.positional[0] + "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto catalog = ParseDdl(buf.str());
+  if (!catalog.ok()) return Fail(catalog.status());
+  auto mapping = BuildRelationalSchema(*catalog);
+  if (!mapping.ok()) return Fail(mapping.status());
+  std::fprintf(stderr, "ssum: %zu tables -> %zu schema elements, %zu FKs\n",
+               catalog->tables().size(), mapping->graph.size(),
+               mapping->graph.value_links().size());
+  auto k = ParseInt64(*args.Get("-k"));
+  if (!k.ok() || *k <= 0) {
+    return Fail(Status::InvalidArgument("-k needs a positive integer"));
+  }
+  Annotations ann = Annotations::Uniform(mapping->graph);
+  CsvOptions csv;
+  if (const std::string* dialect = args.Get("--dialect")) {
+    if (*dialect == "pipe") {
+      csv.delimiter = '|';
+      csv.header = false;
+      csv.allow_quotes = false;
+    } else if (*dialect != "csv") {
+      return Fail(Status::InvalidArgument("--dialect must be csv or pipe"));
+    }
+  }
+  if (const std::string* dir = args.Get("--data")) {
+    // Load <dir>/<table>.csv for every table; missing files are empty
+    // relations.
+    Database db(&*catalog);
+    for (size_t t = 0; t < catalog->tables().size(); ++t) {
+      std::string path = *dir + "/" + catalog->tables()[t].name + ".csv";
+      std::ifstream table_in(path);
+      if (!table_in) {
+        std::fprintf(stderr, "ssum: %s missing; treating as empty\n",
+                     path.c_str());
+        continue;
+      }
+      Status s = LoadCsvFile(path, &db.table(t), csv);
+      if (!s.ok()) return Fail(s.WithContext(path));
+      std::fprintf(stderr, "ssum: %-12s %8zu rows\n",
+                   catalog->tables()[t].name.c_str(), db.table(t).num_rows());
+    }
+    RelationalInstanceStream stream(&*mapping, &db);
+    auto annotated = AnnotateSchema(stream);
+    if (!annotated.ok()) return Fail(annotated.status());
+    ann = std::move(*annotated);
+  } else {
+    std::fprintf(stderr,
+                 "ssum: no --data directory; using uniform statistics\n");
+  }
+  auto summary = Summarize(mapping->graph, ann, static_cast<size_t>(*k));
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("size-%lld summary:\n", static_cast<long long>(*k));
+  for (ElementId a : summary->abstract_elements) {
+    std::printf("  %-30s represents %zu elements\n",
+                mapping->graph.label(a).c_str(), summary->Group(a).size());
+  }
+  return 0;
+}
+
+int CmdDemo(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& name = args.positional[0];
+  DatasetKind kind;
+  if (name == "xmark") kind = DatasetKind::kXMark;
+  else if (name == "tpch") kind = DatasetKind::kTpch;
+  else if (name == "mimi") kind = DatasetKind::kMimi;
+  else return Usage();
+  size_t k = 10;
+  if (const std::string* kflag = args.Get("-k")) {
+    auto parsed = ParseInt64(*kflag);
+    if (!parsed.ok() || *parsed <= 0) {
+      return Fail(Status::InvalidArgument("-k needs a positive integer"));
+    }
+    k = static_cast<size_t>(*parsed);
+  }
+  // A reduced scale keeps the demo instant; RCs are scale-invariant.
+  auto bundle = LoadDataset(kind, 0.05);
+  if (!bundle.ok()) return Fail(bundle.status());
+  std::printf("%s: %zu schema elements, %s data nodes, %zu queries\n",
+              bundle->name.c_str(), bundle->schema.size(),
+              FormatWithCommas(static_cast<int64_t>(bundle->data_elements))
+                  .c_str(),
+              bundle->workload.size());
+  SummarizerContext context(bundle->schema, bundle->annotations);
+  auto summary = Summarize(context, k);
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("\nsize-%zu BalanceSummary:\n", k);
+  for (ElementId a : summary->abstract_elements) {
+    std::printf("  %-55s (%zu elements, importance %.0f)\n",
+                bundle->schema.PathOf(a).c_str(), summary->Group(a).size(),
+                context.importance().importance[a]);
+  }
+  DiscoveryOracle oracle(bundle->schema);
+  double best = AverageDiscoveryCost(oracle, bundle->workload,
+                                     TraversalStrategy::kBestFirst);
+  double with =
+      AverageDiscoveryCostWithSummary(oracle, *summary, bundle->workload);
+  std::printf(
+      "\nquery discovery over the %zu-query workload:\n"
+      "  best-first   %.2f\n  with summary %.2f  (saving %.1f%%)\n",
+      bundle->workload.size(), best, with,
+      best > 0 ? 100.0 * (1.0 - with / best) : 0.0);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  const std::vector<std::string> value_flags = {
+      "-o", "-k", "-a", "-g", "--max-depth", "--dot", "--data", "--dialect"};
+  Args args = Args::Parse(argc, argv, 2, value_flags);
+  if (cmd == "infer") return CmdInfer(args);
+  if (cmd == "annotate") return CmdAnnotate(args);
+  if (cmd == "summarize") return CmdSummarize(args);
+  if (cmd == "dot") return CmdDot(args);
+  if (cmd == "relational") return CmdRelational(args);
+  if (cmd == "discover") return CmdDiscover(args);
+  if (cmd == "demo") return CmdDemo(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ssum
+
+int main(int argc, char** argv) { return ssum::Main(argc, argv); }
