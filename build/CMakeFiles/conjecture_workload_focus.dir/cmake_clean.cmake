@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjecture_workload_focus.dir/bench/conjecture_workload_focus.cpp.o"
+  "CMakeFiles/conjecture_workload_focus.dir/bench/conjecture_workload_focus.cpp.o.d"
+  "bench/conjecture_workload_focus"
+  "bench/conjecture_workload_focus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjecture_workload_focus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for conjecture_workload_focus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_summary_size.dir/bench/fig8_summary_size.cpp.o"
+  "CMakeFiles/fig8_summary_size.dir/bench/fig8_summary_size.cpp.o.d"
+  "bench/fig8_summary_size"
+  "bench/fig8_summary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_summary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

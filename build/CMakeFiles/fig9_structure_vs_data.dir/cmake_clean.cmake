@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_structure_vs_data.dir/bench/fig9_structure_vs_data.cpp.o"
+  "CMakeFiles/fig9_structure_vs_data.dir/bench/fig9_structure_vs_data.cpp.o.d"
+  "bench/fig9_structure_vs_data"
+  "bench/fig9_structure_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_structure_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssum-cli.dir/tools/ssum_cli.cpp.o"
+  "CMakeFiles/ssum-cli.dir/tools/ssum_cli.cpp.o.d"
+  "ssum"
+  "ssum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssum-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

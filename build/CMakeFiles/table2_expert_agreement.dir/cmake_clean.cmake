@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_expert_agreement.dir/bench/table2_expert_agreement.cpp.o"
+  "CMakeFiles/table2_expert_agreement.dir/bench/table2_expert_agreement.cpp.o.d"
+  "bench/table2_expert_agreement"
+  "bench/table2_expert_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_expert_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

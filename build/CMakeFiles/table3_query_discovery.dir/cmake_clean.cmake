@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_query_discovery.dir/bench/table3_query_discovery.cpp.o"
+  "CMakeFiles/table3_query_discovery.dir/bench/table3_query_discovery.cpp.o.d"
+  "bench/table3_query_discovery"
+  "bench/table3_query_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_query_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

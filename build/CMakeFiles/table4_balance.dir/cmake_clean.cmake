@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_balance.dir/bench/table4_balance.cpp.o"
+  "CMakeFiles/table4_balance.dir/bench/table4_balance.cpp.o.d"
+  "bench/table4_balance"
+  "bench/table4_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

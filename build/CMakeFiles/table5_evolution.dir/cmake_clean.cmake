@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_evolution.dir/bench/table5_evolution.cpp.o"
+  "CMakeFiles/table5_evolution.dir/bench/table5_evolution.cpp.o.d"
+  "bench/table5_evolution"
+  "bench/table5_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_er_baselines.dir/bench/table6_er_baselines.cpp.o"
+  "CMakeFiles/table6_er_baselines.dir/bench/table6_er_baselines.cpp.o.d"
+  "bench/table6_er_baselines"
+  "bench/table6_er_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_er_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

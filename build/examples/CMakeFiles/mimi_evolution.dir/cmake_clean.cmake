@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimi_evolution.dir/mimi_evolution.cpp.o"
+  "CMakeFiles/mimi_evolution.dir/mimi_evolution.cpp.o.d"
+  "mimi_evolution"
+  "mimi_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimi_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_relational.dir/tpch_relational.cpp.o"
+  "CMakeFiles/tpch_relational.dir/tpch_relational.cpp.o.d"
+  "tpch_relational"
+  "tpch_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

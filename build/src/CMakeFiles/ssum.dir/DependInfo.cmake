@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cafp.cc" "src/CMakeFiles/ssum.dir/baselines/cafp.cc.o" "gcc" "src/CMakeFiles/ssum.dir/baselines/cafp.cc.o.d"
+  "/root/repo/src/baselines/semantic_labels.cc" "src/CMakeFiles/ssum.dir/baselines/semantic_labels.cc.o" "gcc" "src/CMakeFiles/ssum.dir/baselines/semantic_labels.cc.o.d"
+  "/root/repo/src/baselines/twbk.cc" "src/CMakeFiles/ssum.dir/baselines/twbk.cc.o" "gcc" "src/CMakeFiles/ssum.dir/baselines/twbk.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ssum.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ssum.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/ssum.dir/common/random.cc.o" "gcc" "src/CMakeFiles/ssum.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ssum.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ssum.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/ssum.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/ssum.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/affinity.cc" "src/CMakeFiles/ssum.dir/core/affinity.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/affinity.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/CMakeFiles/ssum.dir/core/coverage.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/coverage.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/ssum.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/importance.cc" "src/CMakeFiles/ssum.dir/core/importance.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/importance.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/ssum.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/multilevel.cc" "src/CMakeFiles/ssum.dir/core/multilevel.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/multilevel.cc.o.d"
+  "/root/repo/src/core/path_engine.cc" "src/CMakeFiles/ssum.dir/core/path_engine.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/path_engine.cc.o.d"
+  "/root/repo/src/core/summarize.cc" "src/CMakeFiles/ssum.dir/core/summarize.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/summarize.cc.o.d"
+  "/root/repo/src/core/summary.cc" "src/CMakeFiles/ssum.dir/core/summary.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/summary.cc.o.d"
+  "/root/repo/src/core/summary_io.cc" "src/CMakeFiles/ssum.dir/core/summary_io.cc.o" "gcc" "src/CMakeFiles/ssum.dir/core/summary_io.cc.o.d"
+  "/root/repo/src/datasets/experts.cc" "src/CMakeFiles/ssum.dir/datasets/experts.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/experts.cc.o.d"
+  "/root/repo/src/datasets/mimi.cc" "src/CMakeFiles/ssum.dir/datasets/mimi.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/mimi.cc.o.d"
+  "/root/repo/src/datasets/mimi_queries.cc" "src/CMakeFiles/ssum.dir/datasets/mimi_queries.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/mimi_queries.cc.o.d"
+  "/root/repo/src/datasets/registry.cc" "src/CMakeFiles/ssum.dir/datasets/registry.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/registry.cc.o.d"
+  "/root/repo/src/datasets/tpch.cc" "src/CMakeFiles/ssum.dir/datasets/tpch.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/tpch.cc.o.d"
+  "/root/repo/src/datasets/tpch_queries.cc" "src/CMakeFiles/ssum.dir/datasets/tpch_queries.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/tpch_queries.cc.o.d"
+  "/root/repo/src/datasets/xmark.cc" "src/CMakeFiles/ssum.dir/datasets/xmark.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/xmark.cc.o.d"
+  "/root/repo/src/datasets/xmark_queries.cc" "src/CMakeFiles/ssum.dir/datasets/xmark_queries.cc.o" "gcc" "src/CMakeFiles/ssum.dir/datasets/xmark_queries.cc.o.d"
+  "/root/repo/src/eval/agreement.cc" "src/CMakeFiles/ssum.dir/eval/agreement.cc.o" "gcc" "src/CMakeFiles/ssum.dir/eval/agreement.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/ssum.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/ssum.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/summary_diff.cc" "src/CMakeFiles/ssum.dir/eval/summary_diff.cc.o" "gcc" "src/CMakeFiles/ssum.dir/eval/summary_diff.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/ssum.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/ssum.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/instance/conformance.cc" "src/CMakeFiles/ssum.dir/instance/conformance.cc.o" "gcc" "src/CMakeFiles/ssum.dir/instance/conformance.cc.o.d"
+  "/root/repo/src/instance/data_tree.cc" "src/CMakeFiles/ssum.dir/instance/data_tree.cc.o" "gcc" "src/CMakeFiles/ssum.dir/instance/data_tree.cc.o.d"
+  "/root/repo/src/instance/event_stream.cc" "src/CMakeFiles/ssum.dir/instance/event_stream.cc.o" "gcc" "src/CMakeFiles/ssum.dir/instance/event_stream.cc.o.d"
+  "/root/repo/src/instance/materialize.cc" "src/CMakeFiles/ssum.dir/instance/materialize.cc.o" "gcc" "src/CMakeFiles/ssum.dir/instance/materialize.cc.o.d"
+  "/root/repo/src/instance/random_instance.cc" "src/CMakeFiles/ssum.dir/instance/random_instance.cc.o" "gcc" "src/CMakeFiles/ssum.dir/instance/random_instance.cc.o.d"
+  "/root/repo/src/query/discovery.cc" "src/CMakeFiles/ssum.dir/query/discovery.cc.o" "gcc" "src/CMakeFiles/ssum.dir/query/discovery.cc.o.d"
+  "/root/repo/src/query/exploration.cc" "src/CMakeFiles/ssum.dir/query/exploration.cc.o" "gcc" "src/CMakeFiles/ssum.dir/query/exploration.cc.o.d"
+  "/root/repo/src/query/formulate.cc" "src/CMakeFiles/ssum.dir/query/formulate.cc.o" "gcc" "src/CMakeFiles/ssum.dir/query/formulate.cc.o.d"
+  "/root/repo/src/query/generate_workload.cc" "src/CMakeFiles/ssum.dir/query/generate_workload.cc.o" "gcc" "src/CMakeFiles/ssum.dir/query/generate_workload.cc.o.d"
+  "/root/repo/src/query/intention.cc" "src/CMakeFiles/ssum.dir/query/intention.cc.o" "gcc" "src/CMakeFiles/ssum.dir/query/intention.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/CMakeFiles/ssum.dir/query/workload.cc.o" "gcc" "src/CMakeFiles/ssum.dir/query/workload.cc.o.d"
+  "/root/repo/src/relational/bridge.cc" "src/CMakeFiles/ssum.dir/relational/bridge.cc.o" "gcc" "src/CMakeFiles/ssum.dir/relational/bridge.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/CMakeFiles/ssum.dir/relational/catalog.cc.o" "gcc" "src/CMakeFiles/ssum.dir/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/ssum.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/ssum.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/ddl.cc" "src/CMakeFiles/ssum.dir/relational/ddl.cc.o" "gcc" "src/CMakeFiles/ssum.dir/relational/ddl.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/ssum.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/ssum.dir/relational/table.cc.o.d"
+  "/root/repo/src/schema/dot_export.cc" "src/CMakeFiles/ssum.dir/schema/dot_export.cc.o" "gcc" "src/CMakeFiles/ssum.dir/schema/dot_export.cc.o.d"
+  "/root/repo/src/schema/schema_builder.cc" "src/CMakeFiles/ssum.dir/schema/schema_builder.cc.o" "gcc" "src/CMakeFiles/ssum.dir/schema/schema_builder.cc.o.d"
+  "/root/repo/src/schema/schema_graph.cc" "src/CMakeFiles/ssum.dir/schema/schema_graph.cc.o" "gcc" "src/CMakeFiles/ssum.dir/schema/schema_graph.cc.o.d"
+  "/root/repo/src/schema/schema_io.cc" "src/CMakeFiles/ssum.dir/schema/schema_io.cc.o" "gcc" "src/CMakeFiles/ssum.dir/schema/schema_io.cc.o.d"
+  "/root/repo/src/schema/type.cc" "src/CMakeFiles/ssum.dir/schema/type.cc.o" "gcc" "src/CMakeFiles/ssum.dir/schema/type.cc.o.d"
+  "/root/repo/src/schema/validate.cc" "src/CMakeFiles/ssum.dir/schema/validate.cc.o" "gcc" "src/CMakeFiles/ssum.dir/schema/validate.cc.o.d"
+  "/root/repo/src/stats/annotate.cc" "src/CMakeFiles/ssum.dir/stats/annotate.cc.o" "gcc" "src/CMakeFiles/ssum.dir/stats/annotate.cc.o.d"
+  "/root/repo/src/stats/annotations_io.cc" "src/CMakeFiles/ssum.dir/stats/annotations_io.cc.o" "gcc" "src/CMakeFiles/ssum.dir/stats/annotations_io.cc.o.d"
+  "/root/repo/src/xml/infer_schema.cc" "src/CMakeFiles/ssum.dir/xml/infer_schema.cc.o" "gcc" "src/CMakeFiles/ssum.dir/xml/infer_schema.cc.o.d"
+  "/root/repo/src/xml/instance_bridge.cc" "src/CMakeFiles/ssum.dir/xml/instance_bridge.cc.o" "gcc" "src/CMakeFiles/ssum.dir/xml/instance_bridge.cc.o.d"
+  "/root/repo/src/xml/lexer.cc" "src/CMakeFiles/ssum.dir/xml/lexer.cc.o" "gcc" "src/CMakeFiles/ssum.dir/xml/lexer.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/ssum.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/ssum.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/ssum.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/ssum.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

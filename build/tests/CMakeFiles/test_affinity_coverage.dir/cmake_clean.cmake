@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affinity_coverage.dir/test_affinity_coverage.cc.o"
+  "CMakeFiles/test_affinity_coverage.dir/test_affinity_coverage.cc.o.d"
+  "test_affinity_coverage"
+  "test_affinity_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affinity_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annotate.dir/test_annotate.cc.o"
+  "CMakeFiles/test_annotate.dir/test_annotate.cc.o.d"
+  "test_annotate"
+  "test_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

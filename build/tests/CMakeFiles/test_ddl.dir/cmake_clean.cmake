@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddl.dir/test_ddl.cc.o"
+  "CMakeFiles/test_ddl.dir/test_ddl.cc.o.d"
+  "test_ddl"
+  "test_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

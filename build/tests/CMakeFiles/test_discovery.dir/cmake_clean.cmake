@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discovery.dir/test_discovery.cc.o"
+  "CMakeFiles/test_discovery.dir/test_discovery.cc.o.d"
+  "test_discovery"
+  "test_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dominance.dir/test_dominance.cc.o"
+  "CMakeFiles/test_dominance.dir/test_dominance.cc.o.d"
+  "test_dominance"
+  "test_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formulate.dir/test_formulate.cc.o"
+  "CMakeFiles/test_formulate.dir/test_formulate.cc.o.d"
+  "test_formulate"
+  "test_formulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_materialize.dir/test_materialize.cc.o"
+  "CMakeFiles/test_materialize.dir/test_materialize.cc.o.d"
+  "test_materialize"
+  "test_materialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_materialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilevel_discovery.dir/test_multilevel_discovery.cc.o"
+  "CMakeFiles/test_multilevel_discovery.dir/test_multilevel_discovery.cc.o.d"
+  "test_multilevel_discovery"
+  "test_multilevel_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilevel_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

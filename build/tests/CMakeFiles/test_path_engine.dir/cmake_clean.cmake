@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_engine.dir/test_path_engine.cc.o"
+  "CMakeFiles/test_path_engine.dir/test_path_engine.cc.o.d"
+  "test_path_engine"
+  "test_path_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summarize.dir/test_summarize.cc.o"
+  "CMakeFiles/test_summarize.dir/test_summarize.cc.o.d"
+  "test_summarize"
+  "test_summarize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
