@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/metrics.h"
 #include "core/summarize.h"
@@ -138,7 +139,8 @@ int SweepConvergenceThreshold(const DatasetBundle& bundle) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   auto bundle = LoadDataset(DatasetKind::kMimi, 0.2);
   if (!bundle.ok()) {
     std::fprintf(stderr, "load failed: %s\n",

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/summarize.h"
 #include "datasets/registry.h"
@@ -20,7 +21,8 @@
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   const double focuses[] = {0.0, 0.25, 0.5, 0.75, 1.0};
   TablePrinter table({"focus", "XMark saving%", "TPC-H saving%",
                       "MiMI saving%"});

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/multilevel.h"
 #include "core/summarize.h"
@@ -14,7 +15,8 @@
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   TablePrinter table({"dataset", "flat k=6", "flat k=18", "two-level 18->6",
                       "best-first (no summary)"});
   for (DatasetKind kind : {DatasetKind::kXMark, DatasetKind::kMimi}) {

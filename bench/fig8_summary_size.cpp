@@ -3,12 +3,14 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "eval/experiment.h"
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   auto bundle = LoadDataset(DatasetKind::kMimi);
   if (!bundle.ok()) {
     std::fprintf(stderr, "MiMI load failed: %s\n",

@@ -5,13 +5,15 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   std::vector<StructureVsDataRow> rows;
   for (DatasetKind kind :
        {DatasetKind::kXMark, DatasetKind::kTpch, DatasetKind::kMimi}) {

@@ -1,12 +1,21 @@
 // Performance microbenchmarks (google-benchmark):
 //  - annotateSchema throughput vs database size (the paper's linearity claim)
 //  - importance iteration cost vs neighborhood factor p
-//  - affinity / coverage matrix construction, and the walk-bound ablation
+//  - affinity / coverage matrix construction, walk-bound and thread ablations
 //  - dominance computation
 //  - end-to-end summarize latency (the paper: "within 5 minutes")
+//
+// Emits machine-readable JSON via the standard google-benchmark flags
+// (--benchmark_out=<path> --benchmark_out_format=json); bench/run_bench.sh
+// wires this up to track the perf trajectory across PRs. A --threads N flag
+// (or SSUM_THREADS) sets the default worker count for the parallel kernels;
+// the *Threads benchmarks override it per-run.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "common/parallel.h"
 #include "core/summarize.h"
 #include "datasets/mimi.h"
 #include "datasets/xmark.h"
@@ -37,13 +46,19 @@ const XMarkDataset& SharedXMark(double sf) {
   return *large;
 }
 
-const Annotations& SharedAnnotations() {
-  static Annotations* ann = [] {
-    auto stream = SharedXMark(0.05).MakeStream();
+/// Annotations for the XMark instance at `sf`, cached per scale factor so a
+/// benchmark never silently reads statistics from a different scale than the
+/// dataset it runs on.
+const Annotations& SharedAnnotations(double sf) {
+  static std::map<double, Annotations*>* cache =
+      new std::map<double, Annotations*>();
+  auto it = cache->find(sf);
+  if (it == cache->end()) {
+    auto stream = SharedXMark(sf).MakeStream();
     auto res = AnnotateSchema(*stream);
-    return new Annotations(std::move(*res));
-  }();
-  return *ann;
+    it = cache->emplace(sf, new Annotations(std::move(*res))).first;
+  }
+  return *it->second;
 }
 
 void BM_AnnotateSchema(benchmark::State& state) {
@@ -67,7 +82,7 @@ BENCHMARK(BM_AnnotateSchema)->Arg(1)->Arg(5)->Arg(25)
 
 void BM_Importance(benchmark::State& state) {
   const XMarkDataset& ds = SharedXMark(0.05);
-  const Annotations& ann = SharedAnnotations();
+  const Annotations& ann = SharedAnnotations(0.05);
   EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
   ImportanceOptions opts;
   opts.neighborhood_factor = static_cast<double>(state.range(0)) / 100.0;
@@ -84,7 +99,8 @@ BENCHMARK(BM_Importance)->Arg(10)->Arg(50)->Arg(90)
 
 void BM_AffinityMatrix(benchmark::State& state) {
   const XMarkDataset& ds = SharedXMark(0.05);
-  EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), SharedAnnotations());
+  EdgeMetrics metrics =
+      EdgeMetrics::Compute(ds.schema(), SharedAnnotations(0.05));
   AffinityOptions opts;
   opts.max_steps = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
@@ -95,9 +111,27 @@ void BM_AffinityMatrix(benchmark::State& state) {
 BENCHMARK(BM_AffinityMatrix)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+/// Thread ablation of the row-parallel affinity kernel (arg = threads).
+void BM_AffinityMatrixThreads(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.25);
+  EdgeMetrics metrics =
+      EdgeMetrics::Compute(ds.schema(), SharedAnnotations(0.25));
+  AffinityOptions opts;
+  opts.max_steps = 16;
+  ParallelOptions parallel;
+  parallel.threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    AffinityMatrix m =
+        AffinityMatrix::Compute(ds.schema(), metrics, opts, parallel);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_AffinityMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CoverageMatrix(benchmark::State& state) {
   const XMarkDataset& ds = SharedXMark(0.05);
-  const Annotations& ann = SharedAnnotations();
+  const Annotations& ann = SharedAnnotations(0.05);
   EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
   CoverageOptions opts;
   opts.max_steps = static_cast<uint32_t>(state.range(0));
@@ -109,9 +143,26 @@ void BM_CoverageMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageMatrix)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
+/// Thread ablation of the row-parallel coverage kernel (arg = threads).
+void BM_CoverageMatrixThreads(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.25);
+  const Annotations& ann = SharedAnnotations(0.25);
+  EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
+  CoverageOptions opts;
+  ParallelOptions parallel;
+  parallel.threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    CoverageMatrix m =
+        CoverageMatrix::Compute(ds.schema(), ann, metrics, opts, parallel);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_CoverageMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Dominance(benchmark::State& state) {
   const XMarkDataset& ds = SharedXMark(0.05);
-  const Annotations& ann = SharedAnnotations();
+  const Annotations& ann = SharedAnnotations(0.05);
   EdgeMetrics metrics = EdgeMetrics::Compute(ds.schema(), ann);
   CoverageMatrix cov = CoverageMatrix::Compute(ds.schema(), ann, metrics);
   for (auto _ : state) {
@@ -123,13 +174,28 @@ BENCHMARK(BM_Dominance)->Unit(benchmark::kMillisecond);
 
 void BM_SummarizeEndToEnd(benchmark::State& state) {
   const XMarkDataset& ds = SharedXMark(0.05);
-  const Annotations& ann = SharedAnnotations();
+  const Annotations& ann = SharedAnnotations(0.05);
   for (auto _ : state) {
     auto summary = Summarize(ds.schema(), ann, 10);
     benchmark::DoNotOptimize(summary);
   }
 }
 BENCHMARK(BM_SummarizeEndToEnd)->Unit(benchmark::kMillisecond);
+
+/// End-to-end summarize with an explicit thread count (arg = threads).
+void BM_SummarizeEndToEndThreads(benchmark::State& state) {
+  const XMarkDataset& ds = SharedXMark(0.05);
+  const Annotations& ann = SharedAnnotations(0.05);
+  SummarizeOptions opts;
+  opts.parallel.threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto summary = Summarize(ds.schema(), ann, 10,
+                             Algorithm::kBalanceSummary, opts);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_SummarizeEndToEndThreads)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SummarizeMimi(benchmark::State& state) {
   static MimiDataset* ds = [] {
@@ -151,4 +217,13 @@ BENCHMARK(BM_SummarizeMimi)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so --threads can be consumed before
+// benchmark::Initialize rejects it as an unknown flag.
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

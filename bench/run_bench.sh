@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the perf benches and refreshes the checked-in perf-trajectory records:
+#   bench/BENCH_parallel.json — parallel_scaling speedups + determinism gate
+#   bench/BENCH_perf.json     — google-benchmark microbench suite (JSON)
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target parallel_scaling perf_microbench -j "$(nproc)"
+
+"$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
+
+"$BUILD/bench/perf_microbench" \
+  --benchmark_out="$ROOT/bench/BENCH_perf.json" \
+  --benchmark_out_format=json
+
+echo "perf trajectory updated:"
+echo "  $ROOT/bench/BENCH_parallel.json"
+echo "  $ROOT/bench/BENCH_perf.json"

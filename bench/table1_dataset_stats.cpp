@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/importance.h"
 #include "datasets/registry.h"
@@ -10,7 +11,8 @@
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   TablePrinter table({"", "XMark", "TPC-H", "MiMI"});
   std::vector<DatasetBundle> bundles;
   for (DatasetKind kind :

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "core/summarize.h"
 #include "datasets/experts.h"
 #include "eval/agreement.h"
@@ -56,7 +57,8 @@ int RunPanel(const char* title, const DatasetBundle& bundle,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   std::printf("Table 2: agreement between automatic and expert summaries\n\n");
   {
     auto bundle = LoadDataset(DatasetKind::kXMark);

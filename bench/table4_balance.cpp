@@ -4,13 +4,15 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   TablePrinter table({"Avg. cost", "XMark", "TPC-H", "MiMI"});
   std::vector<BalanceRow> rows;
   std::vector<std::string> prune_stats;

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/summarize.h"
 #include "datasets/registry.h"
@@ -11,7 +12,8 @@
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   const MimiVersion versions[] = {MimiVersion::kApr2004, MimiVersion::kJan2005,
                                   MimiVersion::kJan2006};
   const std::vector<size_t> sizes = {5, 10, 15};

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "baselines/cafp.h"
 #include "baselines/semantic_labels.h"
 #include "baselines/twbk.h"
@@ -13,7 +14,8 @@
 
 using namespace ssum;
 
-int main() {
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);  // --threads N
   auto bundle = LoadDataset(DatasetKind::kMimi);
   if (!bundle.ok()) {
     std::fprintf(stderr, "MiMI load failed: %s\n",

@@ -1,23 +1,30 @@
 #include "core/affinity.h"
 
+#include "common/logging.h"
+
 namespace ssum {
 
 AffinityMatrix AffinityMatrix::Compute(const SchemaGraph& graph,
                                        const EdgeMetrics& metrics,
-                                       const AffinityOptions& options) {
+                                       const AffinityOptions& options,
+                                       const ParallelOptions& parallel) {
   const size_t n = graph.size();
   AffinityMatrix out;
   out.m_ = SquareMatrix(n, 0.0);
   WalkSearchOptions walk;
   walk.max_steps = options.max_steps;
   walk.divide_by_steps = true;
-  for (ElementId src = 0; src < n; ++src) {
-    std::vector<double> row =
-        MaxProductWalks(graph, metrics.edge_affinity, src, walk);
-    double* dst = out.m_.Row(src);
-    for (size_t t = 0; t < n; ++t) dst[t] = row[t];
-    dst[src] = 1.0;  // Formula 2 special case
-  }
+  Status st = ParallelFor(
+      0, n, /*grain=*/4,
+      [&](size_t src) {
+        std::vector<double> row = MaxProductWalks(
+            graph, metrics.edge_affinity, static_cast<ElementId>(src), walk);
+        std::span<double> dst = out.m_.RowSpan(src);
+        for (size_t t = 0; t < n; ++t) dst[t] = row[t];
+        dst[src] = 1.0;  // Formula 2 special case
+      },
+      parallel.threads);
+  SSUM_CHECK(st.ok(), st.ToString());
   return out;
 }
 

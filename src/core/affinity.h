@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/parallel.h"
 #include "core/path_engine.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
@@ -26,9 +27,16 @@ class AffinityMatrix {
 
   size_t size() const { return m_.size(); }
 
+  /// Underlying dense storage (for byte-level determinism checks).
+  const SquareMatrix& matrix() const { return m_; }
+
+  /// Each source row is an independent MaxProductWalks, so rows are computed
+  /// in parallel per `parallel`; any thread count yields bit-identical
+  /// matrices (each row has exactly one writer, no reduction).
   static AffinityMatrix Compute(const SchemaGraph& graph,
                                 const EdgeMetrics& metrics,
-                                const AffinityOptions& options = {});
+                                const AffinityOptions& options = {},
+                                const ParallelOptions& parallel = {});
 
  private:
   SquareMatrix m_;

@@ -1,11 +1,14 @@
 #include "core/coverage.h"
 
+#include "common/logging.h"
+
 namespace ssum {
 
 CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
                                        const Annotations& annotations,
                                        const EdgeMetrics& metrics,
-                                       const CoverageOptions& options) {
+                                       const CoverageOptions& options,
+                                       const ParallelOptions& parallel) {
   const size_t n = graph.size();
   // Step factor for u -> v (adjacency entry i at u):
   //   edge_affinity(u->v) * W(v->u)
@@ -25,15 +28,21 @@ CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
   WalkSearchOptions walk;
   walk.max_steps = options.max_steps;
   walk.divide_by_steps = false;
-  for (ElementId src = 0; src < n; ++src) {
-    std::vector<double> row = MaxProductWalks(graph, factors, src, walk);
-    double* dst = out.m_.Row(src);
-    for (size_t t = 0; t < n; ++t) {
-      dst[t] = row[t] * static_cast<double>(annotations.card(
-                            static_cast<ElementId>(t)));
-    }
-    dst[src] = static_cast<double>(annotations.card(src));  // special case
-  }
+  Status st = ParallelFor(
+      0, n, /*grain=*/4,
+      [&](size_t src) {
+        std::vector<double> row = MaxProductWalks(
+            graph, factors, static_cast<ElementId>(src), walk);
+        std::span<double> dst = out.m_.RowSpan(src);
+        for (size_t t = 0; t < n; ++t) {
+          dst[t] = row[t] * static_cast<double>(annotations.card(
+                                static_cast<ElementId>(t)));
+        }
+        dst[src] = static_cast<double>(
+            annotations.card(static_cast<ElementId>(src)));  // special case
+      },
+      parallel.threads);
+  SSUM_CHECK(st.ok(), st.ToString());
   return out;
 }
 

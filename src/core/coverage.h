@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/parallel.h"
 #include "core/path_engine.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
@@ -27,10 +28,16 @@ class CoverageMatrix {
 
   size_t size() const { return m_.size(); }
 
+  /// Underlying dense storage (for byte-level determinism checks).
+  const SquareMatrix& matrix() const { return m_; }
+
+  /// Rows (one MaxProductWalks per source) are computed in parallel per
+  /// `parallel`; any thread count yields bit-identical matrices.
   static CoverageMatrix Compute(const SchemaGraph& graph,
                                 const Annotations& annotations,
                                 const EdgeMetrics& metrics,
-                                const CoverageOptions& options = {});
+                                const CoverageOptions& options = {},
+                                const ParallelOptions& parallel = {});
 
  private:
   SquareMatrix m_;

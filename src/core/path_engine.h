@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "schema/schema_graph.h"
@@ -42,17 +45,45 @@ std::vector<double> MaxProductWalks(const SchemaGraph& graph,
                                     ElementId source,
                                     const WalkSearchOptions& options);
 
-/// Dense square matrix helper used by the affinity/coverage caches.
+/// Dense square matrix helper used by the affinity/coverage caches. Rows are
+/// the unit of parallel writing (one owner per row, see common/parallel.h);
+/// the debug bounds assertions catch out-of-range accesses that would
+/// otherwise silently alias a neighboring row.
 class SquareMatrix {
  public:
   SquareMatrix() = default;
   SquareMatrix(size_t n, double fill) : n_(n), data_(n * n, fill) {}
 
-  double At(size_t row, size_t col) const { return data_[row * n_ + col]; }
-  void Set(size_t row, size_t col, double v) { data_[row * n_ + col] = v; }
-  double* Row(size_t row) { return data_.data() + row * n_; }
-  const double* Row(size_t row) const { return data_.data() + row * n_; }
+  double At(size_t row, size_t col) const {
+    assert(row < n_ && col < n_);
+    return data_[row * n_ + col];
+  }
+  void Set(size_t row, size_t col, double v) {
+    assert(row < n_ && col < n_);
+    data_[row * n_ + col] = v;
+  }
+  double* Row(size_t row) {
+    assert(row < n_);
+    return data_.data() + row * n_;
+  }
+  const double* Row(size_t row) const {
+    assert(row < n_);
+    return data_.data() + row * n_;
+  }
+  /// Bounds-checked row view; the preferred handle for parallel row writers.
+  std::span<double> RowSpan(size_t row) {
+    assert(row < n_);
+    return {data_.data() + row * n_, n_};
+  }
+  std::span<const double> RowSpan(size_t row) const {
+    assert(row < n_);
+    return {data_.data() + row * n_, n_};
+  }
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
   size_t size() const { return n_; }
+  /// Backing storage in row-major order (n*n entries) — byte-comparable for
+  /// the determinism checks in tests and benches.
+  const std::vector<double>& data() const { return data_; }
 
  private:
   size_t n_ = 0;

@@ -26,13 +26,34 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
     : graph_(&graph),
       annotations_(&annotations),
       options_(options),
-      metrics_(EdgeMetrics::Compute(graph, annotations)),
-      importance_(
-          ComputeImportance(graph, annotations, metrics_, options.importance)),
-      affinity_(AffinityMatrix::Compute(graph, metrics_, options.affinity)),
-      coverage_(CoverageMatrix::Compute(graph, annotations, metrics_,
-                                        options.coverage)),
-      dominance_(ComputeDominance(graph, annotations, coverage_)) {}
+      metrics_(EdgeMetrics::Compute(graph, annotations)) {
+  // Importance, affinity, and coverage depend only on EdgeMetrics; with more
+  // than one thread they build concurrently, each task writing one member.
+  // Each computation is internally deterministic, so the result is
+  // bit-identical to the serial order.
+  const ParallelOptions& parallel = options_.parallel;
+  Status st = ParallelFor(
+      0, 3, /*grain=*/1,
+      [&](size_t task) {
+        switch (task) {
+          case 0:
+            importance_ = ComputeImportance(graph, annotations, metrics_,
+                                            options_.importance);
+            break;
+          case 1:
+            affinity_ = AffinityMatrix::Compute(graph, metrics_,
+                                                options_.affinity, parallel);
+            break;
+          case 2:
+            coverage_ = CoverageMatrix::Compute(
+                graph, annotations, metrics_, options_.coverage, parallel);
+            break;
+        }
+      },
+      parallel.threads);
+  SSUM_CHECK(st.ok(), st.ToString());
+  dominance_ = ComputeDominance(graph, annotations, coverage_);
+}
 
 namespace {
 
@@ -47,39 +68,115 @@ Status CheckK(const SchemaGraph& graph, size_t k) {
   return Status::OK();
 }
 
-/// Enumerates k-subsets of `candidates` via lexicographic index vectors,
-/// tracking the best set under CoverageOfSet.
-std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
-                                        const std::vector<ElementId>& cands,
-                                        size_t k) {
+/// Advances a k-subset index vector over n candidates one step in
+/// lexicographic order. Returns false at the last combination.
+bool AdvanceCombination(std::vector<size_t>& idx, size_t n) {
+  const size_t k = idx.size();
+  size_t i = k;
+  while (i > 0) {
+    --i;
+    if (idx[i] != i + n - k) {
+      ++idx[i];
+      for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// C(n, k) exactly. Callers only pass arguments whose result is bounded by
+/// the enumeration budget, so the partial products (themselves binomials)
+/// cannot overflow.
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) result = result * (n - k + i) / i;
+  return result;
+}
+
+/// Index vector of the k-subset of n candidates with lexicographic rank
+/// `rank` (combinatorial number system). This is what lets the exact
+/// enumeration shard into contiguous rank ranges.
+std::vector<size_t> UnrankCombination(size_t n, size_t k, uint64_t rank) {
   std::vector<size_t> idx(k);
-  for (size_t i = 0; i < k; ++i) idx[i] = i;
-  std::vector<ElementId> best_set;
-  double best_cov = -1.0;
+  size_t next = 0;
+  for (size_t i = 0; i < k; ++i) {
+    size_t c = next;
+    for (;;) {
+      // Combinations that fix position i to candidate c.
+      uint64_t with_c = Binomial(n - 1 - c, k - 1 - i);
+      if (rank < with_c) break;
+      rank -= with_c;
+      ++c;
+    }
+    idx[i] = c;
+    next = c + 1;
+  }
+  return idx;
+}
+
+struct ShardBest {
+  double cov = -1.0;
+  std::vector<size_t> idx;  // lexicographic tie-break key
+};
+
+/// Evaluates `count` combinations in lexicographic order starting at `idx`,
+/// keeping the first maximum encountered (the serial rule).
+ShardBest ScanCombinations(const SummarizerContext& context,
+                           const std::vector<ElementId>& cands,
+                           std::vector<size_t> idx, uint64_t count) {
+  const size_t k = idx.size();
+  ShardBest best;
   std::vector<ElementId> cur(k);
-  const size_t n = cands.size();
-  for (;;) {
+  for (uint64_t it = 0; it < count; ++it) {
     for (size_t i = 0; i < k; ++i) cur[i] = cands[idx[i]];
     double cov = CoverageOfSet(context.graph(), context.affinity(),
                                context.coverage(), cur);
-    if (cov > best_cov) {
-      best_cov = cov;
-      best_set = cur;
+    if (cov > best.cov) {
+      best.cov = cov;
+      best.idx = idx;
     }
-    // Advance the combination.
-    size_t i = k;
-    while (i > 0) {
-      --i;
-      if (idx[i] != i + n - k) {
-        ++idx[i];
-        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
-        break;
-      }
-      if (i == 0) return best_set;
-    }
-    if (idx[0] > n - k) break;
+    if (!AdvanceCombination(idx, cands.size())) break;
   }
-  return best_set;
+  return best;
+}
+
+/// Exact enumeration of all `total` k-subsets of `cands`, sharded into
+/// contiguous lexicographic rank ranges scanned in parallel. Shard winners
+/// are reduced in rank order with ties broken toward the lexicographically
+/// smaller index vector — exactly the serial loop's "first maximum wins"
+/// rule, so every thread count selects the same set.
+std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
+                                        const std::vector<ElementId>& cands,
+                                        size_t k, uint64_t total) {
+  const size_t n = cands.size();
+  const uint64_t width = ResolveThreadCount(context.options().parallel.threads);
+  // ~8 shards per thread for balance; shard boundaries depend only on the
+  // total and the grain, and the reduction is order-independent, so the
+  // chunking never affects the selected set.
+  const uint64_t grain = std::max<uint64_t>(1, total / (width * 8) + 1);
+  std::vector<ShardBest> shards(ParallelNumChunks(0, total, grain));
+  Status st = ParallelForChunked(
+      0, static_cast<size_t>(total), static_cast<size_t>(grain),
+      [&](size_t shard, size_t rank_begin, size_t rank_end) {
+        shards[shard] =
+            ScanCombinations(context, cands, UnrankCombination(n, k, rank_begin),
+                             rank_end - rank_begin);
+      },
+      context.options().parallel.threads);
+  SSUM_CHECK(st.ok(), st.ToString());
+  ShardBest best;
+  for (const ShardBest& s : shards) {
+    if (s.idx.empty()) continue;
+    if (s.cov > best.cov ||
+        (s.cov == best.cov && (best.idx.empty() || s.idx < best.idx))) {
+      best = s;
+    }
+  }
+  std::vector<ElementId> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = cands[best.idx[i]];
+  return out;
 }
 
 std::vector<ElementId> GreedyMaxCoverage(const SummarizerContext& context,
@@ -88,18 +185,29 @@ std::vector<ElementId> GreedyMaxCoverage(const SummarizerContext& context,
   std::vector<ElementId> chosen;
   std::vector<bool> used(context.graph().size(), false);
   chosen.reserve(k);
+  std::vector<double> cov(cands.size());
   for (size_t round = 0; round < k; ++round) {
+    // Candidate insertions are independent within a round: evaluate them in
+    // parallel into per-candidate slots, then reduce in candidate order
+    // (identical to the serial loop's first-maximum rule).
+    Status st = ParallelFor(
+        0, cands.size(), /*grain=*/8,
+        [&](size_t i) {
+          if (used[cands[i]]) return;
+          std::vector<ElementId> trial = chosen;
+          trial.push_back(cands[i]);
+          cov[i] = CoverageOfSet(context.graph(), context.affinity(),
+                                 context.coverage(), trial);
+        },
+        context.options().parallel.threads);
+    SSUM_CHECK(st.ok(), st.ToString());
     ElementId best = kInvalidElement;
     double best_cov = -1.0;
-    for (ElementId c : cands) {
-      if (used[c]) continue;
-      chosen.push_back(c);
-      double cov = CoverageOfSet(context.graph(), context.affinity(),
-                                 context.coverage(), chosen);
-      chosen.pop_back();
-      if (cov > best_cov) {
-        best_cov = cov;
-        best = c;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (used[cands[i]]) continue;
+      if (cov[i] > best_cov) {
+        best_cov = cov[i];
+        best = cands[i];
       }
     }
     if (best == kInvalidElement) break;
@@ -158,7 +266,7 @@ Result<std::vector<ElementId>> SelectMaxCoverage(
   const uint64_t budget = context.options().max_coverage_enumeration_budget;
   uint64_t sets = BinomialCapped(cands.size(), k, budget);
   if (sets <= budget) {
-    return ExactMaxCoverage(context, cands, k);
+    return ExactMaxCoverage(context, cands, k, sets);
   }
   SSUM_LOG(kInfo) << "MaxCoverage: C(" << cands.size() << "," << k
                   << ") exceeds enumeration budget; using greedy search";

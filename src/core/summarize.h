@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "core/affinity.h"
 #include "core/coverage.h"
@@ -29,13 +30,23 @@ struct SummarizeOptions {
   CoverageOptions coverage;
   /// MaxCoverage enumerates all C(|CS|, K) candidate sets exactly when the
   /// count is at most this budget; otherwise it falls back to a greedy
-  /// marginal-coverage maximizer (DESIGN.md interpretation notes).
-  uint64_t max_coverage_enumeration_budget = 20000;
+  /// marginal-coverage maximizer (DESIGN.md interpretation notes). The
+  /// enumeration is sharded across threads (rank-range decomposition with a
+  /// deterministic reduction), which is what makes a budget this size
+  /// practical; it was 20000 when the scan was serial.
+  uint64_t max_coverage_enumeration_budget = 200000;
+  /// Thread count for the parallel kernels (matrix construction, MaxCoverage
+  /// enumeration, concurrent context build). Results are bit-identical for
+  /// every thread count; see docs/performance.md.
+  ParallelOptions parallel;
 };
 
 /// Shared per-schema computation cache. All algorithm entry points accept a
 /// prepared context so that repeated summarizations (size sweeps, parameter
-/// studies) reuse the expensive matrices.
+/// studies) reuse the expensive matrices. With more than one thread the
+/// importance iteration and the two all-pairs matrices are computed
+/// concurrently once EdgeMetrics is ready (they only depend on it);
+/// dominance follows after coverage.
 class SummarizerContext {
  public:
   SummarizerContext(const SchemaGraph& graph, const Annotations& annotations,

@@ -456,27 +456,46 @@ DiscoveryResult DiscoverWithMultiLevel(const DiscoveryOracle& oracle,
   return {s.cost, s.visits, s.done(), std::move(s.trace)};
 }
 
+namespace {
+
+/// Shared parallel-average shell: evaluates cost(q) for every query into a
+/// per-query slot, then sums in query order (the serial accumulation order,
+/// so the floating-point result is bit-identical for any thread count).
+double AverageQueryCost(
+    const Workload& workload, const ParallelOptions& parallel,
+    const std::function<uint64_t(const QueryIntention&)>& cost) {
+  if (workload.queries.empty()) return 0;
+  std::vector<double> costs(workload.queries.size());
+  Status st = ParallelFor(
+      0, workload.queries.size(), /*grain=*/4,
+      [&](size_t i) {
+        costs[i] = static_cast<double>(cost(workload.queries[i]));
+      },
+      parallel.threads);
+  SSUM_CHECK(st.ok(), st.ToString());
+  double total = 0;
+  for (double c : costs) total += c;
+  return total / static_cast<double>(workload.queries.size());
+}
+
+}  // namespace
+
 double AverageDiscoveryCost(const DiscoveryOracle& oracle,
                             const Workload& workload,
-                            TraversalStrategy strategy) {
-  if (workload.queries.empty()) return 0;
-  double total = 0;
-  for (const QueryIntention& q : workload.queries) {
-    total += static_cast<double>(Discover(oracle, q, strategy).cost);
-  }
-  return total / static_cast<double>(workload.queries.size());
+                            TraversalStrategy strategy,
+                            const ParallelOptions& parallel) {
+  return AverageQueryCost(workload, parallel, [&](const QueryIntention& q) {
+    return Discover(oracle, q, strategy).cost;
+  });
 }
 
 double AverageDiscoveryCostWithSummary(const DiscoveryOracle& oracle,
                                        const SchemaSummary& summary,
-                                       const Workload& workload) {
-  if (workload.queries.empty()) return 0;
-  double total = 0;
-  for (const QueryIntention& q : workload.queries) {
-    total +=
-        static_cast<double>(DiscoverWithSummary(oracle, summary, q).cost);
-  }
-  return total / static_cast<double>(workload.queries.size());
+                                       const Workload& workload,
+                                       const ParallelOptions& parallel) {
+  return AverageQueryCost(workload, parallel, [&](const QueryIntention& q) {
+    return DiscoverWithSummary(oracle, summary, q).cost;
+  });
 }
 
 }  // namespace ssum

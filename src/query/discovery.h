@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "core/summary.h"
 #include "query/intention.h"
@@ -88,14 +89,20 @@ DiscoveryResult DiscoverWithMultiLevel(
     const std::vector<struct SummaryLevel>& levels,
     const QueryIntention& intention);
 
-/// Average cost over a workload (raw schema).
+/// Average cost over a workload (raw schema). Queries are independent
+/// sessions, so they are evaluated in parallel per `parallel`; per-query
+/// costs land in preassigned slots and are summed in query order, making the
+/// average bit-identical for every thread count.
 double AverageDiscoveryCost(const DiscoveryOracle& oracle,
                             const Workload& workload,
-                            TraversalStrategy strategy);
+                            TraversalStrategy strategy,
+                            const ParallelOptions& parallel = {});
 
-/// Average cost over a workload (with summary).
+/// Average cost over a workload (with summary); same parallel evaluation
+/// and determinism contract as AverageDiscoveryCost.
 double AverageDiscoveryCostWithSummary(const DiscoveryOracle& oracle,
                                        const SchemaSummary& summary,
-                                       const Workload& workload);
+                                       const Workload& workload,
+                                       const ParallelOptions& parallel = {});
 
 }  // namespace ssum

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/affinity.h"
 #include "core/coverage.h"
 #include "core/path_engine.h"
+#include "datasets/registry.h"
 #include "schema/schema_builder.h"
 #include "stats/annotate.h"
 
@@ -194,6 +197,55 @@ TEST(CoverageTest, CompetitionReducesCoverage) {
       many, ann_many, EdgeMetrics::Compute(many, ann_many));
   EXPECT_GT(cov_few.At(c_few, p_few), cov_many.At(c_many, p_many));
 }
+
+/// threads=1 and threads=8 must produce byte-identical matrices: the
+/// row-parallel kernels have exactly one writer per row and chunk boundaries
+/// independent of the worker count, so no float may differ.
+class ParallelDeterminismTest : public ::testing::TestWithParam<DatasetKind> {};
+
+bool ByteIdentical(const SquareMatrix& a, const SquareMatrix& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+TEST_P(ParallelDeterminismTest, AffinityMatrixIsThreadCountInvariant) {
+  auto bundle = LoadDataset(GetParam(), 0.05);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EdgeMetrics metrics =
+      EdgeMetrics::Compute(bundle->schema, bundle->annotations);
+  ParallelOptions one, eight;
+  one.threads = 1;
+  eight.threads = 8;
+  AffinityMatrix serial =
+      AffinityMatrix::Compute(bundle->schema, metrics, {}, one);
+  AffinityMatrix parallel =
+      AffinityMatrix::Compute(bundle->schema, metrics, {}, eight);
+  EXPECT_TRUE(ByteIdentical(serial.matrix(), parallel.matrix()));
+}
+
+TEST_P(ParallelDeterminismTest, CoverageMatrixIsThreadCountInvariant) {
+  auto bundle = LoadDataset(GetParam(), 0.05);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EdgeMetrics metrics =
+      EdgeMetrics::Compute(bundle->schema, bundle->annotations);
+  ParallelOptions one, eight;
+  one.threads = 1;
+  eight.threads = 8;
+  CoverageMatrix serial = CoverageMatrix::Compute(
+      bundle->schema, bundle->annotations, metrics, {}, one);
+  CoverageMatrix parallel = CoverageMatrix::Compute(
+      bundle->schema, bundle->annotations, metrics, {}, eight);
+  EXPECT_TRUE(ByteIdentical(serial.matrix(), parallel.matrix()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, ParallelDeterminismTest,
+                         ::testing::Values(DatasetKind::kXMark,
+                                           DatasetKind::kTpch),
+                         [](const auto& info) {
+                           return info.param == DatasetKind::kXMark ? "XMark"
+                                                                    : "Tpch";
+                         });
 
 }  // namespace
 }  // namespace ssum

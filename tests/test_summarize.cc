@@ -4,6 +4,7 @@
 
 #include "core/metrics.h"
 #include "core/summarize.h"
+#include "datasets/registry.h"
 #include "schema/schema_builder.h"
 #include "stats/annotate.h"
 
@@ -153,6 +154,64 @@ TEST(SummarizeTest, DeterministicAcrossRuns) {
   EXPECT_EQ(s1->abstract_elements, s2->abstract_elements);
   EXPECT_EQ(s1->representative, s2->representative);
 }
+
+/// Thread-count invariance on the real datasets: the sharded exact
+/// enumeration and the parallel kernels must reproduce the serial selection
+/// exactly, element for element.
+class SummarizeParallelTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(SummarizeParallelTest, ExactMaxCoverageSetIsThreadCountInvariant) {
+  auto bundle = LoadDataset(GetParam(), 0.05);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  SummarizeOptions serial_opts;
+  serial_opts.parallel.threads = 1;
+  SummarizerContext serial_ctx(bundle->schema, bundle->annotations,
+                               serial_opts);
+  SummarizeOptions parallel_opts;
+  parallel_opts.parallel.threads = 8;
+  SummarizerContext parallel_ctx(bundle->schema, bundle->annotations,
+                                 parallel_opts);
+
+  for (size_t k : {2u, 3u, 5u}) {
+    auto serial = SelectMaxCoverage(serial_ctx, k);
+    auto parallel = SelectMaxCoverage(parallel_ctx, k);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(*serial, *parallel) << "k=" << k;
+  }
+}
+
+TEST_P(SummarizeParallelTest, SummarizeIsThreadCountInvariant) {
+  auto bundle = LoadDataset(GetParam(), 0.05);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  for (Algorithm alg : {Algorithm::kMaxImportance, Algorithm::kMaxCoverage,
+                        Algorithm::kBalanceSummary}) {
+    SummarizeOptions serial_opts;
+    serial_opts.parallel.threads = 1;
+    SummarizeOptions parallel_opts;
+    parallel_opts.parallel.threads = 8;
+    auto serial = Summarize(bundle->schema, bundle->annotations, 8, alg,
+                            serial_opts);
+    auto parallel = Summarize(bundle->schema, bundle->annotations, 8, alg,
+                              parallel_opts);
+    ASSERT_TRUE(serial.ok()) << AlgorithmName(alg);
+    ASSERT_TRUE(parallel.ok()) << AlgorithmName(alg);
+    EXPECT_EQ(serial->abstract_elements, parallel->abstract_elements)
+        << AlgorithmName(alg);
+    EXPECT_EQ(serial->representative, parallel->representative)
+        << AlgorithmName(alg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SummarizeParallelTest,
+                         ::testing::Values(DatasetKind::kXMark,
+                                           DatasetKind::kTpch),
+                         [](const auto& info) {
+                           return info.param == DatasetKind::kXMark ? "XMark"
+                                                                    : "Tpch";
+                         });
 
 TEST(SummarizeTest, ImportanceRatioGrowsWithK) {
   Fixture f;

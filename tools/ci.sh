@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI gate:
+#   1. regular RelWithDebInfo build + the full ctest suite
+#   2. -DSSUM_SANITIZE=thread build; the parallel-layer tests run under TSAN
+#      to catch data races the deterministic outputs would mask.
+#
+# Usage: tools/ci.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+echo "== build + full test suite =="
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure
+
+echo
+echo "== ThreadSanitizer pass (parallel layer) =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSSUM_SANITIZE=thread >/dev/null
+TSAN_TESTS=(test_parallel test_affinity_coverage test_summarize test_discovery)
+cmake --build "$ROOT/build-tsan" --target "${TSAN_TESTS[@]}" -j "$JOBS"
+for t in "${TSAN_TESTS[@]}"; do
+  echo "-- $t (TSAN)"
+  "$ROOT/build-tsan/tests/$t"
+done
+
+echo
+echo "CI OK"

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/summarize.h"
 #include "core/summary_io.h"
@@ -56,7 +57,12 @@ int Usage() {
       "  ssum relational <schema.sql> -k N [--data <dir>] "
       "[--dialect csv|pipe]\n"
       "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
-      "  ssum demo <xmark|tpch|mimi> [-k N]\n");
+      "  ssum demo <xmark|tpch|mimi> [-k N]\n"
+      "\n"
+      "global flags:\n"
+      "  --threads N   worker threads for the parallel kernels (default:\n"
+      "                hardware concurrency; 1 = serial; results are\n"
+      "                identical for every value). SSUM_THREADS overrides.\n");
   return 2;
 }
 
@@ -339,6 +345,9 @@ int CmdDemo(const Args& args) {
 }
 
 int Main(int argc, char** argv) {
+  // Applies --threads via SetDefaultThreadCount, so every kernel invoked
+  // below picks it up through the default-constructed ParallelOptions.
+  ConsumeThreadsFlag(&argc, argv);
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   const std::vector<std::string> value_flags = {
