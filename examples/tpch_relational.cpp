@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   }
 
   // One discovery session in detail: TPC-H Q6 (lineitem revenue forecast).
-  Workload workload = ds.Queries();
+  Workload workload = *ds.Queries();
   DiscoveryOracle oracle(ds.schema());
   const QueryIntention& q6 = workload.queries[5];
   DiscoveryResult without = Discover(oracle, q6, TraversalStrategy::kBestFirst);

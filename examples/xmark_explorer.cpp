@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   }
 
   // Query discovery with and without the summary.
-  Workload workload = ds.Queries();
+  Workload workload = *ds.Queries();
   DiscoveryOracle oracle(schema);
   auto summary = Summarize(context, 10);
   std::printf("=== query discovery (20 XMark queries) ===\n");

@@ -1,0 +1,9 @@
+CREATE TABLE "order items" (
+  "item id" INTEGER PRIMARY KEY,
+  `weird "name"` VARCHAR,
+  "select" INTEGER
+);
+CREATE TABLE t2 (
+  a INT,
+  FOREIGN KEY (a) REFERENCES "order items"("item id")
+);

@@ -1,0 +1,14 @@
+-- Miniature TPC-H fragment: two tables joined by a foreign key.
+CREATE TABLE customer (
+  c_custkey  INTEGER PRIMARY KEY,
+  c_name     VARCHAR(25) NOT NULL,
+  c_acctbal  DECIMAL(12,2)
+);
+
+CREATE TABLE orders (
+  o_orderkey   INTEGER PRIMARY KEY,
+  o_custkey    INTEGER,
+  o_orderdate  DATE,
+  o_comment    VARCHAR(79) DEFAULT 'none',
+  FOREIGN KEY (o_custkey) REFERENCES customer(c_custkey)
+);

@@ -1,0 +1,56 @@
+// Fuzz harness for the CSV loader (src/relational/csv.h).
+//
+// The input's first byte selects the dialect (quoted+header CSV vs TPC-H
+// '|'-separated); the rest is the document. Oracle: LoadCsv must return a
+// Status for arbitrary bytes (ragged rows, embedded NULs, unterminated
+// quotes, over-limit fields). On acceptance, WriteCsv output must re-load
+// into an equal-row-count table.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "fuzz_util.h"
+#include "relational/csv.h"
+
+namespace {
+
+const ssum::TableDef& FuzzTableDef() {
+  static const ssum::TableDef def = [] {
+    ssum::TableDef d;
+    d.name = "fuzz";
+    d.columns = {{"a", ssum::ColumnType::kInt, false},
+                 {"b", ssum::ColumnType::kString, false},
+                 {"c", ssum::ColumnType::kFloat, false}};
+    return d;
+  }();
+  return def;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ssum::CsvOptions options;
+  if (size > 0 && (data[0] & 1) != 0) {
+    options.delimiter = '|';
+    options.header = false;
+    options.allow_quotes = false;
+  }
+  const std::string text =
+      size > 0 ? ssum::fuzz::AsString(data + 1, size - 1) : std::string();
+
+  const ssum::ParseLimits limits = ssum::fuzz::TightLimits();
+  ssum::Table table(&FuzzTableDef());
+  if (!ssum::LoadCsv(text, &table, options, limits).ok()) return 0;
+
+  SSUM_CHECK(table.num_rows() <= limits.max_items,
+             "LoadCsv accepted more rows than max_items");
+
+  const std::string dumped = ssum::WriteCsv(table, options);
+  ssum::Table reloaded(&FuzzTableDef());
+  ssum::Status st = ssum::LoadCsv(dumped, &reloaded, options, limits);
+  SSUM_CHECK(st.ok(), "WriteCsv output rejected by LoadCsv: " + st.ToString());
+  SSUM_CHECK(reloaded.num_rows() == table.num_rows(),
+             "CSV round trip changed the row count");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fuzz harness for the ssum text formats: schema files (src/schema/schema_io.h)
+// and summary files (src/core/summary_io.h).
+//
+// The same bytes are fed to both parsers — they share the line-oriented
+// format shape, so one corpus exercises both. Summaries are parsed against a
+// fixed small schema; on acceptance the summary is serialized and re-parsed,
+// and the round trip must reproduce an equivalent summary.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "core/summary.h"
+#include "core/summary_io.h"
+#include "fuzz_util.h"
+#include "schema/schema_graph.h"
+#include "schema/schema_io.h"
+
+namespace {
+
+/// Small auction-flavored schema with a value link, built once.
+const ssum::SchemaGraph& FuzzSchema() {
+  static const ssum::SchemaGraph graph = [] {
+    using ssum::AtomicKind;
+    using ssum::ElementType;
+    ssum::SchemaGraph g("site");
+    ssum::ElementId people = *g.AddElement(g.root(), "people", ElementType::Rcd());
+    ssum::ElementId person =
+        *g.AddElement(people, "person", ElementType::Rcd(/*set_of=*/true));
+    ssum::ElementId pid =
+        *g.AddElement(person, "id", ElementType::Simple(AtomicKind::kId));
+    *g.AddElement(person, "name", ElementType::Simple());
+    ssum::ElementId auctions =
+        *g.AddElement(g.root(), "auctions", ElementType::Rcd());
+    ssum::ElementId auction =
+        *g.AddElement(auctions, "auction", ElementType::Rcd(/*set_of=*/true));
+    ssum::ElementId seller =
+        *g.AddElement(auction, "seller", ElementType::Simple(AtomicKind::kIdRef));
+    *g.AddValueLink(auction, person, seller, pid);
+    return g;
+  }();
+  return graph;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const ssum::ParseLimits limits = ssum::fuzz::TightLimits();
+  const std::string text = ssum::fuzz::AsString(data, size);
+
+  // Schema text format: accepted graphs must serialize and re-parse.
+  auto schema = ssum::ParseSchema(text, limits);
+  if (schema.ok()) {
+    const std::string dumped = ssum::SerializeSchema(*schema);
+    auto reparsed = ssum::ParseSchema(dumped, limits);
+    SSUM_CHECK(reparsed.ok(), "SerializeSchema output rejected: " +
+                                  reparsed.status().ToString());
+    SSUM_CHECK(reparsed->size() == schema->size() &&
+                   reparsed->value_links() == schema->value_links(),
+               "schema round trip changed the graph");
+  }
+
+  // Summary text format, parsed against the fixed schema.
+  auto summary = ssum::ParseSummary(FuzzSchema(), text, limits);
+  if (summary.ok()) {
+    // ParseSummary revalidates Definition 2; double-check the invariants
+    // hold for whatever the fuzzer got past it.
+    SSUM_CHECK(ssum::ValidateSummary(*summary).ok(),
+               "ParseSummary accepted a summary violating Definition 2");
+    const std::string dumped = ssum::SerializeSummary(*summary);
+    auto reparsed = ssum::ParseSummary(FuzzSchema(), dumped, limits);
+    SSUM_CHECK(reparsed.ok(), "SerializeSummary output rejected: " +
+                                  reparsed.status().ToString());
+    SSUM_CHECK(reparsed->abstract_elements == summary->abstract_elements &&
+                   reparsed->representative == summary->representative,
+               "summary round trip changed the correspondence set");
+  }
+  return 0;
+}

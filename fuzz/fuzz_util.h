@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared configuration for the ingestion-boundary fuzz harnesses.
+//
+// Every harness exports the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// and is linked either against -fsanitize=fuzzer (clang) or against the
+// deterministic fallback driver in driver_main.cc (any compiler). The
+// harness contract is the library's abort-free guarantee: for arbitrary
+// bytes the parser must return (any Status is fine) without crashing,
+// asserting, or tripping ASan/UBSan. Round-trip harnesses additionally
+// assert that re-parsing serialized output of an accepted input succeeds.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/parse_limits.h"
+
+namespace ssum::fuzz {
+
+/// Tight limits so the fuzzer explores the limit-rejection paths cheaply
+/// instead of timing out on pathological megabyte inputs. Deliberately far
+/// below the library defaults.
+inline ParseLimits TightLimits() {
+  ParseLimits limits;
+  limits.max_input_bytes = 1u << 20;  // 1 MiB
+  limits.max_depth = 64;
+  limits.max_token_bytes = 1u << 16;  // 64 KiB
+  limits.max_items = 1u << 16;
+  return limits;
+}
+
+inline std::string AsString(const uint8_t* data, size_t size) {
+  return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+}  // namespace ssum::fuzz

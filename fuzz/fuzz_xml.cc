@@ -1,0 +1,36 @@
+// Fuzz harness for the XML parser (src/xml/parser.h).
+//
+// Oracle: ParseXml must return for arbitrary bytes — malformed markup, deep
+// nesting, and oversized tokens all map to a Status, never a crash. When the
+// input parses, the DOM must be traversable (exercises the element/attribute
+// ownership invariants under ASan).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "fuzz_util.h"
+#include "xml/parser.h"
+
+namespace {
+
+size_t CountNodes(const ssum::XmlElement& e) {
+  size_t n = 1 + e.attributes.size();
+  for (const auto& child : e.children) n += CountNodes(child);
+  return n;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const ssum::ParseLimits limits = ssum::fuzz::TightLimits();
+  auto doc = ssum::ParseXml(ssum::fuzz::AsString(data, size), limits);
+  if (doc.ok()) {
+    // A successful parse must respect the item ceiling (elements +
+    // attributes), otherwise the limit check has a hole.
+    const size_t nodes = CountNodes(doc->root);
+    SSUM_CHECK(nodes <= limits.max_items,
+               "ParseXml accepted a document over max_items");
+  }
+  return 0;
+}

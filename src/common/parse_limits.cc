@@ -1,0 +1,31 @@
+#include "common/parse_limits.h"
+
+#include <limits>
+#include <string>
+
+namespace ssum {
+
+const ParseLimits& ParseLimits::Defaults() {
+  static const ParseLimits kDefaults;
+  return kDefaults;
+}
+
+ParseLimits ParseLimits::Unbounded() {
+  ParseLimits l;
+  l.max_input_bytes = std::numeric_limits<size_t>::max();
+  l.max_depth = std::numeric_limits<size_t>::max();
+  l.max_token_bytes = std::numeric_limits<size_t>::max();
+  l.max_items = std::numeric_limits<size_t>::max();
+  return l;
+}
+
+Status CheckInputSize(size_t size, const ParseLimits& limits,
+                      const char* what) {
+  if (size <= limits.max_input_bytes) return Status::OK();
+  return Status::OutOfRange(
+      std::string(what) + " is " + std::to_string(size) +
+      " bytes, over the " + std::to_string(limits.max_input_bytes) +
+      "-byte limit (raise ParseLimits::max_input_bytes to accept it)");
+}
+
+}  // namespace ssum

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace ssum {
+
+/// Resource ceilings enforced by every ingestion-path parser (XML, DDL, CSV,
+/// and the ssum text formats). The library's invariant is "bad bytes in =>
+/// Status out, never a crash": limits bound memory, recursion depth and
+/// quadratic blowups so a hostile 100MB document fails with a diagnosable
+/// error instead of exhausting the process.
+///
+/// All limits are inclusive ("at most"). The defaults are generous for the
+/// paper's datasets (XMark sf 1 is ~100MB); callers handling untrusted
+/// traffic should tighten them, callers ingesting trusted bulk data may
+/// raise them. See docs/FORMATS.md ("Error model & resource limits").
+struct ParseLimits {
+  /// Total input size accepted by a single parse call.
+  size_t max_input_bytes = 512ull << 20;  // 512 MiB
+  /// Element/record nesting depth (XML element stack, DOCTYPE bracket
+  /// depth). Parsers use explicit stacks, so this bounds heap, not the
+  /// machine stack — but unbounded depth is still a memory-amplification
+  /// vector.
+  size_t max_depth = 256;
+  /// Longest single token: an XML name, attribute value or text run, a DDL
+  /// identifier, a CSV field, or one line of an ssum text format.
+  size_t max_token_bytes = 4u << 20;  // 4 MiB
+  /// Total parsed items: XML elements + attributes, DDL columns + tables,
+  /// CSV rows, or record lines of an ssum text format.
+  size_t max_items = 50'000'000;
+
+  /// The process-wide defaults (a default-constructed ParseLimits).
+  static const ParseLimits& Defaults();
+
+  /// Effectively unlimited (for trusted, generated inputs in tests/benches).
+  static ParseLimits Unbounded();
+};
+
+/// Checks `size <= limits.max_input_bytes`, returning an OutOfRange status
+/// naming `what` ("XML document", "DDL script", ...) on violation.
+Status CheckInputSize(size_t size, const ParseLimits& limits,
+                      const char* what);
+
+}  // namespace ssum

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace ssum {
@@ -31,17 +32,19 @@ class Result {
   /// The error status; OK when a value is held.
   const Status& status() const { return status_; }
 
-  /// Access to the held value. Caller must check ok() first.
+  /// Access to the held value. Caller must check ok() first; accessing an
+  /// error Result aborts with the carried status message in every build
+  /// mode (a plain release-mode assert would compile to unchecked UB).
   const T& ValueOrDie() const& {
-    assert(ok());
+    SSUM_CHECK(ok(), status_.ToString());
     return *value_;
   }
   T& ValueOrDie() & {
-    assert(ok());
+    SSUM_CHECK(ok(), status_.ToString());
     return *value_;
   }
   T&& ValueOrDie() && {
-    assert(ok());
+    SSUM_CHECK(ok(), status_.ToString());
     return std::move(*value_);
   }
 

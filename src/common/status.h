@@ -69,7 +69,9 @@ class Status {
 
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }

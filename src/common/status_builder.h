@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ssum {
+
+/// Stream-style builder for statuses carrying parse-location context. A
+/// failure deep inside a 100MB document is only diagnosable if the error
+/// says *where*; every ingestion parser stamps its errors with the source
+/// name (usually a file path), line number and byte offset through this
+/// helper:
+///
+///   return StatusBuilder(StatusCode::kParseError)
+///       .Source(path).Line(line).ByteOffset(pos)
+///       << "unterminated entity '&" << ent << "'";
+///
+/// Renders as "unterminated entity '&...' (file.xml:12, byte 3456)".
+/// Unset fields are omitted. Converts implicitly to Status and Result<T>.
+class StatusBuilder {
+ public:
+  explicit StatusBuilder(StatusCode code) : code_(code) {}
+
+  StatusBuilder& Source(std::string_view source) & {
+    source_ = source;
+    return *this;
+  }
+  StatusBuilder&& Source(std::string_view source) && {
+    source_ = source;
+    return std::move(*this);
+  }
+
+  /// 1-based line number; 0 means "unknown" and is omitted.
+  StatusBuilder& Line(size_t line) & {
+    line_ = line;
+    return *this;
+  }
+  StatusBuilder&& Line(size_t line) && {
+    line_ = line;
+    return std::move(*this);
+  }
+
+  StatusBuilder& ByteOffset(size_t offset) & {
+    byte_offset_ = static_cast<long long>(offset);
+    return *this;
+  }
+  StatusBuilder&& ByteOffset(size_t offset) && {
+    byte_offset_ = static_cast<long long>(offset);
+    return std::move(*this);
+  }
+
+  template <typename T>
+  StatusBuilder& operator<<(const T& v) & {
+    message_ << v;
+    return *this;
+  }
+  template <typename T>
+  StatusBuilder&& operator<<(const T& v) && {
+    message_ << v;
+    return std::move(*this);
+  }
+
+  /// "<message> (<source>:<line>, byte <offset>)" with unset parts omitted.
+  Status Build() const;
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator Status() const { return Build(); }
+
+  template <typename T>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator Result<T>() const {
+    return Result<T>(Build());
+  }
+
+ private:
+  StatusCode code_;
+  std::ostringstream message_;
+  std::string source_;
+  size_t line_ = 0;
+  long long byte_offset_ = -1;
+};
+
+/// Parse-error builder pre-stamped with line/offset — the common case.
+inline StatusBuilder ParseErrorAt(size_t line, size_t byte_offset) {
+  StatusBuilder b(StatusCode::kParseError);
+  b.Line(line).ByteOffset(byte_offset);
+  return b;
+}
+
+}  // namespace ssum

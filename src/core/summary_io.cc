@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/status_builder.h"
 #include "common/string_util.h"
 
 namespace ssum {
@@ -19,23 +20,33 @@ std::string SerializeSummary(const SchemaSummary& summary) {
 }
 
 Result<SchemaSummary> ParseSummary(const SchemaGraph& schema,
-                                   const std::string& text) {
+                                   const std::string& text,
+                                   const ParseLimits& limits) {
+  SSUM_RETURN_NOT_OK(CheckInputSize(text.size(), limits, "summary text"));
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line) || TrimWhitespace(line) != "ssum-summary v1") {
-    return Status::ParseError("missing 'ssum-summary v1' header");
+    return ParseErrorAt(1, 0) << "missing 'ssum-summary v1' header";
   }
   SchemaSummary summary;
   summary.schema = &schema;
   summary.representative.assign(schema.size(), kInvalidElement);
   size_t line_no = 1;
+  size_t line_offset = line.size() + 1;
+  size_t records = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    const size_t this_offset = line_offset;
+    line_offset += line.size() + 1;
     std::string_view trimmed = TrimWhitespace(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (++records > limits.max_items) {
+      return ParseErrorAt(line_no, this_offset)
+             << "summary exceeds the " << limits.max_items << "-record limit";
+    }
     std::vector<std::string> f = SplitString(line, '\t');
     auto fail = [&](const std::string& why) {
-      return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+      return Status(ParseErrorAt(line_no, this_offset) << why);
     };
     if (f[0] == "a") {
       if (f.size() != 2) return fail("abstract line needs 2 fields");
@@ -99,12 +110,15 @@ Status WriteSummaryFile(const SchemaSummary& summary,
 }
 
 Result<SchemaSummary> ReadSummaryFile(const SchemaGraph& schema,
-                                      const std::string& path) {
-  std::ifstream in(path);
+                                      const std::string& path,
+                                      const ParseLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseSummary(schema, buf.str());
+  auto summary = ParseSummary(schema, buf.str(), limits);
+  if (!summary.ok()) return summary.status().WithContext(path);
+  return summary;
 }
 
 std::string ExportSummaryDot(const SchemaSummary& summary,

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 #include "core/summary.h"
 #include "schema/schema_graph.h"
@@ -20,12 +21,17 @@ namespace ssum {
 std::string SerializeSummary(const SchemaSummary& summary);
 
 /// Parses and revalidates against `schema` (Definition 2 invariants).
-Result<SchemaSummary> ParseSummary(const SchemaGraph& schema,
-                                   const std::string& text);
+/// Abort-free: malformed lines yield a ParseError with line and byte-offset
+/// context; input over `limits` (total bytes, records vs
+/// `limits.max_items`) an OutOfRange status.
+Result<SchemaSummary> ParseSummary(
+    const SchemaGraph& schema, const std::string& text,
+    const ParseLimits& limits = ParseLimits::Defaults());
 
 Status WriteSummaryFile(const SchemaSummary& summary, const std::string& path);
-Result<SchemaSummary> ReadSummaryFile(const SchemaGraph& schema,
-                                      const std::string& path);
+Result<SchemaSummary> ReadSummaryFile(
+    const SchemaGraph& schema, const std::string& path,
+    const ParseLimits& limits = ParseLimits::Defaults());
 
 /// Graphviz rendering of a summary in the paper's Figure 2 style: one box
 /// per abstract element annotated with its group size, solid arrows for

@@ -1,5 +1,7 @@
 #include "datasets/mimi.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "common/random.h"
 #include "schema/schema_builder.h"
@@ -219,21 +221,39 @@ MimiDataset::MimiDataset(MimiParams params) : params_(params) {
   graph_ = std::move(b).Build();
 }
 
-MimiDataset::Counts MimiDataset::CountsFor(MimiVersion v) const {
+Result<MimiDataset> MimiDataset::Make(MimiParams params) {
+  if (static_cast<unsigned char>(params.version) >
+      static_cast<unsigned char>(MimiVersion::kJan2006)) {
+    return Status::InvalidArgument(
+        "bad MiMI version " +
+        std::to_string(static_cast<unsigned>(params.version)) +
+        " (valid: 0 = Apr 2004, 1 = Jan 2005, 2 = Jan 2006)");
+  }
+  if (!std::isfinite(params.scale) || params.scale <= 0.0 ||
+      params.scale > 1000.0) {
+    return Status::InvalidArgument("MiMI scale must be in (0, 1000]");
+  }
+  return MimiDataset(params);
+}
+
+Result<MimiDataset::Counts> MimiDataset::CountsFor(MimiVersion v) const {
   // Chosen so Jan 2006 yields ~7M data elements (Table 1: 7,055k); earlier
   // versions reflect the deployment's growth and the October 2005
   // protein-domain import (Table 5).
   switch (v) {
     case MimiVersion::kApr2004:
-      return {300, 6, 30000, 70000, 12000, 20000, 800, 0, 1.0, 0.0, 1.0};
+      return Counts{300, 6, 30000, 70000, 12000, 20000, 800, 0, 1.0, 0.0,
+                    1.0};
     case MimiVersion::kJan2005:
-      return {400, 11, 60000, 150000, 24000, 40000, 1800, 0, 1.3, 0.0, 1.2};
+      return Counts{400, 11, 60000, 150000, 24000, 40000, 1800, 0, 1.3, 0.0,
+                    1.2};
     case MimiVersion::kJan2006:
-      return {500, 18, 80000, 200000, 30000, 45000, 2500, 10000, 2.0, 0.8,
-              1.4};
+      return Counts{500, 18, 80000, 200000, 30000, 45000, 2500, 10000, 2.0,
+                    0.8, 1.4};
   }
-  SSUM_CHECK(false, "bad MiMI version");
-  return {};
+  return Status::InvalidArgument(
+      "bad MiMI version " + std::to_string(static_cast<unsigned>(v)) +
+      " (valid: 0 = Apr 2004, 1 = Jan 2005, 2 = Jan 2006)");
 }
 
 // ---------------------------------------------------------------------------
@@ -248,7 +268,8 @@ class MimiStream : public InstanceStream {
 
   Status Accept(InstanceVisitor* v) const override {
     const MimiDataset& d = *ds_;
-    MimiDataset::Counts c = d.CountsFor(d.params_.version);
+    MimiDataset::Counts c;
+    SSUM_ASSIGN_OR_RETURN(c, d.CountsFor(d.params_.version));
     const double scale = d.params_.scale;
     auto n = [&](uint64_t base) {
       return static_cast<uint64_t>(static_cast<double>(base) * scale + 0.5);

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/result.h"
 #include "instance/event_stream.h"
 #include "query/workload.h"
 #include "schema/schema_graph.h"
@@ -43,6 +44,13 @@ struct MimiParams {
 ///    summarization overvalues (Figure 9's MiMI result).
 class MimiDataset {
  public:
+  /// Validated factory: rejects an out-of-range version byte (e.g. from a
+  /// deserialized or CLI-supplied value cast into MimiVersion) and
+  /// non-finite or non-positive scale with InvalidArgument. Prefer this
+  /// whenever the parameters come from user input.
+  static Result<MimiDataset> Make(MimiParams params);
+
+  /// Direct construction for compiled-in parameter sets (defaults, tests).
   explicit MimiDataset(MimiParams params = {});
 
   const SchemaGraph& schema() const { return graph_; }
@@ -52,7 +60,7 @@ class MimiDataset {
 
   /// The 52 query intentions (identical across versions so Table 5
   /// compares like with like).
-  Workload Queries() const;
+  Result<Workload> Queries() const;
 
  private:
   friend class MimiStream;
@@ -65,7 +73,8 @@ class MimiDataset {
     double domains_per_molecule;     // 0 before Oct 2005
     double interaction_refs_per_molecule;
   };
-  Counts CountsFor(MimiVersion v) const;
+  /// InvalidArgument when `v` is not a known archived version.
+  Result<Counts> CountsFor(MimiVersion v) const;
 
   MimiParams params_;
   SchemaGraph graph_;

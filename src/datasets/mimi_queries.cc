@@ -11,7 +11,7 @@ namespace ssum {
 // protein (molecule) and interaction entities with a tail touching
 // experiments, publications, pathways, organisms and sources (the paper's
 // observation that "real queries tend to focus on the important elements").
-Workload MimiDataset::Queries() const {
+Result<Workload> MimiDataset::Queries() const {
   struct Spec {
     const char* name;
     std::vector<const char*> paths;
@@ -170,7 +170,7 @@ Workload MimiDataset::Queries() const {
   for (const Spec& s : specs) {
     std::vector<std::string> paths(s.paths.begin(), s.paths.end());
     auto q = MakeIntention(graph_, s.name, paths);
-    SSUM_CHECK(q.ok(), q.status().ToString());
+    if (!q.ok()) return q.status().WithContext(std::string("query ") + s.name);
     w.queries.push_back(std::move(*q));
   }
   return w;

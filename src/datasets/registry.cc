@@ -31,16 +31,19 @@ Result<DatasetBundle> LoadMimi(MimiVersion version, double scale) {
   MimiParams params;
   params.version = version;
   params.scale = scale;
-  MimiDataset ds(params);
+  MimiDataset ds;
+  SSUM_ASSIGN_OR_RETURN(ds, MimiDataset::Make(params));
   auto stream = ds.MakeStream();
   Annotations ann;
   SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
   uint64_t nodes;
   SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+  Workload workload;
+  SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
   DatasetBundle bundle{std::string("MiMI (") + MimiVersionName(version) + ")",
                        SchemaGraph("tmp"),
                        std::move(ann),
-                       ds.Queries(),
+                       std::move(workload),
                        /*paper_summary_size=*/10,
                        nodes};
   bundle.schema = ds.schema();  // SchemaGraph is a cheap value type (~300 elements)
@@ -52,16 +55,19 @@ Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale) {
     case DatasetKind::kXMark: {
       XMarkParams params;
       params.sf = scale;
-      XMarkDataset ds(params);
+      XMarkDataset ds;
+      SSUM_ASSIGN_OR_RETURN(ds, XMarkDataset::Make(params));
       auto stream = ds.MakeStream();
       Annotations ann;
       SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
       uint64_t nodes;
       SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+      Workload workload;
+      SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
       DatasetBundle bundle{"XMark",
                            SchemaGraph("tmp"),
                            std::move(ann),
-                           ds.Queries(),
+                           std::move(workload),
                            /*paper_summary_size=*/10,
                            nodes};
       bundle.schema = ds.schema();  // SchemaGraph is a cheap value type (~300 elements)
@@ -70,16 +76,19 @@ Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale) {
     case DatasetKind::kTpch: {
       TpchParams params;
       params.sf = 0.1 * scale;
-      TpchDataset ds(params);
+      TpchDataset ds;
+      SSUM_ASSIGN_OR_RETURN(ds, TpchDataset::Make(params));
       auto stream = ds.MakeStream();
       Annotations ann;
       SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
       uint64_t nodes;
       SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+      Workload workload;
+      SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
       DatasetBundle bundle{"TPC-H",
                            SchemaGraph("tmp"),
                            std::move(ann),
-                           ds.Queries(),
+                           std::move(workload),
                            /*paper_summary_size=*/5,
                            nodes};
       bundle.schema = ds.schema();  // SchemaGraph is a cheap value type (~300 elements)

@@ -113,7 +113,29 @@ TpchDataset::TpchDataset(TpchParams params)
   mapping_ = std::move(*m);
 }
 
-uint64_t TpchDataset::RowsOf(size_t t) const {
+Result<TpchDataset> TpchDataset::Make(TpchParams params) {
+  if (!std::isfinite(params.sf) || params.sf <= 0.0 || params.sf > 1000.0) {
+    return Status::InvalidArgument("TPC-H scale factor must be in (0, 1000]");
+  }
+  if (!std::isfinite(params.lineitems_per_order) ||
+      params.lineitems_per_order < 1.0 || params.lineitems_per_order > 7.0) {
+    return Status::InvalidArgument(
+        "TPC-H lineitems_per_order must be in [1, 7] (spec: uniform 1..7)");
+  }
+  return TpchDataset(params);
+}
+
+Result<uint64_t> TpchDataset::RowsOf(size_t t) const {
+  if (t >= catalog_.tables().size()) {
+    return Status::InvalidArgument("RowsOf: table index " + std::to_string(t) +
+                                   " out of range (TPC-H has " +
+                                   std::to_string(catalog_.tables().size()) +
+                                   " tables)");
+  }
+  return RowsOfUnchecked(t);
+}
+
+uint64_t TpchDataset::RowsOfUnchecked(size_t t) const {
   const double sf = params_.sf;
   auto scale = [&](double base) {
     return static_cast<uint64_t>(base * sf + 0.5);
@@ -138,10 +160,10 @@ uint64_t TpchDataset::RowsOf(size_t t) const {
       // 1..7 per order; the paper's 12,550k data elements at sf 0.1
       // correspond to ~600k lineitems).
       return static_cast<uint64_t>(
-          std::llround(static_cast<double>(RowsOf(kOrders)) *
+          std::llround(static_cast<double>(RowsOfUnchecked(kOrders)) *
                        params_.lineitems_per_order));
     default:
-      SSUM_CHECK(false, "bad table index");
+      SSUM_CHECK(false, "RowsOfUnchecked: bad table index (internal)");
   }
   return 0;
 }
@@ -165,11 +187,11 @@ class TpchStream : public InstanceStream {
     v->OnEnter(schema().root());
     for (size_t t = 0; t < cat.tables().size(); ++t) {
       const TableDef& def = cat.tables()[t];
-      uint64_t rows = ds_->RowsOf(t);
+      uint64_t rows = *ds_->RowsOf(t);
       // Lineitem rows are emitted per order below to keep the per-order
       // fanout distribution realistic; emit a fixed total for the others.
       if (def.name == "lineitem") {
-        uint64_t orders = ds_->RowsOf(kOrders);
+        uint64_t orders = *ds_->RowsOf(kOrders);
         uint64_t remaining = rows;
         for (uint64_t o = 0; o < orders && remaining > 0; ++o) {
           uint64_t per =
@@ -218,7 +240,7 @@ std::unique_ptr<InstanceStream> TpchDataset::MakeStream() const {
 // ---------------------------------------------------------------------------
 
 Result<Database> TpchDataset::GenerateDatabase() const {
-  if (RowsOf(kLineitem) > 2000000) {
+  if (RowsOfUnchecked(kLineitem) > 2000000) {
     return Status::InvalidArgument(
         "GenerateDatabase is intended for small scale factors; use "
         "MakeStream for annotation at benchmark scale");
@@ -254,26 +276,26 @@ Result<Database> TpchDataset::GenerateDatabase() const {
   };
 
   Table* region = *db.FindTable("region");
-  for (uint64_t r = 0; r < RowsOf(kRegion); ++r) {
+  for (uint64_t r = 0; r < RowsOfUnchecked(kRegion); ++r) {
     SSUM_RETURN_NOT_OK(region->AppendRow(
         {std::to_string(r), kRegions[r % 5], "benchmark region"}));
   }
   Table* nation = *db.FindTable("nation");
-  for (uint64_t n = 0; n < RowsOf(kNation); ++n) {
+  for (uint64_t n = 0; n < RowsOfUnchecked(kNation); ++n) {
     SSUM_RETURN_NOT_OK(nation->AppendRow(
         {std::to_string(n), n < 5 ? kNations[n] : "NATION" + pad(n, 2),
-         std::to_string(n % RowsOf(kRegion)), "benchmark nation"}));
+         std::to_string(n % RowsOfUnchecked(kRegion)), "benchmark nation"}));
   }
   Table* supplier = *db.FindTable("supplier");
-  for (uint64_t s = 0; s < RowsOf(kSupplier); ++s) {
+  for (uint64_t s = 0; s < RowsOfUnchecked(kSupplier); ++s) {
     SSUM_RETURN_NOT_OK(supplier->AppendRow(
         {std::to_string(s), "Supplier#" + pad(s, 9), "addr-" + pad(s, 6),
-         std::to_string(rng.NextBounded(RowsOf(kNation))),
+         std::to_string(rng.NextBounded(RowsOfUnchecked(kNation))),
          "27-" + pad(rng.NextBounded(10000000), 7), money(-999, 9999),
          "reliable supplier"}));
   }
   Table* part = *db.FindTable("part");
-  for (uint64_t p = 0; p < RowsOf(kPart); ++p) {
+  for (uint64_t p = 0; p < RowsOfUnchecked(kPart); ++p) {
     SSUM_RETURN_NOT_OK(part->AppendRow(
         {std::to_string(p), "part name " + pad(p, 6),
          "Manufacturer#" + std::to_string(1 + rng.NextBounded(5)),
@@ -282,41 +304,41 @@ Result<Database> TpchDataset::GenerateDatabase() const {
          "JUMBO PKG", money(900, 2000), "part comment"}));
   }
   Table* partsupp = *db.FindTable("partsupp");
-  for (uint64_t p = 0; p < RowsOf(kPart); ++p) {
+  for (uint64_t p = 0; p < RowsOfUnchecked(kPart); ++p) {
     for (int k = 0; k < 4; ++k) {
-      if (partsupp->num_rows() >= RowsOf(kPartsupp)) break;
+      if (partsupp->num_rows() >= RowsOfUnchecked(kPartsupp)) break;
       SSUM_RETURN_NOT_OK(partsupp->AppendRow(
           {std::to_string(p),
-           std::to_string(rng.NextBounded(RowsOf(kSupplier))),
+           std::to_string(rng.NextBounded(RowsOfUnchecked(kSupplier))),
            std::to_string(1 + rng.NextBounded(9999)), money(1, 1000),
            "partsupp comment"}));
     }
   }
   Table* customer = *db.FindTable("customer");
-  for (uint64_t c = 0; c < RowsOf(kCustomer); ++c) {
+  for (uint64_t c = 0; c < RowsOfUnchecked(kCustomer); ++c) {
     SSUM_RETURN_NOT_OK(customer->AppendRow(
         {std::to_string(c), "Customer#" + pad(c, 9), "addr-" + pad(c, 6),
-         std::to_string(rng.NextBounded(RowsOf(kNation))),
+         std::to_string(rng.NextBounded(RowsOfUnchecked(kNation))),
          "13-" + pad(rng.NextBounded(10000000), 7), money(-999, 9999),
          kSegments[rng.NextBounded(5)], "customer comment"}));
   }
   Table* orders = *db.FindTable("orders");
   Table* lineitem = *db.FindTable("lineitem");
-  uint64_t lineitems_left = RowsOf(kLineitem);
-  for (uint64_t o = 0; o < RowsOf(kOrders); ++o) {
+  uint64_t lineitems_left = RowsOfUnchecked(kLineitem);
+  for (uint64_t o = 0; o < RowsOfUnchecked(kOrders); ++o) {
     SSUM_RETURN_NOT_OK(orders->AppendRow(
-        {std::to_string(o), std::to_string(rng.NextBounded(RowsOf(kCustomer))),
+        {std::to_string(o), std::to_string(rng.NextBounded(RowsOfUnchecked(kCustomer))),
          rng.NextBool(0.5) ? "O" : "F", money(800, 500000), date(1992),
          kPriorities[rng.NextBounded(5)], "Clerk#" + pad(rng.NextBounded(1000), 9),
          "0", "order comment"}));
-    uint64_t per = o + 1 == RowsOf(kOrders)
+    uint64_t per = o + 1 == RowsOfUnchecked(kOrders)
                        ? lineitems_left
                        : std::min<uint64_t>(lineitems_left,
                                             1 + rng.NextBounded(7));
     for (uint64_t l = 0; l < per; ++l) {
       SSUM_RETURN_NOT_OK(lineitem->AppendRow(
-          {std::to_string(o), std::to_string(rng.NextBounded(RowsOf(kPart))),
-           std::to_string(rng.NextBounded(RowsOf(kSupplier))),
+          {std::to_string(o), std::to_string(rng.NextBounded(RowsOfUnchecked(kPart))),
+           std::to_string(rng.NextBounded(RowsOfUnchecked(kSupplier))),
            std::to_string(l + 1), std::to_string(1 + rng.NextBounded(50)),
            money(900, 100000), "0.0" + std::to_string(rng.NextBounded(9)),
            "0.0" + std::to_string(rng.NextBounded(8)),

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/result.h"
 #include "instance/event_stream.h"
 #include "query/workload.h"
 #include "relational/bridge.h"
@@ -25,6 +26,13 @@ struct TpchParams {
 /// the 22 benchmark query intentions.
 class TpchDataset {
  public:
+  /// Validated factory: rejects non-finite or non-positive scale factors and
+  /// out-of-range lineitem fanouts with InvalidArgument instead of producing
+  /// a generator with nonsensical (or overflowing) row counts. Prefer this
+  /// whenever the parameters come from user input.
+  static Result<TpchDataset> Make(TpchParams params);
+
+  /// Direct construction for compiled-in parameter sets (defaults, tests).
   explicit TpchDataset(TpchParams params = {});
 
   const TpchParams& params() const { return params_; }
@@ -40,12 +48,15 @@ class TpchDataset {
   Result<Database> GenerateDatabase() const;
 
   /// The 22 TPC-H queries as schema-element intentions.
-  Workload Queries() const;
+  Result<Workload> Queries() const;
 
-  /// Spec row count for table index `t` at the configured scale factor.
-  uint64_t RowsOf(size_t table_index) const;
+  /// Spec row count for table index `t` at the configured scale factor;
+  /// InvalidArgument when `t` is not a TPC-H table index.
+  Result<uint64_t> RowsOf(size_t table_index) const;
 
  private:
+  uint64_t RowsOfUnchecked(size_t table_index) const;
+
   TpchParams params_;
   Catalog catalog_;
   RelationalSchemaMapping mapping_;

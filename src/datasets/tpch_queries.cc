@@ -9,7 +9,7 @@ namespace ssum {
 // query's select / where / group-by clauses reference (Section 5.4: TPC-H
 // intentions are "reverse engineered from the actual query"). Join keys are
 // included — the user must locate them to express the join.
-Workload TpchDataset::Queries() const {
+Result<Workload> TpchDataset::Queries() const {
   struct Spec {
     const char* name;
     std::vector<const char*> paths;
@@ -134,7 +134,7 @@ Workload TpchDataset::Queries() const {
   for (const Spec& s : specs) {
     std::vector<std::string> paths(s.paths.begin(), s.paths.end());
     auto q = MakeIntention(schema(), s.name, paths);
-    SSUM_CHECK(q.ok(), q.status().ToString());
+    if (!q.ok()) return q.status().WithContext(std::string("query ") + s.name);
     w.queries.push_back(std::move(*q));
   }
   return w;

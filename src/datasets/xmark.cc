@@ -1,5 +1,7 @@
 #include "datasets/xmark.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "common/random.h"
 #include "schema/schema_builder.h"
@@ -35,6 +37,13 @@ XMarkDataset::DescriptionIds BuildDescription(SchemaBuilder* b,
 }
 
 }  // namespace
+
+Result<XMarkDataset> XMarkDataset::Make(XMarkParams params) {
+  if (!std::isfinite(params.sf) || params.sf <= 0.0 || params.sf > 1000.0) {
+    return Status::InvalidArgument("XMark scale factor must be in (0, 1000]");
+  }
+  return XMarkDataset(params);
+}
 
 XMarkDataset::XMarkDataset(XMarkParams params) : params_(params) {
   SchemaBuilder b("site");

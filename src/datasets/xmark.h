@@ -3,6 +3,7 @@
 #include <array>
 #include <memory>
 
+#include "common/result.h"
 #include "instance/event_stream.h"
 #include "query/workload.h"
 #include "schema/schema_graph.h"
@@ -52,6 +53,13 @@ struct XMarkParams {
 /// streaming instance generator, and the 20 benchmark query intentions.
 class XMarkDataset {
  public:
+  /// Validated factory: rejects non-finite or non-positive scale factors
+  /// with InvalidArgument instead of producing a generator with nonsensical
+  /// entity counts. Prefer this whenever the parameters come from user
+  /// input.
+  static Result<XMarkDataset> Make(XMarkParams params);
+
+  /// Direct construction for compiled-in parameter sets (defaults, tests).
   explicit XMarkDataset(XMarkParams params = {});
 
   const SchemaGraph& schema() const { return graph_; }
@@ -62,7 +70,7 @@ class XMarkDataset {
   std::unique_ptr<InstanceStream> MakeStream() const;
 
   /// The 20 XMark benchmark queries as schema-element intentions.
-  Workload Queries() const;
+  Result<Workload> Queries() const;
 
   /// Region names in schema order (africa .. samerica).
   static const std::array<const char*, 6>& RegionNames();

@@ -9,7 +9,7 @@ namespace ssum {
 // Project") translated into query intentions: the schema elements each
 // query's English formulation references (Section 5.4's methodology —
 // intentions extracted from the query descriptions).
-Workload XMarkDataset::Queries() const {
+Result<Workload> XMarkDataset::Queries() const {
   struct Spec {
     const char* name;
     std::vector<const char*> paths;
@@ -103,7 +103,7 @@ Workload XMarkDataset::Queries() const {
   for (const Spec& s : specs) {
     std::vector<std::string> paths(s.paths.begin(), s.paths.end());
     auto q = MakeIntention(graph_, s.name, paths);
-    SSUM_CHECK(q.ok(), q.status().ToString());
+    if (!q.ok()) return q.status().WithContext(std::string("query ") + s.name);
     w.queries.push_back(std::move(*q));
   }
   return w;

@@ -3,20 +3,33 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status_builder.h"
 #include "common/string_util.h"
 
 namespace ssum {
 
 namespace {
 
+/// `line_offset` is the byte offset of the line start within the whole
+/// input, so field-level errors can point into a multi-gigabyte file.
 Result<std::vector<std::string>> ParseLine(const std::string& line,
                                            const CsvOptions& options,
-                                           size_t line_no) {
+                                           size_t line_no, size_t line_offset,
+                                           const ParseLimits& limits) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
   for (size_t i = 0; i < line.size(); ++i) {
     char c = line[i];
+    if (c == '\0') {
+      return ParseErrorAt(line_no, line_offset + i)
+             << "embedded NUL byte in CSV input";
+    }
+    if (cur.size() >= limits.max_token_bytes) {
+      return ParseErrorAt(line_no, line_offset + i)
+             << "field exceeds the " << limits.max_token_bytes
+             << "-byte limit";
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
@@ -38,8 +51,8 @@ Result<std::vector<std::string>> ParseLine(const std::string& line,
     }
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quote at line " +
-                              std::to_string(line_no));
+    return ParseErrorAt(line_no, line_offset + line.size())
+           << "unterminated quote";
   }
   fields.push_back(std::move(cur));
   return fields;
@@ -48,18 +61,25 @@ Result<std::vector<std::string>> ParseLine(const std::string& line,
 }  // namespace
 
 Status LoadCsv(const std::string& text, Table* table,
-               const CsvOptions& options) {
+               const CsvOptions& options, const ParseLimits& limits) {
+  SSUM_RETURN_NOT_OK(CheckInputSize(text.size(), limits, "CSV input"));
   std::istringstream is(text);
   std::string line;
   size_t line_no = 0;
+  size_t line_offset = 0;  // byte offset of the current line's first char
+  size_t next_offset = 0;
+  size_t rows = 0;
   bool saw_header = !options.header;
   const size_t ncols = table->def().columns.size();
   while (std::getline(is, line)) {
     ++line_no;
+    line_offset = next_offset;
+    next_offset += line.size() + 1;  // +1 for the consumed '\n'
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::vector<std::string> fields;
-    SSUM_ASSIGN_OR_RETURN(fields, ParseLine(line, options, line_no));
+    SSUM_ASSIGN_OR_RETURN(
+        fields, ParseLine(line, options, line_no, line_offset, limits));
     // TPC-H dialect: tolerate one trailing empty field from a trailing '|'.
     if (!options.allow_quotes && fields.size() == ncols + 1 &&
         fields.back().empty()) {
@@ -68,25 +88,28 @@ Status LoadCsv(const std::string& text, Table* table,
     if (!saw_header) {
       saw_header = true;
       if (fields.size() != ncols) {
-        return Status::ParseError("header has " +
-                                  std::to_string(fields.size()) +
-                                  " fields, table has " +
-                                  std::to_string(ncols) + " columns");
+        return ParseErrorAt(line_no, line_offset)
+               << "header has " << fields.size() << " fields, table has "
+               << ncols << " columns";
       }
       for (size_t i = 0; i < ncols; ++i) {
         if (fields[i] != table->def().columns[i].name) {
-          return Status::ParseError("header field '" + fields[i] +
-                                    "' does not match column '" +
-                                    table->def().columns[i].name + "'");
+          return ParseErrorAt(line_no, line_offset)
+                 << "header field '" << fields[i]
+                 << "' does not match column '"
+                 << table->def().columns[i].name << "'";
         }
       }
       continue;
     }
     if (fields.size() != ncols) {
-      return Status::ParseError("line " + std::to_string(line_no) + " has " +
-                                std::to_string(fields.size()) +
-                                " fields (expected " + std::to_string(ncols) +
-                                ")");
+      return ParseErrorAt(line_no, line_offset)
+             << "row has " << fields.size() << " fields (expected " << ncols
+             << ")";
+    }
+    if (++rows > limits.max_items) {
+      return ParseErrorAt(line_no, line_offset)
+             << "input exceeds the " << limits.max_items << "-row limit";
     }
     SSUM_RETURN_NOT_OK(table->AppendRow(std::move(fields)));
   }
@@ -94,12 +117,14 @@ Status LoadCsv(const std::string& text, Table* table,
 }
 
 Status LoadCsvFile(const std::string& path, Table* table,
-                   const CsvOptions& options) {
-  std::ifstream in(path);
+                   const CsvOptions& options, const ParseLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return LoadCsv(buf.str(), table, options);
+  Status s = LoadCsv(buf.str(), table, options, limits);
+  if (!s.ok()) return s.WithContext(path);
+  return s;
 }
 
 std::string WriteCsv(const Table& table, const CsvOptions& options) {

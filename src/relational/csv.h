@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 #include "relational/table.h"
 
@@ -19,11 +20,18 @@ struct CsvOptions {
 /// the quoting dialect above plus TPC-H style '|'-separated files (set
 /// delimiter='|', header=false, allow_quotes=false; a trailing delimiter at
 /// end of line is tolerated in that mode).
+///
+/// Abort-free by contract: ragged rows, embedded NUL bytes, and over-limit
+/// input (rows over `limits.max_items`, fields over
+/// `limits.max_token_bytes`) yield a ParseError/OutOfRange status with line
+/// and byte-offset context, never a crash.
 Status LoadCsv(const std::string& text, Table* table,
-               const CsvOptions& options = {});
+               const CsvOptions& options = {},
+               const ParseLimits& limits = ParseLimits::Defaults());
 
 Status LoadCsvFile(const std::string& path, Table* table,
-                   const CsvOptions& options = {});
+                   const CsvOptions& options = {},
+                   const ParseLimits& limits = ParseLimits::Defaults());
 
 /// Serializes a table (with header when options.header).
 std::string WriteCsv(const Table& table, const CsvOptions& options = {});

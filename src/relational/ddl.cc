@@ -3,6 +3,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "common/status_builder.h"
 #include "common/string_util.h"
 
 namespace ssum {
@@ -11,15 +12,20 @@ namespace {
 
 /// Token stream over the DDL text: identifiers/keywords, numbers, and
 /// punctuation; `--` comments skipped. Keywords compare case-insensitively.
+///
+/// Lexical errors (unterminated quoted identifiers, tokens over
+/// `limits.max_token_bytes`) set a sticky status and make Next() return "";
+/// the parser surfaces the sticky status wherever it handles an empty token.
 class DdlLexer {
  public:
-  explicit DdlLexer(const std::string& text) : text_(text) {}
+  DdlLexer(const std::string& text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
-  /// Next token, empty at end of input. Punctuation tokens are single
-  /// characters "(", ")", ",", ";".
+  /// Next token, empty at end of input or on a (sticky) lexical error.
+  /// Punctuation tokens are single characters "(", ")", ",", ";".
   std::string Next() {
     SkipSpaceAndComments();
-    if (pos_ >= text_.size()) return "";
+    if (!status_.ok() || pos_ >= text_.size()) return "";
     char c = text_[pos_];
     if (c == '(' || c == ')' || c == ',' || c == ';') {
       ++pos_;
@@ -29,8 +35,14 @@ class DdlLexer {
       char quote = c;
       size_t start = ++pos_;
       while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) {
+        status_ = ParseErrorAt(line(), start - 1)
+                  << "DDL: unterminated quoted identifier";
+        return "";
+      }
+      if (!CheckTokenSize(pos_ - start)) return "";
       std::string out = text_.substr(start, pos_ - start);
-      if (pos_ < text_.size()) ++pos_;
+      ++pos_;
       return out;
     }
     size_t start = pos_;
@@ -40,6 +52,7 @@ class DdlLexer {
            text_[pos_] != ';') {
       ++pos_;
     }
+    if (!CheckTokenSize(pos_ - start)) return "";
     return text_.substr(start, pos_ - start);
   }
 
@@ -58,7 +71,20 @@ class DdlLexer {
     return line;
   }
 
+  size_t offset() const { return pos_; }
+
+  /// OK until a lexical error was hit; never cleared.
+  const Status& status() const { return status_; }
+
  private:
+  bool CheckTokenSize(size_t size) {
+    if (size <= limits_.max_token_bytes) return true;
+    status_ = ParseErrorAt(line(), pos_)
+              << "DDL: token exceeds the " << limits_.max_token_bytes
+              << "-byte limit";
+    return false;
+  }
+
   void SkipSpaceAndComments() {
     for (;;) {
       while (pos_ < text_.size() &&
@@ -75,7 +101,9 @@ class DdlLexer {
   }
 
   const std::string& text_;
+  ParseLimits limits_;
   size_t pos_ = 0;
+  Status status_;
 };
 
 bool KeywordIs(const std::string& token, const char* keyword) {
@@ -101,8 +129,52 @@ bool TypeFromSql(const std::string& name, ColumnType* out) {
 }
 
 Status ParseError(const DdlLexer& lexer, const std::string& why) {
-  return Status::ParseError("DDL line " + std::to_string(lexer.line()) +
-                            ": " + why);
+  // A sticky lexical error is the root cause of any empty-token symptom.
+  if (!lexer.status().ok()) return lexer.status();
+  return ParseErrorAt(lexer.line(), lexer.offset()) << "DDL: " << why;
+}
+
+/// Identifiers that mix both quote characters cannot be re-serialized by
+/// WriteDdl (the lexer has no escape syntax), so ParseDdl rejects them to
+/// keep the documented WriteDdl round trip total.
+Status ValidateIdent(const DdlLexer& lexer, const std::string& ident) {
+  if (ident.find('"') != std::string::npos &&
+      ident.find('`') != std::string::npos) {
+    return ParseError(lexer, "identifier '" + ident +
+                                 "' mixes both quote characters");
+  }
+  return Status::OK();
+}
+
+/// True when `name` can be emitted without quotes: a keyword-free
+/// [A-Za-z_][A-Za-z0-9_]* word that does not lex as a type name.
+bool IsBareIdent(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  ColumnType ignored;
+  if (TypeFromSql(name, &ignored)) return false;
+  static const char* const kReserved[] = {"create", "table",      "primary",
+                                          "key",    "foreign",    "references",
+                                          "not",    "null",       "unique",
+                                          "default"};
+  const std::string lower = AsciiToLower(name);
+  for (const char* kw : kReserved) {
+    if (lower == kw) return false;
+  }
+  return true;
+}
+
+/// Quotes `name` when needed. ParseDdl guarantees the name does not contain
+/// both quote characters, so one of the two quote styles always fits.
+std::string QuoteIdent(const std::string& name) {
+  if (IsBareIdent(name)) return name;
+  if (name.find('"') == std::string::npos) return '"' + name + '"';
+  return '`' + name + '`';
 }
 
 /// Consumes a parenthesized argument list "(...)" when present (type
@@ -123,6 +195,7 @@ Status ParseIdentList(DdlLexer* lexer, std::vector<std::string>* out) {
   for (;;) {
     std::string ident = lexer->Next();
     if (ident.empty()) return ParseError(*lexer, "unterminated column list");
+    SSUM_RETURN_NOT_OK(ValidateIdent(*lexer, ident));
     out->push_back(ident);
     std::string sep = lexer->Next();
     if (sep == ")") return Status::OK();
@@ -163,6 +236,7 @@ Status ParseTableBody(DdlLexer* lexer, TableDef* def) {
       if (ref_table.empty() || ref_table == "(") {
         return ParseError(*lexer, "expected referenced table name");
       }
+      SSUM_RETURN_NOT_OK(ValidateIdent(*lexer, ref_table));
       std::vector<std::string> ref_cols;
       SSUM_RETURN_NOT_OK(ParseIdentList(lexer, &ref_cols));
       if (cols.size() != ref_cols.size()) {
@@ -176,6 +250,7 @@ Status ParseTableBody(DdlLexer* lexer, TableDef* def) {
       // Column definition: <name> <type>[(n[,m])] [modifiers...]
       ColumnDef col;
       col.name = tok;
+      SSUM_RETURN_NOT_OK(ValidateIdent(*lexer, col.name));
       std::string type_name = lexer->Next();
       if (!TypeFromSql(type_name, &col.type)) {
         return ParseError(*lexer, "unknown type '" + type_name + "'");
@@ -213,12 +288,17 @@ Status ParseTableBody(DdlLexer* lexer, TableDef* def) {
 
 }  // namespace
 
-Result<Catalog> ParseDdl(const std::string& sql) {
-  DdlLexer lexer(sql);
+Result<Catalog> ParseDdl(const std::string& sql, const ParseLimits& limits) {
+  SSUM_RETURN_NOT_OK(CheckInputSize(sql.size(), limits, "DDL script"));
+  DdlLexer lexer(sql, limits);
   Catalog catalog;
+  size_t items = 0;
   for (;;) {
     std::string tok = lexer.Next();
-    if (tok.empty()) break;
+    if (tok.empty()) {
+      SSUM_RETURN_NOT_OK(lexer.status());
+      break;
+    }
     if (!KeywordIs(tok, "create")) {
       return ParseError(lexer, "expected CREATE, got '" + tok + "'");
     }
@@ -230,7 +310,14 @@ Result<Catalog> ParseDdl(const std::string& sql) {
     if (def.name.empty() || def.name == "(") {
       return ParseError(lexer, "missing table name");
     }
+    SSUM_RETURN_NOT_OK(ValidateIdent(lexer, def.name));
     SSUM_RETURN_NOT_OK(ParseTableBody(&lexer, &def));
+    items += 1 + def.columns.size();
+    if (items > limits.max_items) {
+      return ParseError(lexer, "schema exceeds the " +
+                                   std::to_string(limits.max_items) +
+                                   "-item limit (tables + columns)");
+    }
     SSUM_RETURN_NOT_OK(catalog.AddTable(std::move(def)));
     if (lexer.Peek() == ";") lexer.Next();
   }
@@ -244,10 +331,10 @@ Result<Catalog> ParseDdl(const std::string& sql) {
 std::string WriteDdl(const Catalog& catalog) {
   std::ostringstream os;
   for (const TableDef& table : catalog.tables()) {
-    os << "CREATE TABLE " << table.name << " (\n";
+    os << "CREATE TABLE " << QuoteIdent(table.name) << " (\n";
     for (size_t c = 0; c < table.columns.size(); ++c) {
       const ColumnDef& col = table.columns[c];
-      os << "  " << col.name << " ";
+      os << "  " << QuoteIdent(col.name) << " ";
       switch (col.type) {
         case ColumnType::kInt:
           os << "INTEGER";
@@ -269,8 +356,9 @@ std::string WriteDdl(const Catalog& catalog) {
     }
     for (size_t f = 0; f < table.foreign_keys.size(); ++f) {
       const ForeignKeyDef& fk = table.foreign_keys[f];
-      os << "  FOREIGN KEY (" << fk.column << ") REFERENCES " << fk.ref_table
-         << "(" << fk.ref_column << ")";
+      os << "  FOREIGN KEY (" << QuoteIdent(fk.column) << ") REFERENCES "
+         << QuoteIdent(fk.ref_table) << "(" << QuoteIdent(fk.ref_column)
+         << ")";
       if (f + 1 != table.foreign_keys.size()) os << ",";
       os << "\n";
     }

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 #include "relational/catalog.h"
 
@@ -26,7 +27,13 @@ namespace ssum {
 /// FOREIGN KEY (col) REFERENCES table(col); `--` line comments;
 /// case-insensitive keywords; quoted or bare identifiers.
 /// Ignored (accepted and skipped): NOT NULL, UNIQUE, DEFAULT <literal>.
-Result<Catalog> ParseDdl(const std::string& sql);
+///
+/// Abort-free by contract: malformed or over-limit input yields a
+/// ParseError/OutOfRange status stamped with line and byte offset.
+/// `limits.max_token_bytes` caps identifiers; `limits.max_items` caps the
+/// total column + table count.
+Result<Catalog> ParseDdl(const std::string& sql,
+                         const ParseLimits& limits = ParseLimits::Defaults());
 
 /// Emits CREATE TABLE statements reproducing the catalog (ParseDdl of the
 /// output round-trips).

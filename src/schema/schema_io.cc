@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status_builder.h"
 #include "common/string_util.h"
 
 namespace ssum {
@@ -38,22 +39,32 @@ std::string SerializeSchema(const SchemaGraph& graph) {
   return os.str();
 }
 
-Result<SchemaGraph> ParseSchema(const std::string& text) {
+Result<SchemaGraph> ParseSchema(const std::string& text,
+                                const ParseLimits& limits) {
+  SSUM_RETURN_NOT_OK(CheckInputSize(text.size(), limits, "schema text"));
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line) || TrimWhitespace(line) != "ssum-schema v1") {
-    return Status::ParseError("missing 'ssum-schema v1' header");
+    return ParseErrorAt(1, 0) << "missing 'ssum-schema v1' header";
   }
   SchemaGraph graph("pending-root");
   bool saw_root = false;
   size_t line_no = 1;
+  size_t line_offset = line.size() + 1;
+  size_t records = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    const size_t this_offset = line_offset;
+    line_offset += line.size() + 1;
     std::string_view trimmed = TrimWhitespace(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (++records > limits.max_items) {
+      return ParseErrorAt(line_no, this_offset)
+             << "schema exceeds the " << limits.max_items << "-record limit";
+    }
     std::vector<std::string> f = SplitString(line, '\t');
     auto fail = [&](const std::string& why) {
-      return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+      return Status(ParseErrorAt(line_no, this_offset) << why);
     };
     if (f[0] == "e") {
       if (f.size() != 5) return fail("element line needs 5 fields");
@@ -106,12 +117,15 @@ Status WriteSchemaFile(const SchemaGraph& graph, const std::string& path) {
   return Status::OK();
 }
 
-Result<SchemaGraph> ReadSchemaFile(const std::string& path) {
-  std::ifstream in(path);
+Result<SchemaGraph> ReadSchemaFile(const std::string& path,
+                                   const ParseLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseSchema(buf.str());
+  auto graph = ParseSchema(buf.str(), limits);
+  if (!graph.ok()) return graph.status().WithContext(path);
+  return graph;
 }
 
 }  // namespace ssum

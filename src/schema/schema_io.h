@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 #include "schema/schema_graph.h"
 
@@ -19,12 +20,18 @@ namespace ssum {
 /// character except tab and newline.
 std::string SerializeSchema(const SchemaGraph& graph);
 
-/// Parses the text format. Fails with ParseError on any malformed line and
-/// with the underlying graph error on inconsistent structure.
-Result<SchemaGraph> ParseSchema(const std::string& text);
+/// Parses the text format. Abort-free: any malformed line yields a
+/// ParseError with line and byte-offset context, inconsistent structure the
+/// underlying graph error, and input over `limits` (total bytes, element +
+/// link records vs `limits.max_items`) an OutOfRange status.
+Result<SchemaGraph> ParseSchema(
+    const std::string& text,
+    const ParseLimits& limits = ParseLimits::Defaults());
 
 /// File convenience wrappers.
 Status WriteSchemaFile(const SchemaGraph& graph, const std::string& path);
-Result<SchemaGraph> ReadSchemaFile(const std::string& path);
+Result<SchemaGraph> ReadSchemaFile(
+    const std::string& path,
+    const ParseLimits& limits = ParseLimits::Defaults());
 
 }  // namespace ssum

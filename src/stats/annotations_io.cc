@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status_builder.h"
 #include "common/string_util.h"
 
 namespace ssum {
@@ -26,22 +27,33 @@ std::string SerializeAnnotations(const Annotations& annotations) {
 }
 
 Result<Annotations> ParseAnnotations(const SchemaGraph& graph,
-                                     const std::string& text) {
+                                     const std::string& text,
+                                     const ParseLimits& limits) {
+  SSUM_RETURN_NOT_OK(CheckInputSize(text.size(), limits, "annotations text"));
   std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line) ||
       TrimWhitespace(line) != "ssum-annotations v1") {
-    return Status::ParseError("missing 'ssum-annotations v1' header");
+    return ParseErrorAt(1, 0) << "missing 'ssum-annotations v1' header";
   }
   Annotations annotations(graph);
   size_t line_no = 1;
+  size_t line_offset = line.size() + 1;
+  size_t records = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    const size_t this_offset = line_offset;
+    line_offset += line.size() + 1;
     std::string_view trimmed = TrimWhitespace(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (++records > limits.max_items) {
+      return ParseErrorAt(line_no, this_offset)
+             << "annotations exceed the " << limits.max_items
+             << "-record limit";
+    }
     std::vector<std::string> f = SplitString(line, '\t');
     auto fail = [&](const std::string& why) {
-      return Status::ParseError("line " + std::to_string(line_no) + ": " + why);
+      return Status(ParseErrorAt(line_no, this_offset) << why);
     };
     if (f.size() != 3) return fail("expected 3 fields");
     int64_t id, count;
@@ -81,12 +93,15 @@ Status WriteAnnotationsFile(const Annotations& annotations,
 }
 
 Result<Annotations> ReadAnnotationsFile(const SchemaGraph& graph,
-                                        const std::string& path) {
-  std::ifstream in(path);
+                                        const std::string& path,
+                                        const ParseLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseAnnotations(graph, buf.str());
+  auto annotations = ParseAnnotations(graph, buf.str(), limits);
+  if (!annotations.ok()) return annotations.status().WithContext(path);
+  return annotations;
 }
 
 }  // namespace ssum

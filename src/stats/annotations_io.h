@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
@@ -19,13 +20,17 @@ namespace ssum {
 /// Zero entries may be omitted.
 std::string SerializeAnnotations(const Annotations& annotations);
 
-/// Parses annotations shaped for `graph`; ids out of range fail.
-Result<Annotations> ParseAnnotations(const SchemaGraph& graph,
-                                     const std::string& text);
+/// Parses annotations shaped for `graph`; ids out of range fail. Abort-free:
+/// malformed lines yield a ParseError with line and byte-offset context,
+/// over-limit input an OutOfRange status.
+Result<Annotations> ParseAnnotations(
+    const SchemaGraph& graph, const std::string& text,
+    const ParseLimits& limits = ParseLimits::Defaults());
 
 Status WriteAnnotationsFile(const Annotations& annotations,
                             const std::string& path);
-Result<Annotations> ReadAnnotationsFile(const SchemaGraph& graph,
-                                        const std::string& path);
+Result<Annotations> ReadAnnotationsFile(
+    const SchemaGraph& graph, const std::string& path,
+    const ParseLimits& limits = ParseLimits::Defaults());
 
 }  // namespace ssum

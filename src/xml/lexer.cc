@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/status_builder.h"
+
 namespace ssum {
 
 namespace {
@@ -17,7 +19,8 @@ bool IsNameChar(char c) {
 
 }  // namespace
 
-XmlLexer::XmlLexer(std::string_view input) : input_(input) {}
+XmlLexer::XmlLexer(std::string_view input, const ParseLimits& limits)
+    : input_(input), limits_(limits) {}
 
 char XmlLexer::Peek(size_t ahead) const {
   size_t i = pos_ + ahead;
@@ -33,6 +36,13 @@ bool XmlLexer::Consume(std::string_view expected) {
   return true;
 }
 
+Status XmlLexer::CheckTokenSize(size_t size, const char* what) const {
+  if (size <= limits_.max_token_bytes) return Status::OK();
+  return ParseErrorAt(line_, pos_)
+         << what << " exceeds the " << limits_.max_token_bytes
+         << "-byte token limit";
+}
+
 void XmlLexer::SkipWhitespace() {
   while (pos_ < input_.size()) {
     char c = input_[pos_];
@@ -45,10 +55,11 @@ void XmlLexer::SkipWhitespace() {
   }
 }
 
-bool XmlLexer::SkipMisc() {
+bool XmlLexer::SkipMisc(Status* error) {
   if (Consume("<!--")) {
     size_t end = input_.find("-->", pos_);
     if (end == std::string_view::npos) {
+      *error = ParseErrorAt(line_, pos_) << "unterminated comment";
       pos_ = input_.size();
     } else {
       for (size_t i = pos_; i < end; ++i) {
@@ -60,17 +71,34 @@ bool XmlLexer::SkipMisc() {
   }
   if (Consume("<?")) {
     size_t end = input_.find("?>", pos_);
-    pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+    if (end == std::string_view::npos) {
+      *error = ParseErrorAt(line_, pos_)
+               << "unterminated processing instruction";
+      pos_ = input_.size();
+    } else {
+      pos_ = end + 2;
+    }
     return true;
   }
   if (Consume("<!DOCTYPE") || Consume("<!doctype")) {
     // Skip to the matching '>' (internal subsets in brackets supported).
-    int depth = 1;
+    size_t depth = 1, max_depth = 1;
     while (pos_ < input_.size() && depth > 0) {
       char c = input_[pos_++];
-      if (c == '<') ++depth;
+      if (c == '<') {
+        if (++depth > max_depth) max_depth = depth;
+        if (max_depth > limits_.max_depth) {
+          *error = ParseErrorAt(line_, pos_)
+                   << "DOCTYPE nesting exceeds the " << limits_.max_depth
+                   << "-level depth limit";
+          return true;
+        }
+      }
       if (c == '>') --depth;
       if (c == '\n') ++line_;
+    }
+    if (depth > 0) {
+      *error = ParseErrorAt(line_, pos_) << "unterminated DOCTYPE";
     }
     return true;
   }
@@ -79,10 +107,11 @@ bool XmlLexer::SkipMisc() {
 
 Result<std::string> XmlLexer::LexName() {
   if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
-    return Status::ParseError("expected name at line " + std::to_string(line_));
+    return ParseErrorAt(line_, pos_) << "expected name";
   }
   size_t start = pos_;
   while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+  SSUM_RETURN_NOT_OK(CheckTokenSize(pos_ - start, "name"));
   return std::string(input_.substr(start, pos_ - start));
 }
 
@@ -96,10 +125,12 @@ Result<std::string> XmlLexer::DecodeEntities(std::string_view raw) {
     }
     size_t semi = raw.find(';', i + 1);
     if (semi == std::string_view::npos) {
-      return Status::ParseError("unterminated entity at line " +
-                                std::to_string(line_));
+      return ParseErrorAt(line_, pos_) << "unterminated entity";
     }
     std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent.size() > 32) {
+      return ParseErrorAt(line_, pos_) << "oversized entity reference";
+    }
     if (ent == "lt") out.push_back('<');
     else if (ent == "gt") out.push_back('>');
     else if (ent == "amp") out.push_back('&');
@@ -117,16 +148,17 @@ Result<std::string> XmlLexer::DecodeEntities(std::string_view raw) {
           else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
           else { ok = false; break; }
           code = code * 16 + d;
+          if (code > 0x10ffff) { ok = false; break; }
         }
       } else {
         for (size_t j = 1; j < ent.size() && ok; ++j) {
           if (ent[j] < '0' || ent[j] > '9') { ok = false; break; }
           code = code * 10 + (ent[j] - '0');
+          if (code > 0x10ffff) { ok = false; break; }
         }
       }
       if (!ok || code <= 0 || code > 0x10ffff) {
-        return Status::ParseError("bad character reference at line " +
-                                  std::to_string(line_));
+        return ParseErrorAt(line_, pos_) << "bad character reference";
       }
       // UTF-8 encode.
       if (code < 0x80) {
@@ -145,8 +177,8 @@ Result<std::string> XmlLexer::DecodeEntities(std::string_view raw) {
         out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
       }
     } else {
-      return Status::ParseError("unknown entity '&" + std::string(ent) +
-                                ";' at line " + std::to_string(line_));
+      return ParseErrorAt(line_, pos_)
+             << "unknown entity '&" << std::string(ent) << ";'";
     }
     i = semi;
   }
@@ -164,21 +196,24 @@ Result<XmlToken> XmlLexer::Next() {
       in_tag_ = false;
       return XmlToken{XmlTokenKind::kTagClose, "", line_};
     }
-    return Status::ParseError("unexpected character in tag at line " +
-                              std::to_string(line_));
+    return ParseErrorAt(line_, pos_) << "unexpected character in tag";
   }
   for (;;) {
     if (pos_ >= input_.size()) {
       return XmlToken{XmlTokenKind::kEndOfInput, "", line_};
     }
     if (Peek() == '<') {
-      if (SkipMisc()) continue;
+      Status misc_error = Status::OK();
+      if (SkipMisc(&misc_error)) {
+        SSUM_RETURN_NOT_OK(misc_error);
+        continue;
+      }
       if (Consume("<![CDATA[")) {
         size_t end = input_.find("]]>", pos_);
         if (end == std::string_view::npos) {
-          return Status::ParseError("unterminated CDATA at line " +
-                                    std::to_string(line_));
+          return ParseErrorAt(line_, pos_) << "unterminated CDATA";
         }
+        SSUM_RETURN_NOT_OK(CheckTokenSize(end - pos_, "CDATA section"));
         std::string text(input_.substr(pos_, end - pos_));
         for (char c : text) {
           if (c == '\n') ++line_;
@@ -191,10 +226,12 @@ Result<XmlToken> XmlLexer::Next() {
         SSUM_ASSIGN_OR_RETURN(name, LexName());
         SkipWhitespace();
         if (!Consume(">")) {
-          return Status::ParseError("malformed end tag at line " +
-                                    std::to_string(line_));
+          return ParseErrorAt(line_, pos_) << "malformed end tag";
         }
         return XmlToken{XmlTokenKind::kEndTag, std::move(name), line_};
+      }
+      if (Peek(1) == '\0') {
+        return ParseErrorAt(line_, pos_) << "truncated tag at end of input";
       }
       ++pos_;  // consume '<'
       std::string name;
@@ -208,6 +245,7 @@ Result<XmlToken> XmlLexer::Next() {
       if (input_[pos_] == '\n') ++line_;
       ++pos_;
     }
+    SSUM_RETURN_NOT_OK(CheckTokenSize(pos_ - start, "text run"));
     std::string decoded;
     SSUM_ASSIGN_OR_RETURN(decoded,
                           DecodeEntities(input_.substr(start, pos_ - start)));
@@ -224,14 +262,12 @@ Result<bool> XmlLexer::PullAttribute(std::string* name, std::string* value) {
   SSUM_ASSIGN_OR_RETURN(*name, LexName());
   SkipWhitespace();
   if (!Consume("=")) {
-    return Status::ParseError("expected '=' after attribute name at line " +
-                              std::to_string(line_));
+    return ParseErrorAt(line_, pos_) << "expected '=' after attribute name";
   }
   SkipWhitespace();
   char quote = Peek();
   if (quote != '"' && quote != '\'') {
-    return Status::ParseError("expected quoted attribute value at line " +
-                              std::to_string(line_));
+    return ParseErrorAt(line_, pos_) << "expected quoted attribute value";
   }
   ++pos_;
   size_t start = pos_;
@@ -240,9 +276,9 @@ Result<bool> XmlLexer::PullAttribute(std::string* name, std::string* value) {
     ++pos_;
   }
   if (pos_ >= input_.size()) {
-    return Status::ParseError("unterminated attribute value at line " +
-                              std::to_string(line_));
+    return ParseErrorAt(line_, pos_) << "unterminated attribute value";
   }
+  SSUM_RETURN_NOT_OK(CheckTokenSize(pos_ - start, "attribute value"));
   std::string decoded;
   SSUM_ASSIGN_OR_RETURN(decoded,
                         DecodeEntities(input_.substr(start, pos_ - start)));

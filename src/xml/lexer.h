@@ -3,6 +3,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 
 namespace ssum {
@@ -30,9 +31,14 @@ struct XmlToken {
 /// DOCTYPE (the latter three are skipped), and the five predefined entities
 /// plus decimal/hex character references. No namespace processing (colons
 /// are ordinary name characters).
+///
+/// Hardened against untrusted input: every token (name, attribute value,
+/// text run) is capped at `limits.max_token_bytes` and all errors carry the
+/// line number and byte offset of the offending input.
 class XmlLexer {
  public:
-  explicit XmlLexer(std::string_view input);
+  explicit XmlLexer(std::string_view input,
+                    const ParseLimits& limits = ParseLimits::Defaults());
 
   /// Next markup-level token.
   Result<XmlToken> Next();
@@ -43,16 +49,22 @@ class XmlLexer {
   Result<bool> PullAttribute(std::string* name, std::string* value);
 
   size_t line() const { return line_; }
+  /// Byte offset of the next unread character (error context).
+  size_t offset() const { return pos_; }
 
  private:
   void SkipWhitespace();
-  bool SkipMisc();  ///< comments, PIs, DOCTYPE; returns true when skipped
+  /// Comments, PIs, DOCTYPE; true when something was skipped. Sets *error
+  /// (unterminated constructs, DOCTYPE nesting over limits.max_depth).
+  bool SkipMisc(Status* error);
   Result<std::string> LexName();
   Result<std::string> DecodeEntities(std::string_view raw);
+  Status CheckTokenSize(size_t size, const char* what) const;
   char Peek(size_t ahead = 0) const;
   bool Consume(std::string_view expected);
 
   std::string_view input_;
+  ParseLimits limits_;
   size_t pos_ = 0;
   size_t line_ = 1;
   bool in_tag_ = false;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status_builder.h"
 #include "common/string_util.h"
 #include "xml/lexer.h"
 
@@ -33,66 +34,107 @@ std::vector<const XmlElement*> XmlElement::FindChildren(
 
 namespace {
 
-/// Recursive-descent body parser; the start tag's name has been consumed.
-Status ParseElementBody(XmlLexer* lexer, XmlElement* element, int depth) {
-  if (depth > 512) {
-    return Status::ParseError("document nesting exceeds 512 levels");
-  }
-  // Attributes.
-  std::string name, value;
+/// Parses the element whose start-tag name was just consumed, plus its
+/// entire subtree, using an explicit stack of open elements: stack safety
+/// does not depend on document nesting, so hostile depth is rejected by the
+/// limit check, never by stack exhaustion.
+Result<XmlElement> ParseElementTree(XmlLexer* lexer, std::string root_name,
+                                    const ParseLimits& limits) {
+  std::vector<XmlElement> open;  // open.back() is the innermost element
+  size_t items = 0;
+  auto count_item = [&]() -> Status {
+    if (++items > limits.max_items) {
+      return ParseErrorAt(lexer->line(), lexer->offset())
+             << "document exceeds the " << limits.max_items
+             << "-item limit (elements + attributes)";
+    }
+    return Status::OK();
+  };
+  // Moves the finished innermost element into its parent; true when it was
+  // the subtree root (parse complete).
+  auto close_top = [&open]() {
+    if (open.size() == 1) return true;
+    XmlElement done = std::move(open.back());
+    open.pop_back();
+    open.back().children.push_back(std::move(done));
+    return false;
+  };
+
+  open.emplace_back();
+  open.back().name = std::move(root_name);
+  SSUM_RETURN_NOT_OK(count_item());
+  bool in_start_tag = true;  // open.back()'s attributes not yet read
+
   for (;;) {
-    auto more = lexer->PullAttribute(&name, &value);
-    SSUM_RETURN_NOT_OK(more.status());
-    if (!*more) break;
-    element->attributes.emplace_back(std::move(name), std::move(value));
-  }
-  XmlToken tok;
-  SSUM_ASSIGN_OR_RETURN(tok, lexer->Next());
-  if (tok.kind == XmlTokenKind::kTagSelfClose) return Status::OK();
-  if (tok.kind != XmlTokenKind::kTagClose) {
-    return Status::ParseError("expected '>' at line " +
-                              std::to_string(tok.line));
-  }
-  // Content until the matching end tag.
-  for (;;) {
+    if (in_start_tag) {
+      in_start_tag = false;
+      std::string name, value;
+      for (;;) {
+        auto more = lexer->PullAttribute(&name, &value);
+        SSUM_RETURN_NOT_OK(more.status());
+        if (!*more) break;
+        SSUM_RETURN_NOT_OK(count_item());
+        open.back().attributes.emplace_back(std::move(name),
+                                            std::move(value));
+      }
+      XmlToken tag_end;
+      SSUM_ASSIGN_OR_RETURN(tag_end, lexer->Next());
+      if (tag_end.kind == XmlTokenKind::kTagSelfClose) {
+        if (close_top()) return std::move(open.back());
+        continue;
+      }
+      if (tag_end.kind != XmlTokenKind::kTagClose) {
+        return ParseErrorAt(tag_end.line, lexer->offset()) << "expected '>'";
+      }
+    }
+    // One content token of the innermost open element.
+    XmlToken tok;
     SSUM_ASSIGN_OR_RETURN(tok, lexer->Next());
     switch (tok.kind) {
       case XmlTokenKind::kText: {
         std::string_view trimmed = TrimWhitespace(tok.text);
         if (!trimmed.empty()) {
-          if (!element->text.empty()) element->text += ' ';
-          element->text += trimmed;
+          XmlElement& cur = open.back();
+          if (!cur.text.empty()) cur.text += ' ';
+          cur.text += trimmed;
         }
         break;
       }
-      case XmlTokenKind::kStartTagOpen: {
-        XmlElement child;
-        child.name = std::move(tok.text);
-        SSUM_RETURN_NOT_OK(ParseElementBody(lexer, &child, depth + 1));
-        element->children.push_back(std::move(child));
+      case XmlTokenKind::kStartTagOpen:
+        if (open.size() >= limits.max_depth) {
+          return ParseErrorAt(tok.line, lexer->offset())
+                 << "document nesting exceeds the " << limits.max_depth
+                 << "-level depth limit";
+        }
+        SSUM_RETURN_NOT_OK(count_item());
+        open.emplace_back();
+        open.back().name = std::move(tok.text);
+        in_start_tag = true;
         break;
-      }
       case XmlTokenKind::kEndTag:
-        if (tok.text != element->name) {
-          return Status::ParseError("mismatched end tag </" + tok.text +
-                                    "> for <" + element->name + "> at line " +
-                                    std::to_string(tok.line));
+        if (tok.text != open.back().name) {
+          return ParseErrorAt(tok.line, lexer->offset())
+                 << "mismatched end tag </" << tok.text << "> for <"
+                 << open.back().name << ">";
         }
-        return Status::OK();
+        if (close_top()) return std::move(open.back());
+        break;
       case XmlTokenKind::kEndOfInput:
-        return Status::ParseError("unexpected end of input inside <" +
-                                  element->name + ">");
+        return ParseErrorAt(tok.line, lexer->offset())
+               << "unexpected end of input inside <" << open.back().name
+               << ">";
       default:
-        return Status::ParseError("unexpected token at line " +
-                                  std::to_string(tok.line));
+        return ParseErrorAt(tok.line, lexer->offset()) << "unexpected token";
     }
   }
 }
 
 }  // namespace
 
-Result<XmlDocument> ParseXml(std::string_view input) {
-  XmlLexer lexer(input);
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const ParseLimits& limits) {
+  SSUM_RETURN_NOT_OK(CheckInputSize(input.size(), limits, "XML document"));
+  XmlLexer lexer(input, limits);
   XmlToken tok;
   SSUM_ASSIGN_OR_RETURN(tok, lexer.Next());
   // Leading whitespace text is tolerated.
@@ -104,8 +146,8 @@ Result<XmlDocument> ParseXml(std::string_view input) {
     return Status::ParseError("document has no root element");
   }
   XmlDocument doc;
-  doc.root.name = std::move(tok.text);
-  SSUM_RETURN_NOT_OK(ParseElementBody(&lexer, &doc.root, 0));
+  SSUM_ASSIGN_OR_RETURN(
+      doc.root, ParseElementTree(&lexer, std::move(tok.text), limits));
   // Only whitespace may follow.
   for (;;) {
     SSUM_ASSIGN_OR_RETURN(tok, lexer.Next());
@@ -113,18 +155,22 @@ Result<XmlDocument> ParseXml(std::string_view input) {
     if (tok.kind == XmlTokenKind::kText && TrimWhitespace(tok.text).empty()) {
       continue;
     }
-    return Status::ParseError("trailing content after root element");
+    return ParseErrorAt(tok.line, lexer.offset())
+           << "trailing content after root element";
   }
   return doc;
 }
 
-Result<XmlDocument> ReadXmlFile(const std::string& path) {
-  std::ifstream in(path);
+Result<XmlDocument> ReadXmlFile(const std::string& path,
+                                const ParseLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string text = buf.str();
-  return ParseXml(text);
+  auto doc = ParseXml(text, limits);
+  if (!doc.ok()) return doc.status().WithContext(path);
+  return doc;
 }
 
 }  // namespace ssum

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/parse_limits.h"
 #include "common/result.h"
 
 namespace ssum {
@@ -31,9 +32,19 @@ struct XmlDocument {
 };
 
 /// Parses a complete document; exactly one top-level element is required.
-Result<XmlDocument> ParseXml(std::string_view input);
+///
+/// Abort-free by contract: any malformed or over-limit input yields a
+/// ParseError/OutOfRange status stamped with line and byte offset, never a
+/// crash. The parser uses an explicit element stack (no recursion), so
+/// `limits.max_depth` bounds heap rather than the machine stack, and
+/// `limits.max_items` caps the total element + attribute count.
+Result<XmlDocument> ParseXml(std::string_view input,
+                             const ParseLimits& limits =
+                                 ParseLimits::Defaults());
 
-/// File convenience wrapper.
-Result<XmlDocument> ReadXmlFile(const std::string& path);
+/// File convenience wrapper; errors carry `path` as the source context.
+Result<XmlDocument> ReadXmlFile(const std::string& path,
+                                const ParseLimits& limits =
+                                    ParseLimits::Defaults());
 
 }  // namespace ssum

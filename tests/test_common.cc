@@ -3,9 +3,11 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/parse_limits.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/status_builder.h"
 #include "common/string_util.h"
 
 namespace ssum {
@@ -183,6 +185,39 @@ TEST(ZipfTest, SkewsTowardZero) {
     if (zipf.Sample(&rng) < 10) ++low;
   }
   EXPECT_GT(low, static_cast<size_t>(n / 2));  // top 10% gets most mass
+}
+
+TEST(StatusBuilderTest, RendersSourceLineAndOffset) {
+  Status s = StatusBuilder(StatusCode::kParseError)
+                 .Source("file.xml")
+                 .Line(12)
+                 .ByteOffset(3456)
+             << "unterminated entity '&" << "amp" << "'";
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "unterminated entity '&amp' (file.xml:12, byte 3456)");
+}
+
+TEST(StatusBuilderTest, OmitsUnsetFields) {
+  Status no_location = StatusBuilder(StatusCode::kInvalidArgument) << "plain";
+  EXPECT_EQ(no_location.message(), "plain");
+  Status line_only = ParseErrorAt(3, 17) << "bad record";
+  EXPECT_EQ(line_only.message(), "bad record (line 3, byte 17)");
+}
+
+TEST(StatusBuilderTest, ConvertsToResult) {
+  Result<int> r = ParseErrorAt(1, 0) << "nope";
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(ParseLimitsTest, InputSizeCheck) {
+  ParseLimits limits;
+  limits.max_input_bytes = 100;
+  EXPECT_TRUE(CheckInputSize(100, limits, "doc").ok());
+  Status st = CheckInputSize(101, limits, "doc");
+  EXPECT_TRUE(st.IsOutOfRange());
+  EXPECT_NE(st.message().find("doc"), std::string::npos) << st.ToString();
+  EXPECT_TRUE(CheckInputSize(1ull << 40, ParseLimits::Unbounded(), "x").ok());
 }
 
 TEST(LoggingTest, LevelGate) {

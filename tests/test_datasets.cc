@@ -79,7 +79,7 @@ TEST(XMarkTest, BidderFanoutMatchesParams) {
 
 TEST(XMarkTest, QueriesResolveAndMatchPaperProfile) {
   XMarkDataset ds;
-  Workload w = ds.Queries();
+  Workload w = *ds.Queries();
   EXPECT_EQ(w.size(), 20u);
   EXPECT_GT(w.AverageIntentionSize(), 2.5);
   EXPECT_LT(w.AverageIntentionSize(), 5.0);
@@ -102,12 +102,12 @@ TEST(TpchTest, RowCountsFollowSpec) {
   TpchParams params;
   params.sf = 0.1;
   TpchDataset ds(params);
-  EXPECT_EQ(ds.RowsOf(0), 5u);       // region
-  EXPECT_EQ(ds.RowsOf(1), 25u);      // nation
-  EXPECT_EQ(ds.RowsOf(2), 1000u);    // supplier
-  EXPECT_EQ(ds.RowsOf(5), 15000u);   // customer
-  EXPECT_EQ(ds.RowsOf(6), 150000u);  // orders
-  EXPECT_EQ(ds.RowsOf(7), 600000u);  // lineitem
+  EXPECT_EQ(*ds.RowsOf(0), 5u);       // region
+  EXPECT_EQ(*ds.RowsOf(1), 25u);      // nation
+  EXPECT_EQ(*ds.RowsOf(2), 1000u);    // supplier
+  EXPECT_EQ(*ds.RowsOf(5), 15000u);   // customer
+  EXPECT_EQ(*ds.RowsOf(6), 150000u);  // orders
+  EXPECT_EQ(*ds.RowsOf(7), 600000u);  // lineitem
 }
 
 TEST(TpchTest, StreamMatchesRowCounts) {
@@ -116,12 +116,12 @@ TEST(TpchTest, StreamMatchesRowCounts) {
   TpchDataset ds(params);
   Annotations ann = *AnnotateSchema(*ds.MakeStream());
   for (size_t t = 0; t < ds.catalog().tables().size(); ++t) {
-    EXPECT_EQ(ann.card(ds.mapping().table_elements[t]), ds.RowsOf(t))
+    EXPECT_EQ(ann.card(ds.mapping().table_elements[t]), *ds.RowsOf(t))
         << ds.catalog().tables()[t].name;
   }
   // Every lineitem row references an order.
   int li = ds.catalog().TableIndex("lineitem");
-  EXPECT_EQ(ann.value_count(ds.mapping().fk_links[li][0]), ds.RowsOf(7));
+  EXPECT_EQ(ann.value_count(ds.mapping().fk_links[li][0]), *ds.RowsOf(7));
 }
 
 TEST(TpchTest, MaterializedDatabaseHasValidForeignKeys) {
@@ -131,7 +131,7 @@ TEST(TpchTest, MaterializedDatabaseHasValidForeignKeys) {
   auto db = ds.GenerateDatabase();
   ASSERT_TRUE(db.ok()) << db.status().ToString();
   EXPECT_TRUE(db->CheckForeignKeys().ok());
-  EXPECT_EQ(db->table(6).num_rows(), ds.RowsOf(6));
+  EXPECT_EQ(db->table(6).num_rows(), *ds.RowsOf(6));
   // Refuses benchmark-scale materialization.
   TpchParams big;
   big.sf = 10.0;
@@ -141,7 +141,7 @@ TEST(TpchTest, MaterializedDatabaseHasValidForeignKeys) {
 
 TEST(TpchTest, QueriesMatchPaperProfile) {
   TpchDataset ds;
-  Workload w = ds.Queries();
+  Workload w = *ds.Queries();
   EXPECT_EQ(w.size(), 22u);
   // Paper: avg intention 13.4 (wide queries).
   EXPECT_GT(w.AverageIntentionSize(), 8.0);
@@ -179,7 +179,7 @@ TEST(MimiTest, VersionsShareSchemaButNotData) {
 
 TEST(MimiTest, QueriesMatchPaperProfile) {
   MimiDataset ds;
-  Workload w = ds.Queries();
+  Workload w = *ds.Queries();
   EXPECT_EQ(w.size(), 52u);
   EXPECT_GT(w.AverageIntentionSize(), 2.5);
   EXPECT_LT(w.AverageIntentionSize(), 4.5);

@@ -90,6 +90,62 @@ TEST(DdlTest, RejectsMalformedInput) {
                    .ok());
 }
 
+TEST(DdlTest, UnterminatedQuotedIdentifierReportsOffset) {
+  auto catalog = ParseDdl("CREATE TABLE t (\"never closed INTEGER);");
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_TRUE(catalog.status().IsParseError());
+  const std::string msg = catalog.status().ToString();
+  EXPECT_NE(msg.find("unterminated quoted identifier"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("byte"), std::string::npos) << msg;
+}
+
+TEST(DdlTest, OversizedTokenRejected) {
+  ParseLimits limits;
+  limits.max_token_bytes = 32;
+  const std::string ddl =
+      "CREATE TABLE " + std::string(64, 'x') + " (a INTEGER);";
+  auto catalog = ParseDdl(ddl, limits);
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().ToString().find("token exceeds"),
+            std::string::npos);
+}
+
+TEST(DdlTest, InputAndItemLimits) {
+  ParseLimits tiny;
+  tiny.max_input_bytes = 10;
+  EXPECT_TRUE(
+      ParseDdl("CREATE TABLE t (a INTEGER);", tiny).status().IsOutOfRange());
+  ParseLimits few;
+  few.max_items = 2;  // one table + two columns = 3 items
+  EXPECT_TRUE(ParseDdl("CREATE TABLE t (a INTEGER, b INTEGER);", few)
+                  .status()
+                  .IsParseError());
+}
+
+TEST(DdlTest, RejectsIdentifierMixingBothQuoteChars) {
+  // `a"b` + "c`d" style names cannot be re-serialized by WriteDdl, so the
+  // parser refuses them up front (bare tokens may contain either char).
+  EXPECT_FALSE(ParseDdl("CREATE TABLE x\"y`z (a INTEGER);").ok());
+}
+
+TEST(DdlTest, QuotedIdentifiersRoundTripThroughWriteDdl) {
+  auto catalog = ParseDdl(
+      "CREATE TABLE \"order items\" (\"item id\" INTEGER PRIMARY KEY, "
+      "\"select\" INTEGER, `has \"quote\"` VARCHAR);"
+      "CREATE TABLE t2 (a INT, "
+      "FOREIGN KEY (a) REFERENCES \"order items\"(\"item id\"));");
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  const std::string ddl = WriteDdl(*catalog);
+  auto again = ParseDdl(ddl);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << ddl;
+  ASSERT_NE(again->FindTable("order items"), nullptr);
+  EXPECT_EQ(again->FindTable("order items")->columns[2].name, "has \"quote\"");
+  EXPECT_EQ(again->FindTable("t2")->foreign_keys[0].ref_table, "order items");
+  // Serialization is a fixpoint over its own output.
+  EXPECT_EQ(WriteDdl(*again), ddl);
+}
+
 TEST(DdlTest, RoundTripsThroughWriteDdl) {
   auto catalog = ParseDdl(kSample);
   ASSERT_TRUE(catalog.ok());

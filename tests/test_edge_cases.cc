@@ -44,7 +44,8 @@ TEST(EdgeCaseTest, SummaryAtAlmostFullSchemaSize) {
   }
   // Discovery degenerates to scanning the summary but stays complete.
   DiscoveryOracle oracle(f.ds.schema());
-  for (const QueryIntention& q : f.ds.Queries().queries) {
+  const Workload workload = *f.ds.Queries();
+  for (const QueryIntention& q : workload.queries) {
     EXPECT_TRUE(DiscoverWithSummary(oracle, *summary, q).complete) << q.name;
   }
 }
@@ -80,7 +81,8 @@ TEST(EdgeCaseTest, ThreeLevelSummaryComposes) {
   }
   // Multi-level discovery works with three levels.
   DiscoveryOracle oracle(f.ds.schema());
-  for (const QueryIntention& q : f.ds.Queries().queries) {
+  const Workload workload = *f.ds.Queries();
+  for (const QueryIntention& q : workload.queries) {
     EXPECT_TRUE(DiscoverWithMultiLevel(oracle, *levels, q).complete)
         << q.name;
   }
@@ -94,7 +96,8 @@ TEST(EdgeCaseTest, TraceInvariants) {
   auto summary = Summarize(f.ds.schema(), f.ann, 8);
   ASSERT_TRUE(summary.ok());
   DiscoveryOracle oracle(f.ds.schema());
-  for (const QueryIntention& q : f.ds.Queries().queries) {
+  const Workload workload = *f.ds.Queries();
+  for (const QueryIntention& q : workload.queries) {
     for (int mode = 0; mode < 4; ++mode) {
       DiscoveryResult r =
           mode < 3 ? Discover(oracle, q, static_cast<TraversalStrategy>(mode))

@@ -98,7 +98,8 @@ TEST(FormulateSqlTest, ErrorCases) {
 
 TEST(FormulateSqlTest, WorksForEveryTpchQuery) {
   TpchDataset ds;
-  for (const QueryIntention& q : ds.Queries().queries) {
+  const Workload workload = *ds.Queries();
+  for (const QueryIntention& q : workload.queries) {
     auto sql = FormulateSqlSkeleton(ds.schema(), q);
     EXPECT_TRUE(sql.ok()) << q.name << ": " << sql.status().ToString();
   }
@@ -106,7 +107,8 @@ TEST(FormulateSqlTest, WorksForEveryTpchQuery) {
 
 TEST(FormulateXQueryTest, WorksForEveryXMarkQuery) {
   XMarkDataset ds;
-  for (const QueryIntention& q : ds.Queries().queries) {
+  const Workload workload = *ds.Queries();
+  for (const QueryIntention& q : workload.queries) {
     auto xq = FormulateXQuerySkeleton(ds.schema(), q);
     EXPECT_TRUE(xq.ok()) << q.name << ": " << xq.status().ToString();
   }

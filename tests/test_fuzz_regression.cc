@@ -1,0 +1,165 @@
+// Replays the fuzz seed corpus (fuzz/corpus/) through the ingestion-boundary
+// parsers as ordinary unit tests, so the fixtures guard against regressions
+// even in builds that never run the fuzz harnesses. Every fixture must
+// produce a Status — ok or error — without crashing; named fixtures
+// additionally pin the expected outcome.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/summary_io.h"
+#include "relational/csv.h"
+#include "relational/ddl.h"
+#include "schema/schema_io.h"
+#include "xml/parser.h"
+
+#ifndef SSUM_FUZZ_CORPUS_DIR
+#error "SSUM_FUZZ_CORPUS_DIR must point at fuzz/corpus (set in CMakeLists)"
+#endif
+
+namespace ssum {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open corpus fixture " << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<fs::path> CorpusFiles(const char* subdir) {
+  std::vector<fs::path> files;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(SSUM_FUZZ_CORPUS_DIR) / subdir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  EXPECT_FALSE(files.empty()) << "empty corpus directory " << subdir;
+  return files;
+}
+
+/// Same limits as fuzz/fuzz_util.h TightLimits() so replay matches the
+/// harness behavior (deep_nesting.xml must trip max_depth = 64).
+ParseLimits TightLimits() {
+  ParseLimits limits;
+  limits.max_input_bytes = 1u << 20;
+  limits.max_depth = 64;
+  limits.max_token_bytes = 1u << 16;
+  limits.max_items = 1u << 16;
+  return limits;
+}
+
+TEST(FuzzRegressionTest, XmlCorpus) {
+  for (const fs::path& p : CorpusFiles("xml")) {
+    const std::string text = ReadFileOrDie(p);
+    auto doc = ParseXml(text, TightLimits());
+    const std::string name = p.filename().string();
+    if (name == "valid.xml" || name == "entities_cdata.xml") {
+      EXPECT_TRUE(doc.ok()) << name << ": " << doc.status().ToString();
+    } else {
+      EXPECT_TRUE(doc.status().IsParseError()) << name;
+      EXPECT_NE(doc.status().ToString().find("byte"), std::string::npos)
+          << name << ": " << doc.status().ToString();
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, DdlCorpus) {
+  for (const fs::path& p : CorpusFiles("ddl")) {
+    const std::string text = ReadFileOrDie(p);
+    auto catalog = ParseDdl(text, TightLimits());
+    const std::string name = p.filename().string();
+    if (name.rfind("malformed", 0) == 0) {
+      EXPECT_TRUE(catalog.status().IsParseError()) << name;
+    } else {
+      ASSERT_TRUE(catalog.ok()) << name << ": " << catalog.status().ToString();
+      // The fuzz oracle: WriteDdl output re-parses and is a fixpoint.
+      const std::string dumped = WriteDdl(*catalog);
+      auto again = ParseDdl(dumped, TightLimits());
+      ASSERT_TRUE(again.ok()) << name << ": " << again.status().ToString()
+                              << "\n" << dumped;
+      EXPECT_EQ(WriteDdl(*again), dumped) << name;
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, CsvCorpus) {
+  TableDef def;
+  def.name = "fuzz";
+  def.columns = {{"a", ColumnType::kInt, false},
+                 {"b", ColumnType::kString, false},
+                 {"c", ColumnType::kFloat, false}};
+  for (const fs::path& p : CorpusFiles("csv")) {
+    const std::string raw = ReadFileOrDie(p);
+    ASSERT_FALSE(raw.empty()) << p;
+    // First byte selects the dialect, as in fuzz_csv.cc.
+    CsvOptions options;
+    if (raw[0] & 1) {
+      options.delimiter = '|';
+      options.header = false;
+      options.allow_quotes = false;
+    }
+    Table table(&def);
+    Status st = LoadCsv(raw.substr(1), &table, options, TightLimits());
+    const std::string name = p.filename().string();
+    if (name == "header_quoted.csv" || name == "pipe_tpch.csv") {
+      EXPECT_TRUE(st.ok()) << name << ": " << st.ToString();
+      EXPECT_EQ(table.num_rows(), 3u) << name;
+    } else {
+      EXPECT_TRUE(st.IsParseError()) << name << ": " << st.ToString();
+      EXPECT_NE(st.ToString().find("byte"), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, SummaryCorpus) {
+  // Mirror of FuzzSchema() in fuzz/fuzz_summary.cc.
+  SchemaGraph schema("site");
+  ElementId people = *schema.AddElement(0, "people", ElementType::Rcd());
+  ElementId person =
+      *schema.AddElement(people, "person", ElementType::Rcd(true));
+  ElementId pid =
+      *schema.AddElement(person, "id", ElementType::Simple(AtomicKind::kId));
+  ASSERT_TRUE(schema.AddElement(person, "name", ElementType::Simple()).ok());
+  ElementId auctions = *schema.AddElement(0, "auctions", ElementType::Rcd());
+  ElementId auction =
+      *schema.AddElement(auctions, "auction", ElementType::Rcd(true));
+  ElementId seller = *schema.AddElement(
+      auction, "seller", ElementType::Simple(AtomicKind::kIdRef));
+  ASSERT_TRUE(schema.AddValueLink(auction, person, seller, pid).ok());
+
+  for (const fs::path& p : CorpusFiles("summary")) {
+    const std::string text = ReadFileOrDie(p);
+    const std::string name = p.filename().string();
+    auto parsed_schema = ParseSchema(text, TightLimits());
+    auto parsed_summary = ParseSummary(schema, text, TightLimits());
+    if (name == "schema_valid.ssum") {
+      ASSERT_TRUE(parsed_schema.ok())
+          << name << ": " << parsed_schema.status().ToString();
+      EXPECT_EQ(parsed_schema->size(), schema.size());
+      const std::string dumped = SerializeSchema(*parsed_schema);
+      auto again = ParseSchema(dumped, TightLimits());
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ(again->value_links(), parsed_schema->value_links());
+    } else if (name == "summary_valid.ssum") {
+      ASSERT_TRUE(parsed_summary.ok())
+          << name << ": " << parsed_summary.status().ToString();
+      const std::string dumped = SerializeSummary(*parsed_summary);
+      auto again = ParseSummary(schema, dumped, TightLimits());
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ(again->abstract_elements, parsed_summary->abstract_elements);
+      EXPECT_EQ(again->representative, parsed_summary->representative);
+    } else {
+      EXPECT_FALSE(parsed_schema.ok()) << name;
+      EXPECT_FALSE(parsed_summary.ok()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssum

@@ -39,7 +39,7 @@ TEST(MultiLevelDiscoveryTest, FindsEveryElement) {
 TEST(MultiLevelDiscoveryTest, CompletesTheBenchmarkWorkload) {
   Fixture f;
   DiscoveryOracle oracle(f.ds.schema());
-  Workload w = f.ds.Queries();
+  Workload w = *f.ds.Queries();
   for (const QueryIntention& q : w.queries) {
     DiscoveryResult r = DiscoverWithMultiLevel(oracle, f.levels, q);
     EXPECT_TRUE(r.complete) << q.name;
@@ -70,7 +70,7 @@ TEST(MultiLevelDiscoveryTest, SingleLevelMatchesFlatSummary) {
   level.abstract_elements = summary->abstract_elements;
   level.representative = summary->representative;
   DiscoveryOracle oracle(f.ds.schema());
-  Workload w = f.ds.Queries();
+  Workload w = *f.ds.Queries();
   for (const QueryIntention& q : w.queries) {
     DiscoveryResult flat = DiscoverWithSummary(oracle, *summary, q);
     DiscoveryResult multi = DiscoverWithMultiLevel(oracle, {level}, q);

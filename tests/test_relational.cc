@@ -125,6 +125,56 @@ TEST(CsvTest, TpchPipeDialect) {
   EXPECT_EQ(dept->cell(1, 1), "Science");
 }
 
+TEST(CsvTest, RaggedRowsReportLineAndOffset) {
+  Catalog cat = MakeCatalog();
+  Database db(&cat);
+  Table* dept = *db.FindTable("dept");
+  Status st = LoadCsv("dept_id,dept_name\n1,Eng\n2\n", dept);
+  ASSERT_TRUE(st.IsParseError());
+  const std::string msg = st.ToString();
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte"), std::string::npos) << msg;
+}
+
+TEST(CsvTest, EmbeddedNulRejected) {
+  Catalog cat = MakeCatalog();
+  Database db(&cat);
+  Table* dept = *db.FindTable("dept");
+  std::string text = "dept_id,dept_name\n1,En";
+  text.push_back('\0');
+  text += "g\n";
+  Status st = LoadCsv(text, dept);
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.ToString().find("NUL"), std::string::npos) << st.ToString();
+}
+
+TEST(CsvTest, RowAndFieldLimits) {
+  Catalog cat = MakeCatalog();
+  Database db(&cat);
+  ParseLimits limits;
+  limits.max_items = 2;
+  Status st = LoadCsv("dept_id,dept_name\n1,a\n2,b\n3,c\n",
+                      *db.FindTable("dept"), {}, limits);
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.ToString().find("row limit"), std::string::npos)
+      << st.ToString();
+
+  ParseLimits narrow;
+  narrow.max_token_bytes = 8;
+  Database db2(&cat);
+  Status st2 = LoadCsv("dept_id,dept_name\n1," + std::string(64, 'x') + "\n",
+                       *db2.FindTable("dept"), {}, narrow);
+  ASSERT_TRUE(st2.IsParseError());
+  EXPECT_NE(st2.ToString().find("byte limit"), std::string::npos)
+      << st2.ToString();
+
+  ParseLimits tiny;
+  tiny.max_input_bytes = 4;
+  Database db3(&cat);
+  EXPECT_TRUE(LoadCsv("dept_id,dept_name\n", *db3.FindTable("dept"), {}, tiny)
+                  .IsOutOfRange());
+}
+
 TEST(BridgeTest, SchemaShape) {
   Catalog cat = MakeCatalog();
   auto mapping = BuildRelationalSchema(cat, "hr");

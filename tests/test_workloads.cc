@@ -15,7 +15,7 @@ namespace {
 
 TEST(WorkloadIoTest, RoundTrip) {
   XMarkDataset ds;
-  Workload w = ds.Queries();
+  Workload w = *ds.Queries();
   std::string text = SerializeWorkload(ds.schema(), w);
   auto parsed = ParseWorkload(ds.schema(), "xmark", text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -75,12 +75,12 @@ void CheckWorkloadInvariants(const SchemaGraph& schema, const Workload& w,
 
 TEST(DatasetWorkloadTest, XMark) {
   XMarkDataset ds;
-  CheckWorkloadInvariants(ds.schema(), ds.Queries(), 20);
+  CheckWorkloadInvariants(ds.schema(), *ds.Queries(), 20);
 }
 
 TEST(DatasetWorkloadTest, Tpch) {
   TpchDataset ds;
-  Workload w = ds.Queries();
+  Workload w = *ds.Queries();
   CheckWorkloadInvariants(ds.schema(), w, 22);
   // Every TPC-H query references at least one relation element.
   for (const QueryIntention& q : w.queries) {
@@ -94,7 +94,7 @@ TEST(DatasetWorkloadTest, Tpch) {
 
 TEST(DatasetWorkloadTest, MimiIsMoleculeCentric) {
   MimiDataset ds;
-  Workload w = ds.Queries();
+  Workload w = *ds.Queries();
   CheckWorkloadInvariants(ds.schema(), w, 52);
   // The trace profile: a majority of query groups touch the molecule or
   // interaction subtrees (the paper's "real queries focus on the important
@@ -121,8 +121,8 @@ TEST(DatasetWorkloadTest, WorkloadsIdenticalAcrossMimiVersions) {
   MimiParams now;
   now.version = MimiVersion::kJan2006;
   MimiDataset a(apr), b(now);
-  Workload wa = a.Queries();
-  Workload wb = b.Queries();
+  Workload wa = *a.Queries();
+  Workload wb = *b.Queries();
   ASSERT_EQ(wa.size(), wb.size());
   for (size_t i = 0; i < wa.size(); ++i) {
     EXPECT_EQ(wa.queries[i].elements, wb.queries[i].elements);

@@ -55,6 +55,55 @@ TEST(XmlParserTest, ErrorCases) {
   EXPECT_TRUE(ParseXml("<a>&#xZZ;</a>").status().IsParseError());
 }
 
+TEST(XmlParserTest, TruncatedTagReportsByteOffset) {
+  auto doc = ParseXml("<site><person id=\"p0\"><name>Ali");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+  const std::string msg = doc.status().ToString();
+  EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte"), std::string::npos) << msg;
+}
+
+TEST(XmlParserTest, UnterminatedEntity) {
+  auto doc = ParseXml("<a>&amp no-semicolon</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+  EXPECT_NE(doc.status().ToString().find("unterminated entity"),
+            std::string::npos);
+}
+
+TEST(XmlParserTest, DeepNestingRejectedByDepthLimit) {
+  std::string text;
+  for (int i = 0; i < 10'000; ++i) text += "<d>";
+  auto doc = ParseXml(text);  // default limits: max_depth = 256
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+  EXPECT_NE(doc.status().ToString().find("depth limit"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(XmlParserTest, InputSizeLimit) {
+  ParseLimits limits;
+  limits.max_input_bytes = 8;
+  EXPECT_TRUE(ParseXml("<aaaa></aaaa>", limits).status().IsOutOfRange());
+}
+
+TEST(XmlParserTest, TokenLimit) {
+  ParseLimits limits;
+  limits.max_token_bytes = 16;
+  auto doc = ParseXml("<a>" + std::string(64, 'x') + "</a>", limits);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().ToString().find("token limit"), std::string::npos);
+}
+
+TEST(XmlParserTest, ItemLimit) {
+  ParseLimits limits;
+  limits.max_items = 3;
+  auto doc = ParseXml("<a><b/><c/><d/></a>", limits);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().ToString().find("item limit"), std::string::npos);
+}
+
 TEST(XmlWriterTest, RoundTrip) {
   const char* text = R"(<site>
   <person id="p1" status="a&quot;b">

@@ -3,12 +3,19 @@
 #   1. regular RelWithDebInfo build + the full ctest suite
 #   2. -DSSUM_SANITIZE=thread build; the parallel-layer tests run under TSAN
 #      to catch data races the deterministic outputs would mask.
+#   3. -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON build; the
+#      ingestion-boundary tests re-run under ASan/UBSan, then every fuzz
+#      harness replays its seed corpus plus a fixed budget of deterministic
+#      generated inputs (see fuzz/driver_main.cc; same seed => same inputs,
+#      so failures reproduce locally).
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc)}"
+FUZZ_ITERATIONS="${FUZZ_ITERATIONS:-20000}"
+FUZZ_SEED="${FUZZ_SEED:-7}"
 
 echo "== build + full test suite =="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -23,6 +30,26 @@ cmake --build "$ROOT/build-tsan" --target "${TSAN_TESTS[@]}" -j "$JOBS"
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (TSAN)"
   "$ROOT/build-tsan/tests/$t"
+done
+
+echo
+echo "== ASan/UBSan pass (ingestion boundary + fuzz smoke) =="
+cmake -B "$ROOT/build-asan" -S "$ROOT" \
+  -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON >/dev/null
+ASAN_TESTS=(test_xml test_ddl test_relational test_schema test_summary_io
+            test_fuzz_regression test_common)
+FUZZ_TARGETS=(fuzz_xml fuzz_ddl fuzz_csv fuzz_summary)
+cmake --build "$ROOT/build-asan" --target "${ASAN_TESTS[@]}" \
+  "${FUZZ_TARGETS[@]}" -j "$JOBS"
+for t in "${ASAN_TESTS[@]}"; do
+  echo "-- $t (ASan/UBSan)"
+  "$ROOT/build-asan/tests/$t"
+done
+for f in "${FUZZ_TARGETS[@]}"; do
+  corpus="$ROOT/fuzz/corpus/${f#fuzz_}"
+  echo "-- $f (ASan/UBSan, $FUZZ_ITERATIONS iterations, seed $FUZZ_SEED)"
+  "$ROOT/build-asan/fuzz/$f" "$corpus" \
+    --iterations "$FUZZ_ITERATIONS" --seed "$FUZZ_SEED"
 done
 
 echo

@@ -9,9 +9,14 @@
 //   ssum relational <schema.sql> -k N [--data <dir>] [--dialect csv|pipe]
 //   ssum discover <schema.ssg> <summary.txt> <path> [path...]
 //   ssum demo <xmark|tpch|mimi> [-k N]
+//   ssum help | --help
 //
 // All commands exit non-zero with a diagnostic on stderr when anything
-// fails; nothing throws.
+// fails; nothing throws and nothing aborts on malformed input. Exit codes:
+//   0  success
+//   2  usage error (unknown command, missing arguments)
+//   3  bad input (parse errors, limit violations, missing/unreadable files)
+//   4  internal error (a library invariant failed — please report)
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/parse_limits.h"
 #include "common/string_util.h"
 #include "core/summarize.h"
 #include "core/summary_io.h"
@@ -43,9 +49,19 @@
 namespace ssum {
 namespace {
 
-int Usage() {
+// Exit-code convention (documented in --help and docs/FORMATS.md).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+constexpr int kExitInternal = 4;
+
+/// Parse limits for every file ingested by the CLI; adjusted by the global
+/// --max-input-bytes / --max-parse-depth flags before dispatch.
+ParseLimits g_limits = ParseLimits::Defaults();
+
+void PrintUsage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage:\n"
       "  ssum infer <input.xml> [-o schema.ssg]\n"
       "  ssum annotate <schema.ssg> <input.xml> [-o annotations.txt]\n"
@@ -58,17 +74,55 @@ int Usage() {
       "[--dialect csv|pipe]\n"
       "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
       "  ssum demo <xmark|tpch|mimi> [-k N]\n"
+      "  ssum help | --help\n"
       "\n"
       "global flags:\n"
-      "  --threads N   worker threads for the parallel kernels (default:\n"
-      "                hardware concurrency; 1 = serial; results are\n"
-      "                identical for every value). SSUM_THREADS overrides.\n");
-  return 2;
+      "  --threads N          worker threads for the parallel kernels\n"
+      "                       (default: hardware concurrency; 1 = serial;\n"
+      "                       results are identical for every value).\n"
+      "                       SSUM_THREADS overrides.\n"
+      "  --max-input-bytes N  reject input files larger than N bytes\n"
+      "                       (default: 536870912 = 512 MiB)\n"
+      "  --max-parse-depth N  reject XML nested deeper than N levels\n"
+      "                       (default: 256)\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  2  usage error (unknown command, missing arguments)\n"
+      "  3  bad input (parse errors, limit violations, unreadable files);\n"
+      "     the diagnostic carries line and byte-offset context\n"
+      "  4  internal error (a library invariant failed — please report)\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
+  return kExitUsage;
+}
+
+/// Maps a library Status to the CLI exit-code convention: everything a user
+/// can cause by feeding bad input exits 3; only library bugs exit 4.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kParseError:
+    case StatusCode::kIoError:
+      return kExitBadInput;
+    case StatusCode::kNotImplemented:
+    case StatusCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
 }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "ssum: %s\n", status.ToString().c_str());
-  return 1;
+  std::fprintf(stderr, "ssum: error: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
 }
 
 /// Tiny flag parser: positional arguments plus "-x value" / "--flag [value]".
@@ -120,7 +174,7 @@ Status WriteOrPrint(const std::string& content, const std::string* path,
 
 int CmdInfer(const Args& args) {
   if (args.positional.empty()) return Usage();
-  auto doc = ReadXmlFile(args.positional[0]);
+  auto doc = ReadXmlFile(args.positional[0], g_limits);
   if (!doc.ok()) return Fail(doc.status());
   auto schema = InferSchema(*doc);
   if (!schema.ok()) return Fail(schema.status());
@@ -131,9 +185,9 @@ int CmdInfer(const Args& args) {
 
 int CmdAnnotate(const Args& args) {
   if (args.positional.size() < 2) return Usage();
-  auto schema = ReadSchemaFile(args.positional[0]);
+  auto schema = ReadSchemaFile(args.positional[0], g_limits);
   if (!schema.ok()) return Fail(schema.status());
-  auto doc = ReadXmlFile(args.positional[1]);
+  auto doc = ReadXmlFile(args.positional[1], g_limits);
   if (!doc.ok()) return Fail(doc.status());
   auto ann = AnnotateXmlDocument(*schema, *doc);
   if (!ann.ok()) return Fail(ann.status());
@@ -153,7 +207,7 @@ Result<Algorithm> ParseAlgorithm(const Args& args) {
 
 int CmdSummarize(const Args& args) {
   if (args.positional.empty() || args.Get("-k") == nullptr) return Usage();
-  auto schema = ReadSchemaFile(args.positional[0]);
+  auto schema = ReadSchemaFile(args.positional[0], g_limits);
   if (!schema.ok()) return Fail(schema.status());
   auto k = ParseInt64(*args.Get("-k"));
   if (!k.ok() || *k <= 0) {
@@ -161,7 +215,7 @@ int CmdSummarize(const Args& args) {
   }
   Annotations ann = Annotations::Uniform(*schema);
   if (const std::string* apath = args.Get("-a")) {
-    auto loaded = ReadAnnotationsFile(*schema, *apath);
+    auto loaded = ReadAnnotationsFile(*schema, *apath, g_limits);
     if (!loaded.ok()) return Fail(loaded.status());
     ann = std::move(*loaded);
   } else {
@@ -193,7 +247,7 @@ int CmdSummarize(const Args& args) {
 
 int CmdDot(const Args& args) {
   if (args.positional.empty()) return Usage();
-  auto schema = ReadSchemaFile(args.positional[0]);
+  auto schema = ReadSchemaFile(args.positional[0], g_limits);
   if (!schema.ok()) return Fail(schema.status());
   DotOptions options;
   options.hide_simple = args.Get("--hide-simple") != nullptr;
@@ -210,9 +264,9 @@ int CmdDot(const Args& args) {
 
 int CmdDiscover(const Args& args) {
   if (args.positional.size() < 3) return Usage();
-  auto schema = ReadSchemaFile(args.positional[0]);
+  auto schema = ReadSchemaFile(args.positional[0], g_limits);
   if (!schema.ok()) return Fail(schema.status());
-  auto summary = ReadSummaryFile(*schema, args.positional[1]);
+  auto summary = ReadSummaryFile(*schema, args.positional[1], g_limits);
   if (!summary.ok()) return Fail(summary.status());
   std::vector<std::string> paths(args.positional.begin() + 2,
                                  args.positional.end());
@@ -241,7 +295,7 @@ int CmdRelational(const Args& args) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  auto catalog = ParseDdl(buf.str());
+  auto catalog = ParseDdl(buf.str(), g_limits);
   if (!catalog.ok()) return Fail(catalog.status());
   auto mapping = BuildRelationalSchema(*catalog);
   if (!mapping.ok()) return Fail(mapping.status());
@@ -275,7 +329,7 @@ int CmdRelational(const Args& args) {
                      path.c_str());
         continue;
       }
-      Status s = LoadCsvFile(path, &db.table(t), csv);
+      Status s = LoadCsvFile(path, &db.table(t), csv, g_limits);
       if (!s.ok()) return Fail(s.WithContext(path));
       std::fprintf(stderr, "ssum: %-12s %8zu rows\n",
                    catalog->tables()[t].name.c_str(), db.table(t).num_rows());
@@ -344,12 +398,48 @@ int CmdDemo(const Args& args) {
   return 0;
 }
 
+/// Consumes the global --max-input-bytes / --max-parse-depth flags (and
+/// their values) from argv, updating g_limits. Returns non-OK on a
+/// malformed value; the flags may appear anywhere on the command line.
+Status ConsumeLimitFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--max-input-bytes" || a == "--max-parse-depth") {
+      if (i + 1 >= *argc) {
+        return Status::InvalidArgument(a + " needs a value");
+      }
+      auto v = ParseInt64(argv[++i]);
+      if (!v.ok() || *v <= 0) {
+        return Status::InvalidArgument(a + " needs a positive integer");
+      }
+      if (a == "--max-input-bytes") {
+        g_limits.max_input_bytes = static_cast<size_t>(*v);
+      } else {
+        g_limits.max_depth = static_cast<size_t>(*v);
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   // Applies --threads via SetDefaultThreadCount, so every kernel invoked
   // below picks it up through the default-constructed ParallelOptions.
   ConsumeThreadsFlag(&argc, argv);
+  if (Status s = ConsumeLimitFlags(&argc, argv); !s.ok()) {
+    std::fprintf(stderr, "ssum: error: %s\n", s.ToString().c_str());
+    return kExitUsage;
+  }
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    PrintUsage(stdout);
+    return kExitOk;
+  }
   const std::vector<std::string> value_flags = {
       "-o", "-k", "-a", "-g", "--max-depth", "--dot", "--data", "--dialect"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
