@@ -2,6 +2,10 @@
 # Runs the perf benches and refreshes the checked-in perf-trajectory records:
 #   bench/BENCH_parallel.json — parallel_scaling speedups + determinism gate
 #   bench/BENCH_perf.json     — google-benchmark microbench suite (JSON)
+#   bench/BENCH_cache.json    — cold-vs-warm snapshot-store pipeline timing
+#                               (gates warm >= 5x cold, zero warm installs)
+# Every record is also copied to the repo root so trajectory tooling can
+# pick up BENCH_*.json from either location.
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build)
 set -euo pipefail
@@ -10,7 +14,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
-cmake --build "$BUILD" --target parallel_scaling perf_microbench -j "$(nproc)"
+cmake --build "$BUILD" --target parallel_scaling perf_microbench cache_warm \
+  -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
@@ -18,6 +23,10 @@ cmake --build "$BUILD" --target parallel_scaling perf_microbench -j "$(nproc)"
   --benchmark_out="$ROOT/bench/BENCH_perf.json" \
   --benchmark_out_format=json
 
+"$BUILD/bench/cache_warm" --json "$ROOT/bench/BENCH_cache.json"
+
 echo "perf trajectory updated:"
-echo "  $ROOT/bench/BENCH_parallel.json"
-echo "  $ROOT/bench/BENCH_perf.json"
+for record in BENCH_parallel.json BENCH_perf.json BENCH_cache.json; do
+  cp "$ROOT/bench/$record" "$ROOT/$record"
+  echo "  $ROOT/bench/$record (+ $ROOT/$record)"
+done

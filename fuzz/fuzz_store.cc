@@ -1,0 +1,93 @@
+// Fuzz harness for the binary snapshot container (src/store/container.h) and
+// the three artifact codecs layered on it (src/store/codec.h).
+//
+// Arbitrary bytes are fed to PeekContainer, ParseContainer, and every
+// decoder against a fixed small schema. The contract is the store's
+// abort-free guarantee: corrupt, truncated, hostile, or version-skewed
+// containers must map to a Status — never a crash, assert, or sanitizer
+// report, and never an allocation larger than the input justifies. Accepted
+// inputs must re-encode and re-decode to the same artifact.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.h"
+#include "fuzz_util.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+#include "store/codec.h"
+#include "store/container.h"
+
+namespace {
+
+/// Small auction-flavored schema with a value link, built once.
+const ssum::SchemaGraph& FuzzSchema() {
+  static const ssum::SchemaGraph graph = [] {
+    using ssum::AtomicKind;
+    using ssum::ElementType;
+    ssum::SchemaGraph g("site");
+    ssum::ElementId people = *g.AddElement(g.root(), "people", ElementType::Rcd());
+    ssum::ElementId person =
+        *g.AddElement(people, "person", ElementType::Rcd(/*set_of=*/true));
+    ssum::ElementId pid =
+        *g.AddElement(person, "id", ElementType::Simple(AtomicKind::kId));
+    *g.AddElement(person, "name", ElementType::Simple());
+    ssum::ElementId auctions =
+        *g.AddElement(g.root(), "auctions", ElementType::Rcd());
+    ssum::ElementId auction =
+        *g.AddElement(auctions, "auction", ElementType::Rcd(/*set_of=*/true));
+    ssum::ElementId seller =
+        *g.AddElement(auction, "seller", ElementType::Simple(AtomicKind::kIdRef));
+    *g.AddValueLink(auction, person, seller, pid);
+    return g;
+  }();
+  return graph;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes = ssum::fuzz::AsString(data, size);
+  const ssum::SchemaGraph& schema = FuzzSchema();
+
+  // The container envelope itself. A peekable container need not parse
+  // (foreign versions), but a fully parsed container must peek.
+  auto info = ssum::PeekContainer(bytes);
+  auto container = ssum::ParseContainer(bytes);
+  if (container.ok()) {
+    SSUM_CHECK(info.ok(), "ParseContainer accepted what PeekContainer rejects");
+    SSUM_CHECK(info->section_count == container->sections.size(),
+               "header section count disagrees with parsed sections");
+  }
+
+  // Every codec against the same bytes. Accepted artifacts round-trip.
+  auto ann = ssum::DecodeAnnotations(schema, bytes);
+  if (ann.ok()) {
+    auto again = ssum::DecodeAnnotations(schema, ssum::EncodeAnnotations(*ann));
+    SSUM_CHECK(again.ok() && *again == *ann,
+               "annotations re-encode round trip failed");
+  }
+
+  auto matrix = ssum::DecodeSquareMatrix(bytes, /*expected_n=*/0);
+  if (matrix.ok()) {
+    auto again =
+        ssum::DecodeSquareMatrix(ssum::EncodeSquareMatrix(*matrix),
+                                 matrix->size());
+    SSUM_CHECK(again.ok(), "matrix re-encode round trip rejected");
+    SSUM_CHECK(again->data().size() == matrix->data().size() &&
+                   std::memcmp(again->data().data(), matrix->data().data(),
+                               matrix->data().size() * sizeof(double)) == 0,
+               "matrix re-encode round trip changed bits");
+  }
+
+  auto summary = ssum::DecodeSummary(schema, bytes);
+  if (summary.ok()) {
+    auto again = ssum::DecodeSummary(schema, ssum::EncodeSummary(*summary));
+    SSUM_CHECK(again.ok() &&
+                   again->abstract_elements == summary->abstract_elements &&
+                   again->representative == summary->representative,
+               "summary re-encode round trip failed");
+  }
+  return 0;
+}

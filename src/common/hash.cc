@@ -1,0 +1,71 @@
+#include "common/hash.h"
+
+#include <array>
+#include <bit>
+
+namespace ssum {
+namespace {
+
+/// CRC32C lookup table for the reflected polynomial 0x82F63B78, built once.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Fnv1a64::UpdateDouble(double v) {
+  // Canonicalize -0.0 so numerically-equal payloads fingerprint equally;
+  // NaNs keep their bit pattern (any NaN in an artifact is a distinct state).
+  if (v == 0.0) v = 0.0;
+  UpdateU64(std::bit_cast<uint64_t>(v));
+}
+
+uint64_t HashBytes(std::string_view bytes) {
+  Fnv1a64 h;
+  h.Update(bytes);
+  return h.Digest();
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  Fnv1a64 h;
+  h.UpdateU64(seed);
+  h.UpdateU64(value);
+  return h.Digest();
+}
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto& table = Crc32cTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::string_view bytes, uint32_t seed) {
+  return Crc32c(bytes.data(), bytes.size(), seed);
+}
+
+std::string HashToHex(uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ssum

@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

@@ -17,6 +17,7 @@ enum class StatusCode : unsigned char {
   kFailedPrecondition,
   kParseError,
   kIoError,
+  kDataLoss,
   kNotImplemented,
   kInternal,
 };
@@ -56,6 +57,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  /// Stored bytes fail integrity verification (bad magic, checksum
+  /// mismatch, impossible structure) — the snapshot-store analogue of
+  /// ParseError: the data existed once but cannot be trusted now.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
@@ -72,6 +79,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }

@@ -22,6 +22,8 @@ Status MakeStatus(StatusCode code, std::string msg) {
       return Status::ParseError(std::move(msg));
     case StatusCode::kIoError:
       return Status::IoError(std::move(msg));
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(std::move(msg));
     case StatusCode::kNotImplemented:
       return Status::NotImplemented(std::move(msg));
     case StatusCode::kInternal:

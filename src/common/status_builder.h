@@ -92,4 +92,13 @@ inline StatusBuilder ParseErrorAt(size_t line, size_t byte_offset) {
   return b;
 }
 
+/// Integrity-failure builder pre-stamped with a byte offset — the common
+/// case in the binary snapshot store (src/store/container.h), where every
+/// corruption diagnostic names the offending container offset.
+inline StatusBuilder DataLossAt(size_t byte_offset) {
+  StatusBuilder b(StatusCode::kDataLoss);
+  b.ByteOffset(byte_offset);
+  return b;
+}
+
 }  // namespace ssum

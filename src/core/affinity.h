@@ -38,6 +38,16 @@ class AffinityMatrix {
                                 const AffinityOptions& options = {},
                                 const ParallelOptions& parallel = {});
 
+  /// Wraps an externally produced matrix — the warm-start path of the
+  /// snapshot store (src/store), which decodes the bit-identical matrix a
+  /// previous Compute() persisted. Callers are responsible for the
+  /// provenance; the cache keys it by schema/statistics/options.
+  static AffinityMatrix FromMatrix(SquareMatrix m) {
+    AffinityMatrix a;
+    a.m_ = std::move(m);
+    return a;
+  }
+
  private:
   SquareMatrix m_;
 };

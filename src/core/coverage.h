@@ -39,6 +39,15 @@ class CoverageMatrix {
                                 const CoverageOptions& options = {},
                                 const ParallelOptions& parallel = {});
 
+  /// Wraps an externally produced matrix — the warm-start path of the
+  /// snapshot store (src/store), which decodes the bit-identical matrix a
+  /// previous Compute() persisted.
+  static CoverageMatrix FromMatrix(SquareMatrix m) {
+    CoverageMatrix c;
+    c.m_ = std::move(m);
+    return c;
+  }
+
  private:
   SquareMatrix m_;
 };

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "core/metrics.h"
+#include "store/artifact_cache.h"
+#include "store/fingerprint.h"
 
 namespace ssum {
 
@@ -23,14 +25,45 @@ const char* AlgorithmName(Algorithm a) {
 SummarizerContext::SummarizerContext(const SchemaGraph& graph,
                                      const Annotations& annotations,
                                      const SummarizeOptions& options)
+    : SummarizerContext(graph, annotations, options, nullptr) {}
+
+SummarizerContext::SummarizerContext(const SchemaGraph& graph,
+                                     const Annotations& annotations,
+                                     const SummarizeOptions& options,
+                                     ArtifactCache* cache)
     : graph_(&graph),
       annotations_(&annotations),
       options_(options),
       metrics_(EdgeMetrics::Compute(graph, annotations)) {
+  // Warm-start lookup: both matrix artifacts share one content fingerprint
+  // (schema + statistics + the option fields the matrices depend on); the
+  // artifact family tells them apart. A hit replaces the all-pairs
+  // computation with a decode of the bit-identical persisted matrix.
+  bool have_affinity = false;
+  bool have_coverage = false;
+  Fingerprint key;
+  if (cache != nullptr) {
+    key = MixFingerprints(
+        MixFingerprints(FingerprintSchema(graph),
+                        FingerprintAnnotations(annotations)),
+        FingerprintMatrixOptions(options_.affinity, options_.coverage));
+    if (auto m = cache->LoadMatrix(ArtifactCache::kAffinityFamily, key,
+                                   graph.size())) {
+      affinity_ = AffinityMatrix::FromMatrix(std::move(*m));
+      have_affinity = true;
+    }
+    if (auto m = cache->LoadMatrix(ArtifactCache::kCoverageFamily, key,
+                                   graph.size())) {
+      coverage_ = CoverageMatrix::FromMatrix(std::move(*m));
+      have_coverage = true;
+    }
+    matrices_from_cache_ = (have_affinity ? 1 : 0) + (have_coverage ? 1 : 0);
+  }
   // Importance, affinity, and coverage depend only on EdgeMetrics; with more
   // than one thread they build concurrently, each task writing one member.
   // Each computation is internally deterministic, so the result is
-  // bit-identical to the serial order.
+  // bit-identical to the serial order (and to any mix of cached and
+  // computed matrices).
   const ParallelOptions& parallel = options_.parallel;
   Status st = ParallelFor(
       0, 3, /*grain=*/1,
@@ -41,10 +74,12 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
                                             options_.importance);
             break;
           case 1:
+            if (have_affinity) break;
             affinity_ = AffinityMatrix::Compute(graph, metrics_,
                                                 options_.affinity, parallel);
             break;
           case 2:
+            if (have_coverage) break;
             coverage_ = CoverageMatrix::Compute(
                 graph, annotations, metrics_, options_.coverage, parallel);
             break;
@@ -52,6 +87,22 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
       },
       parallel.threads);
   SSUM_CHECK(st.ok(), st.ToString());
+  if (cache != nullptr && !have_affinity) {
+    Status stored = cache->StoreMatrix(ArtifactCache::kAffinityFamily, key,
+                                       affinity_.matrix());
+    if (!stored.ok()) {
+      SSUM_LOG(kWarning) << "cache: affinity install failed: "
+                         << stored.ToString();
+    }
+  }
+  if (cache != nullptr && !have_coverage) {
+    Status stored = cache->StoreMatrix(ArtifactCache::kCoverageFamily, key,
+                                       coverage_.matrix());
+    if (!stored.ok()) {
+      SSUM_LOG(kWarning) << "cache: coverage install failed: "
+                         << stored.ToString();
+    }
+  }
   dominance_ = ComputeDominance(graph, annotations, coverage_);
 }
 
@@ -380,6 +431,48 @@ Result<SchemaSummary> Summarize(const SchemaGraph& graph,
                                 const SummarizeOptions& options) {
   SummarizerContext context(graph, annotations, options);
   return Summarize(context, k, algorithm);
+}
+
+Fingerprint SummaryFingerprint(const SchemaGraph& graph,
+                               const Annotations& annotations,
+                               const SummarizeOptions& options, size_t k,
+                               Algorithm algorithm) {
+  Fnv1a64 h;
+  h.Update("ssum-summary-fp:");
+  h.UpdateU64(static_cast<uint64_t>(k));
+  h.UpdateU64(static_cast<uint64_t>(algorithm));
+  h.UpdateDouble(options.importance.neighborhood_factor);
+  h.UpdateDouble(options.importance.convergence_threshold);
+  h.UpdateU64(static_cast<uint64_t>(options.importance.max_iterations));
+  h.UpdateU64(options.importance.cardinality_init ? 1 : 0);
+  h.UpdateU64(options.max_coverage_enumeration_budget);
+  return MixFingerprints(
+      MixFingerprints(FingerprintSchema(graph),
+                      FingerprintAnnotations(annotations)),
+      MixFingerprints(
+          FingerprintMatrixOptions(options.affinity, options.coverage),
+          Fingerprint{h.Digest()}));
+}
+
+Result<SchemaSummary> Summarize(const SchemaGraph& graph,
+                                const Annotations& annotations, size_t k,
+                                Algorithm algorithm,
+                                const SummarizeOptions& options,
+                                ArtifactCache* cache) {
+  // Three cache layers, each a strict subset of the work below it: a summary
+  // hit skips everything; otherwise the context constructor tries the two
+  // matrices; whatever was computed is installed for the next invocation.
+  if (cache == nullptr) return Summarize(graph, annotations, k, algorithm, options);
+  const Fingerprint key =
+      SummaryFingerprint(graph, annotations, options, k, algorithm);
+  if (auto hit = cache->LoadSummary(graph, key)) return std::move(*hit);
+  SummarizerContext context(graph, annotations, options, cache);
+  SchemaSummary summary;
+  SSUM_ASSIGN_OR_RETURN(summary, Summarize(context, k, algorithm));
+  if (Status s = cache->StoreSummary(key, summary); !s.ok()) {
+    SSUM_LOG(kWarning) << "summary install failed: " << s.ToString();
+  }
+  return summary;
 }
 
 }  // namespace ssum

@@ -12,8 +12,11 @@
 #include "core/summary.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
+#include "store/fingerprint.h"
 
 namespace ssum {
+
+class ArtifactCache;  // store/artifact_cache.h — warm-start snapshot store
 
 /// Selection algorithm (paper Section 4).
 enum class Algorithm : unsigned char {
@@ -52,6 +55,14 @@ class SummarizerContext {
   SummarizerContext(const SchemaGraph& graph, const Annotations& annotations,
                     const SummarizeOptions& options = {});
 
+  /// Warm-start construction: consults `cache` (may be null) for the two
+  /// all-pairs matrices — keyed by the schema, statistics, and
+  /// matrix-relevant option fingerprints — before computing, and installs
+  /// whatever it had to compute. Cache failures of any kind only cost the
+  /// recompute; the result is bit-identical with and without a cache.
+  SummarizerContext(const SchemaGraph& graph, const Annotations& annotations,
+                    const SummarizeOptions& options, ArtifactCache* cache);
+
   const SchemaGraph& graph() const { return *graph_; }
   const Annotations& annotations() const { return *annotations_; }
   const SummarizeOptions& options() const { return options_; }
@@ -60,6 +71,10 @@ class SummarizerContext {
   const AffinityMatrix& affinity() const { return affinity_; }
   const CoverageMatrix& coverage() const { return coverage_; }
   const DominanceResult& dominance() const { return dominance_; }
+
+  /// How many of the two matrices the constructor loaded from the cache
+  /// (0 = cold, 2 = fully warm). Benches assert warm runs compute nothing.
+  int matrices_loaded_from_cache() const { return matrices_from_cache_; }
 
  private:
   const SchemaGraph* graph_;
@@ -70,6 +85,7 @@ class SummarizerContext {
   AffinityMatrix affinity_;
   CoverageMatrix coverage_;
   DominanceResult dominance_;
+  int matrices_from_cache_ = 0;
 };
 
 /// Figure 4: the K elements with the highest importance (root excluded).
@@ -96,5 +112,23 @@ Result<SchemaSummary> Summarize(const SchemaGraph& graph,
                                 const Annotations& annotations, size_t k,
                                 Algorithm algorithm = Algorithm::kBalanceSummary,
                                 const SummarizeOptions& options = {});
+
+/// Cache key of a finished summary: everything the selection depends on —
+/// schema, statistics, matrix-relevant options, selection options, K and
+/// the algorithm.
+Fingerprint SummaryFingerprint(const SchemaGraph& graph,
+                               const Annotations& annotations,
+                               const SummarizeOptions& options, size_t k,
+                               Algorithm algorithm);
+
+/// Warm-start one-shot: a cached summary is returned without building a
+/// context at all (zero annotation/matrix/selection computation); otherwise
+/// the context warm-starts its matrices from `cache` and the computed
+/// summary is installed for the next invocation. `cache` may be null.
+Result<SchemaSummary> Summarize(const SchemaGraph& graph,
+                                const Annotations& annotations, size_t k,
+                                Algorithm algorithm,
+                                const SummarizeOptions& options,
+                                ArtifactCache* cache);
 
 }  // namespace ssum

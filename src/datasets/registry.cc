@@ -1,7 +1,15 @@
 #include "datasets/registry.h"
 
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
 #include "datasets/tpch.h"
 #include "datasets/xmark.h"
+#include "store/artifact_cache.h"
+#include "store/fingerprint.h"
 
 namespace ssum {
 
@@ -19,25 +27,68 @@ const char* DatasetName(DatasetKind kind) {
 
 namespace {
 
-Result<uint64_t> CountNodes(const InstanceStream& stream) {
-  CountingVisitor counter;
-  SSUM_RETURN_NOT_OK(stream.Accept(&counter));
-  return counter.nodes();
+/// Bump when any generator's output changes for identical parameters —
+/// the revision is part of every dataset cache key, so stale annotation
+/// snapshots from an older generator simply stop being addressed.
+constexpr uint64_t kGeneratorRevision = 1;
+
+/// Cache key for a synthetic dataset's annotations: generator identity
+/// (name, revision, scale and dataset-specific parameters) mixed with the
+/// schema fingerprint. Deliberately NOT a stream digest — digesting costs a
+/// full traversal, the same order of work as annotating (fingerprint.h).
+Fingerprint DatasetAnnotationsKey(const SchemaGraph& schema,
+                                  const char* generator, double scale,
+                                  uint64_t extra = 0) {
+  Fnv1a64 h;
+  h.Update("ssum-dataset-fp:");
+  h.UpdateU64(kGeneratorRevision);
+  h.Update(generator);
+  h.UpdateDouble(scale);
+  h.UpdateU64(extra);
+  return MixFingerprints(Fingerprint{h.Digest()}, FingerprintSchema(schema));
+}
+
+/// Loads the annotations from the cache or runs the full annotateSchema
+/// pass over a freshly-made stream. The stream is only materialized on a
+/// miss, so a warm start skips instance generation entirely.
+Result<Annotations> AnnotateOrLoad(
+    ArtifactCache* cache, const SchemaGraph& schema, const Fingerprint& key,
+    const std::function<std::unique_ptr<InstanceStream>()>& make_stream) {
+  if (cache != nullptr) {
+    if (auto hit = cache->LoadAnnotations(schema, key)) return std::move(*hit);
+  }
+  auto stream = make_stream();
+  Annotations ann;
+  SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
+  if (cache != nullptr) {
+    Status installed = cache->StoreAnnotations(key, ann);
+    if (!installed.ok()) {
+      SSUM_LOG(kWarning) << "cache: annotations install failed: "
+                         << installed.ToString();
+    }
+  }
+  return ann;
 }
 
 }  // namespace
 
-Result<DatasetBundle> LoadMimi(MimiVersion version, double scale) {
+Result<DatasetBundle> LoadMimi(MimiVersion version, double scale,
+                               ArtifactCache* cache) {
   MimiParams params;
   params.version = version;
   params.scale = scale;
   MimiDataset ds;
   SSUM_ASSIGN_OR_RETURN(ds, MimiDataset::Make(params));
-  auto stream = ds.MakeStream();
+  Fingerprint key =
+      DatasetAnnotationsKey(ds.schema(), "MiMI", scale,
+                            static_cast<uint64_t>(version));
   Annotations ann;
-  SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
-  uint64_t nodes;
-  SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+  SSUM_ASSIGN_OR_RETURN(
+      ann, AnnotateOrLoad(cache, ds.schema(), key,
+                          [&ds] { return ds.MakeStream(); }));
+  // Every data node increments exactly one element cardinality, so the
+  // annotation totals already count the instance — no second traversal.
+  uint64_t nodes = ann.TotalNodes();
   Workload workload;
   SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
   DatasetBundle bundle{std::string("MiMI (") + MimiVersionName(version) + ")",
@@ -50,18 +101,20 @@ Result<DatasetBundle> LoadMimi(MimiVersion version, double scale) {
   return bundle;
 }
 
-Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale) {
+Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale,
+                                  ArtifactCache* cache) {
   switch (kind) {
     case DatasetKind::kXMark: {
       XMarkParams params;
       params.sf = scale;
       XMarkDataset ds;
       SSUM_ASSIGN_OR_RETURN(ds, XMarkDataset::Make(params));
-      auto stream = ds.MakeStream();
+      Fingerprint key = DatasetAnnotationsKey(ds.schema(), "XMark", params.sf);
       Annotations ann;
-      SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
-      uint64_t nodes;
-      SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+      SSUM_ASSIGN_OR_RETURN(
+          ann, AnnotateOrLoad(cache, ds.schema(), key,
+                              [&ds] { return ds.MakeStream(); }));
+      uint64_t nodes = ann.TotalNodes();
       Workload workload;
       SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
       DatasetBundle bundle{"XMark",
@@ -78,11 +131,12 @@ Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale) {
       params.sf = 0.1 * scale;
       TpchDataset ds;
       SSUM_ASSIGN_OR_RETURN(ds, TpchDataset::Make(params));
-      auto stream = ds.MakeStream();
+      Fingerprint key = DatasetAnnotationsKey(ds.schema(), "TPC-H", params.sf);
       Annotations ann;
-      SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
-      uint64_t nodes;
-      SSUM_ASSIGN_OR_RETURN(nodes, CountNodes(*stream));
+      SSUM_ASSIGN_OR_RETURN(
+          ann, AnnotateOrLoad(cache, ds.schema(), key,
+                              [&ds] { return ds.MakeStream(); }));
+      uint64_t nodes = ann.TotalNodes();
       Workload workload;
       SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
       DatasetBundle bundle{"TPC-H",
@@ -95,7 +149,7 @@ Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale) {
       return bundle;
     }
     case DatasetKind::kMimi:
-      return LoadMimi(MimiVersion::kJan2006, scale);
+      return LoadMimi(MimiVersion::kJan2006, scale, cache);
   }
   return Status::InvalidArgument("unknown dataset kind");
 }

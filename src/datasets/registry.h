@@ -10,6 +10,8 @@
 
 namespace ssum {
 
+class ArtifactCache;  // store/artifact_cache.h
+
 enum class DatasetKind : unsigned char { kXMark = 0, kTpch, kMimi };
 
 const char* DatasetName(DatasetKind kind);
@@ -31,9 +33,19 @@ struct DatasetBundle {
 /// (XMark sf 1, TPC-H sf 0.1, MiMI Jan-2006). `scale` multiplies the
 /// instance size (use < 1 for quick tests; statistics-derived RCs are
 /// scale-invariant by design).
-Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale = 1.0);
+///
+/// With a non-null `cache`, the annotation pass — the one stage that scales
+/// with database size — warm-starts from the snapshot store: the statistics
+/// are keyed by the dataset's *generator identity* (kind, version, scale
+/// and a generator revision constant) rather than by a stream digest, since
+/// digesting a synthetic stream costs the same traversal annotating it
+/// does. A hit skips instance generation entirely; any cache failure falls
+/// back to the full generate + annotate pass.
+Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale = 1.0,
+                                  ArtifactCache* cache = nullptr);
 
 /// MiMI at a specific archived version (Table 5).
-Result<DatasetBundle> LoadMimi(MimiVersion version, double scale = 1.0);
+Result<DatasetBundle> LoadMimi(MimiVersion version, double scale = 1.0,
+                               ArtifactCache* cache = nullptr);
 
 }  // namespace ssum

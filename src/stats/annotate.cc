@@ -25,6 +25,36 @@ double Annotations::TotalCard() const {
   return total;
 }
 
+uint64_t Annotations::TotalNodes() const {
+  uint64_t total = 0;
+  for (uint64_t c : card_) total += c;
+  return total;
+}
+
+Status Annotations::Merge(const Annotations& other) {
+  if (card_.size() != other.card_.size() ||
+      slink_count_.size() != other.slink_count_.size() ||
+      vlink_count_.size() != other.vlink_count_.size()) {
+    return Status::FailedPrecondition(
+        "Annotations::Merge: shape mismatch (" +
+        std::to_string(card_.size()) + "/" +
+        std::to_string(slink_count_.size()) + "/" +
+        std::to_string(vlink_count_.size()) + " vs " +
+        std::to_string(other.card_.size()) + "/" +
+        std::to_string(other.slink_count_.size()) + "/" +
+        std::to_string(other.vlink_count_.size()) +
+        " elements/structural/value entries)");
+  }
+  for (size_t e = 0; e < card_.size(); ++e) card_[e] += other.card_[e];
+  for (size_t l = 0; l < slink_count_.size(); ++l) {
+    slink_count_[l] += other.slink_count_[l];
+  }
+  for (size_t l = 0; l < vlink_count_.size(); ++l) {
+    vlink_count_[l] += other.vlink_count_[l];
+  }
+  return Status::OK();
+}
+
 double Annotations::RelativeCardinality(const SchemaGraph& graph,
                                         ElementId owner,
                                         const Neighbor& nbr) const {

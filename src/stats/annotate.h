@@ -45,6 +45,19 @@ class Annotations {
   /// invariant and the denominator of Definitions 3 and 4.
   double TotalCard() const;
 
+  /// Exact integer total cardinality = the number of data nodes in the
+  /// annotated instance (every node increments exactly one element's
+  /// cardinality during annotateSchema).
+  uint64_t TotalNodes() const;
+
+  /// Element-wise sum of `other` into this. Counting is additive over any
+  /// partition of the instance stream, so per-shard annotation passes merge
+  /// into exactly the counters one full pass produces — the enabler for
+  /// sharding AnnotateSchema over the instance stream and for merging
+  /// per-shard snapshot containers. Fails with FailedPrecondition when the
+  /// shapes differ (annotations of different schemas).
+  Status Merge(const Annotations& other);
+
   /// RC along an adjacency record owned by `owner` (the average number of
   /// `nbr.other` data nodes connected to each `owner` node). Returns 0 when
   /// owner has no instances.

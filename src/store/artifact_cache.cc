@@ -1,0 +1,348 @@
+#include "store/artifact_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "store/codec.h"
+#include "store/container.h"
+
+namespace ssum {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCountersFile = "cache-counters.v1.txt";
+constexpr const char* kCountersHeader = "ssum-cache-counters v1";
+constexpr const char* kContainerSuffix = ".ssb";
+
+std::string RenderCounters(const CacheCounters& c) {
+  std::string out(kCountersHeader);
+  out += "\nhits\t" + std::to_string(c.hits);
+  out += "\nmisses\t" + std::to_string(c.misses);
+  out += "\ninstalls\t" + std::to_string(c.installs);
+  out += "\ncorrupt\t" + std::to_string(c.corrupt);
+  out += "\nforeign\t" + std::to_string(c.foreign);
+  out += "\nmismatch\t" + std::to_string(c.mismatch);
+  out += "\n";
+  return out;
+}
+
+/// Parses a counter file leniently: unknown lines are ignored, missing
+/// counters stay zero. A corrupt counter file must never break the cache —
+/// the worst case is a statistics reset.
+CacheCounters ParseCounters(const std::string& text) {
+  CacheCounters c;
+  for (const std::string& line : SplitString(text, '\n')) {
+    const std::vector<std::string> fields = SplitString(line, '\t');
+    if (fields.size() != 2) continue;
+    auto value = ParseInt64(fields[1]);
+    if (!value.ok() || *value < 0) continue;
+    const uint64_t v = static_cast<uint64_t>(*value);
+    if (fields[0] == "hits") c.hits = v;
+    else if (fields[0] == "misses") c.misses = v;
+    else if (fields[0] == "installs") c.installs = v;
+    else if (fields[0] == "corrupt") c.corrupt = v;
+    else if (fields[0] == "foreign") c.foreign = v;
+    else if (fields[0] == "mismatch") c.mismatch = v;
+  }
+  return c;
+}
+
+bool IsContainerFile(const fs::path& p) {
+  return p.extension() == kContainerSuffix;
+}
+
+}  // namespace
+
+CacheCounters& CacheCounters::operator+=(const CacheCounters& other) {
+  hits += other.hits;
+  misses += other.misses;
+  installs += other.installs;
+  corrupt += other.corrupt;
+  foreign += other.foreign;
+  mismatch += other.mismatch;
+  return *this;
+}
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {}
+
+Status ArtifactCache::EnsureDir() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create cache directory '" + dir_ +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::string ArtifactCache::PathFor(const char* family,
+                                   const Fingerprint& key) const {
+  return dir_ + "/" + family + "-" + key.ToHex() + kContainerSuffix;
+}
+
+void ArtifactCache::LogOnce(const std::string& path,
+                            const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!logged_.insert(path).second) return;
+  }
+  SSUM_LOG(kWarning) << "cache: " << message;
+}
+
+void ArtifactCache::CountMiss(const std::string& path, const Status& why,
+                              bool foreign) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.misses;
+    if (foreign) {
+      ++counters_.foreign;
+    } else if (why.IsDataLoss() || why.IsOutOfRange()) {
+      ++counters_.corrupt;
+    } else if (why.IsFailedPrecondition()) {
+      ++counters_.mismatch;
+    }
+  }
+  if (foreign) {
+    LogOnce(path, "'" + path + "' has a foreign format version or payload "
+                  "kind; treating as a miss");
+  } else if (!why.IsNotFound()) {  // plain absence is not worth a log line
+    LogOnce(path,
+            "'" + path + "' failed verification (" + why.ToString() +
+                "); treating as a miss, the artifact will be recomputed");
+  }
+}
+
+std::optional<std::string> ArtifactCache::LoadVerified(const char* family,
+                                                       const Fingerprint& key,
+                                                       uint32_t kind) {
+  const std::string path = PathFor(family, key);
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) {
+    CountMiss(path, bytes.status(), /*foreign=*/false);
+    return std::nullopt;
+  }
+  // Header peek first: foreign versions and kinds are clean misses by
+  // policy, distinguishable from corruption only before the full parse.
+  auto info = PeekContainer(*bytes);
+  if (!info.ok()) {
+    CountMiss(path, info.status(), /*foreign=*/false);
+    return std::nullopt;
+  }
+  const bool known_kind =
+      info->payload_kind >= 1 &&
+      info->payload_kind <= static_cast<uint32_t>(PayloadKind::kSummary);
+  if (info->format_version != kContainerFormatVersion || !known_kind) {
+    CountMiss(path, Status::OK(), /*foreign=*/true);
+    return std::nullopt;
+  }
+  if (info->payload_kind != kind) {
+    // A different *known* kind under this family/fingerprint is a mangled
+    // install, not version skew.
+    CountMiss(path,
+              Status::DataLoss("payload kind does not match the family"),
+              /*foreign=*/false);
+    return std::nullopt;
+  }
+  auto container = ParseContainer(*bytes);
+  if (!container.ok()) {
+    CountMiss(path, container.status(), /*foreign=*/false);
+    return std::nullopt;
+  }
+  return std::move(*bytes);
+}
+
+Status ArtifactCache::StoreBytes(const char* family, const Fingerprint& key,
+                                 std::string_view bytes) {
+  SSUM_RETURN_NOT_OK(EnsureDir());
+  SSUM_RETURN_NOT_OK(AtomicWriteFile(PathFor(family, key), bytes));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.installs;
+  return Status::OK();
+}
+
+std::optional<Annotations> ArtifactCache::LoadAnnotations(
+    const SchemaGraph& graph, const Fingerprint& key) {
+  auto bytes = LoadVerified(
+      kAnnotationsFamily, key,
+      static_cast<uint32_t>(PayloadKind::kAnnotations));
+  if (!bytes.has_value()) return std::nullopt;
+  auto decoded = DecodeAnnotations(graph, *bytes);
+  if (!decoded.ok()) {
+    CountMiss(PathFor(kAnnotationsFamily, key), decoded.status(),
+              /*foreign=*/false);
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.hits;
+  return std::move(*decoded);
+}
+
+Status ArtifactCache::StoreAnnotations(const Fingerprint& key,
+                                       const Annotations& annotations) {
+  return StoreBytes(kAnnotationsFamily, key, EncodeAnnotations(annotations));
+}
+
+std::optional<SquareMatrix> ArtifactCache::LoadMatrix(const char* family,
+                                                      const Fingerprint& key,
+                                                      size_t expected_n) {
+  auto bytes = LoadVerified(
+      family, key, static_cast<uint32_t>(PayloadKind::kSquareMatrix));
+  if (!bytes.has_value()) return std::nullopt;
+  auto decoded = DecodeSquareMatrix(*bytes, expected_n);
+  if (!decoded.ok()) {
+    CountMiss(PathFor(family, key), decoded.status(), /*foreign=*/false);
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.hits;
+  return std::move(*decoded);
+}
+
+Status ArtifactCache::StoreMatrix(const char* family, const Fingerprint& key,
+                                  const SquareMatrix& matrix) {
+  return StoreBytes(family, key, EncodeSquareMatrix(matrix));
+}
+
+std::optional<SchemaSummary> ArtifactCache::LoadSummary(
+    const SchemaGraph& graph, const Fingerprint& key) {
+  auto bytes = LoadVerified(kSummaryFamily, key,
+                            static_cast<uint32_t>(PayloadKind::kSummary));
+  if (!bytes.has_value()) return std::nullopt;
+  auto decoded = DecodeSummary(graph, *bytes);
+  if (!decoded.ok()) {
+    CountMiss(PathFor(kSummaryFamily, key), decoded.status(),
+              /*foreign=*/false);
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.hits;
+  return std::move(*decoded);
+}
+
+Status ArtifactCache::StoreSummary(const Fingerprint& key,
+                                   const SchemaSummary& summary) {
+  return StoreBytes(kSummaryFamily, key, EncodeSummary(summary));
+}
+
+CacheCounters ArtifactCache::session_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+Status ArtifactCache::FlushCounters() {
+  CacheCounters session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session = counters_;
+  }
+  if (session.hits == 0 && session.misses == 0 && session.installs == 0) {
+    return Status::OK();
+  }
+  SSUM_RETURN_NOT_OK(EnsureDir());
+  CacheCounters total;
+  auto persisted = ReadPersistentCounters();
+  if (persisted.ok()) total = *persisted;
+  total += session;
+  SSUM_RETURN_NOT_OK(AtomicWriteFile(dir_ + "/" + kCountersFile,
+                                     RenderCounters(total)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = CacheCounters{};
+  return Status::OK();
+}
+
+Result<CacheCounters> ArtifactCache::ReadPersistentCounters() const {
+  auto bytes = ReadFileBytes(dir_ + "/" + kCountersFile);
+  if (!bytes.ok()) {
+    if (bytes.status().IsNotFound()) return CacheCounters{};
+    return bytes.status();
+  }
+  return ParseCounters(*bytes);
+}
+
+Result<std::vector<CacheEntry>> ArtifactCache::List() const {
+  std::vector<CacheEntry> entries;
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) return entries;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!dirent.is_regular_file(ec) || !IsContainerFile(dirent.path())) {
+      continue;
+    }
+    CacheEntry entry;
+    entry.file = dirent.path().filename().string();
+    entry.bytes = dirent.file_size(ec);
+    auto bytes = ReadFileBytes(dirent.path().string());
+    if (bytes.ok()) {
+      auto info = PeekContainer(*bytes);
+      if (info.ok()) {
+        entry.readable = true;
+        entry.format_version = info->format_version;
+        entry.payload_kind = info->payload_kind;
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (ec) {
+    return Status::IoError("cannot list cache directory '" + dir_ +
+                           "': " + ec.message());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheEntry& a, const CacheEntry& b) {
+              return a.file < b.file;
+            });
+  return entries;
+}
+
+Result<ArtifactCache::VerifyReport> ArtifactCache::Verify() const {
+  VerifyReport report;
+  std::vector<CacheEntry> entries;
+  SSUM_ASSIGN_OR_RETURN(entries, List());
+  for (const CacheEntry& entry : entries) {
+    const std::string path = dir_ + "/" + entry.file;
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      ++report.corrupt;
+      report.corrupt_files.push_back(entry.file);
+      continue;
+    }
+    auto info = PeekContainer(*bytes);
+    if (info.ok() && info->format_version != kContainerFormatVersion) {
+      ++report.foreign;  // other generations are not ours to judge
+      continue;
+    }
+    if (info.ok() && ParseContainer(*bytes).ok()) {
+      ++report.ok;
+    } else {
+      ++report.corrupt;
+      report.corrupt_files.push_back(entry.file);
+    }
+  }
+  return report;
+}
+
+Result<uint64_t> ArtifactCache::Clear() {
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) return uint64_t{0};
+  uint64_t removed = 0;
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!dirent.is_regular_file(ec)) continue;
+    const fs::path p = dirent.path();
+    const std::string name = p.filename().string();
+    const bool ours = IsContainerFile(p) || name == kCountersFile ||
+                      name.find(".tmp.") != std::string::npos;
+    if (!ours) continue;
+    if (fs::remove(p, ec)) ++removed;
+  }
+  if (ec) {
+    return Status::IoError("cannot clear cache directory '" + dir_ +
+                           "': " + ec.message());
+  }
+  return removed;
+}
+
+}  // namespace ssum

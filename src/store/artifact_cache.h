@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/path_engine.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+#include "store/fingerprint.h"
+
+namespace ssum {
+
+/// Lookup/install counters. `misses` counts every failed lookup;
+/// `corrupt` / `foreign` / `mismatch` break down *why* beyond plain
+/// absence (corrupt = checksum/structure failure, foreign = other format
+/// version or unknown payload kind — a clean miss by policy, mismatch =
+/// decoded fine but shaped for a different schema).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t installs = 0;
+  uint64_t corrupt = 0;
+  uint64_t foreign = 0;
+  uint64_t mismatch = 0;
+
+  CacheCounters& operator+=(const CacheCounters& other);
+};
+
+/// One cache file, as listed by `ssum cache ls`.
+struct CacheEntry {
+  std::string file;       ///< file name within the cache directory
+  uint64_t bytes = 0;
+  uint32_t format_version = 0;
+  uint32_t payload_kind = 0;
+  bool readable = false;  ///< header parsed (full verification is Verify())
+};
+
+/// Content-addressed warm-start store for the expensive pipeline artifacts.
+/// Files are binary snapshot containers (container.h) named
+/// "<family>-<fingerprint>.ssb"; the fingerprint is computed by the caller
+/// from everything the artifact depends on (schema, statistics, options —
+/// see fingerprint.h), so a changed input simply keys a different file.
+///
+/// Failure policy: a cache can only ever cost a recompute, never an error
+/// or a crash. Every load failure — absent file, corrupt or truncated
+/// container, foreign format version, shape mismatch — classifies, logs
+/// once per file, and reports a miss; the caller recomputes and the next
+/// install overwrites the bad file atomically. Store failures are returned
+/// (callers typically log and continue).
+///
+/// Thread safety: safe for concurrent lookups/installs of distinct
+/// artifacts (the summarizer context loads the two matrices from worker
+/// threads); counters are internally synchronized.
+class ArtifactCache {
+ public:
+  /// Artifact family names (file-name prefixes).
+  static constexpr const char* kAnnotationsFamily = "annotations";
+  static constexpr const char* kAffinityFamily = "affinity";
+  static constexpr const char* kCoverageFamily = "coverage";
+  static constexpr const char* kSummaryFamily = "summary";
+
+  explicit ArtifactCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Creates the cache directory (and parents) if absent.
+  Status EnsureDir() const;
+
+  std::optional<Annotations> LoadAnnotations(const SchemaGraph& graph,
+                                             const Fingerprint& key);
+  Status StoreAnnotations(const Fingerprint& key,
+                          const Annotations& annotations);
+
+  /// `family` distinguishes the affinity and coverage caches; both hold
+  /// PayloadKind::kSquareMatrix containers.
+  std::optional<SquareMatrix> LoadMatrix(const char* family,
+                                         const Fingerprint& key,
+                                         size_t expected_n);
+  Status StoreMatrix(const char* family, const Fingerprint& key,
+                     const SquareMatrix& matrix);
+
+  std::optional<SchemaSummary> LoadSummary(const SchemaGraph& graph,
+                                           const Fingerprint& key);
+  Status StoreSummary(const Fingerprint& key, const SchemaSummary& summary);
+
+  /// Counters accumulated by this instance since construction.
+  CacheCounters session_counters() const;
+
+  /// Merges the session counters into the persistent counter file
+  /// ("cache-counters.v1.txt", atomic replace) and zeroes the session
+  /// counters. The CLI flushes once per command, which is what makes
+  /// `ssum cache stat` able to prove a later invocation recomputed nothing.
+  Status FlushCounters();
+
+  /// Lifetime counters from the persistent counter file (zeros when none).
+  Result<CacheCounters> ReadPersistentCounters() const;
+
+  /// All container files in the directory, header-peeked.
+  Result<std::vector<CacheEntry>> List() const;
+
+  struct VerifyReport {
+    uint64_t ok = 0;
+    uint64_t corrupt = 0;
+    uint64_t foreign = 0;  ///< other format versions / unknown kinds: skipped
+    std::vector<std::string> corrupt_files;
+  };
+
+  /// Fully re-verifies every container (all checksums). Foreign-version
+  /// files are skipped, not failed — a shared cache directory may legally
+  /// hold containers written by other format generations.
+  Result<VerifyReport> Verify() const;
+
+  /// Removes every cache file (containers, counters, stray temp files).
+  /// Returns the number of files removed.
+  Result<uint64_t> Clear();
+
+ private:
+  std::string PathFor(const char* family, const Fingerprint& key) const;
+  /// Reads + verifies a container file, classifying failures into the
+  /// counters. Returns the bytes only when fully parseable as the current
+  /// format version and `kind`.
+  std::optional<std::string> LoadVerified(const char* family,
+                                          const Fingerprint& key,
+                                          uint32_t kind);
+  Status StoreBytes(const char* family, const Fingerprint& key,
+                    std::string_view bytes);
+  void CountMiss(const std::string& path, const Status& why, bool foreign);
+  void LogOnce(const std::string& path, const std::string& message);
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  CacheCounters counters_;
+  std::unordered_set<std::string> logged_;
+};
+
+}  // namespace ssum

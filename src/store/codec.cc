@@ -1,0 +1,285 @@
+#include "store/codec.h"
+
+#include <bit>
+#include <cstring>
+
+#include "store/container.h"
+
+namespace ssum {
+namespace {
+
+// Section tags. Tags are scoped to a payload kind; reusing small integers
+// across kinds is fine because the kind is in the container header.
+constexpr uint32_t kSecCards = 1;
+constexpr uint32_t kSecStructuralCounts = 2;
+constexpr uint32_t kSecValueCounts = 3;
+constexpr uint32_t kSecMatrix = 1;
+constexpr uint32_t kSecAbstract = 1;
+constexpr uint32_t kSecRepresentative = 2;
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian cursor over one section payload. Decoders
+/// pre-validate the total size, so reads here failing is a codec bug — but
+/// the reader still refuses to run past the end (returns false) so that a
+/// missed validation cannot become an out-of-bounds read.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : p_(payload) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (p_.size() - at_ < 4) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) | static_cast<unsigned char>(p_[at_ + i]);
+    }
+    at_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (p_.size() - at_ < 8) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i) {
+      *v = (*v << 8) | static_cast<unsigned char>(p_[at_ + i]);
+    }
+    at_ += 8;
+    return true;
+  }
+  bool ReadDouble(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
+    return true;
+  }
+  size_t remaining() const { return p_.size() - at_; }
+
+ private:
+  std::string_view p_;
+  size_t at_ = 0;
+};
+
+std::string EncodeU64Array(const std::vector<uint64_t>& values) {
+  std::string out;
+  out.reserve(8 + 8 * values.size());
+  AppendU64(out, values.size());
+  for (uint64_t v : values) AppendU64(out, v);
+  return out;
+}
+
+std::string EncodeU32Array(const std::vector<uint32_t>& values) {
+  std::string out;
+  out.reserve(8 + 4 * values.size());
+  AppendU64(out, values.size());
+  for (uint32_t v : values) AppendU32(out, v);
+  return out;
+}
+
+/// Decodes a `count` + values section whose count must equal `expected`
+/// (the shape the caller's schema implies).
+Status DecodeU64Array(std::string_view payload, const char* what,
+                      size_t expected, std::vector<uint64_t>* out) {
+  PayloadReader r(payload);
+  uint64_t count = 0;
+  if (!r.ReadU64(&count)) {
+    return Status::DataLoss(std::string(what) +
+                            " section too small for its count field");
+  }
+  if (count > r.remaining() || count * 8 != r.remaining()) {
+    return Status::DataLoss(std::string(what) + " section declares " +
+                            std::to_string(count) + " entries but carries " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
+  if (count != expected) {
+    return Status::FailedPrecondition(
+        std::string(what) + " count " + std::to_string(count) +
+        " does not match the schema (expected " + std::to_string(expected) +
+        ")");
+  }
+  out->resize(count);
+  for (uint64_t& v : *out) r.ReadU64(&v);
+  return Status::OK();
+}
+
+Status DecodeU32Array(std::string_view payload, const char* what,
+                      std::vector<uint32_t>* out, uint64_t max_count) {
+  PayloadReader r(payload);
+  uint64_t count = 0;
+  if (!r.ReadU64(&count)) {
+    return Status::DataLoss(std::string(what) +
+                            " section too small for its count field");
+  }
+  if (count > r.remaining() || count * 4 != r.remaining()) {
+    return Status::DataLoss(std::string(what) + " section declares " +
+                            std::to_string(count) + " entries but carries " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
+  if (count > max_count) {
+    return Status::FailedPrecondition(
+        std::string(what) + " count " + std::to_string(count) +
+        " exceeds the schema size " + std::to_string(max_count));
+  }
+  out->resize(count);
+  for (uint32_t& v : *out) r.ReadU32(&v);
+  return Status::OK();
+}
+
+Result<std::string_view> RequireSection(const Container& container,
+                                        uint32_t tag, const char* what) {
+  auto section = container.Section(tag);
+  if (!section.ok()) {
+    return Status::DataLoss(std::string("container is missing the ") + what +
+                            " section");
+  }
+  return *section;
+}
+
+Status CheckKind(const Container& container, PayloadKind kind) {
+  if (container.info.payload_kind != static_cast<uint32_t>(kind)) {
+    return Status::FailedPrecondition(
+        std::string("container holds a '") +
+        PayloadKindName(container.info.payload_kind) + "' payload, not '" +
+        PayloadKindName(static_cast<uint32_t>(kind)) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeAnnotations(const Annotations& annotations) {
+  std::vector<uint64_t> cards(annotations.num_elements());
+  for (size_t e = 0; e < cards.size(); ++e) {
+    cards[e] = annotations.card(static_cast<ElementId>(e));
+  }
+  std::vector<uint64_t> slinks(annotations.num_structural_links());
+  for (size_t l = 0; l < slinks.size(); ++l) {
+    slinks[l] = annotations.structural_count(static_cast<LinkId>(l));
+  }
+  std::vector<uint64_t> vlinks(annotations.num_value_links());
+  for (size_t l = 0; l < vlinks.size(); ++l) {
+    vlinks[l] = annotations.value_count(static_cast<LinkId>(l));
+  }
+  ContainerWriter writer(PayloadKind::kAnnotations);
+  writer.AddSection(kSecCards, EncodeU64Array(cards));
+  writer.AddSection(kSecStructuralCounts, EncodeU64Array(slinks));
+  writer.AddSection(kSecValueCounts, EncodeU64Array(vlinks));
+  return std::move(writer).Finish();
+}
+
+Result<Annotations> DecodeAnnotations(const SchemaGraph& graph,
+                                      std::string_view container_bytes) {
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container, ParseContainer(container_bytes));
+  SSUM_RETURN_NOT_OK(CheckKind(container, PayloadKind::kAnnotations));
+
+  std::string_view sec;
+  std::vector<uint64_t> cards, slinks, vlinks;
+  SSUM_ASSIGN_OR_RETURN(sec,
+                        RequireSection(container, kSecCards, "cardinality"));
+  SSUM_RETURN_NOT_OK(
+      DecodeU64Array(sec, "cardinality", graph.size(), &cards));
+  SSUM_ASSIGN_OR_RETURN(
+      sec,
+      RequireSection(container, kSecStructuralCounts, "structural-count"));
+  SSUM_RETURN_NOT_OK(DecodeU64Array(
+      sec, "structural-count", graph.structural_links().size(), &slinks));
+  SSUM_ASSIGN_OR_RETURN(
+      sec, RequireSection(container, kSecValueCounts, "value-count"));
+  SSUM_RETURN_NOT_OK(DecodeU64Array(sec, "value-count",
+                                    graph.value_links().size(), &vlinks));
+
+  Annotations annotations(graph);
+  for (size_t e = 0; e < cards.size(); ++e) {
+    annotations.set_card(static_cast<ElementId>(e), cards[e]);
+  }
+  for (size_t l = 0; l < slinks.size(); ++l) {
+    annotations.set_structural_count(static_cast<LinkId>(l), slinks[l]);
+  }
+  for (size_t l = 0; l < vlinks.size(); ++l) {
+    annotations.set_value_count(static_cast<LinkId>(l), vlinks[l]);
+  }
+  return annotations;
+}
+
+std::string EncodeSquareMatrix(const SquareMatrix& matrix) {
+  std::string payload;
+  const size_t n = matrix.size();
+  payload.reserve(8 + 8 * n * n);
+  AppendU64(payload, n);
+  for (double v : matrix.data()) {
+    AppendU64(payload, std::bit_cast<uint64_t>(v));
+  }
+  ContainerWriter writer(PayloadKind::kSquareMatrix);
+  writer.AddSection(kSecMatrix, payload);
+  return std::move(writer).Finish();
+}
+
+Result<SquareMatrix> DecodeSquareMatrix(std::string_view container_bytes,
+                                        size_t expected_n) {
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container, ParseContainer(container_bytes));
+  SSUM_RETURN_NOT_OK(CheckKind(container, PayloadKind::kSquareMatrix));
+  std::string_view sec;
+  SSUM_ASSIGN_OR_RETURN(sec, RequireSection(container, kSecMatrix, "matrix"));
+
+  PayloadReader r(sec);
+  uint64_t n = 0;
+  if (!r.ReadU64(&n)) {
+    return Status::DataLoss("matrix section too small for its order field");
+  }
+  // The order is bounded by the actual payload before any allocation: a
+  // fabricated huge n cannot ask for more memory than the container itself
+  // occupies.
+  if (n > (1u << 20) || n * n * 8 != r.remaining()) {
+    return Status::DataLoss("matrix section declares order " +
+                            std::to_string(n) + " but carries " +
+                            std::to_string(r.remaining()) + " bytes");
+  }
+  if (expected_n != 0 && n != expected_n) {
+    return Status::FailedPrecondition(
+        "matrix order " + std::to_string(n) +
+        " does not match the schema (expected " +
+        std::to_string(expected_n) + ")");
+  }
+  SquareMatrix matrix(static_cast<size_t>(n), 0.0);
+  for (size_t row = 0; row < n; ++row) {
+    for (double& v : matrix.RowSpan(row)) r.ReadDouble(&v);
+  }
+  return matrix;
+}
+
+std::string EncodeSummary(const SchemaSummary& summary) {
+  ContainerWriter writer(PayloadKind::kSummary);
+  writer.AddSection(kSecAbstract, EncodeU32Array(summary.abstract_elements));
+  writer.AddSection(kSecRepresentative,
+                    EncodeU32Array(summary.representative));
+  return std::move(writer).Finish();
+}
+
+Result<SchemaSummary> DecodeSummary(const SchemaGraph& graph,
+                                    std::string_view container_bytes) {
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container, ParseContainer(container_bytes));
+  SSUM_RETURN_NOT_OK(CheckKind(container, PayloadKind::kSummary));
+  std::string_view sec;
+  std::vector<uint32_t> abstract, representative;
+  SSUM_ASSIGN_OR_RETURN(
+      sec, RequireSection(container, kSecAbstract, "abstract-element"));
+  SSUM_RETURN_NOT_OK(
+      DecodeU32Array(sec, "abstract-element", &abstract, graph.size()));
+  SSUM_ASSIGN_OR_RETURN(
+      sec, RequireSection(container, kSecRepresentative, "representative"));
+  SSUM_RETURN_NOT_OK(DecodeU32Array(sec, "representative", &representative,
+                                    graph.size()));
+  // BuildSummaryFromAssignment revalidates every Definition 2 invariant and
+  // reconstructs the derived abstract links, exactly like the text loader.
+  return BuildSummaryFromAssignment(graph, std::move(abstract),
+                                    std::move(representative));
+}
+
+}  // namespace ssum

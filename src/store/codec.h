@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/path_engine.h"
+#include "core/summary.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// Binary codecs for the three expensive pipeline artifacts, layered on the
+/// snapshot container (container.h). Encoders are infallible; decoders
+/// verify every length against the section payload and the expected shape
+/// before allocating, so a checksum-valid but hostile container still maps
+/// to a Status instead of memory amplification or a crash.
+///
+/// Shape checking: annotations and summaries only make sense relative to a
+/// schema, so their decoders take the schema the caller is about to use and
+/// fail with FailedPrecondition on any mismatch (the cache treats that as a
+/// miss — a fingerprint collision or a stale entry, not corruption of the
+/// reader's data).
+
+/// Annotations (PayloadKind::kAnnotations): three u64-array sections —
+/// cardinalities, structural link counts, value link counts.
+std::string EncodeAnnotations(const Annotations& annotations);
+Result<Annotations> DecodeAnnotations(const SchemaGraph& graph,
+                                      std::string_view container_bytes);
+
+/// Dense square matrix (PayloadKind::kSquareMatrix): one section carrying
+/// the order n followed by n*n IEEE-754 doubles, row-major. Shared by the
+/// affinity and coverage caches (which matrix a container holds is part of
+/// its cache key, not its encoding). `expected_n` guards against loading a
+/// matrix for a different schema; pass 0 to accept any order.
+std::string EncodeSquareMatrix(const SquareMatrix& matrix);
+Result<SquareMatrix> DecodeSquareMatrix(std::string_view container_bytes,
+                                        size_t expected_n);
+
+/// Summary (PayloadKind::kSummary): the selected representatives and the
+/// dense correspondence vector. Abstract links are derived data and are
+/// rebuilt (and Definition 2 revalidated) on decode, mirroring the text
+/// format in core/summary_io.h.
+std::string EncodeSummary(const SchemaSummary& summary);
+Result<SchemaSummary> DecodeSummary(const SchemaGraph& graph,
+                                    std::string_view container_bytes);
+
+}  // namespace ssum

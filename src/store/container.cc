@@ -1,0 +1,232 @@
+#include "store/container.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "common/hash.h"
+#include "common/status_builder.h"
+
+namespace ssum {
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t LoadU32(std::string_view bytes, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+uint64_t LoadU64(std::string_view bytes, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+Status Truncated(size_t offset, const char* what, uint64_t need,
+                 uint64_t have) {
+  StatusBuilder b(StatusCode::kOutOfRange);
+  b.ByteOffset(offset);
+  b << "container truncated in " << what << ": need " << need
+    << " more bytes, have " << have;
+  return b;
+}
+
+}  // namespace
+
+const char* PayloadKindName(uint32_t kind) {
+  switch (static_cast<PayloadKind>(kind)) {
+    case PayloadKind::kAnnotations:
+      return "annotations";
+    case PayloadKind::kSquareMatrix:
+      return "matrix";
+    case PayloadKind::kSummary:
+      return "summary";
+  }
+  return "unknown";
+}
+
+Result<std::string_view> Container::Section(uint32_t tag) const {
+  for (const ContainerSection& s : sections) {
+    if (s.tag == tag) return s.payload;
+  }
+  return Status::NotFound("container has no section with tag " +
+                          std::to_string(tag));
+}
+
+Result<ContainerInfo> PeekContainer(std::string_view bytes) {
+  if (bytes.size() < kContainerHeaderSize) {
+    return Truncated(bytes.size(), "header", kContainerHeaderSize,
+                     bytes.size());
+  }
+  if (std::memcmp(bytes.data(), kContainerMagic, kContainerMagicSize) != 0) {
+    return DataLossAt(0) << "bad container magic";
+  }
+  const uint32_t stored_crc = LoadU32(bytes, 20);
+  const uint32_t actual_crc = Crc32c(bytes.substr(0, 20));
+  if (stored_crc != actual_crc) {
+    return DataLossAt(20) << "header checksum mismatch";
+  }
+  ContainerInfo info;
+  info.format_version = LoadU32(bytes, 8);
+  info.payload_kind = LoadU32(bytes, 12);
+  info.section_count = LoadU32(bytes, 16);
+  return info;
+}
+
+Result<Container> ParseContainer(std::string_view bytes) {
+  ContainerInfo info;
+  SSUM_ASSIGN_OR_RETURN(info, PeekContainer(bytes));
+  if (info.format_version != kContainerFormatVersion) {
+    return Status::FailedPrecondition(
+        "unsupported container format version " +
+        std::to_string(info.format_version) + " (reader speaks version " +
+        std::to_string(kContainerFormatVersion) + ")");
+  }
+
+  // Trailer first: it pins the intended total size, so truncation is
+  // reported as truncation instead of as a mangled section stream.
+  if (bytes.size() < kContainerHeaderSize + kContainerTrailerSize) {
+    return Truncated(bytes.size(), "trailer",
+                     kContainerHeaderSize + kContainerTrailerSize,
+                     bytes.size());
+  }
+  const size_t trailer_at = bytes.size() - kContainerTrailerSize;
+  const uint64_t declared_size = LoadU64(bytes, trailer_at);
+  if (declared_size != bytes.size()) {
+    if (declared_size > bytes.size()) {
+      return Truncated(trailer_at, "body", declared_size, bytes.size());
+    }
+    return DataLossAt(trailer_at)
+           << "trailer declares " << declared_size << " bytes but container"
+           << " has " << bytes.size();
+  }
+  const uint32_t trailer_crc = LoadU32(bytes, trailer_at + 8);
+  if (trailer_crc != Crc32c(bytes.substr(0, trailer_at + 8))) {
+    return DataLossAt(trailer_at + 8) << "trailer checksum mismatch";
+  }
+
+  Container container;
+  container.info = info;
+  container.sections.reserve(info.section_count);
+  size_t at = kContainerHeaderSize;
+  for (uint32_t s = 0; s < info.section_count; ++s) {
+    if (trailer_at - at < kContainerSectionOverhead) {
+      return DataLossAt(at) << "section " << s
+                            << " header overruns the trailer";
+    }
+    const uint32_t tag = LoadU32(bytes, at);
+    const uint64_t size = LoadU64(bytes, at + 4);
+    const size_t payload_at = at + 12;
+    if (size > trailer_at - payload_at ||
+        trailer_at - payload_at - size < 4) {
+      return DataLossAt(at + 4)
+             << "section " << s << " payload (" << size
+             << " bytes) overruns the trailer";
+    }
+    const std::string_view payload = bytes.substr(payload_at, size);
+    const uint32_t stored_crc = LoadU32(bytes, payload_at + size);
+    if (stored_crc != Crc32c(payload)) {
+      return DataLossAt(payload_at)
+             << "section " << s << " (tag " << tag << ") checksum mismatch";
+    }
+    container.sections.push_back(ContainerSection{tag, payload});
+    at = payload_at + size + 4;
+  }
+  if (at != trailer_at) {
+    return DataLossAt(at) << (trailer_at - at)
+                          << " undeclared bytes between the last section and"
+                          << " the trailer";
+  }
+  return container;
+}
+
+ContainerWriter::ContainerWriter(uint32_t payload_kind,
+                                 uint32_t format_version)
+    : payload_kind_(payload_kind), format_version_(format_version) {}
+
+void ContainerWriter::AddSection(uint32_t tag, std::string_view payload) {
+  AppendU32(body_, tag);
+  AppendU64(body_, payload.size());
+  body_.append(payload);
+  AppendU32(body_, Crc32c(payload));
+  ++section_count_;
+}
+
+std::string ContainerWriter::Finish() && {
+  std::string out;
+  out.reserve(kContainerHeaderSize + body_.size() + kContainerTrailerSize);
+  out.append(kContainerMagic, kContainerMagicSize);
+  AppendU32(out, format_version_);
+  AppendU32(out, payload_kind_);
+  AppendU32(out, section_count_);
+  AppendU32(out, Crc32c(out));
+  out.append(body_);
+  AppendU64(out, out.size() + kContainerTrailerSize);
+  AppendU32(out, Crc32c(out));
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  namespace fs = std::filesystem;
+  // Unique-enough temp name: pid + address entropy keeps concurrent
+  // installers of the same artifact from clobbering each other's staging
+  // file; the final rename is last-writer-wins either way.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<unsigned long>(getpid())) +
+      "." + HashToHex(reinterpret_cast<uintptr_t>(&path) ^
+                      HashBytes(path));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open '" + tmp + "' for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::IoError("write failed for '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    fs::remove(tmp, rm_ec);
+    return Status::IoError("rename '" + tmp + "' -> '" + path +
+                           "' failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      return Status::NotFound("'" + path + "' does not exist");
+    }
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
+  return bytes;
+}
+
+}  // namespace ssum

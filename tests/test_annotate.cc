@@ -212,6 +212,47 @@ TEST(EdgeMetricsTest, ZeroCardFallsBackToUniformWeights) {
   }
 }
 
+// --- merge --------------------------------------------------------------------
+
+TEST(AnnotateTest, MergeSumsElementWise) {
+  Fixture f;
+  DataTree data = f.MakeData();
+  Annotations full = *AnnotateSchema(data);
+
+  // Merging the full pass into a zeroed shape reproduces it; merging it
+  // twice doubles every counter — counting is additive over stream shards.
+  Annotations acc(f.schema);
+  ASSERT_TRUE(acc.Merge(full).ok());
+  EXPECT_EQ(acc, full);
+  ASSERT_TRUE(acc.Merge(full).ok());
+  EXPECT_EQ(acc.card(f.bidder), 2 * full.card(f.bidder));
+  EXPECT_EQ(acc.structural_count(f.schema.parent_link(f.bidder)),
+            2 * full.structural_count(f.schema.parent_link(f.bidder)));
+  EXPECT_EQ(acc.value_count(f.bids), 2 * full.value_count(f.bids));
+  EXPECT_EQ(acc.TotalNodes(), 2 * full.TotalNodes());
+}
+
+TEST(AnnotateTest, MergeRejectsShapeMismatch) {
+  Fixture f;
+  Annotations ann(f.schema);
+  SchemaBuilder b("other");
+  b.Rcd(b.Root(), "child");
+  SchemaGraph other = std::move(b).Build();
+  Annotations foreign(other);
+  auto status = ann.Merge(foreign);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+}
+
+TEST(AnnotateTest, TotalNodesMatchesCountingVisitor) {
+  Fixture f;
+  DataTree data = f.MakeData();
+  Annotations ann = *AnnotateSchema(data);
+  CountingVisitor counter;
+  ASSERT_TRUE(data.Accept(&counter).ok());
+  EXPECT_EQ(ann.TotalNodes(), counter.nodes());
+}
+
 // --- annotations io -----------------------------------------------------------
 
 TEST(AnnotationsIoTest, RoundTrip) {

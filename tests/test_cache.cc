@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/summarize.h"
+#include "instance/data_tree.h"
+#include "schema/schema_builder.h"
+#include "stats/annotate.h"
+#include "store/artifact_cache.h"
+#include "store/codec.h"
+#include "store/container.h"
+#include "store/fingerprint.h"
+
+namespace ssum {
+namespace {
+
+struct Fixture {
+  SchemaGraph schema;
+  ElementId auctions, auction, bidder, persons, person;
+  LinkId bids;
+
+  Fixture() : schema(Build(this)) {}
+
+  static SchemaGraph Build(Fixture* f) {
+    SchemaBuilder b("db");
+    f->auctions = b.Rcd(b.Root(), "auctions");
+    f->auction = b.SetRcd(f->auctions, "auction");
+    f->bidder = b.SetRcd(f->auction, "bidder");
+    f->persons = b.Rcd(b.Root(), "persons");
+    f->person = b.SetRcd(f->persons, "person");
+    f->bids = b.Link(f->bidder, f->person);
+    return std::move(b).Build();
+  }
+
+  Annotations MakeAnnotations() const {
+    DataTree t(&schema);
+    NodeId a_parent = *t.AddNode(t.root(), auctions);
+    NodeId p_parent = *t.AddNode(t.root(), persons);
+    NodeId p0 = *t.AddNode(p_parent, person);
+    NodeId p1 = *t.AddNode(p_parent, person);
+    NodeId a0 = *t.AddNode(a_parent, auction);
+    for (int i = 0; i < 3; ++i) {
+      NodeId bd = *t.AddNode(a0, bidder);
+      EXPECT_TRUE(t.AddReference(bids, bd, i % 2 ? p1 : p0).ok());
+    }
+    auto ann = AnnotateSchema(t);
+    EXPECT_TRUE(ann.ok()) << ann.status().ToString();
+    return std::move(*ann);
+  }
+};
+
+/// Fresh empty cache directory per test (the cache holds a mutex, so tests
+/// construct it in place from the prepared directory).
+std::string MakeCacheDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/ssum_cache_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ContainerPath(const ArtifactCache& cache, const char* family,
+                          const Fingerprint& key) {
+  return cache.dir() + "/" + family + "-" + key.ToHex() + ".ssb";
+}
+
+TEST(CacheTest, AnnotationsMissStoreHit) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("ann"));
+  Annotations ann = f.MakeAnnotations();
+  Fingerprint key = FingerprintAnnotations(ann);
+
+  EXPECT_FALSE(cache.LoadAnnotations(f.schema, key).has_value());
+  EXPECT_EQ(cache.session_counters().misses, 1u);
+  EXPECT_EQ(cache.session_counters().hits, 0u);
+
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());
+  EXPECT_EQ(cache.session_counters().installs, 1u);
+
+  auto hit = cache.LoadAnnotations(f.schema, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, ann);
+  EXPECT_EQ(cache.session_counters().hits, 1u);
+  EXPECT_EQ(cache.session_counters().misses, 1u);
+}
+
+TEST(CacheTest, MatrixRoundTripIsBitIdentical) {
+  ArtifactCache cache(MakeCacheDir("matrix"));
+  SquareMatrix m(4, 0.0);
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t c = 0; c < 4; ++c)
+      m.Set(r, c, 1.0 / (1.0 + static_cast<double>(r * 4 + c)));
+  Fingerprint key{0xabcdef12345678ull};
+  ASSERT_TRUE(cache.StoreMatrix(ArtifactCache::kAffinityFamily, key, m).ok());
+
+  auto hit = cache.LoadMatrix(ArtifactCache::kAffinityFamily, key, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(0, std::memcmp(hit->data().data(), m.data().data(),
+                           m.data().size() * sizeof(double)));
+  // Same key, other family: distinct file, so a miss.
+  EXPECT_FALSE(
+      cache.LoadMatrix(ArtifactCache::kCoverageFamily, key, 4).has_value());
+}
+
+TEST(CacheTest, MatrixShapeMismatchCountsAsMismatch) {
+  ArtifactCache cache(MakeCacheDir("mismatch"));
+  Fingerprint key{42};
+  ASSERT_TRUE(cache
+                  .StoreMatrix(ArtifactCache::kAffinityFamily, key,
+                               SquareMatrix(4, 1.0))
+                  .ok());
+  EXPECT_FALSE(
+      cache.LoadMatrix(ArtifactCache::kAffinityFamily, key, 5).has_value());
+  EXPECT_EQ(cache.session_counters().mismatch, 1u);
+  EXPECT_EQ(cache.session_counters().misses, 1u);
+}
+
+TEST(CacheTest, CorruptContainerIsMissThenReinstallRecovers) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("corrupt"));
+  Annotations ann = f.MakeAnnotations();
+  Fingerprint key{7};
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());
+
+  // Flip one payload byte on disk.
+  std::string path =
+      ContainerPath(cache, ArtifactCache::kAnnotationsFamily, key);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string bad = *bytes;
+  bad[kContainerHeaderSize + 8] ^= 0x10;
+  ASSERT_TRUE(AtomicWriteFile(path, bad).ok());
+
+  EXPECT_FALSE(cache.LoadAnnotations(f.schema, key).has_value());
+  EXPECT_EQ(cache.session_counters().corrupt, 1u);
+  EXPECT_EQ(cache.session_counters().misses, 1u);
+
+  // The caller recomputes and reinstalls; the next load is a clean hit.
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());
+  auto hit = cache.LoadAnnotations(f.schema, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, ann);
+}
+
+TEST(CacheTest, TruncatedContainerIsMissNotError) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("truncated"));
+  Annotations ann = f.MakeAnnotations();
+  Fingerprint key{8};
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());
+  std::string path =
+      ContainerPath(cache, ArtifactCache::kAnnotationsFamily, key);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(AtomicWriteFile(path, bytes->substr(0, bytes->size() / 2)).ok());
+  EXPECT_FALSE(cache.LoadAnnotations(f.schema, key).has_value());
+  EXPECT_EQ(cache.session_counters().corrupt, 1u);
+}
+
+TEST(CacheTest, ForeignVersionIsCleanMissAndVerifySkipsIt) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("foreign"));
+  Fingerprint key{9};
+  // Fabricate a container written by a future format generation.
+  ContainerWriter w(static_cast<uint32_t>(PayloadKind::kAnnotations),
+                    kContainerFormatVersion + 3);
+  w.AddSection(1, "from the future");
+  std::string path =
+      ContainerPath(cache, ArtifactCache::kAnnotationsFamily, key);
+  ASSERT_TRUE(AtomicWriteFile(path, std::move(w).Finish()).ok());
+
+  EXPECT_FALSE(cache.LoadAnnotations(f.schema, key).has_value());
+  EXPECT_EQ(cache.session_counters().foreign, 1u);
+  EXPECT_EQ(cache.session_counters().corrupt, 0u);
+
+  auto report = cache.Verify();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->foreign, 1u);
+  EXPECT_EQ(report->corrupt, 0u);
+}
+
+TEST(CacheTest, VerifyFlagsCorruptFiles) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("verify"));
+  Annotations ann = f.MakeAnnotations();
+  ASSERT_TRUE(cache.StoreAnnotations(Fingerprint{1}, ann).ok());
+  ASSERT_TRUE(cache.StoreAnnotations(Fingerprint{2}, ann).ok());
+  std::string path =
+      ContainerPath(cache, ArtifactCache::kAnnotationsFamily, Fingerprint{2});
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string bad = *bytes;
+  bad[bad.size() - 1] ^= 0xff;  // trailer CRC
+  ASSERT_TRUE(AtomicWriteFile(path, bad).ok());
+
+  auto report = cache.Verify();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 1u);
+  EXPECT_EQ(report->corrupt, 1u);
+  ASSERT_EQ(report->corrupt_files.size(), 1u);
+  EXPECT_NE(report->corrupt_files[0].find("annotations-"), std::string::npos);
+}
+
+TEST(CacheTest, ListAndClear) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("listclear"));
+  ASSERT_TRUE(
+      cache.StoreAnnotations(Fingerprint{1}, f.MakeAnnotations()).ok());
+  ASSERT_TRUE(cache
+                  .StoreMatrix(ArtifactCache::kAffinityFamily, Fingerprint{2},
+                               SquareMatrix(3, 0.0))
+                  .ok());
+  auto entries = cache.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  for (const CacheEntry& e : *entries) {
+    EXPECT_TRUE(e.readable);
+    EXPECT_EQ(e.format_version, kContainerFormatVersion);
+    EXPECT_GT(e.bytes, 0u);
+  }
+  auto removed = cache.Clear();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_GE(*removed, 2u);
+  entries = cache.List();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(CacheTest, PersistentCountersAccumulateAcrossFlushes) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("counters"));
+  Annotations ann = f.MakeAnnotations();
+  Fingerprint key = FingerprintAnnotations(ann);
+
+  cache.LoadAnnotations(f.schema, key);          // miss
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());  // install
+  ASSERT_TRUE(cache.FlushCounters().ok());
+  EXPECT_EQ(cache.session_counters().misses, 0u);  // flushed
+
+  // A second "process" over the same directory.
+  ArtifactCache again(cache.dir());
+  EXPECT_TRUE(again.LoadAnnotations(f.schema, key).has_value());  // hit
+  ASSERT_TRUE(again.FlushCounters().ok());
+
+  auto lifetime = again.ReadPersistentCounters();
+  ASSERT_TRUE(lifetime.ok());
+  EXPECT_EQ(lifetime->misses, 1u);
+  EXPECT_EQ(lifetime->installs, 1u);
+  EXPECT_EQ(lifetime->hits, 1u);
+}
+
+TEST(CacheTest, CorruptCounterFileResetsStatsNeverFails) {
+  ArtifactCache cache(MakeCacheDir("badcounters"));
+  std::ofstream out(cache.dir() + "/cache-counters.v1.txt");
+  out << "!!!not\tnumbers\nhits\tNaN\n";
+  out.close();
+  auto counters = cache.ReadPersistentCounters();
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+  EXPECT_EQ(counters->hits, 0u);
+  ASSERT_TRUE(cache.FlushCounters().ok());
+}
+
+TEST(CacheTest, SummarizerContextWarmStartIsBitIdentical) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("context"));
+  Annotations ann = f.MakeAnnotations();
+  SummarizeOptions options;
+
+  SummarizerContext cold(f.schema, ann, options, &cache);
+  EXPECT_EQ(cold.matrices_loaded_from_cache(), 0);
+  EXPECT_EQ(cache.session_counters().installs, 2u);
+
+  SummarizerContext warm(f.schema, ann, options, &cache);
+  EXPECT_EQ(warm.matrices_loaded_from_cache(), 2);
+
+  const size_t n = f.schema.size();
+  EXPECT_EQ(0, std::memcmp(warm.affinity().matrix().data().data(),
+                           cold.affinity().matrix().data().data(),
+                           n * n * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(warm.coverage().matrix().data().data(),
+                           cold.coverage().matrix().data().data(),
+                           n * n * sizeof(double)));
+
+  // Selection from the warm context is identical.
+  auto cold_summary = Summarize(cold, 3);
+  auto warm_summary = Summarize(warm, 3);
+  ASSERT_TRUE(cold_summary.ok());
+  ASSERT_TRUE(warm_summary.ok());
+  EXPECT_EQ(warm_summary->abstract_elements, cold_summary->abstract_elements);
+  EXPECT_EQ(warm_summary->representative, cold_summary->representative);
+}
+
+TEST(CacheTest, SummaryStoreLoad) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("summary"));
+  Annotations ann = f.MakeAnnotations();
+  SummarizerContext context(f.schema, ann);
+  auto summary = Summarize(context, 3);
+  ASSERT_TRUE(summary.ok());
+  Fingerprint key{0x5u};
+  ASSERT_TRUE(cache.StoreSummary(key, *summary).ok());
+  auto hit = cache.LoadSummary(f.schema, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->abstract_elements, summary->abstract_elements);
+  EXPECT_EQ(hit->representative, summary->representative);
+}
+
+TEST(CacheTest, OptionChangesChangeTheKey) {
+  Fixture f;
+  Annotations ann = f.MakeAnnotations();
+  AffinityOptions a1, a2;
+  a2.max_steps = a1.max_steps + 3;
+  CoverageOptions c;
+  Fingerprint base = FingerprintMatrixOptions(a1, c);
+  EXPECT_FALSE(base == FingerprintMatrixOptions(a2, c));
+  // Different statistics change the annotations fingerprint.
+  Annotations other = ann;
+  other.set_card(f.bidder, other.card(f.bidder) + 1);
+  EXPECT_FALSE(FingerprintAnnotations(ann) == FingerprintAnnotations(other));
+}
+
+}  // namespace
+}  // namespace ssum

@@ -15,6 +15,9 @@
 #include "relational/csv.h"
 #include "relational/ddl.h"
 #include "schema/schema_io.h"
+#include "stats/annotate.h"
+#include "store/codec.h"
+#include "store/container.h"
 #include "xml/parser.h"
 
 #ifndef SSUM_FUZZ_CORPUS_DIR
@@ -157,6 +160,59 @@ TEST(FuzzRegressionTest, SummaryCorpus) {
     } else {
       EXPECT_FALSE(parsed_schema.ok()) << name;
       EXPECT_FALSE(parsed_summary.ok()) << name;
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, StoreCorpus) {
+  // Mirror of FuzzSchema() in fuzz/fuzz_store.cc.
+  SchemaGraph schema("site");
+  ElementId people = *schema.AddElement(0, "people", ElementType::Rcd());
+  ElementId person =
+      *schema.AddElement(people, "person", ElementType::Rcd(true));
+  ElementId pid =
+      *schema.AddElement(person, "id", ElementType::Simple(AtomicKind::kId));
+  ASSERT_TRUE(schema.AddElement(person, "name", ElementType::Simple()).ok());
+  ElementId auctions = *schema.AddElement(0, "auctions", ElementType::Rcd());
+  ElementId auction =
+      *schema.AddElement(auctions, "auction", ElementType::Rcd(true));
+  ElementId seller = *schema.AddElement(
+      auction, "seller", ElementType::Simple(AtomicKind::kIdRef));
+  ASSERT_TRUE(schema.AddValueLink(auction, person, seller, pid).ok());
+
+  for (const fs::path& p : CorpusFiles("store")) {
+    const std::string bytes = ReadFileOrDie(p);
+    const std::string name = p.filename().string();
+    auto info = PeekContainer(bytes);
+    auto container = ParseContainer(bytes);
+    if (name == "annotations_valid.ssb") {
+      ASSERT_TRUE(container.ok()) << container.status().ToString();
+      auto ann = DecodeAnnotations(schema, bytes);
+      ASSERT_TRUE(ann.ok()) << ann.status().ToString();
+      auto again = DecodeAnnotations(schema, EncodeAnnotations(*ann));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *ann);
+    } else if (name == "matrix_valid.ssb") {
+      auto matrix = DecodeSquareMatrix(bytes, schema.size());
+      ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+    } else if (name == "summary_valid.ssb") {
+      auto summary = DecodeSummary(schema, bytes);
+      ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    } else if (name == "empty_sections.ssb") {
+      ASSERT_TRUE(container.ok()) << container.status().ToString();
+      EXPECT_FALSE(DecodeAnnotations(schema, bytes).ok());
+    } else if (name == "foreign_version.ssb") {
+      ASSERT_TRUE(info.ok()) << info.status().ToString();
+      EXPECT_NE(info->format_version, kContainerFormatVersion);
+      EXPECT_TRUE(container.status().IsFailedPrecondition())
+          << container.status().ToString();
+    } else if (name == "truncated.ssb") {
+      EXPECT_TRUE(container.status().IsOutOfRange())
+          << container.status().ToString();
+    } else {
+      // Unnamed seeds only need the abort-free guarantee (checked by
+      // running at all); decoders may accept or reject.
+      (void)DecodeSummary(schema, bytes);
     }
   }
 }

@@ -8,6 +8,10 @@
 #      harness replays its seed corpus plus a fixed budget of deterministic
 #      generated inputs (see fuzz/driver_main.cc; same seed => same inputs,
 #      so failures reproduce locally).
+#   4. warm-start cache stage (same ASan/UBSan build): populates a cache via
+#      the CLI, asserts a repeated invocation recomputes nothing (counters
+#      from `ssum cache stat`), then corrupts a container and asserts a
+#      graceful miss-and-recompute instead of an error.
 #
 # Usage: tools/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -37,10 +41,10 @@ echo "== ASan/UBSan pass (ingestion boundary + fuzz smoke) =="
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON >/dev/null
 ASAN_TESTS=(test_xml test_ddl test_relational test_schema test_summary_io
-            test_fuzz_regression test_common)
-FUZZ_TARGETS=(fuzz_xml fuzz_ddl fuzz_csv fuzz_summary)
+            test_fuzz_regression test_common test_store test_cache)
+FUZZ_TARGETS=(fuzz_xml fuzz_ddl fuzz_csv fuzz_summary fuzz_store)
 cmake --build "$ROOT/build-asan" --target "${ASAN_TESTS[@]}" \
-  "${FUZZ_TARGETS[@]}" -j "$JOBS"
+  "${FUZZ_TARGETS[@]}" ssum-cli -j "$JOBS"
 for t in "${ASAN_TESTS[@]}"; do
   echo "-- $t (ASan/UBSan)"
   "$ROOT/build-asan/tests/$t"
@@ -51,6 +55,60 @@ for f in "${FUZZ_TARGETS[@]}"; do
   "$ROOT/build-asan/fuzz/$f" "$corpus" \
     --iterations "$FUZZ_ITERATIONS" --seed "$FUZZ_SEED"
 done
+
+echo
+echo "== warm-start cache round-trip + corruption stage (ASan/UBSan) =="
+# Populate the cache, prove the second identical invocation recomputes
+# nothing (installs frozen, hits up), then corrupt a container and prove the
+# failure is a graceful miss-and-recompute, never an error.
+CLI="$ROOT/build-asan/ssum"
+CACHE_WORK="$(mktemp -d)"
+trap 'rm -rf "$CACHE_WORK"' EXIT
+cat > "$CACHE_WORK/in.xml" <<'XML'
+<db>
+  <persons><person id="p1"/><person id="p2"/><person id="p3"/></persons>
+  <auctions>
+    <auction><bidder ref="p1"/><bidder ref="p2"/></auction>
+    <auction><bidder ref="p3"/></auction>
+  </auctions>
+</db>
+XML
+CACHE="$CACHE_WORK/cache"
+stat_counter() { "$CLI" --cache-dir "$CACHE" cache stat | awk -v k="$1" '$1==k{print $2}'; }
+"$CLI" infer "$CACHE_WORK/in.xml" -o "$CACHE_WORK/schema.ssg" 2>/dev/null
+"$CLI" --cache-dir "$CACHE" annotate "$CACHE_WORK/schema.ssg" \
+  "$CACHE_WORK/in.xml" -o "$CACHE_WORK/ann.txt" 2>/dev/null
+"$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
+  -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum1.txt" 2>/dev/null
+installs1="$(stat_counter installs)"
+hits1="$(stat_counter hits)"
+"$CLI" --cache-dir "$CACHE" annotate "$CACHE_WORK/schema.ssg" \
+  "$CACHE_WORK/in.xml" -o "$CACHE_WORK/ann2.txt" 2>/dev/null
+"$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
+  -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum2.txt" 2>/dev/null
+installs2="$(stat_counter installs)"
+hits2="$(stat_counter hits)"
+cmp "$CACHE_WORK/ann.txt" "$CACHE_WORK/ann2.txt"
+cmp "$CACHE_WORK/sum1.txt" "$CACHE_WORK/sum2.txt"
+[ "$installs2" -eq "$installs1" ] || {
+  echo "FAIL: warm re-run installed artifacts ($installs1 -> $installs2)"; exit 1; }
+[ "$hits2" -gt "$hits1" ] || {
+  echo "FAIL: warm re-run did not hit the cache ($hits1 -> $hits2)"; exit 1; }
+echo "-- warm re-run recomputed nothing (installs $installs2, hits $hits2)"
+
+# Corrupt the summary container's magic and require: verify exits 3, the
+# next summarize silently recomputes (exit 0, identical output, healed
+# container), and verify is clean again.
+summary_file="$(ls "$CACHE"/summary-*.ssb)"
+printf '\xff' | dd of="$summary_file" bs=1 seek=3 conv=notrunc 2>/dev/null
+if "$CLI" --cache-dir "$CACHE" cache verify >/dev/null 2>&1; then
+  echo "FAIL: cache verify missed the corrupted container"; exit 1
+fi
+"$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
+  -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum3.txt" 2>/dev/null
+cmp "$CACHE_WORK/sum1.txt" "$CACHE_WORK/sum3.txt"
+"$CLI" --cache-dir "$CACHE" cache verify >/dev/null
+echo "-- corruption classified, recomputed, and healed"
 
 echo
 echo "CI OK"

@@ -9,6 +9,7 @@
 //   ssum relational <schema.sql> -k N [--data <dir>] [--dialect csv|pipe]
 //   ssum discover <schema.ssg> <summary.txt> <path> [path...]
 //   ssum demo <xmark|tpch|mimi> [-k N]
+//   ssum cache <stat|ls|clear|verify>
 //   ssum help | --help
 //
 // All commands exit non-zero with a diagnostic on stderr when anything
@@ -20,8 +21,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <map>
 #include <string>
@@ -42,6 +45,9 @@
 #include "schema/schema_io.h"
 #include "stats/annotate.h"
 #include "stats/annotations_io.h"
+#include "store/artifact_cache.h"
+#include "store/container.h"
+#include "store/fingerprint.h"
 #include "xml/infer_schema.h"
 #include "xml/instance_bridge.h"
 #include "xml/parser.h"
@@ -59,6 +65,29 @@ constexpr int kExitInternal = 4;
 /// --max-input-bytes / --max-parse-depth flags before dispatch.
 ParseLimits g_limits = ParseLimits::Defaults();
 
+/// Warm-start cache directory from --cache-dir / SSUM_CACHE_DIR; empty
+/// means caching is off and every command computes from scratch.
+std::string g_cache_dir;
+std::optional<ArtifactCache> g_cache;
+
+/// The process-wide cache, created lazily. An unusable directory disables
+/// caching with a warning rather than failing the command — consistent with
+/// the store's "a cache can only ever cost a recompute" policy.
+ArtifactCache* GetCache() {
+  if (g_cache_dir.empty()) return nullptr;
+  if (!g_cache.has_value()) {
+    g_cache.emplace(g_cache_dir);
+    if (Status s = g_cache->EnsureDir(); !s.ok()) {
+      std::fprintf(stderr, "ssum: warning: cache disabled: %s\n",
+                   s.ToString().c_str());
+      g_cache.reset();
+      g_cache_dir.clear();
+      return nullptr;
+    }
+  }
+  return &*g_cache;
+}
+
 void PrintUsage(std::FILE* to) {
   std::fprintf(
       to,
@@ -74,9 +103,16 @@ void PrintUsage(std::FILE* to) {
       "[--dialect csv|pipe]\n"
       "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
       "  ssum demo <xmark|tpch|mimi> [-k N]\n"
+      "  ssum cache <stat|ls|clear|verify>\n"
       "  ssum help | --help\n"
       "\n"
       "global flags:\n"
+      "  --cache-dir DIR      warm-start cache of binary snapshot containers\n"
+      "                       (annotations, affinity/coverage matrices,\n"
+      "                       summaries). A repeated invocation with the same\n"
+      "                       inputs loads instead of recomputing; corrupt or\n"
+      "                       foreign-version entries are recomputed, never\n"
+      "                       fatal. SSUM_CACHE_DIR is the env fallback.\n"
       "  --threads N          worker threads for the parallel kernels\n"
       "                       (default: hardware concurrency; 1 = serial;\n"
       "                       results are identical for every value).\n"
@@ -112,6 +148,7 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kFailedPrecondition:
     case StatusCode::kParseError:
     case StatusCode::kIoError:
+    case StatusCode::kDataLoss:
       return kExitBadInput;
     case StatusCode::kNotImplemented:
     case StatusCode::kInternal:
@@ -187,10 +224,33 @@ int CmdAnnotate(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   auto schema = ReadSchemaFile(args.positional[0], g_limits);
   if (!schema.ok()) return Fail(schema.status());
+  // File-backed inputs are keyed by their bytes: schema fingerprint mixed
+  // with the XML file fingerprint. A hit skips the XML parse entirely.
+  ArtifactCache* cache = GetCache();
+  Fingerprint key;
+  if (cache != nullptr) {
+    auto file_fp = FingerprintFile(args.positional[1]);
+    if (file_fp.ok()) {
+      key = MixFingerprints(FingerprintSchema(*schema), *file_fp);
+      if (auto hit = cache->LoadAnnotations(*schema, key)) {
+        Status s = WriteOrPrint(SerializeAnnotations(*hit), args.Get("-o"),
+                                "annotations");
+        return s.ok() ? 0 : Fail(s);
+      }
+    } else {
+      cache = nullptr;  // unreadable input: let ReadXmlFile report it
+    }
+  }
   auto doc = ReadXmlFile(args.positional[1], g_limits);
   if (!doc.ok()) return Fail(doc.status());
   auto ann = AnnotateXmlDocument(*schema, *doc);
   if (!ann.ok()) return Fail(ann.status());
+  if (cache != nullptr) {
+    if (Status s = cache->StoreAnnotations(key, *ann); !s.ok()) {
+      std::fprintf(stderr, "ssum: warning: annotations install failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
   Status s = WriteOrPrint(SerializeAnnotations(*ann), args.Get("-o"),
                           "annotations");
   return s.ok() ? 0 : Fail(s);
@@ -229,7 +289,12 @@ int CmdSummarize(const Args& args) {
     if (!parsed.ok()) return Fail(parsed.status());
     alg = *parsed;
   }
-  auto summary = Summarize(*schema, ann, static_cast<size_t>(*k), alg);
+  // The library's warm-start one-shot consults three cache layers: a summary
+  // hit skips everything; otherwise the context constructor tries the two
+  // matrices; whatever was computed is installed for the next invocation.
+  auto summary =
+      Summarize(*schema, ann, static_cast<size_t>(*k), alg, SummarizeOptions{},
+                GetCache());
   if (!summary.ok()) return Fail(summary.status());
   std::fprintf(stderr, "ssum: %s selected:\n", AlgorithmName(alg));
   for (ElementId a : summary->abstract_elements) {
@@ -342,7 +407,9 @@ int CmdRelational(const Args& args) {
     std::fprintf(stderr,
                  "ssum: no --data directory; using uniform statistics\n");
   }
-  auto summary = Summarize(mapping->graph, ann, static_cast<size_t>(*k));
+  SummarizerContext context(mapping->graph, ann, SummarizeOptions{},
+                            GetCache());
+  auto summary = Summarize(context, static_cast<size_t>(*k));
   if (!summary.ok()) return Fail(summary.status());
   std::printf("size-%lld summary:\n", static_cast<long long>(*k));
   for (ElementId a : summary->abstract_elements) {
@@ -369,14 +436,16 @@ int CmdDemo(const Args& args) {
     k = static_cast<size_t>(*parsed);
   }
   // A reduced scale keeps the demo instant; RCs are scale-invariant.
-  auto bundle = LoadDataset(kind, 0.05);
+  ArtifactCache* cache = GetCache();
+  auto bundle = LoadDataset(kind, 0.05, cache);
   if (!bundle.ok()) return Fail(bundle.status());
   std::printf("%s: %zu schema elements, %s data nodes, %zu queries\n",
               bundle->name.c_str(), bundle->schema.size(),
               FormatWithCommas(static_cast<int64_t>(bundle->data_elements))
                   .c_str(),
               bundle->workload.size());
-  SummarizerContext context(bundle->schema, bundle->annotations);
+  SummarizerContext context(bundle->schema, bundle->annotations,
+                            SummarizeOptions{}, cache);
   auto summary = Summarize(context, k);
   if (!summary.ok()) return Fail(summary.status());
   std::printf("\nsize-%zu BalanceSummary:\n", k);
@@ -396,6 +465,76 @@ int CmdDemo(const Args& args) {
       bundle->workload.size(), best, with,
       best > 0 ? 100.0 * (1.0 - with / best) : 0.0);
   return 0;
+}
+
+int CmdCache(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& sub = args.positional[0];
+  ArtifactCache* cache = GetCache();
+  if (cache == nullptr) {
+    std::fprintf(stderr,
+                 "ssum: error: 'cache %s' needs a cache directory "
+                 "(--cache-dir or SSUM_CACHE_DIR)\n",
+                 sub.c_str());
+    return kExitUsage;
+  }
+  if (sub == "stat") {
+    // Lifetime counters from the persistent counter file — every command
+    // flushes its session counters on exit, so a pipeline can prove a warm
+    // re-run recomputed nothing by diffing installs/hits across runs.
+    auto counters = cache->ReadPersistentCounters();
+    if (!counters.ok()) return Fail(counters.status());
+    auto entries = cache->List();
+    if (!entries.ok()) return Fail(entries.status());
+    uint64_t bytes = 0;
+    for (const CacheEntry& e : *entries) bytes += e.bytes;
+    std::printf("dir\t%s\n", cache->dir().c_str());
+    std::printf("containers\t%zu\n", entries->size());
+    std::printf("bytes\t%llu\n", static_cast<unsigned long long>(bytes));
+    std::printf("hits\t%llu\n", static_cast<unsigned long long>(counters->hits));
+    std::printf("misses\t%llu\n",
+                static_cast<unsigned long long>(counters->misses));
+    std::printf("installs\t%llu\n",
+                static_cast<unsigned long long>(counters->installs));
+    std::printf("corrupt\t%llu\n",
+                static_cast<unsigned long long>(counters->corrupt));
+    std::printf("foreign\t%llu\n",
+                static_cast<unsigned long long>(counters->foreign));
+    std::printf("mismatch\t%llu\n",
+                static_cast<unsigned long long>(counters->mismatch));
+    return kExitOk;
+  }
+  if (sub == "ls") {
+    auto entries = cache->List();
+    if (!entries.ok()) return Fail(entries.status());
+    for (const CacheEntry& e : *entries) {
+      std::printf("%-44s %10llu  v%u  %s%s\n", e.file.c_str(),
+                  static_cast<unsigned long long>(e.bytes), e.format_version,
+                  PayloadKindName(e.payload_kind),
+                  e.readable ? "" : "  [unreadable]");
+    }
+    return kExitOk;
+  }
+  if (sub == "clear") {
+    auto removed = cache->Clear();
+    if (!removed.ok()) return Fail(removed.status());
+    std::fprintf(stderr, "ssum: removed %llu cache files\n",
+                 static_cast<unsigned long long>(*removed));
+    return kExitOk;
+  }
+  if (sub == "verify") {
+    auto report = cache->Verify();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("ok\t%llu\ncorrupt\t%llu\nforeign\t%llu\n",
+                static_cast<unsigned long long>(report->ok),
+                static_cast<unsigned long long>(report->corrupt),
+                static_cast<unsigned long long>(report->foreign));
+    for (const std::string& file : report->corrupt_files) {
+      std::fprintf(stderr, "ssum: corrupt container: %s\n", file.c_str());
+    }
+    return report->corrupt == 0 ? kExitOk : kExitBadInput;
+  }
+  return Usage();
 }
 
 /// Consumes the global --max-input-bytes / --max-parse-depth flags (and
@@ -426,11 +565,50 @@ Status ConsumeLimitFlags(int* argc, char** argv) {
   return Status::OK();
 }
 
+/// Consumes the global --cache-dir flag; SSUM_CACHE_DIR is the fallback
+/// when the flag is absent (the flag wins when both are set).
+Status ConsumeCacheFlag(int* argc, char** argv) {
+  if (const char* env = std::getenv("SSUM_CACHE_DIR");
+      env != nullptr && *env != '\0') {
+    g_cache_dir = env;
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--cache-dir") {
+      if (i + 1 >= *argc) {
+        return Status::InvalidArgument("--cache-dir needs a value");
+      }
+      g_cache_dir = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return Status::OK();
+}
+
+int Dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "infer") return CmdInfer(args);
+  if (cmd == "annotate") return CmdAnnotate(args);
+  if (cmd == "summarize") return CmdSummarize(args);
+  if (cmd == "dot") return CmdDot(args);
+  if (cmd == "relational") return CmdRelational(args);
+  if (cmd == "discover") return CmdDiscover(args);
+  if (cmd == "demo") return CmdDemo(args);
+  if (cmd == "cache") return CmdCache(args);
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   // Applies --threads via SetDefaultThreadCount, so every kernel invoked
   // below picks it up through the default-constructed ParallelOptions.
   ConsumeThreadsFlag(&argc, argv);
   if (Status s = ConsumeLimitFlags(&argc, argv); !s.ok()) {
+    std::fprintf(stderr, "ssum: error: %s\n", s.ToString().c_str());
+    return kExitUsage;
+  }
+  if (Status s = ConsumeCacheFlag(&argc, argv); !s.ok()) {
     std::fprintf(stderr, "ssum: error: %s\n", s.ToString().c_str());
     return kExitUsage;
   }
@@ -443,14 +621,16 @@ int Main(int argc, char** argv) {
   const std::vector<std::string> value_flags = {
       "-o", "-k", "-a", "-g", "--max-depth", "--dot", "--data", "--dialect"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
-  if (cmd == "infer") return CmdInfer(args);
-  if (cmd == "annotate") return CmdAnnotate(args);
-  if (cmd == "summarize") return CmdSummarize(args);
-  if (cmd == "dot") return CmdDot(args);
-  if (cmd == "relational") return CmdRelational(args);
-  if (cmd == "discover") return CmdDiscover(args);
-  if (cmd == "demo") return CmdDemo(args);
-  return Usage();
+  int code = Dispatch(cmd, args);
+  // One flush per command keeps the persistent counters the cross-invocation
+  // record `ssum cache stat` reports.
+  if (g_cache.has_value()) {
+    if (Status s = g_cache->FlushCounters(); !s.ok()) {
+      std::fprintf(stderr, "ssum: warning: cache counter flush failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  return code;
 }
 
 }  // namespace
