@@ -1,0 +1,219 @@
+// Sharded-annotation benchmark: wall-clock speedup of AnnotateSchemaSharded
+// versus thread count on XMark (sf 0.05 and 0.25), against the serial
+// AnnotateSchema walk — and a hard determinism gate: the sharded pass must
+// be exactly equal (every cardinality, structural and value counter) to the
+// serial result for every thread count. A violated gate fails the run.
+//
+//   annotate_scaling [--json <path>] [--gate-only] [--threads N]
+//
+// --json writes the machine-readable trajectory record consumed by
+// bench/run_bench.sh (checked in as BENCH_annotate.json at the repo root).
+// --gate-only runs the determinism gate plus two regression gates without
+// writing JSON (the CI bench-sanity stage):
+//   - no sharded configuration slower than 1.5x the serial walk;
+//   - when the host has >= 8 hardware threads, >= 3x speedup at 8 threads
+//     on XMark sf 0.25 (on smaller hosts the speedup is recorded, not
+//     enforced — a 1-core runner cannot exhibit parallel speedup).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "datasets/xmark.h"
+#include "stats/annotate.h"
+
+namespace {
+
+using namespace ssum;
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr double kTargetMs = 60.0;  // per measurement, keeps the bench quick
+constexpr double kMaxSlowdown = 1.5;
+constexpr double kRequiredSpeedupAt8 = 3.0;
+
+template <typename Fn>
+double TimeMs(const Fn& fn) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate the repetition count from one warm-up run.
+  auto t0 = clock::now();
+  fn();
+  double once =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  int reps = 1;
+  if (once < kTargetMs) {
+    reps = static_cast<int>(kTargetMs / (once > 1e-3 ? once : 1e-3)) + 1;
+    if (reps > 10000) reps = 10000;
+  }
+  t0 = clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  double total =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  return total / reps;
+}
+
+struct ThreadPoint {
+  uint32_t threads;
+  double ms;
+};
+
+struct DatasetReport {
+  double sf;
+  uint64_t units;
+  double serial_ms;  // the plain AnnotateSchema walk
+  std::vector<ThreadPoint> points;
+  bool deterministic = true;
+
+  double Speedup(const ThreadPoint& p) const {
+    return p.ms > 0 ? serial_ms / p.ms : 0.0;
+  }
+};
+
+DatasetReport RunXmark(double sf, bool* deterministic_ok, bool* gates_ok) {
+  XMarkParams params;
+  params.sf = sf;
+  XMarkDataset ds(params);
+  std::unique_ptr<InstanceStream> stream = ds.MakeStream();
+  std::unique_ptr<ShardedInstanceSource> source = ds.MakeShardedSource();
+
+  DatasetReport report;
+  report.sf = sf;
+  report.units = source->NumUnits();
+
+  const Annotations serial = *AnnotateSchema(*stream);
+  report.serial_ms = TimeMs([&] {
+    Annotations a = *AnnotateSchema(*stream);
+    (void)a;
+  });
+
+  for (uint32_t t : kThreadCounts) {
+    ShardedAnnotateOptions opts;
+    opts.parallel.threads = t;
+    Annotations last(ds.schema());
+    report.points.push_back({t, TimeMs([&] {
+      auto r = AnnotateSchemaSharded(*source, opts);
+      if (r.ok()) last = std::move(*r);
+    })});
+    // Hard gate: the sharded result must equal the serial walk exactly.
+    if (!(last == serial)) {
+      report.deterministic = false;
+      *deterministic_ok = false;
+    }
+    // Regression gate: no configuration pays more than kMaxSlowdown over
+    // the serial walk (catches sharding overhead blowups on any host).
+    if (report.points.back().ms > kMaxSlowdown * report.serial_ms) {
+      std::fprintf(stderr,
+                   "REGRESSION: sf %.2f threads=%u took %.3fms > %.1fx "
+                   "serial %.3fms\n",
+                   sf, t, report.points.back().ms, kMaxSlowdown,
+                   report.serial_ms);
+      *gates_ok = false;
+    }
+  }
+
+  // Speedup gate, only meaningful on hosts with enough parallelism.
+  if (HardwareThreadCount() >= 8 && sf >= 0.25) {
+    const ThreadPoint& p8 = report.points.back();
+    if (report.Speedup(p8) < kRequiredSpeedupAt8) {
+      std::fprintf(stderr,
+                   "REGRESSION: sf %.2f speedup at 8 threads %.2fx < %.1fx\n",
+                   sf, report.Speedup(p8), kRequiredSpeedupAt8);
+      *gates_ok = false;
+    }
+  }
+  return report;
+}
+
+void PrintReport(const DatasetReport& r) {
+  std::printf("XMark sf %.2f (%llu units)  serial %8.3fms\n", r.sf,
+              static_cast<unsigned long long>(r.units), r.serial_ms);
+  for (const ThreadPoint& p : r.points) {
+    std::printf("  sharded t=%u %8.3fms (%.2fx)\n", p.threads, p.ms,
+                r.Speedup(p));
+  }
+  std::printf("  %s\n", r.deterministic ? "deterministic" : "MISMATCH");
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<DatasetReport>& reports, bool ok) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"annotate_scaling\",\n"
+      << "  \"hardware_threads\": " << HardwareThreadCount() << ",\n"
+      << "  \"deterministic\": " << (ok ? "true" : "false") << ",\n"
+      << "  \"datasets\": [\n";
+  for (size_t d = 0; d < reports.size(); ++d) {
+    const DatasetReport& r = reports[d];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"XMark\", \"sf\": %g, \"units\": %llu, "
+                  "\"serial_ms\": %.4f, \"deterministic\": %s,\n",
+                  r.sf, static_cast<unsigned long long>(r.units), r.serial_ms,
+                  r.deterministic ? "true" : "false");
+    out << buf << "     \"results\": [";
+    for (size_t p = 0; p < r.points.size(); ++p) {
+      const ThreadPoint& tp = r.points[p];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"threads\": %u, \"ms\": %.4f, \"speedup\": %.3f}",
+                    tp.threads, tp.ms, r.Speedup(tp));
+      out << buf << (p + 1 < r.points.size() ? ", " : "");
+    }
+    out << "]}" << (d + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "JSON written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ssum::ConsumeThreadsFlag(&argc, argv);
+  std::string json_path;
+  bool gate_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else if (a == "--gate-only") {
+      gate_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: annotate_scaling [--json <path>] [--gate-only]\n");
+      return 2;
+    }
+  }
+
+  std::printf("annotate scaling — %u hardware thread(s)\n\n",
+              ssum::HardwareThreadCount());
+  bool deterministic_ok = true;
+  bool gates_ok = true;
+  std::vector<DatasetReport> reports;
+  for (double sf : {0.05, 0.25}) {
+    reports.push_back(RunXmark(sf, &deterministic_ok, &gates_ok));
+    PrintReport(reports.back());
+    std::printf("\n");
+  }
+  if (!json_path.empty() && !gate_only) {
+    WriteJson(json_path, reports, deterministic_ok);
+  }
+  if (!deterministic_ok) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: sharded annotations diverged from "
+                 "the serial pass\n");
+    return 1;
+  }
+  if (!gates_ok) {
+    std::fprintf(stderr, "BENCH GATE FAILED (see REGRESSION lines above)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the perf benches and refreshes the checked-in perf-trajectory records:
 #   bench/BENCH_parallel.json — parallel_scaling speedups + determinism gate
+#   bench/BENCH_annotate.json — sharded-annotation speedups + determinism gate
 #   bench/BENCH_perf.json     — google-benchmark microbench suite (JSON)
 #   bench/BENCH_cache.json    — cold-vs-warm snapshot-store pipeline timing
 #                               (gates warm >= 5x cold, zero warm installs)
@@ -14,10 +15,12 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
-cmake --build "$BUILD" --target parallel_scaling perf_microbench cache_warm \
-  -j "$(nproc)"
+cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
+  perf_microbench cache_warm -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
+
+"$BUILD/bench/annotate_scaling" --json "$ROOT/bench/BENCH_annotate.json"
 
 "$BUILD/bench/perf_microbench" \
   --benchmark_out="$ROOT/bench/BENCH_perf.json" \
@@ -26,7 +29,8 @@ cmake --build "$BUILD" --target parallel_scaling perf_microbench cache_warm \
 "$BUILD/bench/cache_warm" --json "$ROOT/bench/BENCH_cache.json"
 
 echo "perf trajectory updated:"
-for record in BENCH_parallel.json BENCH_perf.json BENCH_cache.json; do
+for record in BENCH_parallel.json BENCH_annotate.json BENCH_perf.json \
+              BENCH_cache.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

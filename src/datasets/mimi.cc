@@ -260,162 +260,56 @@ Result<MimiDataset::Counts> MimiDataset::CountsFor(MimiVersion v) const {
 // Streaming generator
 // ---------------------------------------------------------------------------
 
-class MimiStream : public InstanceStream {
+class MimiStream : public InstanceStream, public ShardedInstanceSource {
  public:
+  /// Top-level entity sections in serial traversal order.
+  enum Section {
+    kOrganisms = 0,
+    kSources,
+    kMolecules,
+    kInteractions,
+    kExperiments,
+    kPublications,
+    kPathways,
+    kDomains,
+    kNumSections
+  };
+
   explicit MimiStream(const MimiDataset* ds) : ds_(ds) {}
 
   const SchemaGraph& schema() const override { return ds_->schema(); }
 
   Status Accept(InstanceVisitor* v) const override {
-    const MimiDataset& d = *ds_;
+    return WalkContainers(v, /*with_units=*/true);
+  }
+
+  // --- ShardedInstanceSource ----------------------------------------------
+
+  uint64_t NumUnits() const override {
+    auto c = ds_->CountsFor(ds_->params_.version);
+    if (!c.ok()) return 0;  // AcceptSkeleton reports the error
+    uint64_t total = 0;
+    for (int s = 0; s < kNumSections; ++s) total += SectionCount(*c, s);
+    return total;
+  }
+
+  Status AcceptSkeleton(InstanceVisitor* v) const override {
+    return WalkContainers(v, /*with_units=*/false);
+  }
+
+  Status AcceptUnits(uint64_t begin, uint64_t end,
+                     InstanceVisitor* v) const override {
+    SSUM_RETURN_NOT_OK(ValidateUnitRange(begin, end, NumUnits()));
     MimiDataset::Counts c;
-    SSUM_ASSIGN_OR_RETURN(c, d.CountsFor(d.params_.version));
-    const double scale = d.params_.scale;
-    auto n = [&](uint64_t base) {
-      return static_cast<uint64_t>(static_cast<double>(base) * scale + 0.5);
-    };
-    Rng rng(d.params_.seed);
-
-    v->OnEnter(schema().root());
-
-    // organisms
-    v->OnEnter(d.organisms_);
-    for (uint64_t i = 0; i < n(c.organisms); ++i) {
-      v->OnEnter(d.organism_);
-      Leaf(v, d.org_id_);
-      Leaf(v, d.org_name_);
-      if (rng.NextBool(0.5)) Leaf(v, d.org_common_);
-      if (rng.NextBool(0.4)) Leaf(v, d.strain_);
-      v->OnEnter(d.taxonomy_);
-      Leaf(v, d.kingdom_);
-      Leaf(v, d.phylum_);
-      Leaf(v, d.tax_class_);
-      Leaf(v, d.tax_order_);
-      Leaf(v, d.family_);
-      Leaf(v, d.genus_);
-      Leaf(v, d.species_);
-      v->OnLeave(d.taxonomy_);
-      if (rng.NextBool(0.3)) {
-        v->OnEnter(d.genome_);
-        Leaf(v, d.assembly_);
-        Leaf(v, d.genome_size_);
-        Leaf(v, d.gene_count_);
-        v->OnLeave(d.genome_);
+    SSUM_ASSIGN_OR_RETURN(c, ds_->CountsFor(ds_->params_.version));
+    uint64_t base = 0;
+    for (int s = 0; s < kNumSections && begin < end; ++s) {
+      const uint64_t section_end = base + SectionCount(c, s);
+      for (; begin < end && begin < section_end; ++begin) {
+        EmitUnit(v, c, s, begin - base);
       }
-      v->OnLeave(d.organism_);
+      base = section_end;
     }
-    v->OnLeave(d.organisms_);
-
-    // sources
-    v->OnEnter(d.sources_);
-    for (uint64_t i = 0; i < n(c.sources); ++i) {
-      v->OnEnter(d.source_);
-      Leaf(v, d.src_id_);
-      Leaf(v, d.src_name_);
-      Leaf(v, d.src_version_);
-      Leaf(v, d.src_url_);
-      Leaf(v, d.src_imported_);
-      Leaf(v, d.src_records_);
-      Leaf(v, d.src_contact_);
-      Leaf(v, d.src_license_);
-      Leaf(v, d.src_citation_);
-      v->OnLeave(d.source_);
-    }
-    v->OnLeave(d.sources_);
-
-    // molecules
-    v->OnEnter(d.molecules_);
-    for (uint64_t i = 0; i < n(c.molecules); ++i) EmitMolecule(v, &rng, c);
-    v->OnLeave(d.molecules_);
-
-    // interactions
-    v->OnEnter(d.interactions_);
-    for (uint64_t i = 0; i < n(c.interactions); ++i) EmitInteraction(v, &rng);
-    v->OnLeave(d.interactions_);
-
-    // experiments
-    v->OnEnter(d.experiments_);
-    for (uint64_t i = 0; i < n(c.experiments); ++i) {
-      v->OnEnter(d.experiment_);
-      Leaf(v, d.exp_id_);
-      if (rng.NextBool(0.7)) Leaf(v, d.exp_type_);
-      Leaf(v, d.exp_desc_);
-      v->OnEnter(d.exp_method_);
-      Leaf(v, d.exp_method_name_);
-      if (rng.NextBool(0.6)) Leaf(v, d.exp_ontology_);
-      v->OnLeave(d.exp_method_);
-      if (rng.NextBool(0.05)) {  // sparse structured conditions
-        v->OnEnter(d.conditions_);
-        Leaf(v, d.temperature_);
-        Leaf(v, d.ph_);
-        Leaf(v, d.buffer_);
-        v->OnLeave(d.conditions_);
-      }
-      v->OnReference(d.l_publication_ref_);
-      Leaf(v, d.publication_ref_);
-      v->OnReference(d.l_host_organism_);
-      Leaf(v, d.host_organism_ref_);
-      v->OnLeave(d.experiment_);
-    }
-    v->OnLeave(d.experiments_);
-
-    // publications
-    v->OnEnter(d.publications_);
-    for (uint64_t i = 0; i < n(c.publications); ++i) {
-      v->OnEnter(d.publication_);
-      Leaf(v, d.pub_pubmed_);
-      Leaf(v, d.pub_title_);
-      Leaf(v, d.pub_journal_);
-      Leaf(v, d.pub_year_);
-      if (rng.NextBool(0.8)) Leaf(v, d.pub_volume_);
-      if (rng.NextBool(0.8)) Leaf(v, d.pub_pages_);
-      if (rng.NextBool(0.6)) Leaf(v, d.pub_abstract_);
-      if (rng.NextBool(0.5)) Leaf(v, d.pub_doi_);
-      if (rng.NextBool(0.7)) Leaf(v, d.pub_issue_);
-      v->OnEnter(d.authors_);
-      for (uint64_t a = 0, m = 1 + rng.NextPoisson(2.0); a < m; ++a) {
-        Leaf(v, d.author_);
-      }
-      v->OnLeave(d.authors_);
-      v->OnLeave(d.publication_);
-    }
-    v->OnLeave(d.publications_);
-
-    // pathways
-    v->OnEnter(d.pathways_);
-    for (uint64_t i = 0; i < n(c.pathways); ++i) {
-      v->OnEnter(d.pathway_);
-      Leaf(v, d.path_id_);
-      Leaf(v, d.path_name_);
-      if (rng.NextBool(0.7)) Leaf(v, d.path_category_);
-      if (rng.NextBool(0.5)) Leaf(v, d.path_desc_);
-      v->OnReference(d.l_path_source_);
-      Leaf(v, d.path_source_ref_);
-      for (uint64_t m = 0, k = rng.NextPoisson(8.0); m < k; ++m) {
-        v->OnReference(d.l_path_member_);
-        Leaf(v, d.member_ref_);
-      }
-      v->OnLeave(d.pathway_);
-    }
-    v->OnLeave(d.pathways_);
-
-    // domains (zero rows before Oct 2005)
-    v->OnEnter(d.domains_);
-    for (uint64_t i = 0; i < n(c.domains); ++i) {
-      v->OnEnter(d.domain_);
-      Leaf(v, d.dom_id_);
-      Leaf(v, d.dom_name_);
-      Leaf(v, d.dom_family_);
-      Leaf(v, d.dom_desc_);
-      Leaf(v, d.dom_length_);
-      if (rng.NextBool(0.8)) Leaf(v, d.dom_interpro_);
-      v->OnReference(d.l_dom_source_);
-      Leaf(v, d.dom_source_ref_);
-      v->OnLeave(d.domain_);
-    }
-    v->OnLeave(d.domains_);
-
-    v->OnLeave(schema().root());
     return Status::OK();
   }
 
@@ -423,6 +317,211 @@ class MimiStream : public InstanceStream {
   static void Leaf(InstanceVisitor* v, ElementId e) {
     v->OnEnter(e);
     v->OnLeave(e);
+  }
+
+  ElementId Container(int s) const {
+    const MimiDataset& d = *ds_;
+    const ElementId containers[kNumSections] = {
+        d.organisms_,   d.sources_,      d.molecules_, d.interactions_,
+        d.experiments_, d.publications_, d.pathways_,  d.domains_};
+    return containers[s];
+  }
+
+  uint64_t SectionCount(const MimiDataset::Counts& c, int s) const {
+    auto n = [&](uint64_t base) {
+      return static_cast<uint64_t>(static_cast<double>(base) *
+                                       ds_->params_.scale +
+                                   0.5);
+    };
+    switch (s) {
+      case kOrganisms:
+        return n(c.organisms);
+      case kSources:
+        return n(c.sources);
+      case kMolecules:
+        return n(c.molecules);
+      case kInteractions:
+        return n(c.interactions);
+      case kExperiments:
+        return n(c.experiments);
+      case kPublications:
+        return n(c.publications);
+      case kPathways:
+        return n(c.pathways);
+      case kDomains:
+        return n(c.domains);
+    }
+    return 0;
+  }
+
+  /// One generator per unit, forked from the base seed by (section, index):
+  /// identical draws whether the unit is reached serially or from the
+  /// middle of a shard.
+  Rng UnitRng(int section, uint64_t index) const {
+    return Rng(ds_->params_.seed)
+        .Fork((static_cast<uint64_t>(section) << 48) | index);
+  }
+
+  void EmitUnit(InstanceVisitor* v, const MimiDataset::Counts& c, int section,
+                uint64_t index) const {
+    Rng rng = UnitRng(section, index);
+    switch (section) {
+      case kOrganisms:
+        EmitOrganism(v, &rng);
+        break;
+      case kSources:
+        EmitSource(v);
+        break;
+      case kMolecules:
+        EmitMolecule(v, &rng, c);
+        break;
+      case kInteractions:
+        EmitInteraction(v, &rng);
+        break;
+      case kExperiments:
+        EmitExperiment(v, &rng);
+        break;
+      case kPublications:
+        EmitPublication(v, &rng);
+        break;
+      case kPathways:
+        EmitPathway(v, &rng);
+        break;
+      case kDomains:
+        EmitDomain(v, &rng);
+        break;
+    }
+  }
+
+  Status WalkContainers(InstanceVisitor* v, bool with_units) const {
+    MimiDataset::Counts c;
+    SSUM_ASSIGN_OR_RETURN(c, ds_->CountsFor(ds_->params_.version));
+    v->OnEnter(schema().root());
+    for (int s = 0; s < kNumSections; ++s) {
+      v->OnEnter(Container(s));
+      if (with_units) {
+        const uint64_t n = SectionCount(c, s);
+        for (uint64_t i = 0; i < n; ++i) EmitUnit(v, c, s, i);
+      }
+      v->OnLeave(Container(s));
+    }
+    v->OnLeave(schema().root());
+    return Status::OK();
+  }
+
+  void EmitOrganism(InstanceVisitor* v, Rng* rng) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.organism_);
+    Leaf(v, d.org_id_);
+    Leaf(v, d.org_name_);
+    if (rng->NextBool(0.5)) Leaf(v, d.org_common_);
+    if (rng->NextBool(0.4)) Leaf(v, d.strain_);
+    v->OnEnter(d.taxonomy_);
+    Leaf(v, d.kingdom_);
+    Leaf(v, d.phylum_);
+    Leaf(v, d.tax_class_);
+    Leaf(v, d.tax_order_);
+    Leaf(v, d.family_);
+    Leaf(v, d.genus_);
+    Leaf(v, d.species_);
+    v->OnLeave(d.taxonomy_);
+    if (rng->NextBool(0.3)) {
+      v->OnEnter(d.genome_);
+      Leaf(v, d.assembly_);
+      Leaf(v, d.genome_size_);
+      Leaf(v, d.gene_count_);
+      v->OnLeave(d.genome_);
+    }
+    v->OnLeave(d.organism_);
+  }
+
+  void EmitSource(InstanceVisitor* v) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.source_);
+    Leaf(v, d.src_id_);
+    Leaf(v, d.src_name_);
+    Leaf(v, d.src_version_);
+    Leaf(v, d.src_url_);
+    Leaf(v, d.src_imported_);
+    Leaf(v, d.src_records_);
+    Leaf(v, d.src_contact_);
+    Leaf(v, d.src_license_);
+    Leaf(v, d.src_citation_);
+    v->OnLeave(d.source_);
+  }
+
+  void EmitExperiment(InstanceVisitor* v, Rng* rng) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.experiment_);
+    Leaf(v, d.exp_id_);
+    if (rng->NextBool(0.7)) Leaf(v, d.exp_type_);
+    Leaf(v, d.exp_desc_);
+    v->OnEnter(d.exp_method_);
+    Leaf(v, d.exp_method_name_);
+    if (rng->NextBool(0.6)) Leaf(v, d.exp_ontology_);
+    v->OnLeave(d.exp_method_);
+    if (rng->NextBool(0.05)) {  // sparse structured conditions
+      v->OnEnter(d.conditions_);
+      Leaf(v, d.temperature_);
+      Leaf(v, d.ph_);
+      Leaf(v, d.buffer_);
+      v->OnLeave(d.conditions_);
+    }
+    v->OnReference(d.l_publication_ref_);
+    Leaf(v, d.publication_ref_);
+    v->OnReference(d.l_host_organism_);
+    Leaf(v, d.host_organism_ref_);
+    v->OnLeave(d.experiment_);
+  }
+
+  void EmitPublication(InstanceVisitor* v, Rng* rng) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.publication_);
+    Leaf(v, d.pub_pubmed_);
+    Leaf(v, d.pub_title_);
+    Leaf(v, d.pub_journal_);
+    Leaf(v, d.pub_year_);
+    if (rng->NextBool(0.8)) Leaf(v, d.pub_volume_);
+    if (rng->NextBool(0.8)) Leaf(v, d.pub_pages_);
+    if (rng->NextBool(0.6)) Leaf(v, d.pub_abstract_);
+    if (rng->NextBool(0.5)) Leaf(v, d.pub_doi_);
+    if (rng->NextBool(0.7)) Leaf(v, d.pub_issue_);
+    v->OnEnter(d.authors_);
+    for (uint64_t a = 0, m = 1 + rng->NextPoisson(2.0); a < m; ++a) {
+      Leaf(v, d.author_);
+    }
+    v->OnLeave(d.authors_);
+    v->OnLeave(d.publication_);
+  }
+
+  void EmitPathway(InstanceVisitor* v, Rng* rng) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.pathway_);
+    Leaf(v, d.path_id_);
+    Leaf(v, d.path_name_);
+    if (rng->NextBool(0.7)) Leaf(v, d.path_category_);
+    if (rng->NextBool(0.5)) Leaf(v, d.path_desc_);
+    v->OnReference(d.l_path_source_);
+    Leaf(v, d.path_source_ref_);
+    for (uint64_t m = 0, k = rng->NextPoisson(8.0); m < k; ++m) {
+      v->OnReference(d.l_path_member_);
+      Leaf(v, d.member_ref_);
+    }
+    v->OnLeave(d.pathway_);
+  }
+
+  void EmitDomain(InstanceVisitor* v, Rng* rng) const {
+    const MimiDataset& d = *ds_;
+    v->OnEnter(d.domain_);
+    Leaf(v, d.dom_id_);
+    Leaf(v, d.dom_name_);
+    Leaf(v, d.dom_family_);
+    Leaf(v, d.dom_desc_);
+    Leaf(v, d.dom_length_);
+    if (rng->NextBool(0.8)) Leaf(v, d.dom_interpro_);
+    v->OnReference(d.l_dom_source_);
+    Leaf(v, d.dom_source_ref_);
+    v->OnLeave(d.domain_);
   }
 
   void EmitMolecule(InstanceVisitor* v, Rng* rng,
@@ -578,6 +677,10 @@ class MimiStream : public InstanceStream {
 };
 
 std::unique_ptr<InstanceStream> MimiDataset::MakeStream() const {
+  return std::make_unique<MimiStream>(this);
+}
+
+std::unique_ptr<ShardedInstanceSource> MimiDataset::MakeShardedSource() const {
   return std::make_unique<MimiStream>(this);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "query/workload.h"
 #include "schema/schema_graph.h"
 
@@ -57,6 +58,11 @@ class MimiDataset {
   const MimiParams& params() const { return params_; }
 
   std::unique_ptr<InstanceStream> MakeStream() const;
+
+  /// The same generator as a splittable source: one unit per top-level
+  /// entity (organism, source, molecule, ...), each with its own forked
+  /// Rng, so annotating it sharded is bit-identical to the serial pass.
+  std::unique_ptr<ShardedInstanceSource> MakeShardedSource() const;
 
   /// The 52 query intentions (identical across versions so Table 5
   /// compares like with like).

@@ -30,7 +30,10 @@ namespace {
 /// Bump when any generator's output changes for identical parameters —
 /// the revision is part of every dataset cache key, so stale annotation
 /// snapshots from an older generator simply stop being addressed.
-constexpr uint64_t kGeneratorRevision = 1;
+/// Revision 2: XMark and MiMI entities draw from per-unit forked Rngs
+/// (splittable sources). Shard/thread counts do NOT enter the key — the
+/// sharded pass is bit-identical to the serial one for any shard count.
+constexpr uint64_t kGeneratorRevision = 2;
 
 /// Cache key for a synthetic dataset's annotations: generator identity
 /// (name, revision, scale and dataset-specific parameters) mixed with the
@@ -48,18 +51,20 @@ Fingerprint DatasetAnnotationsKey(const SchemaGraph& schema,
   return MixFingerprints(Fingerprint{h.Digest()}, FingerprintSchema(schema));
 }
 
-/// Loads the annotations from the cache or runs the full annotateSchema
-/// pass over a freshly-made stream. The stream is only materialized on a
-/// miss, so a warm start skips instance generation entirely.
+/// Loads the annotations from the cache or runs the sharded annotation
+/// pass over a freshly-made splittable source. The source is only
+/// materialized on a miss, so a warm start skips instance generation
+/// entirely.
 Result<Annotations> AnnotateOrLoad(
     ArtifactCache* cache, const SchemaGraph& schema, const Fingerprint& key,
-    const std::function<std::unique_ptr<InstanceStream>()>& make_stream) {
+    const std::function<std::unique_ptr<ShardedInstanceSource>()>&
+        make_source) {
   if (cache != nullptr) {
     if (auto hit = cache->LoadAnnotations(schema, key)) return std::move(*hit);
   }
-  auto stream = make_stream();
+  auto source = make_source();
   Annotations ann;
-  SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchema(*stream));
+  SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchemaSharded(*source));
   if (cache != nullptr) {
     Status installed = cache->StoreAnnotations(key, ann);
     if (!installed.ok()) {
@@ -85,7 +90,7 @@ Result<DatasetBundle> LoadMimi(MimiVersion version, double scale,
   Annotations ann;
   SSUM_ASSIGN_OR_RETURN(
       ann, AnnotateOrLoad(cache, ds.schema(), key,
-                          [&ds] { return ds.MakeStream(); }));
+                          [&ds] { return ds.MakeShardedSource(); }));
   // Every data node increments exactly one element cardinality, so the
   // annotation totals already count the instance — no second traversal.
   uint64_t nodes = ann.TotalNodes();
@@ -113,7 +118,7 @@ Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale,
       Annotations ann;
       SSUM_ASSIGN_OR_RETURN(
           ann, AnnotateOrLoad(cache, ds.schema(), key,
-                              [&ds] { return ds.MakeStream(); }));
+                              [&ds] { return ds.MakeShardedSource(); }));
       uint64_t nodes = ann.TotalNodes();
       Workload workload;
       SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());
@@ -135,7 +140,7 @@ Result<DatasetBundle> LoadDataset(DatasetKind kind, double scale,
       Annotations ann;
       SSUM_ASSIGN_OR_RETURN(
           ann, AnnotateOrLoad(cache, ds.schema(), key,
-                              [&ds] { return ds.MakeStream(); }));
+                              [&ds] { return ds.MakeShardedSource(); }));
       uint64_t nodes = ann.TotalNodes();
       Workload workload;
       SSUM_ASSIGN_OR_RETURN(workload, ds.Queries());

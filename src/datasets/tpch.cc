@@ -174,39 +174,52 @@ uint64_t TpchDataset::RowsOfUnchecked(size_t t) const {
 
 namespace {
 
-class TpchStream : public InstanceStream {
+// Row events carry structure and reference counts only, so every row of a
+// table emits the identical event sequence; the per-order lineitem fanout
+// lives in the materializing generator, not here. That makes the stream
+// trivially splittable: unit u is the u-th row of the tables concatenated
+// in catalog order, and no generator state crosses unit boundaries.
+class TpchStream : public InstanceStream, public ShardedInstanceSource {
  public:
   explicit TpchStream(const TpchDataset* ds) : ds_(ds) {}
 
   const SchemaGraph& schema() const override { return ds_->schema(); }
 
   Status Accept(InstanceVisitor* v) const override {
-    const RelationalSchemaMapping& m = ds_->mapping();
-    const Catalog& cat = ds_->catalog();
-    Rng rng(ds_->params().seed);
     v->OnEnter(schema().root());
-    for (size_t t = 0; t < cat.tables().size(); ++t) {
-      const TableDef& def = cat.tables()[t];
-      uint64_t rows = *ds_->RowsOf(t);
-      // Lineitem rows are emitted per order below to keep the per-order
-      // fanout distribution realistic; emit a fixed total for the others.
-      if (def.name == "lineitem") {
-        uint64_t orders = *ds_->RowsOf(kOrders);
-        uint64_t remaining = rows;
-        for (uint64_t o = 0; o < orders && remaining > 0; ++o) {
-          uint64_t per =
-              o + 1 == orders ? remaining
-                              : std::min<uint64_t>(remaining,
-                                                   1 + rng.NextBounded(7));
-          for (uint64_t i = 0; i < per; ++i) EmitRow(v, t);
-          remaining -= per;
-        }
-        continue;
-      }
+    for (size_t t = 0; t < ds_->catalog().tables().size(); ++t) {
+      const uint64_t rows = *ds_->RowsOf(t);
       for (uint64_t r = 0; r < rows; ++r) EmitRow(v, t);
-      (void)m;
     }
     v->OnLeave(schema().root());
+    return Status::OK();
+  }
+
+  // --- ShardedInstanceSource ----------------------------------------------
+
+  uint64_t NumUnits() const override {
+    uint64_t rows = 0;
+    for (size_t t = 0; t < ds_->catalog().tables().size(); ++t) {
+      rows += *ds_->RowsOf(t);
+    }
+    return rows;
+  }
+
+  Status AcceptSkeleton(InstanceVisitor* v) const override {
+    v->OnEnter(schema().root());
+    v->OnLeave(schema().root());
+    return Status::OK();
+  }
+
+  Status AcceptUnits(uint64_t begin, uint64_t end,
+                     InstanceVisitor* v) const override {
+    SSUM_RETURN_NOT_OK(ValidateUnitRange(begin, end, NumUnits()));
+    uint64_t base = 0;
+    for (size_t t = 0; t < ds_->catalog().tables().size() && begin < end; ++t) {
+      const uint64_t table_end = base + *ds_->RowsOf(t);
+      for (; begin < end && begin < table_end; ++begin) EmitRow(v, t);
+      base = table_end;
+    }
     return Status::OK();
   }
 
@@ -232,6 +245,10 @@ class TpchStream : public InstanceStream {
 }  // namespace
 
 std::unique_ptr<InstanceStream> TpchDataset::MakeStream() const {
+  return std::make_unique<TpchStream>(this);
+}
+
+std::unique_ptr<ShardedInstanceSource> TpchDataset::MakeShardedSource() const {
   return std::make_unique<TpchStream>(this);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "query/workload.h"
 #include "relational/bridge.h"
 #include "relational/catalog.h"
@@ -42,6 +43,11 @@ class TpchDataset {
 
   /// Streaming instance generator (structure + reference counts only).
   std::unique_ptr<InstanceStream> MakeStream() const;
+
+  /// The same generator as a splittable source: one unit per row, tables
+  /// concatenated in catalog order. Row events are value-free and identical
+  /// within a table, so any sub-range replays without a generator state.
+  std::unique_ptr<ShardedInstanceSource> MakeShardedSource() const;
 
   /// Materializes tables with plausible synthetic values and valid foreign
   /// keys. Intended for small scale factors (<= 0.01).

@@ -208,76 +208,50 @@ XMarkDataset::XMarkDataset(XMarkParams params) : params_(params) {
 // Streaming generator
 // ---------------------------------------------------------------------------
 
-class XMarkStream : public InstanceStream {
+class XMarkStream : public InstanceStream, public ShardedInstanceSource {
  public:
+  /// Top-level entity sections in serial traversal order. Sections 0..5 are
+  /// the six regions' items.
+  enum Section {
+    kCategories = 6,
+    kCatgraph,
+    kPeople,
+    kOpenAuctions,
+    kClosedAuctions,
+    kNumSections
+  };
+
   explicit XMarkStream(const XMarkDataset* ds) : ds_(ds) {}
 
   const SchemaGraph& schema() const override { return ds_->schema(); }
 
   Status Accept(InstanceVisitor* v) const override {
-    const XMarkParams& p = ds_->params_;
-    Rng rng(p.seed);
-    auto scaled = [&](uint32_t base) {
-      return static_cast<uint64_t>(static_cast<double>(base) * p.sf + 0.5);
-    };
+    return WalkContainers(v, /*with_units=*/true);
+  }
 
-    v->OnEnter(schema().root());
+  // --- ShardedInstanceSource ----------------------------------------------
 
-    // regions / items
-    v->OnEnter(ds_->regions_);
-    for (size_t r = 0; r < 6; ++r) {
-      v->OnEnter(ds_->region_[r]);
-      const uint64_t n = scaled(p.items_per_region[r]);
-      for (uint64_t i = 0; i < n; ++i) EmitItem(v, &rng, r);
-      v->OnLeave(ds_->region_[r]);
+  uint64_t NumUnits() const override {
+    uint64_t total = 0;
+    for (int s = 0; s < kNumSections; ++s) total += SectionCount(s);
+    return total;
+  }
+
+  Status AcceptSkeleton(InstanceVisitor* v) const override {
+    return WalkContainers(v, /*with_units=*/false);
+  }
+
+  Status AcceptUnits(uint64_t begin, uint64_t end,
+                     InstanceVisitor* v) const override {
+    SSUM_RETURN_NOT_OK(ValidateUnitRange(begin, end, NumUnits()));
+    uint64_t base = 0;
+    for (int s = 0; s < kNumSections && begin < end; ++s) {
+      const uint64_t section_end = base + SectionCount(s);
+      for (; begin < end && begin < section_end; ++begin) {
+        EmitUnit(v, s, begin - base);
+      }
+      base = section_end;
     }
-    v->OnLeave(ds_->regions_);
-
-    // categories
-    v->OnEnter(ds_->categories_);
-    for (uint64_t i = 0, n = scaled(p.categories); i < n; ++i) {
-      v->OnEnter(ds_->category_);
-      Leaf(v, ds_->category_id_);
-      Leaf(v, ds_->category_name_);
-      EmitDescription(v, &rng, ds_->category_desc_);
-      v->OnLeave(ds_->category_);
-    }
-    v->OnLeave(ds_->categories_);
-
-    // catgraph
-    v->OnEnter(ds_->catgraph_);
-    for (uint64_t i = 0, n = scaled(p.catgraph_edges); i < n; ++i) {
-      v->OnEnter(ds_->edge_);
-      v->OnReference(ds_->l_edge_from_);
-      v->OnReference(ds_->l_edge_to_);
-      Leaf(v, ds_->edge_from_);
-      Leaf(v, ds_->edge_to_);
-      v->OnLeave(ds_->edge_);
-    }
-    v->OnLeave(ds_->catgraph_);
-
-    // people
-    v->OnEnter(ds_->people_);
-    for (uint64_t i = 0, n = scaled(p.persons); i < n; ++i) {
-      EmitPerson(v, &rng);
-    }
-    v->OnLeave(ds_->people_);
-
-    // open auctions
-    v->OnEnter(ds_->open_auctions_);
-    for (uint64_t i = 0, n = scaled(p.open_auctions); i < n; ++i) {
-      EmitOpenAuction(v, &rng);
-    }
-    v->OnLeave(ds_->open_auctions_);
-
-    // closed auctions
-    v->OnEnter(ds_->closed_auctions_);
-    for (uint64_t i = 0, n = scaled(p.closed_auctions); i < n; ++i) {
-      EmitClosedAuction(v, &rng);
-    }
-    v->OnLeave(ds_->closed_auctions_);
-
-    v->OnLeave(schema().root());
     return Status::OK();
   }
 
@@ -285,6 +259,101 @@ class XMarkStream : public InstanceStream {
   static void Leaf(InstanceVisitor* v, ElementId e) {
     v->OnEnter(e);
     v->OnLeave(e);
+  }
+
+  uint64_t SectionCount(int s) const {
+    const XMarkParams& p = ds_->params_;
+    auto scaled = [&](uint32_t base) {
+      return static_cast<uint64_t>(static_cast<double>(base) * p.sf + 0.5);
+    };
+    if (s < 6) return scaled(p.items_per_region[static_cast<size_t>(s)]);
+    switch (s) {
+      case kCategories:
+        return scaled(p.categories);
+      case kCatgraph:
+        return scaled(p.catgraph_edges);
+      case kPeople:
+        return scaled(p.persons);
+      case kOpenAuctions:
+        return scaled(p.open_auctions);
+      case kClosedAuctions:
+        return scaled(p.closed_auctions);
+    }
+    return 0;
+  }
+
+  /// One generator per unit, forked from the base seed by (section, index):
+  /// identical draws whether the unit is reached serially or from the
+  /// middle of a shard.
+  Rng UnitRng(int section, uint64_t index) const {
+    return Rng(ds_->params_.seed)
+        .Fork((static_cast<uint64_t>(section) << 48) | index);
+  }
+
+  void EmitUnit(InstanceVisitor* v, int section, uint64_t index) const {
+    Rng rng = UnitRng(section, index);
+    if (section < 6) {
+      EmitItem(v, &rng, static_cast<size_t>(section));
+      return;
+    }
+    switch (section) {
+      case kCategories:
+        EmitCategory(v, &rng);
+        break;
+      case kCatgraph:
+        EmitEdge(v);
+        break;
+      case kPeople:
+        EmitPerson(v, &rng);
+        break;
+      case kOpenAuctions:
+        EmitOpenAuction(v, &rng);
+        break;
+      case kClosedAuctions:
+        EmitClosedAuction(v, &rng);
+        break;
+    }
+  }
+
+  void EmitSectionUnits(InstanceVisitor* v, int section) const {
+    const uint64_t n = SectionCount(section);
+    for (uint64_t i = 0; i < n; ++i) EmitUnit(v, section, i);
+  }
+
+  Status WalkContainers(InstanceVisitor* v, bool with_units) const {
+    auto section = [&](ElementId container, int s) {
+      v->OnEnter(container);
+      if (with_units) EmitSectionUnits(v, s);
+      v->OnLeave(container);
+    };
+    v->OnEnter(schema().root());
+    v->OnEnter(ds_->regions_);
+    for (size_t r = 0; r < 6; ++r) section(ds_->region_[r], static_cast<int>(r));
+    v->OnLeave(ds_->regions_);
+    section(ds_->categories_, kCategories);
+    section(ds_->catgraph_, kCatgraph);
+    section(ds_->people_, kPeople);
+    section(ds_->open_auctions_, kOpenAuctions);
+    section(ds_->closed_auctions_, kClosedAuctions);
+    v->OnLeave(schema().root());
+    return Status::OK();
+  }
+
+  void EmitCategory(InstanceVisitor* v, Rng* rng) const {
+    v->OnEnter(ds_->category_);
+    Leaf(v, ds_->category_id_);
+    Leaf(v, ds_->category_name_);
+    EmitDescription(v, rng, ds_->category_desc_);
+    v->OnLeave(ds_->category_);
+  }
+
+  void EmitEdge(InstanceVisitor* v) const {
+    v->OnEnter(ds_->edge_);
+    v->OnReference(ds_->l_edge_from_);
+    v->OnReference(ds_->l_edge_to_);
+    Leaf(v, ds_->edge_from_);
+    Leaf(v, ds_->edge_to_);
+    v->OnLeave(ds_->edge_);
   }
 
   /// Picks the region an item reference points to, weighted by item counts.
@@ -493,6 +562,10 @@ class XMarkStream : public InstanceStream {
 };
 
 std::unique_ptr<InstanceStream> XMarkDataset::MakeStream() const {
+  return std::make_unique<XMarkStream>(this);
+}
+
+std::unique_ptr<ShardedInstanceSource> XMarkDataset::MakeShardedSource() const {
   return std::make_unique<XMarkStream>(this);
 }
 

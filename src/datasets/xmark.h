@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "query/workload.h"
 #include "schema/schema_graph.h"
 
@@ -66,8 +67,15 @@ class XMarkDataset {
   const XMarkParams& params() const { return params_; }
 
   /// Streaming instance generator; every Accept replays the identical
-  /// database (re-seeded from params().seed).
+  /// database. Each top-level entity (item, category, edge, person,
+  /// auction) draws from its own Rng forked from params().seed, so any
+  /// entity sub-range replays without generating the preceding events —
+  /// the splittable-source contract behind sharded annotation.
   std::unique_ptr<InstanceStream> MakeStream() const;
+
+  /// The same generator as a splittable source: one unit per top-level
+  /// entity. Annotating it sharded is bit-identical to the serial pass.
+  std::unique_ptr<ShardedInstanceSource> MakeShardedSource() const;
 
   /// The 20 XMark benchmark queries as schema-element intentions.
   Result<Workload> Queries() const;

@@ -61,16 +61,16 @@ Status DataTree::AddReference(LinkId vlink, NodeId referrer_node,
   return Status::OK();
 }
 
-Status DataTree::Accept(InstanceVisitor* visitor) const {
+void DataTree::WalkSubtree(NodeId start, InstanceVisitor* visitor) const {
   // Iterative depth-first pre-order with explicit leave events.
   struct Frame {
     NodeId node;
     size_t next_child;
   };
   std::vector<Frame> stack;
-  stack.push_back({root(), 0});
-  visitor->OnEnter(elements_[root()]);
-  for (uint32_t r : node_refs_[root()]) {
+  stack.push_back({start, 0});
+  visitor->OnEnter(elements_[start]);
+  for (uint32_t r : node_refs_[start]) {
     visitor->OnReference(references_[r].vlink);
   }
   while (!stack.empty()) {
@@ -87,6 +87,29 @@ Status DataTree::Accept(InstanceVisitor* visitor) const {
       visitor->OnLeave(elements_[top.node]);
       stack.pop_back();
     }
+  }
+}
+
+Status DataTree::Accept(InstanceVisitor* visitor) const {
+  WalkSubtree(root(), visitor);
+  return Status::OK();
+}
+
+Status DataTree::AcceptSkeleton(InstanceVisitor* visitor) const {
+  visitor->OnEnter(elements_[root()]);
+  for (uint32_t r : node_refs_[root()]) {
+    visitor->OnReference(references_[r].vlink);
+  }
+  visitor->OnLeave(elements_[root()]);
+  return Status::OK();
+}
+
+Status DataTree::AcceptUnits(uint64_t begin, uint64_t end,
+                             InstanceVisitor* visitor) const {
+  SSUM_RETURN_NOT_OK(ValidateUnitRange(begin, end, NumUnits()));
+  const auto& kids = children_[root()];
+  for (uint64_t u = begin; u < end; ++u) {
+    WalkSubtree(kids[u], visitor);
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "schema/schema_graph.h"
 
 namespace ssum {
@@ -17,7 +18,10 @@ inline constexpr NodeId kInvalidNode = 0xffffffffu;
 /// elements, plus value-link reference instances. Suitable for small
 /// databases, parsed XML documents, and tests; the large synthetic datasets
 /// use streaming generators instead.
-class DataTree : public InstanceStream {
+///
+/// Also a ShardedInstanceSource: one unit per child of the root node, so
+/// annotation shards over the top-level subtrees.
+class DataTree : public InstanceStream, public ShardedInstanceSource {
  public:
   /// Creates a tree containing a single root node typed by schema.root().
   /// `schema` must outlive the tree.
@@ -57,7 +61,17 @@ class DataTree : public InstanceStream {
   const SchemaGraph& schema() const override { return *schema_; }
   Status Accept(InstanceVisitor* visitor) const override;
 
+  // ShardedInstanceSource:
+  uint64_t NumUnits() const override { return children_[root()].size(); }
+  Status AcceptSkeleton(InstanceVisitor* visitor) const override;
+  Status AcceptUnits(uint64_t begin, uint64_t end,
+                     InstanceVisitor* visitor) const override;
+
  private:
+  /// Emits the complete subtree rooted at `start` (enter, refs, children,
+  /// leave).
+  void WalkSubtree(NodeId start, InstanceVisitor* visitor) const;
+
   const SchemaGraph* schema_;
   std::vector<ElementId> elements_;
   std::vector<NodeId> parents_;

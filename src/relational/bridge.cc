@@ -1,5 +1,7 @@
 #include "relational/bridge.h"
 
+#include <algorithm>
+
 namespace ssum {
 
 namespace {
@@ -68,34 +70,82 @@ RelationalInstanceStream::RelationalInstanceStream(
     const RelationalSchemaMapping* mapping, const Database* database)
     : mapping_(mapping), database_(database) {}
 
+std::vector<std::pair<size_t, LinkId>> RelationalInstanceStream::FkColumns(
+    size_t t) const {
+  const TableDef& def = database_->table(t).def();
+  std::vector<std::pair<size_t, LinkId>> fk_cols;
+  fk_cols.reserve(def.foreign_keys.size());
+  for (size_t f = 0; f < def.foreign_keys.size(); ++f) {
+    int col = def.ColumnIndex(def.foreign_keys[f].column);
+    fk_cols.emplace_back(static_cast<size_t>(col), mapping_->fk_links[t][f]);
+  }
+  return fk_cols;
+}
+
+void RelationalInstanceStream::EmitRow(
+    size_t t, size_t row,
+    const std::vector<std::pair<size_t, LinkId>>& fk_cols,
+    InstanceVisitor* visitor) const {
+  const Table& table = database_->table(t);
+  const TableDef& def = table.def();
+  visitor->OnEnter(mapping_->table_elements[t]);
+  for (const auto& [col, link] : fk_cols) {
+    if (!table.IsNull(row, col)) visitor->OnReference(link);
+  }
+  for (size_t c = 0; c < def.columns.size(); ++c) {
+    if (table.IsNull(row, c)) continue;
+    const ElementId col_elem = mapping_->column_elements[t][c];
+    visitor->OnEnter(col_elem);
+    visitor->OnLeave(col_elem);
+  }
+  visitor->OnLeave(mapping_->table_elements[t]);
+}
+
 Status RelationalInstanceStream::Accept(InstanceVisitor* visitor) const {
   const SchemaGraph& graph = mapping_->graph;
   visitor->OnEnter(graph.root());
   for (size_t t = 0; t < database_->num_tables(); ++t) {
-    const Table& table = database_->table(t);
-    const TableDef& def = table.def();
-    // Precompute foreign-key column indices.
-    std::vector<std::pair<size_t, LinkId>> fk_cols;
-    for (size_t f = 0; f < def.foreign_keys.size(); ++f) {
-      int col = def.ColumnIndex(def.foreign_keys[f].column);
-      fk_cols.emplace_back(static_cast<size_t>(col), mapping_->fk_links[t][f]);
-    }
-    const ElementId table_elem = mapping_->table_elements[t];
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      visitor->OnEnter(table_elem);
-      for (const auto& [col, link] : fk_cols) {
-        if (!table.IsNull(r, col)) visitor->OnReference(link);
-      }
-      for (size_t c = 0; c < def.columns.size(); ++c) {
-        if (table.IsNull(r, c)) continue;
-        const ElementId col_elem = mapping_->column_elements[t][c];
-        visitor->OnEnter(col_elem);
-        visitor->OnLeave(col_elem);
-      }
-      visitor->OnLeave(table_elem);
+    const auto fk_cols = FkColumns(t);
+    for (size_t r = 0; r < database_->table(t).num_rows(); ++r) {
+      EmitRow(t, r, fk_cols, visitor);
     }
   }
   visitor->OnLeave(graph.root());
+  return Status::OK();
+}
+
+uint64_t RelationalInstanceStream::NumUnits() const {
+  uint64_t rows = 0;
+  for (size_t t = 0; t < database_->num_tables(); ++t) {
+    rows += database_->table(t).num_rows();
+  }
+  return rows;
+}
+
+Status RelationalInstanceStream::AcceptSkeleton(
+    InstanceVisitor* visitor) const {
+  visitor->OnEnter(mapping_->graph.root());
+  visitor->OnLeave(mapping_->graph.root());
+  return Status::OK();
+}
+
+Status RelationalInstanceStream::AcceptUnits(uint64_t begin, uint64_t end,
+                                             InstanceVisitor* visitor) const {
+  SSUM_RETURN_NOT_OK(ValidateUnitRange(begin, end, NumUnits()));
+  uint64_t base = 0;
+  for (size_t t = 0; t < database_->num_tables() && begin < end; ++t) {
+    const uint64_t rows = database_->table(t).num_rows();
+    const uint64_t table_end = base + rows;
+    if (begin < table_end) {
+      const auto fk_cols = FkColumns(t);
+      const uint64_t stop = std::min(end, table_end);
+      for (uint64_t u = begin; u < stop; ++u) {
+        EmitRow(t, static_cast<size_t>(u - base), fk_cols, visitor);
+      }
+      begin = stop;
+    }
+    base = table_end;
+  }
   return Status::OK();
 }
 

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "relational/table.h"
 #include "schema/schema_graph.h"
 
@@ -29,7 +31,11 @@ Result<RelationalSchemaMapping> BuildRelationalSchema(
 
 /// Streams a materialized Database as instance events: one node per row,
 /// one node per non-NULL cell, one reference per non-NULL foreign-key cell.
-class RelationalInstanceStream : public InstanceStream {
+///
+/// Also a ShardedInstanceSource: one unit per row, tables concatenated in
+/// catalog order, so annotation shards over row ranges.
+class RelationalInstanceStream : public InstanceStream,
+                                 public ShardedInstanceSource {
  public:
   /// `mapping` and `database` must outlive the stream; the database must
   /// instantiate the catalog the mapping was built from.
@@ -39,7 +45,20 @@ class RelationalInstanceStream : public InstanceStream {
   const SchemaGraph& schema() const override { return mapping_->graph; }
   Status Accept(InstanceVisitor* visitor) const override;
 
+  // ShardedInstanceSource: the skeleton is the artificial catalog root;
+  // unit u is the u-th row of the concatenated tables.
+  uint64_t NumUnits() const override;
+  Status AcceptSkeleton(InstanceVisitor* visitor) const override;
+  Status AcceptUnits(uint64_t begin, uint64_t end,
+                     InstanceVisitor* visitor) const override;
+
  private:
+  /// Foreign-key (column index, link) pairs of table `t`.
+  std::vector<std::pair<size_t, LinkId>> FkColumns(size_t t) const;
+  void EmitRow(size_t t, size_t row,
+               const std::vector<std::pair<size_t, LinkId>>& fk_cols,
+               InstanceVisitor* visitor) const;
+
   const RelationalSchemaMapping* mapping_;
   const Database* database_;
 };

@@ -70,10 +70,21 @@ namespace {
 
 /// Figure 3 visitor: counts element and link instances while checking the
 /// stream is a well-formed pre-order traversal.
+///
+/// Two anchoring modes:
+///   - kRoot (AnnotateSchema): the stream is one full traversal — the first
+///     node must be the schema root.
+///   - kSubtrees (AnnotateUnits): the stream is a sequence of complete unit
+///     subtrees rooted at non-root elements. Each unit root counts its
+///     parent structural link exactly as the serial pass entering it under
+///     its container does, so per-shard results merge to the serial counts.
 class AnnotateVisitor : public InstanceVisitor {
  public:
-  explicit AnnotateVisitor(const SchemaGraph& schema)
-      : schema_(schema), annotations_(schema) {}
+  enum class Anchor { kRoot, kSubtrees };
+
+  explicit AnnotateVisitor(const SchemaGraph& schema,
+                           Anchor anchor = Anchor::kRoot)
+      : schema_(schema), annotations_(schema), anchor_(anchor) {}
 
   void OnEnter(ElementId e) override {
     if (!status_.ok()) return;
@@ -82,7 +93,16 @@ class AnnotateVisitor : public InstanceVisitor {
       return;
     }
     if (stack_.empty()) {
-      if (e != schema_.root()) {
+      if (anchor_ == Anchor::kSubtrees) {
+        if (e == schema_.root()) {
+          status_ = Status::FailedPrecondition(
+              "stream: unit subtree rooted at the schema root");
+          return;
+        }
+        // The unit's container is not part of this shard's stream; count
+        // the container -> unit-root link the serial pass would count.
+        annotations_.increment_structural(schema_.parent_link(e));
+      } else if (e != schema_.root()) {
         status_ = Status::FailedPrecondition(
             "stream: first node is not the schema root");
         return;
@@ -149,6 +169,23 @@ class AnnotateVisitor : public InstanceVisitor {
   Annotations annotations_;
   std::vector<ElementId> stack_;
   Status status_;
+  Anchor anchor_;
+};
+
+/// Presents a sharded source's skeleton as a plain InstanceStream so the
+/// root-anchored visitor path annotates it unchanged.
+class SkeletonStream : public InstanceStream {
+ public:
+  explicit SkeletonStream(const ShardedInstanceSource& source)
+      : source_(source) {}
+
+  const SchemaGraph& schema() const override { return source_.schema(); }
+  Status Accept(InstanceVisitor* visitor) const override {
+    return source_.AcceptSkeleton(visitor);
+  }
+
+ private:
+  const ShardedInstanceSource& source_;
 };
 
 }  // namespace
@@ -158,6 +195,54 @@ Result<Annotations> AnnotateSchema(const InstanceStream& stream) {
   SSUM_RETURN_NOT_OK(stream.Accept(&visitor));
   SSUM_RETURN_NOT_OK(visitor.Finish());
   return visitor.Take();
+}
+
+Result<Annotations> AnnotateUnits(const ShardedInstanceSource& source,
+                                  uint64_t begin, uint64_t end) {
+  AnnotateVisitor visitor(source.schema(), AnnotateVisitor::Anchor::kSubtrees);
+  SSUM_RETURN_NOT_OK(source.AcceptUnits(begin, end, &visitor));
+  SSUM_RETURN_NOT_OK(visitor.Finish());
+  return visitor.Take();
+}
+
+Result<Annotations> AnnotateSchemaSharded(const ShardedInstanceSource& source,
+                                          const ShardedAnnotateOptions& options) {
+  const uint64_t units = source.NumUnits();
+  uint64_t shards = options.shards;
+  if (shards == 0) {
+    // Enough shards per thread that uneven unit subtrees still balance.
+    shards = static_cast<uint64_t>(
+                 ResolveThreadCount(options.parallel.threads)) *
+             4;
+  }
+  shards = std::max<uint64_t>(1, std::min(shards, std::max<uint64_t>(1, units)));
+
+  Annotations total;
+  SSUM_ASSIGN_OR_RETURN(total, AnnotateSchema(SkeletonStream(source)));
+
+  // One private Annotations per shard; ParallelFor's chunk schedule never
+  // affects which shard writes which slot, so the reduction below is the
+  // same for any thread count.
+  std::vector<Annotations> parts(shards);
+  std::vector<Status> statuses(shards, Status::OK());
+  SSUM_RETURN_NOT_OK(ParallelFor(
+      0, shards, 1,
+      [&](size_t s) {
+        UnitRange range = ShardUnitRange(units, s, shards);
+        auto part = AnnotateUnits(source, range.begin, range.end);
+        if (part.ok()) {
+          parts[s] = std::move(*part);
+        } else {
+          statuses[s] = part.status();
+        }
+      },
+      options.parallel.threads));
+  for (const Status& s : statuses) SSUM_RETURN_NOT_OK(s);
+  // Counter addition is associative and commutative over uint64, but merge
+  // in index order anyway: the reduction order is then a fixed, documented
+  // property rather than an accident of scheduling.
+  for (Annotations& part : parts) SSUM_RETURN_NOT_OK(total.Merge(part));
+  return total;
 }
 
 EdgeMetrics EdgeMetrics::Compute(const SchemaGraph& graph,

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "schema/schema_graph.h"
 
 namespace ssum {
@@ -80,6 +82,36 @@ class Annotations {
 /// the database. Verifies stream well-formedness (parentage, balanced
 /// enter/leave) and fails with FailedPrecondition on violations.
 Result<Annotations> AnnotateSchema(const InstanceStream& stream);
+
+/// Options for the sharded annotation pass.
+struct ShardedAnnotateOptions {
+  /// Number of instance shards. 0 picks 4 * ResolveThreadCount(threads)
+  /// (enough slack for the thread pool to balance uneven unit subtrees);
+  /// always clamped to [1, NumUnits()]. The result is bit-identical for
+  /// every shard count, so the automatic choice never changes outputs.
+  uint64_t shards = 0;
+  /// Worker threads running the shards (ParallelFor); inherits the
+  /// process-wide default / SSUM_THREADS resolution.
+  ParallelOptions parallel;
+};
+
+/// Sharded annotateSchema over a splittable instance source: every shard
+/// runs the Figure 3 counting walk over its unit sub-range into a private
+/// Annotations, then shard results are reduced in index order with
+/// Annotations::Merge on top of the skeleton pass. Counting is additive
+/// over any partition of the event stream, so the result is bit-identical
+/// to AnnotateSchema over the equivalent serial traversal — for any shard
+/// count and any thread count (see docs/performance.md).
+Result<Annotations> AnnotateSchemaSharded(
+    const ShardedInstanceSource& source,
+    const ShardedAnnotateOptions& options = {});
+
+/// Annotates the unit subtrees [begin, end) of `source` only — no skeleton
+/// events. Verifies each unit is a balanced subtree whose nested structure
+/// matches the schema; the unit root's parent structural link is counted
+/// exactly as a serial pass entering it under its container would.
+Result<Annotations> AnnotateUnits(const ShardedInstanceSource& source,
+                                  uint64_t begin, uint64_t end);
 
 /// Derived per-adjacency metrics used by every formula in Section 3.
 /// All vectors are aligned with graph.neighbors(e).

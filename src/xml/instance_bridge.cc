@@ -14,10 +14,9 @@ XmlInstanceStream::XmlInstanceStream(const SchemaGraph* schema,
   }
 }
 
-Status XmlInstanceStream::Walk(InstanceVisitor* visitor,
-                               const XmlElement& elem,
-                               ElementId element) const {
-  visitor->OnEnter(element);
+Status XmlInstanceStream::EmitNodeEvents(InstanceVisitor* visitor,
+                                         const XmlElement& elem,
+                                         ElementId element) const {
   // References first: the annotator requires them while this node is open
   // and before any child node is entered — both orders are legal, this one
   // is simplest.
@@ -55,38 +54,74 @@ Status XmlInstanceStream::Walk(InstanceVisitor* visitor,
     visitor->OnLeave(attr_elem);
     (void)value;
   }
+  return Status::OK();
+}
+
+Result<ElementId> XmlInstanceStream::ResolveChild(
+    ElementId element, const XmlElement& child) const {
+  for (ElementId c : schema_->children(element)) {
+    if (schema_->label(c) == child.name) return c;
+  }
+  return Status::FailedPrecondition("element '" + child.name +
+                                    "' not declared under '" +
+                                    schema_->PathOf(element) + "'");
+}
+
+Status XmlInstanceStream::Walk(InstanceVisitor* visitor,
+                               const XmlElement& elem,
+                               ElementId element) const {
+  visitor->OnEnter(element);
+  SSUM_RETURN_NOT_OK(EmitNodeEvents(visitor, elem, element));
   for (const XmlElement& child : elem.children) {
-    ElementId child_elem = kInvalidElement;
-    for (ElementId c : schema_->children(element)) {
-      if (schema_->label(c) == child.name) {
-        child_elem = c;
-        break;
-      }
-    }
-    if (child_elem == kInvalidElement) {
-      return Status::FailedPrecondition("element '" + child.name +
-                                        "' not declared under '" +
-                                        schema_->PathOf(element) + "'");
-    }
+    ElementId child_elem;
+    SSUM_ASSIGN_OR_RETURN(child_elem, ResolveChild(element, child));
     SSUM_RETURN_NOT_OK(Walk(visitor, child, child_elem));
   }
   visitor->OnLeave(element);
   return Status::OK();
 }
 
-Status XmlInstanceStream::Accept(InstanceVisitor* visitor) const {
+Status XmlInstanceStream::CheckRoot() const {
   if (doc_->root.name != schema_->label(schema_->root())) {
     return Status::FailedPrecondition(
         "document root '" + doc_->root.name + "' does not match schema root '" +
         schema_->label(schema_->root()) + "'");
   }
+  return Status::OK();
+}
+
+Status XmlInstanceStream::Accept(InstanceVisitor* visitor) const {
+  SSUM_RETURN_NOT_OK(CheckRoot());
   return Walk(visitor, doc_->root, schema_->root());
+}
+
+Status XmlInstanceStream::AcceptSkeleton(InstanceVisitor* visitor) const {
+  SSUM_RETURN_NOT_OK(CheckRoot());
+  visitor->OnEnter(schema_->root());
+  SSUM_RETURN_NOT_OK(EmitNodeEvents(visitor, doc_->root, schema_->root()));
+  visitor->OnLeave(schema_->root());
+  return Status::OK();
+}
+
+Status XmlInstanceStream::AcceptUnits(uint64_t begin, uint64_t end,
+                                      InstanceVisitor* visitor) const {
+  SSUM_RETURN_NOT_OK(ValidateUnitRange(begin, end, NumUnits()));
+  SSUM_RETURN_NOT_OK(CheckRoot());
+  for (uint64_t u = begin; u < end; ++u) {
+    const XmlElement& child = doc_->root.children[u];
+    ElementId child_elem;
+    SSUM_ASSIGN_OR_RETURN(child_elem, ResolveChild(schema_->root(), child));
+    SSUM_RETURN_NOT_OK(Walk(visitor, child, child_elem));
+  }
+  return Status::OK();
 }
 
 Result<Annotations> AnnotateXmlDocument(const SchemaGraph& schema,
                                         const XmlDocument& doc) {
+  // Sharded over the root's top-level children — bit-identical to the
+  // serial walk for any shard/thread count, parallel for large documents.
   XmlInstanceStream stream(&schema, &doc);
-  return AnnotateSchema(stream);
+  return AnnotateSchemaSharded(stream);
 }
 
 }  // namespace ssum

@@ -4,6 +4,7 @@
 
 #include "common/result.h"
 #include "instance/event_stream.h"
+#include "instance/sharded_stream.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
 #include "xml/parser.h"
@@ -19,7 +20,10 @@ namespace ssum {
 /// per instance of the carrier (attribute occurrence or child element) on a
 /// referrer node. Reference *targets* are not resolved — annotation needs
 /// only instance counts (paper Figure 3).
-class XmlInstanceStream : public InstanceStream {
+/// Also a ShardedInstanceSource: one unit per top-level child of the
+/// document root, so large documents annotate in parallel sub-ranges.
+class XmlInstanceStream : public InstanceStream,
+                          public ShardedInstanceSource {
  public:
   /// `schema` and `doc` must outlive the stream. Fails later, in Accept(),
   /// when the document does not match the schema.
@@ -28,9 +32,23 @@ class XmlInstanceStream : public InstanceStream {
   const SchemaGraph& schema() const override { return *schema_; }
   Status Accept(InstanceVisitor* visitor) const override;
 
+  // ShardedInstanceSource: units are the root element's child elements; the
+  // skeleton is the root node itself with its references and attributes.
+  uint64_t NumUnits() const override { return doc_->root.children.size(); }
+  Status AcceptSkeleton(InstanceVisitor* visitor) const override;
+  Status AcceptUnits(uint64_t begin, uint64_t end,
+                     InstanceVisitor* visitor) const override;
+
  private:
   Status Walk(InstanceVisitor* visitor, const XmlElement& elem,
               ElementId element) const;
+  /// Emits the open-node events of `elem` (references, then attribute
+  /// leaves) — everything Walk does before recursing into child elements.
+  Status EmitNodeEvents(InstanceVisitor* visitor, const XmlElement& elem,
+                        ElementId element) const;
+  Result<ElementId> ResolveChild(ElementId element,
+                                 const XmlElement& child) const;
+  Status CheckRoot() const;
 
   const SchemaGraph* schema_;
   const XmlDocument* doc_;

@@ -1,9 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
+#include "datasets/mimi.h"
+#include "datasets/tpch.h"
+#include "datasets/xmark.h"
 #include "instance/data_tree.h"
+#include "relational/bridge.h"
 #include "schema/schema_builder.h"
 #include "stats/annotate.h"
 #include "stats/annotations_io.h"
+#include "xml/infer_schema.h"
+#include "xml/instance_bridge.h"
+#include "xml/parser.h"
 
 namespace ssum {
 namespace {
@@ -251,6 +261,151 @@ TEST(AnnotateTest, TotalNodesMatchesCountingVisitor) {
   CountingVisitor counter;
   ASSERT_TRUE(data.Accept(&counter).ok());
   EXPECT_EQ(ann.TotalNodes(), counter.nodes());
+}
+
+// --- sharded annotation -------------------------------------------------------
+
+/// The sharded pass must be bit-identical to the serial one for ANY shard
+/// count — including counts that don't divide the units evenly (7), exceed
+/// them (64 on small instances), or degenerate to serial (1) — and for the
+/// auto shard count, with the reduction running on worker threads.
+void ExpectShardInvariance(const ShardedInstanceSource& source,
+                           const Annotations& serial) {
+  for (uint64_t shards : {uint64_t{1}, uint64_t{2}, uint64_t{7}, uint64_t{64}}) {
+    ShardedAnnotateOptions opts;
+    opts.shards = shards;
+    opts.parallel.threads = 4;
+    auto sharded = AnnotateSchemaSharded(source, opts);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    EXPECT_EQ(*sharded, serial) << "shards=" << shards;
+  }
+  auto auto_sharded = AnnotateSchemaSharded(source);
+  ASSERT_TRUE(auto_sharded.ok()) << auto_sharded.status().ToString();
+  EXPECT_EQ(*auto_sharded, serial);
+}
+
+TEST(ShardedAnnotateTest, DataTreeMatchesSerial) {
+  Fixture f;
+  DataTree data = f.MakeData();
+  Annotations serial = *AnnotateSchema(data);
+  ExpectShardInvariance(data, serial);
+}
+
+TEST(ShardedAnnotateTest, EmptyTreeMatchesSerial) {
+  Fixture f;
+  DataTree data(&f.schema);  // zero units: skeleton only
+  Annotations serial = *AnnotateSchema(data);
+  ExpectShardInvariance(data, serial);
+}
+
+TEST(ShardedAnnotateTest, HandBuiltXmlWithUnevenFanoutMatchesSerial) {
+  // One huge top-level subtree followed by many tiny ones: shard boundaries
+  // land mid-document and units differ wildly in size.
+  std::string xml = "<db><big>";
+  for (int i = 0; i < 200; ++i) xml += "<x><y/></x>";
+  xml += "</big>";
+  for (int i = 0; i < 17; ++i) xml += "<small/>";
+  xml += "</db>";
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto schema = InferSchema(*doc);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  XmlInstanceStream stream(&*schema, &*doc);
+  EXPECT_EQ(stream.NumUnits(), 18u);  // 1 big + 17 small top-level children
+  Annotations serial = *AnnotateSchema(stream);
+  ExpectShardInvariance(stream, serial);
+  // The document-level entry point routes through the sharded pass.
+  auto via_doc = AnnotateXmlDocument(*schema, *doc);
+  ASSERT_TRUE(via_doc.ok());
+  EXPECT_EQ(*via_doc, serial);
+}
+
+TEST(ShardedAnnotateTest, XMarkMatchesSerial) {
+  XMarkParams params;
+  params.sf = 0.02;
+  XMarkDataset ds(params);
+  Annotations serial = *AnnotateSchema(*ds.MakeStream());
+  ExpectShardInvariance(*ds.MakeShardedSource(), serial);
+}
+
+TEST(ShardedAnnotateTest, TpchMatchesSerial) {
+  TpchParams params;
+  params.sf = 0.002;
+  TpchDataset ds(params);
+  Annotations serial = *AnnotateSchema(*ds.MakeStream());
+  ExpectShardInvariance(*ds.MakeShardedSource(), serial);
+}
+
+TEST(ShardedAnnotateTest, MimiMatchesSerial) {
+  for (MimiVersion version :
+       {MimiVersion::kApr2004, MimiVersion::kJan2006}) {
+    MimiParams params;
+    params.version = version;
+    params.scale = 0.01;
+    MimiDataset ds(params);
+    Annotations serial = *AnnotateSchema(*ds.MakeStream());
+    ExpectShardInvariance(*ds.MakeShardedSource(), serial);
+  }
+}
+
+TEST(ShardedAnnotateTest, RelationalDatabaseMatchesSerial) {
+  TpchParams params;
+  params.sf = 0.001;
+  TpchDataset ds(params);
+  auto db = ds.GenerateDatabase();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  RelationalInstanceStream stream(&ds.mapping(), &*db);
+  Annotations serial = *AnnotateSchema(stream);
+  ExpectShardInvariance(stream, serial);
+}
+
+TEST(ShardedAnnotateTest, AnnotateUnitsSumsToSerial) {
+  Fixture f;
+  DataTree data = f.MakeData();
+  Annotations serial = *AnnotateSchema(data);
+  // Skeleton + manually merged unit sub-ranges reproduce the serial pass.
+  Annotations total = *AnnotateSchemaSharded(
+      data, ShardedAnnotateOptions{/*shards=*/1, ParallelOptions{1}});
+  EXPECT_EQ(total, serial);
+  const uint64_t units = data.NumUnits();
+  ASSERT_EQ(units, 2u);
+  Annotations first = *AnnotateUnits(data, 0, 1);
+  Annotations second = *AnnotateUnits(data, 1, 2);
+  ASSERT_TRUE(first.Merge(second).ok());
+  // Units alone = serial minus the skeleton (here: the root's counters).
+  EXPECT_EQ(first.card(f.auctions), serial.card(f.auctions));
+  EXPECT_EQ(first.card(f.bidder), serial.card(f.bidder));
+  EXPECT_EQ(first.value_count(f.bids), serial.value_count(f.bids));
+  EXPECT_EQ(first.card(f.schema.root()), 0u);
+}
+
+TEST(ShardedAnnotateTest, RejectsBadUnitRanges) {
+  Fixture f;
+  DataTree data = f.MakeData();
+  EXPECT_TRUE(AnnotateUnits(data, 2, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(AnnotateUnits(data, 0, 3).status().IsInvalidArgument());
+}
+
+TEST(ShardedAnnotateTest, ShardUnitRangesPartitionEvenly) {
+  for (uint64_t units : {uint64_t{0}, uint64_t{1}, uint64_t{10}, uint64_t{97}}) {
+    for (uint64_t shards : {uint64_t{1}, uint64_t{3}, uint64_t{8}}) {
+      uint64_t covered = 0, min_size = units + 1, max_size = 0;
+      uint64_t expect_begin = 0;
+      for (uint64_t s = 0; s < shards; ++s) {
+        UnitRange r = ShardUnitRange(units, s, shards);
+        EXPECT_EQ(r.begin, expect_begin);  // contiguous, in order
+        expect_begin = r.end;
+        covered += r.size();
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_EQ(covered, units);
+      EXPECT_EQ(expect_begin, units);
+      if (units >= shards) {
+        EXPECT_LE(max_size - min_size, 1u);
+      }
+    }
+  }
 }
 
 // --- annotations io -----------------------------------------------------------

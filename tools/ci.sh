@@ -1,70 +1,167 @@
 #!/usr/bin/env bash
-# Local CI gate:
-#   1. regular RelWithDebInfo build + the full ctest suite
-#   2. -DSSUM_SANITIZE=thread build; the parallel-layer tests run under TSAN
-#      to catch data races the deterministic outputs would mask.
-#   3. -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON build; the
-#      ingestion-boundary tests re-run under ASan/UBSan, then every fuzz
-#      harness replays its seed corpus plus a fixed budget of deterministic
-#      generated inputs (see fuzz/driver_main.cc; same seed => same inputs,
-#      so failures reproduce locally).
-#   4. warm-start cache stage (same ASan/UBSan build): populates a cache via
-#      the CLI, asserts a repeated invocation recomputes nothing (counters
-#      from `ssum cache stat`), then corrupts a container and asserts a
-#      graceful miss-and-recompute instead of an error.
+# CI gate, runnable locally or stage-by-stage from .github/workflows/ci.yml:
 #
-# Usage: tools/ci.sh [jobs]   (default: nproc)
+#   tools/ci.sh [stage] [jobs]        (default stage: all, jobs: nproc)
+#
+# Stages:
+#   build  regular RelWithDebInfo build + the full ctest suite
+#   tsan   -DSSUM_SANITIZE=thread build; every `parallel`-labelled test runs
+#          under TSAN to catch data races the deterministic outputs mask
+#   asan   -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON build; the
+#          `ingestion`- and `store`-labelled tests re-run under ASan/UBSan,
+#          then every fuzz harness replays its seed corpus plus a smoke
+#          budget of generated inputs
+#   fuzz   longer fuzz run: with clang the harnesses are real libFuzzer
+#          binaries (coverage-guided, -max_total_time=$FUZZ_TOTAL_TIME,
+#          crash artifacts minimized into fuzz/corpus/ for regression
+#          replay); with gcc the deterministic fallback driver runs
+#          $FUZZ_ITERATIONS generated inputs per target
+#   cache  warm-start cache round-trip via the CLI on the asan build:
+#          populate, assert the re-run recomputes nothing, corrupt a
+#          container, assert a graceful miss-and-recompute
+#   bench  bench-sanity gates on the release build: parallel_scaling and
+#          annotate_scaling in gate-only mode (determinism + no-slower-than
+#          regression gates; the checked-in BENCH_*.json are NOT updated)
+#   all    every stage above, in that order
+#
+# The toolchain comes from $CC/$CXX (default gcc). Non-default toolchains
+# get their own build trees (build-clang++, build-clang++-tsan, ...) so a
+# gcc and a clang run never share object files. ccache is picked up
+# automatically when installed.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-JOBS="${1:-$(nproc)}"
+STAGE="${1:-all}"
+JOBS="${2:-$(nproc)}"
 FUZZ_ITERATIONS="${FUZZ_ITERATIONS:-20000}"
 FUZZ_SEED="${FUZZ_SEED:-7}"
-
-echo "== build + full test suite =="
-cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
-cmake --build "$ROOT/build" -j "$JOBS"
-ctest --test-dir "$ROOT/build" --output-on-failure
-
-echo
-echo "== ThreadSanitizer pass (parallel layer) =="
-cmake -B "$ROOT/build-tsan" -S "$ROOT" -DSSUM_SANITIZE=thread >/dev/null
-TSAN_TESTS=(test_parallel test_affinity_coverage test_summarize test_discovery)
-cmake --build "$ROOT/build-tsan" --target "${TSAN_TESTS[@]}" -j "$JOBS"
-for t in "${TSAN_TESTS[@]}"; do
-  echo "-- $t (TSAN)"
-  "$ROOT/build-tsan/tests/$t"
-done
-
-echo
-echo "== ASan/UBSan pass (ingestion boundary + fuzz smoke) =="
-cmake -B "$ROOT/build-asan" -S "$ROOT" \
-  -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON >/dev/null
-ASAN_TESTS=(test_xml test_ddl test_relational test_schema test_summary_io
-            test_fuzz_regression test_common test_store test_cache)
+FUZZ_TOTAL_TIME="${FUZZ_TOTAL_TIME:-30}"   # seconds per libFuzzer target
 FUZZ_TARGETS=(fuzz_xml fuzz_ddl fuzz_csv fuzz_summary fuzz_store)
-cmake --build "$ROOT/build-asan" --target "${ASAN_TESTS[@]}" \
-  "${FUZZ_TARGETS[@]}" ssum-cli -j "$JOBS"
-for t in "${ASAN_TESTS[@]}"; do
-  echo "-- $t (ASan/UBSan)"
-  "$ROOT/build-asan/tests/$t"
-done
-for f in "${FUZZ_TARGETS[@]}"; do
-  corpus="$ROOT/fuzz/corpus/${f#fuzz_}"
-  echo "-- $f (ASan/UBSan, $FUZZ_ITERATIONS iterations, seed $FUZZ_SEED)"
-  "$ROOT/build-asan/fuzz/$f" "$corpus" \
-    --iterations "$FUZZ_ITERATIONS" --seed "$FUZZ_SEED"
-done
 
-echo
-echo "== warm-start cache round-trip + corruption stage (ASan/UBSan) =="
-# Populate the cache, prove the second identical invocation recomputes
-# nothing (installs frozen, hits up), then corrupt a container and prove the
-# failure is a graceful miss-and-recompute, never an error.
-CLI="$ROOT/build-asan/ssum"
-CACHE_WORK="$(mktemp -d)"
-trap 'rm -rf "$CACHE_WORK"' EXIT
-cat > "$CACHE_WORK/in.xml" <<'XML'
+# Per-toolchain build trees. Plain gcc keeps the historical names (build,
+# build-tsan, build-asan) so local incremental builds stay warm.
+TOOLCHAIN="$(basename "${CXX:-g++}")"
+if [ "$TOOLCHAIN" = "g++" ]; then
+  BUILD="$ROOT/build"
+  BUILD_TSAN="$ROOT/build-tsan"
+  BUILD_ASAN="$ROOT/build-asan"
+else
+  BUILD="$ROOT/build-$TOOLCHAIN"
+  BUILD_TSAN="$ROOT/build-$TOOLCHAIN-tsan"
+  BUILD_ASAN="$ROOT/build-$TOOLCHAIN-asan"
+fi
+
+CMAKE_FLAGS=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_FLAGS+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+configure() {  # configure <build-dir> [extra cmake args...]
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$ROOT" "${CMAKE_FLAGS[@]}" "$@" >/dev/null
+}
+
+# Build exactly the test binaries ctest would run for a label expression,
+# then run them. Labels live in tests/CMakeLists.txt; stages never hard-code
+# test names.
+build_and_run_label() {  # build_and_run_label <build-dir> <label-regex>
+  local dir="$1" label="$2"
+  local tests
+  mapfile -t tests < <(ctest --test-dir "$dir" -N -L "$label" 2>/dev/null |
+                       sed -n 's/^ *Test *#[0-9]*: //p')
+  if [ "${#tests[@]}" -eq 0 ]; then
+    echo "FAIL: no tests match label '$label'"; exit 1
+  fi
+  cmake --build "$dir" --target "${tests[@]}" -j "$JOBS"
+  ctest --test-dir "$dir" -L "$label" --output-on-failure
+}
+
+uses_libfuzzer() {  # uses_libfuzzer <build-dir>
+  grep -q "CMAKE_CXX_COMPILER:.*clang" "$1/CMakeCache.txt" 2>/dev/null
+}
+
+stage_build() {
+  echo "== [$TOOLCHAIN] build + full test suite =="
+  configure "$BUILD"
+  cmake --build "$BUILD" -j "$JOBS"
+  ctest --test-dir "$BUILD" --output-on-failure
+}
+
+stage_tsan() {
+  echo "== [$TOOLCHAIN] ThreadSanitizer pass (label: parallel) =="
+  configure "$BUILD_TSAN" -DSSUM_SANITIZE=thread
+  build_and_run_label "$BUILD_TSAN" parallel
+}
+
+stage_asan() {
+  echo "== [$TOOLCHAIN] ASan/UBSan pass (labels: ingestion|store) + fuzz smoke =="
+  configure "$BUILD_ASAN" -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON
+  build_and_run_label "$BUILD_ASAN" 'ingestion|store'
+  cmake --build "$BUILD_ASAN" --target "${FUZZ_TARGETS[@]}" -j "$JOBS"
+  run_fuzz_targets smoke
+}
+
+stage_fuzz() {
+  echo "== [$TOOLCHAIN] fuzz stage =="
+  configure "$BUILD_ASAN" -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON
+  cmake --build "$BUILD_ASAN" --target "${FUZZ_TARGETS[@]}" -j "$JOBS"
+  run_fuzz_targets full
+}
+
+run_fuzz_targets() {  # run_fuzz_targets smoke|full
+  local mode="$1" failed=0
+  local artifacts="$ROOT/fuzz-artifacts"
+  mkdir -p "$artifacts"
+  for f in "${FUZZ_TARGETS[@]}"; do
+    local bin="$BUILD_ASAN/fuzz/$f"
+    local corpus="$ROOT/fuzz/corpus/${f#fuzz_}"
+    if uses_libfuzzer "$BUILD_ASAN"; then
+      # Real libFuzzer: coverage-guided from the seed corpus, fixed time
+      # budget, fixed seed. Crashes land in fuzz-artifacts/ (uploaded by
+      # CI); a minimized copy is checked back into the seed corpus so the
+      # deterministic regression replay (test_fuzz_regression) covers it.
+      local budget="$FUZZ_TOTAL_TIME"
+      [ "$mode" = smoke ] && budget=$(( FUZZ_TOTAL_TIME < 10 ? FUZZ_TOTAL_TIME : 10 ))
+      echo "-- $f (libFuzzer, ${budget}s, seed $FUZZ_SEED)"
+      if ! "$bin" "$corpus" -max_total_time="$budget" -seed="$FUZZ_SEED" \
+           -artifact_prefix="$artifacts/$f-" -print_final_stats=0; then
+        failed=1
+        for crash in "$artifacts/$f-"*; do
+          [ -e "$crash" ] || continue
+          local min="$artifacts/$f-minimized-$(basename "$crash" | tail -c 17)"
+          "$bin" -minimize_crash=1 -exact_artifact_path="$min" \
+                 -max_total_time=60 "$crash" >/dev/null 2>&1 || true
+          if [ -s "$min" ]; then
+            cp "$min" "$corpus/crash-$(basename "$min" | tail -c 17)"
+            echo "   minimized crash checked into $corpus/"
+          fi
+        done
+      fi
+    else
+      # gcc fallback: the deterministic generated-input driver — same seed,
+      # same inputs, so any failure reproduces anywhere.
+      local iters="$FUZZ_ITERATIONS"
+      [ "$mode" = smoke ] && iters=$(( FUZZ_ITERATIONS < 20000 ? FUZZ_ITERATIONS : 20000 ))
+      echo "-- $f (fallback driver, $iters iterations, seed $FUZZ_SEED)"
+      "$bin" "$corpus" --iterations "$iters" --seed "$FUZZ_SEED" || failed=1
+    fi
+  done
+  [ "$failed" -eq 0 ] || { echo "FAIL: fuzzing found crashes (see $artifacts)"; exit 1; }
+}
+
+stage_cache() {
+  echo "== [$TOOLCHAIN] warm-start cache round-trip + corruption stage (ASan/UBSan) =="
+  configure "$BUILD_ASAN" -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON
+  cmake --build "$BUILD_ASAN" --target ssum-cli -j "$JOBS"
+  # Populate the cache, prove the second identical invocation recomputes
+  # nothing (installs frozen, hits up), then corrupt a container and prove
+  # the failure is a graceful miss-and-recompute, never an error.
+  local CLI="$BUILD_ASAN/ssum"
+  local CACHE_WORK
+  CACHE_WORK="$(mktemp -d)"
+  trap 'rm -rf "$CACHE_WORK"' RETURN
+  cat > "$CACHE_WORK/in.xml" <<'XML'
 <db>
   <persons><person id="p1"/><person id="p2"/><person id="p3"/></persons>
   <auctions>
@@ -73,42 +170,80 @@ cat > "$CACHE_WORK/in.xml" <<'XML'
   </auctions>
 </db>
 XML
-CACHE="$CACHE_WORK/cache"
-stat_counter() { "$CLI" --cache-dir "$CACHE" cache stat | awk -v k="$1" '$1==k{print $2}'; }
-"$CLI" infer "$CACHE_WORK/in.xml" -o "$CACHE_WORK/schema.ssg" 2>/dev/null
-"$CLI" --cache-dir "$CACHE" annotate "$CACHE_WORK/schema.ssg" \
-  "$CACHE_WORK/in.xml" -o "$CACHE_WORK/ann.txt" 2>/dev/null
-"$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
-  -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum1.txt" 2>/dev/null
-installs1="$(stat_counter installs)"
-hits1="$(stat_counter hits)"
-"$CLI" --cache-dir "$CACHE" annotate "$CACHE_WORK/schema.ssg" \
-  "$CACHE_WORK/in.xml" -o "$CACHE_WORK/ann2.txt" 2>/dev/null
-"$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
-  -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum2.txt" 2>/dev/null
-installs2="$(stat_counter installs)"
-hits2="$(stat_counter hits)"
-cmp "$CACHE_WORK/ann.txt" "$CACHE_WORK/ann2.txt"
-cmp "$CACHE_WORK/sum1.txt" "$CACHE_WORK/sum2.txt"
-[ "$installs2" -eq "$installs1" ] || {
-  echo "FAIL: warm re-run installed artifacts ($installs1 -> $installs2)"; exit 1; }
-[ "$hits2" -gt "$hits1" ] || {
-  echo "FAIL: warm re-run did not hit the cache ($hits1 -> $hits2)"; exit 1; }
-echo "-- warm re-run recomputed nothing (installs $installs2, hits $hits2)"
+  local CACHE="$CACHE_WORK/cache"
+  stat_counter() { "$CLI" --cache-dir "$CACHE" cache stat | awk -v k="$1" '$1==k{print $2}'; }
+  "$CLI" infer "$CACHE_WORK/in.xml" -o "$CACHE_WORK/schema.ssg" 2>/dev/null
+  "$CLI" --cache-dir "$CACHE" annotate "$CACHE_WORK/schema.ssg" \
+    "$CACHE_WORK/in.xml" -o "$CACHE_WORK/ann.txt" 2>/dev/null
+  "$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
+    -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum1.txt" 2>/dev/null
+  local installs1 hits1 installs2 hits2
+  installs1="$(stat_counter installs)"
+  hits1="$(stat_counter hits)"
+  "$CLI" --cache-dir "$CACHE" annotate "$CACHE_WORK/schema.ssg" \
+    "$CACHE_WORK/in.xml" -o "$CACHE_WORK/ann2.txt" 2>/dev/null
+  "$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
+    -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum2.txt" 2>/dev/null
+  installs2="$(stat_counter installs)"
+  hits2="$(stat_counter hits)"
+  cmp "$CACHE_WORK/ann.txt" "$CACHE_WORK/ann2.txt"
+  cmp "$CACHE_WORK/sum1.txt" "$CACHE_WORK/sum2.txt"
+  [ "$installs2" -eq "$installs1" ] || {
+    echo "FAIL: warm re-run installed artifacts ($installs1 -> $installs2)"; exit 1; }
+  [ "$hits2" -gt "$hits1" ] || {
+    echo "FAIL: warm re-run did not hit the cache ($hits1 -> $hits2)"; exit 1; }
+  echo "-- warm re-run recomputed nothing (installs $installs2, hits $hits2)"
 
-# Corrupt the summary container's magic and require: verify exits 3, the
-# next summarize silently recomputes (exit 0, identical output, healed
-# container), and verify is clean again.
-summary_file="$(ls "$CACHE"/summary-*.ssb)"
-printf '\xff' | dd of="$summary_file" bs=1 seek=3 conv=notrunc 2>/dev/null
-if "$CLI" --cache-dir "$CACHE" cache verify >/dev/null 2>&1; then
-  echo "FAIL: cache verify missed the corrupted container"; exit 1
-fi
-"$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
-  -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum3.txt" 2>/dev/null
-cmp "$CACHE_WORK/sum1.txt" "$CACHE_WORK/sum3.txt"
-"$CLI" --cache-dir "$CACHE" cache verify >/dev/null
-echo "-- corruption classified, recomputed, and healed"
+  # Corrupt the summary container's magic and require: verify exits
+  # non-zero, the next summarize silently recomputes (exit 0, identical
+  # output, healed container), and verify is clean again.
+  local summary_file
+  summary_file="$(ls "$CACHE"/summary-*.ssb)"
+  printf '\xff' | dd of="$summary_file" bs=1 seek=3 conv=notrunc 2>/dev/null
+  if "$CLI" --cache-dir "$CACHE" cache verify >/dev/null 2>&1; then
+    echo "FAIL: cache verify missed the corrupted container"; exit 1
+  fi
+  "$CLI" --cache-dir "$CACHE" summarize "$CACHE_WORK/schema.ssg" -k 3 \
+    -a "$CACHE_WORK/ann.txt" -o "$CACHE_WORK/sum3.txt" 2>/dev/null
+  cmp "$CACHE_WORK/sum1.txt" "$CACHE_WORK/sum3.txt"
+  "$CLI" --cache-dir "$CACHE" cache verify >/dev/null
+  echo "-- corruption classified, recomputed, and healed"
+}
+
+stage_bench() {
+  echo "== [$TOOLCHAIN] bench-sanity gates (gate-only; JSONs untouched) =="
+  configure "$BUILD"
+  cmake --build "$BUILD" --target parallel_scaling annotate_scaling -j "$JOBS"
+  # parallel_scaling has no gate-only flag: its determinism gate is always
+  # hard and it only writes JSON when asked, so running it without --json
+  # IS the gate. annotate_scaling adds its regression gates via --gate-only.
+  "$BUILD/bench/parallel_scaling"
+  "$BUILD/bench/annotate_scaling" --gate-only
+}
+
+case "$STAGE" in
+  build) stage_build ;;
+  tsan)  stage_tsan ;;
+  asan)  stage_asan ;;
+  fuzz)  stage_fuzz ;;
+  cache) stage_cache ;;
+  bench) stage_bench ;;
+  all)
+    stage_build
+    echo
+    stage_tsan
+    echo
+    stage_asan
+    echo
+    stage_cache
+    echo
+    stage_bench
+    ;;
+  *)
+    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|bench|all] [jobs]" >&2
+    exit 2
+    ;;
+esac
 
 echo
-echo "CI OK"
+echo "CI OK ($STAGE)"

@@ -400,7 +400,7 @@ int CmdRelational(const Args& args) {
                    catalog->tables()[t].name.c_str(), db.table(t).num_rows());
     }
     RelationalInstanceStream stream(&*mapping, &db);
-    auto annotated = AnnotateSchema(stream);
+    auto annotated = AnnotateSchemaSharded(stream);
     if (!annotated.ok()) return Fail(annotated.status());
     ann = std::move(*annotated);
   } else {
