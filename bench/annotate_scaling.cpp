@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.h"
 #include "common/parallel.h"
 #include "datasets/xmark.h"
 #include "stats/annotate.h"
@@ -146,6 +147,7 @@ void WriteJson(const std::string& path,
   }
   out << "{\n"
       << "  \"bench\": \"annotate_scaling\",\n"
+      << "  \"build_type\": \"" << BuildType() << "\",\n"
       << "  \"hardware_threads\": " << HardwareThreadCount() << ",\n"
       << "  \"deterministic\": " << (ok ? "true" : "false") << ",\n"
       << "  \"datasets\": [\n";
@@ -190,6 +192,13 @@ int main(int argc, char** argv) {
                    "usage: annotate_scaling [--json <path>] [--gate-only]\n");
       return 2;
     }
+  }
+  if (!json_path.empty() && !gate_only && !ssum::IsReleaseBuild()) {
+    std::fprintf(stderr,
+                 "annotate_scaling: refusing to emit gated JSON from a '%s' "
+                 "build; configure with -DCMAKE_BUILD_TYPE=Release\n",
+                 ssum::BuildType());
+    return 2;
   }
 
   std::printf("annotate scaling — %u hardware thread(s)\n\n",

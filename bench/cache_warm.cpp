@@ -23,6 +23,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/buildinfo.h"
 #include "core/summarize.h"
 #include "datasets/registry.h"
 #include "store/artifact_cache.h"
@@ -81,6 +82,13 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--sf") && i + 1 < argc) {
       sf = std::atof(argv[++i]);
     }
+  }
+  if (!json_path.empty() && !ssum::IsReleaseBuild()) {
+    std::fprintf(stderr,
+                 "cache_warm: refusing to emit gated JSON from a '%s' build; "
+                 "configure with -DCMAKE_BUILD_TYPE=Release\n",
+                 ssum::BuildType());
+    return 2;
   }
 
   const std::string dir =
@@ -168,6 +176,7 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path, std::ios::trunc);
     out << "{\n"
         << "  \"bench\": \"cache_warm\",\n"
+        << "  \"build_type\": \"" << ssum::BuildType() << "\",\n"
         << "  \"dataset\": \"XMark\",\n"
         << "  \"sf\": " << sf << ",\n"
         << "  \"summary_size\": " << kSummarySize << ",\n"

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.h"
 #include "common/parallel.h"
 #include "core/summarize.h"
 #include "datasets/registry.h"
@@ -215,6 +216,7 @@ void WriteJson(const std::string& path,
   }
   out << "{\n"
       << "  \"bench\": \"parallel_scaling\",\n"
+      << "  \"build_type\": \"" << BuildType() << "\",\n"
       << "  \"hardware_threads\": " << HardwareThreadCount() << ",\n"
       << "  \"deterministic\": " << (ok ? "true" : "false") << ",\n"
       << "  \"datasets\": [\n";
@@ -261,6 +263,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "usage: parallel_scaling [--json <path>]\n");
       return 2;
     }
+  }
+  if (!json_path.empty() && !ssum::IsReleaseBuild()) {
+    std::fprintf(stderr,
+                 "parallel_scaling: refusing to emit gated JSON from a '%s' "
+                 "build; configure with -DCMAKE_BUILD_TYPE=Release\n",
+                 ssum::BuildType());
+    return 2;
   }
 
   std::printf("parallel scaling — %u hardware thread(s)\n\n",

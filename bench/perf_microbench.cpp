@@ -13,8 +13,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
+#include <span>
+#include <vector>
 
+#include "common/buildinfo.h"
 #include "common/parallel.h"
 #include "core/summarize.h"
 #include "datasets/mimi.h"
@@ -215,12 +220,88 @@ void BM_SummarizeMimi(benchmark::State& state) {
 }
 BENCHMARK(BM_SummarizeMimi)->Unit(benchmark::kMillisecond);
 
+/// Shared fixture for the walk-engine head-to-head: the MiMI schema (the
+/// largest evaluated graph) with Formula 2 affinity factors.
+struct WalkFixture {
+  MimiDataset ds;
+  EdgeMetrics metrics;
+  WalkPlan plan;
+  WalkSearchOptions walk;
+
+  WalkFixture()
+      : ds([] {
+          MimiParams p;
+          p.scale = 0.02;
+          return p;
+        }()) {
+    auto stream = ds.MakeStream();
+    auto ann = AnnotateSchema(*stream);
+    metrics = EdgeMetrics::Compute(ds.schema(), *ann);
+    plan = WalkPlan::Build(ds.schema(), metrics.edge_affinity);
+    walk.divide_by_steps = true;
+  }
+
+  static const WalkFixture& Get() {
+    static WalkFixture* f = new WalkFixture();
+    return *f;
+  }
+};
+
+/// Scalar reference kernel: n independent MaxProductWalks searches.
+void BM_WalkEngineScalar(benchmark::State& state) {
+  const WalkFixture& f = WalkFixture::Get();
+  const size_t n = f.ds.schema().size();
+  for (auto _ : state) {
+    for (ElementId s = 0; s < n; ++s) {
+      auto row = MaxProductWalks(f.ds.schema(), f.metrics.edge_affinity, s,
+                                 f.walk);
+      benchmark::DoNotOptimize(row);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_WalkEngineScalar)->Unit(benchmark::kMillisecond);
+
+/// Batched CSR kernel: the same n rows through lane-blocked relaxation.
+void BM_WalkEngineBatched(benchmark::State& state) {
+  const WalkFixture& f = WalkFixture::Get();
+  const size_t n = f.plan.size();
+  std::vector<double> buf(n * n);
+  std::vector<ElementId> sources(n);
+  std::vector<std::span<double>> rows(n);
+  for (ElementId s = 0; s < n; ++s) {
+    sources[s] = s;
+    rows[s] = {buf.data() + static_cast<size_t>(s) * n, n};
+  }
+  for (auto _ : state) {
+    MaxProductWalksBatch(f.plan, sources, f.walk, rows);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_WalkEngineBatched)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN so --threads can be consumed before
-// benchmark::Initialize rejects it as an unknown flag.
+// benchmark::Initialize rejects it as an unknown flag, and so the recorded
+// trajectory can never contain debug-build numbers: any --benchmark_out
+// request from a non-release build is refused with exit 2
+// (bench/run_bench.sh builds the dedicated Release tree in build-bench/).
 int main(int argc, char** argv) {
   ssum::ConsumeThreadsFlag(&argc, argv);
+  if (!ssum::IsReleaseBuild()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+        std::fprintf(stderr,
+                     "perf_microbench: refusing to emit gated JSON from a "
+                     "'%s' build; configure with -DCMAKE_BUILD_TYPE=Release\n",
+                     ssum::BuildType());
+        return 2;
+      }
+    }
+  }
+  benchmark::AddCustomContext("ssum_build_type", ssum::BuildType());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

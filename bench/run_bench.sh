@@ -2,25 +2,34 @@
 # Runs the perf benches and refreshes the checked-in perf-trajectory records:
 #   bench/BENCH_parallel.json — parallel_scaling speedups + determinism gate
 #   bench/BENCH_annotate.json — sharded-annotation speedups + determinism gate
+#   bench/BENCH_walk.json     — scalar-vs-batched walk engine speedups +
+#                               determinism and >=2x single-thread gates
 #   bench/BENCH_perf.json     — google-benchmark microbench suite (JSON)
 #   bench/BENCH_cache.json    — cold-vs-warm snapshot-store pipeline timing
 #                               (gates warm >= 5x cold, zero warm installs)
 # Every record is also copied to the repo root so trajectory tooling can
 # pick up BENCH_*.json from either location.
 #
-# Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build)
+# The benches build in a dedicated Release tree (build-bench/ by default):
+# every record embeds its build type, and the gated binaries exit 2 rather
+# than emit JSON from a debug build, so the checked-in trajectory can only
+# ever contain release numbers.
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build-bench)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
+BUILD="${1:-$ROOT/build-bench}"
 
-cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
-  perf_microbench cache_warm -j "$(nproc)"
+  walk_scaling perf_microbench cache_warm -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
 "$BUILD/bench/annotate_scaling" --json "$ROOT/bench/BENCH_annotate.json"
+
+"$BUILD/bench/walk_scaling" --json "$ROOT/bench/BENCH_walk.json"
 
 "$BUILD/bench/perf_microbench" \
   --benchmark_out="$ROOT/bench/BENCH_perf.json" \
@@ -29,8 +38,8 @@ cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
 "$BUILD/bench/cache_warm" --json "$ROOT/bench/BENCH_cache.json"
 
 echo "perf trajectory updated:"
-for record in BENCH_parallel.json BENCH_annotate.json BENCH_perf.json \
-              BENCH_cache.json; do
+for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
+              BENCH_perf.json BENCH_cache.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

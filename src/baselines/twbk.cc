@@ -62,8 +62,18 @@ Result<SchemaSummary> TwbkSummarize(const SchemaGraph& graph,
   std::vector<ElementId> representative(n, kInvalidElement);
   representative[graph.root()] = graph.root();
   std::vector<double> best(n, 0.0);
-  for (ElementId c : centers) {
-    std::vector<double> strength = MaxProductWalks(graph, factors, c, walk);
+  // All center rows through the batched engine at once; the reduction stays
+  // serial in center order so ties keep the earlier (higher-scoring) center.
+  const WalkPlan plan = WalkPlan::Build(graph, factors);
+  std::vector<double> strength_rows(centers.size() * n);
+  std::vector<std::span<double>> rows(centers.size());
+  for (size_t i = 0; i < centers.size(); ++i) {
+    rows[i] = {strength_rows.data() + i * n, n};
+  }
+  MaxProductWalksBatch(plan, centers, walk, rows);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    const ElementId c = centers[i];
+    const std::span<const double> strength = rows[i];
     for (ElementId e = 0; e < n; ++e) {
       if (strength[e] > best[e]) {
         best[e] = strength[e];

@@ -1,0 +1,45 @@
+#include "common/buildinfo.h"
+
+#include <string_view>
+
+namespace ssum {
+
+namespace {
+
+constexpr const char* kBuildType =
+#ifdef SSUM_BUILD_TYPE
+    SSUM_BUILD_TYPE;
+#else
+    "unknown";
+#endif
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* BuildType() {
+  return kBuildType[0] == '\0' ? "unknown" : kBuildType;
+}
+
+bool IsReleaseBuild() {
+#ifndef NDEBUG
+  // Assertions enabled: whatever the build type string claims, these are
+  // not numbers worth recording.
+  return false;
+#else
+  const std::string_view type = BuildType();
+  return EqualsIgnoreCase(type, "Release") ||
+         EqualsIgnoreCase(type, "RelWithDebInfo") ||
+         EqualsIgnoreCase(type, "MinSizeRel");
+#endif
+}
+
+}  // namespace ssum

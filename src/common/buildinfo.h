@@ -1,0 +1,18 @@
+#pragma once
+
+namespace ssum {
+
+/// The CMAKE_BUILD_TYPE this library was compiled with ("Release",
+/// "RelWithDebInfo", "Debug", ...); "unknown" when the build system did not
+/// provide one. Benches embed this in every emitted JSON record so a perf
+/// trajectory can never silently mix debug and release numbers.
+const char* BuildType();
+
+/// True for optimized build types (Release / RelWithDebInfo / MinSizeRel)
+/// compiled with NDEBUG. Gated benches refuse (exit 2) to emit their JSON
+/// records when this is false — debug numbers must never enter the
+/// checked-in perf trajectory (bench/run_bench.sh builds a dedicated
+/// Release tree for exactly this reason).
+bool IsReleaseBuild();
+
+}  // namespace ssum

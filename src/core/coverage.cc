@@ -28,18 +28,32 @@ CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
   WalkSearchOptions walk;
   walk.max_steps = options.max_steps;
   walk.divide_by_steps = false;
+  // Batched engine writes straight into the matrix rows; the cardinality
+  // scaling runs in place afterwards (same per-entry product as the scalar
+  // path, so the matrix stays bit-identical).
+  const WalkPlan plan = WalkPlan::Build(graph, factors);
+  const size_t blocks = (n + kWalkLaneWidth - 1) / kWalkLaneWidth;
   Status st = ParallelFor(
-      0, n, /*grain=*/4,
-      [&](size_t src) {
-        std::vector<double> row = MaxProductWalks(
-            graph, factors, static_cast<ElementId>(src), walk);
-        std::span<double> dst = out.m_.RowSpan(src);
-        for (size_t t = 0; t < n; ++t) {
-          dst[t] = row[t] * static_cast<double>(annotations.card(
-                                static_cast<ElementId>(t)));
+      0, blocks, /*grain=*/1,
+      [&](size_t block) {
+        const size_t begin = block * kWalkLaneWidth;
+        const size_t count = std::min(kWalkLaneWidth, n - begin);
+        ElementId sources[kWalkLaneWidth];
+        std::span<double> rows[kWalkLaneWidth];
+        for (size_t i = 0; i < count; ++i) {
+          sources[i] = static_cast<ElementId>(begin + i);
+          rows[i] = out.m_.RowSpan(begin + i);
         }
-        dst[src] = static_cast<double>(
-            annotations.card(static_cast<ElementId>(src)));  // special case
+        MaxProductWalksBatch(plan, {sources, count}, walk, {rows, count});
+        for (size_t i = 0; i < count; ++i) {
+          std::span<double> dst = rows[i];
+          for (size_t t = 0; t < n; ++t) {
+            dst[t] *= static_cast<double>(
+                annotations.card(static_cast<ElementId>(t)));
+          }
+          dst[begin + i] = static_cast<double>(annotations.card(
+              static_cast<ElementId>(begin + i)));  // special case
+        }
       },
       parallel.threads);
   SSUM_CHECK(st.ok(), st.ToString());

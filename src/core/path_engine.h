@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -13,6 +15,71 @@ namespace ssum {
 /// Per-adjacency multiplicative step factors: factors[e][i] applies when a
 /// walk steps from `e` to `graph.neighbors(e)[i].other`.
 using EdgeFactors = std::vector<std::vector<double>>;
+
+/// Minimal aligned allocator for the walk-engine arrays. 64-byte alignment
+/// keeps every CSR row and lane block on its own cache line and satisfies
+/// the widest vector loads the autovectorizer may emit.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  // The alignment parameter is a non-type, so the default allocator_traits
+  // rebind cannot apply; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t count) {
+    return static_cast<T*>(
+        ::operator new(count * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+/// Lane width of the batched walk kernel: MaxProductWalksBatch advances this
+/// many sources through each relaxation step simultaneously. 8 doubles fill
+/// one cache line (and one AVX-512 register / two AVX ones); the last block
+/// of a batch is padded with inactive lanes.
+inline constexpr size_t kWalkLaneWidth = 8;
+
+/// Immutable CSR snapshot of (graph, factors), built once per matrix and
+/// shared by every walk from it. Replaces the pointer-chasing
+/// vector<vector<…>> adjacency walk with contiguous row scans:
+///
+///   row_offsets[u] .. row_offsets[u+1]  indexes neighbor_ids/edge_factors,
+///   flattened in the graph's adjacency order.
+///
+/// Zero-factor adjacency records are pruned from the snapshot: a zero
+/// product can never win a max against values that are always >= +0, so
+/// walks over the pruned plan produce bit-identical results while skipping
+/// dead edges (affinity factor sets are zero-heavy). Build() rejects
+/// self-edges (SchemaGraph cannot produce them; the batched kernel relies
+/// on source != target to keep its input and output lanes non-aliasing).
+struct WalkPlan {
+  size_t num_elements = 0;
+  AlignedVector<uint32_t> row_offsets;   ///< num_elements + 1 entries
+  AlignedVector<uint32_t> neighbor_ids;  ///< one per adjacency record
+  AlignedVector<double> edge_factors;    ///< parallel to neighbor_ids
+
+  size_t size() const { return num_elements; }
+  size_t num_edges() const { return neighbor_ids.size(); }
+
+  static WalkPlan Build(const SchemaGraph& graph, const EdgeFactors& factors);
+};
 
 /// Maximum-product walk search with a step bound.
 ///
@@ -44,6 +111,24 @@ std::vector<double> MaxProductWalks(const SchemaGraph& graph,
                                     const EdgeFactors& factors,
                                     ElementId source,
                                     const WalkSearchOptions& options);
+
+/// Batched multi-source walk search over a WalkPlan. Bit-identical to running
+/// the scalar MaxProductWalks per source (docs/performance.md "Walk engine"
+/// explains why), but advances kWalkLaneWidth sources per relaxation step:
+/// the inner loop is a dense gather of the block's `cur` lanes, a broadcast
+/// multiply by the edge factor, and a vertical max into the `next` lanes —
+/// with per-lane active flags replacing the scalar kernel's global `any`
+/// scan and a touched-vertex list replacing its full-frontier clear.
+///
+/// `out_rows[i]` receives the result row for `sources[i]` and must view
+/// plan.size() doubles (e.g. SquareMatrix::RowSpan). Sources may repeat.
+/// Batches larger than kWalkLaneWidth are processed block by block; callers
+/// wanting parallelism distribute lane blocks across a ParallelFor instead
+/// of single rows.
+void MaxProductWalksBatch(const WalkPlan& plan,
+                          std::span<const ElementId> sources,
+                          const WalkSearchOptions& options,
+                          std::span<const std::span<double>> out_rows);
 
 /// Dense square matrix helper used by the affinity/coverage caches. Rows are
 /// the unit of parallel writing (one owner per row, see common/parallel.h);

@@ -1,7 +1,13 @@
 // Dedicated tests for the bounded-walk max-product engine underlying
-// Formula 2 (affinity) and Formula 3 (coverage).
+// Formula 2 (affinity) and Formula 3 (coverage) — the scalar reference
+// (MaxProductWalks) and the batched CSR engine (MaxProductWalksBatch),
+// which must agree bit for bit.
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
 
 #include "core/path_engine.h"
 #include "schema/schema_builder.h"
@@ -16,6 +22,230 @@ EdgeFactors UniformFactors(const SchemaGraph& graph, double value) {
     f[e].assign(graph.neighbors(e).size(), value);
   }
   return f;
+}
+
+/// How a parameterized test evaluates a walk.
+enum class WalkEngine {
+  kScalar,        // the reference MaxProductWalks
+  kBatchedSingle, // MaxProductWalksBatch with a single-source batch
+  kBatchedFull,   // one all-sources batch; the requested row is extracted
+};
+
+const char* EngineName(WalkEngine e) {
+  switch (e) {
+    case WalkEngine::kScalar: return "Scalar";
+    case WalkEngine::kBatchedSingle: return "BatchedSingle";
+    case WalkEngine::kBatchedFull: return "BatchedFull";
+  }
+  return "?";
+}
+
+/// Runs one source row through the engine under test.
+std::vector<double> RunWalk(WalkEngine engine, const SchemaGraph& graph,
+                            const EdgeFactors& factors, ElementId source,
+                            const WalkSearchOptions& opts) {
+  if (engine == WalkEngine::kScalar) {
+    return MaxProductWalks(graph, factors, source, opts);
+  }
+  const size_t n = graph.size();
+  const WalkPlan plan = WalkPlan::Build(graph, factors);
+  if (engine == WalkEngine::kBatchedSingle) {
+    std::vector<double> row(n, -1.0);  // poison: the kernel must overwrite
+    std::span<double> row_span(row);
+    MaxProductWalksBatch(plan, {&source, 1}, opts, {&row_span, 1});
+    return row;
+  }
+  // kBatchedFull: every element is a source in one batch, so the requested
+  // row shares lane blocks with unrelated sources.
+  std::vector<double> all(n * n, -1.0);
+  std::vector<ElementId> sources(n);
+  std::vector<std::span<double>> rows(n);
+  for (ElementId s = 0; s < n; ++s) {
+    sources[s] = s;
+    rows[s] = {all.data() + s * n, n};
+  }
+  MaxProductWalksBatch(plan, sources, opts, rows);
+  return {all.begin() + source * n, all.begin() + (source + 1) * n};
+}
+
+class WalkEngineTest : public ::testing::TestWithParam<WalkEngine> {
+ protected:
+  std::vector<double> Run(const SchemaGraph& graph, const EdgeFactors& factors,
+                          ElementId source, const WalkSearchOptions& opts) {
+    return RunWalk(GetParam(), graph, factors, source, opts);
+  }
+};
+
+TEST_P(WalkEngineTest, RootOnlyGraphHasNoWalks) {
+  SchemaBuilder b("r");
+  SchemaGraph g = std::move(b).Build();
+  ASSERT_EQ(g.size(), 1u);
+  EdgeFactors f = UniformFactors(g, 1.0);
+  WalkSearchOptions opts;
+  opts.max_steps = 8;
+  auto best = Run(g, f, g.root(), opts);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_DOUBLE_EQ(best[0], 0.0);  // no walk of length >= 1 exists
+}
+
+TEST_P(WalkEngineTest, IsolatedSourceReachesNothing) {
+  // All factors incident to the source are zero: the frontier dies on the
+  // first step and every entry (including the source's own) stays 0.
+  SchemaBuilder b("r");
+  ElementId a = b.SetRcd(b.Root(), "a");
+  ElementId c = b.SetRcd(a, "c");
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f = UniformFactors(g, 1.0);
+  f[a].assign(g.neighbors(a).size(), 0.0);
+  WalkSearchOptions opts;
+  opts.max_steps = 16;
+  auto best = Run(g, f, a, opts);
+  for (ElementId t = 0; t < g.size(); ++t) {
+    EXPECT_DOUBLE_EQ(best[t], 0.0) << "target " << t;
+  }
+  EXPECT_DOUBLE_EQ(Run(g, f, g.root(), opts)[c], 0.0);  // blocked at a
+}
+
+TEST_P(WalkEngineTest, StepBudgetSmallerThanDiameter) {
+  // Chain r-a-c-d; with max_steps=2 the 3-hop target d is unreachable.
+  SchemaBuilder b("r");
+  ElementId a = b.SetRcd(b.Root(), "a");
+  ElementId c = b.SetRcd(a, "c");
+  ElementId d = b.SetRcd(c, "d");
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f = UniformFactors(g, 0.5);
+  WalkSearchOptions opts;
+  opts.max_steps = 2;
+  auto best = Run(g, f, g.root(), opts);
+  EXPECT_DOUBLE_EQ(best[a], 0.5);
+  EXPECT_DOUBLE_EQ(best[c], 0.25);
+  EXPECT_DOUBLE_EQ(best[d], 0.0);  // beyond the budget
+}
+
+TEST_P(WalkEngineTest, ZeroStepBudgetYieldsAllZeros) {
+  SchemaBuilder b("r");
+  ElementId a = b.SetRcd(b.Root(), "a");
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f = UniformFactors(g, 1.0);
+  WalkSearchOptions opts;
+  opts.max_steps = 0;
+  auto best = Run(g, f, g.root(), opts);
+  EXPECT_DOUBLE_EQ(best[g.root()], 0.0);
+  EXPECT_DOUBLE_EQ(best[a], 0.0);
+}
+
+TEST_P(WalkEngineTest, DivideByStepsTieBreaksMatchScalar) {
+  // Direct route 0.5/1 ties the two-hop route 1.0/2; both engines must
+  // resolve the tie to exactly the same double.
+  SchemaBuilder b("r");
+  ElementId x = b.SetRcd(b.Root(), "x");
+  ElementId y = b.SetRcd(b.Root(), "y");
+  b.Link(y, x);
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f(g.size());
+  f[g.root()] = {0.5, 1.0};
+  f[x].assign(g.neighbors(x).size(), 1.0);
+  f[y].assign(g.neighbors(y).size(), 1.0);
+  WalkSearchOptions opts;
+  opts.max_steps = 4;
+  opts.divide_by_steps = true;
+  auto best = Run(g, f, g.root(), opts);
+  auto ref = MaxProductWalks(g, f, g.root(), opts);
+  EXPECT_DOUBLE_EQ(best[x], 0.5);
+  ASSERT_EQ(best.size(), ref.size());
+  EXPECT_EQ(0, std::memcmp(best.data(), ref.data(),
+                           ref.size() * sizeof(double)));
+}
+
+TEST_P(WalkEngineTest, SourceCycleDoesNotInflate) {
+  // root <-> a <-> c plus a c->a link: walks can revisit the source, but
+  // sub-unit factors mean longer walks only lose value.
+  SchemaBuilder b("r");
+  ElementId a = b.SetRcd(b.Root(), "a");
+  ElementId c = b.SetRcd(a, "c");
+  b.Link(c, a);
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f = UniformFactors(g, 0.9);
+  WalkSearchOptions opts;
+  opts.max_steps = 64;
+  auto best = Run(g, f, a, opts);
+  EXPECT_DOUBLE_EQ(best[g.root()], 0.9);
+  EXPECT_DOUBLE_EQ(best[c], 0.9);
+  EXPECT_DOUBLE_EQ(best[a], 0.81);  // a->c->a round trip
+}
+
+TEST_P(WalkEngineTest, BitIdenticalToScalarOnEveryRow) {
+  // A graph with cycles, asymmetric factors, and a dead edge; every source
+  // row of the engine under test must equal the scalar walk byte for byte.
+  SchemaBuilder b("r");
+  ElementId x = b.SetRcd(b.Root(), "x");
+  ElementId y = b.SetRcd(b.Root(), "y");
+  ElementId z = b.SetRcd(x, "z");
+  b.Link(y, x);
+  b.Link(z, y);
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f(g.size());
+  for (ElementId e = 0; e < g.size(); ++e) {
+    f[e].resize(g.neighbors(e).size());
+    for (size_t i = 0; i < f[e].size(); ++i) {
+      f[e][i] = (e + 1) * 0.13 + i * 0.07;  // asymmetric, some > 1
+      if (e == y && i == 0) f[e][i] = 0.0;  // dead edge
+    }
+  }
+  for (bool divide : {false, true}) {
+    WalkSearchOptions opts;
+    opts.max_steps = 12;
+    opts.divide_by_steps = divide;
+    for (ElementId s = 0; s < g.size(); ++s) {
+      auto got = Run(g, f, s, opts);
+      auto ref = MaxProductWalks(g, f, s, opts);
+      ASSERT_EQ(got.size(), ref.size());
+      EXPECT_EQ(0, std::memcmp(got.data(), ref.data(),
+                               ref.size() * sizeof(double)))
+          << "source " << s << " divide_by_steps " << divide;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WalkEngines, WalkEngineTest,
+                         ::testing::Values(WalkEngine::kScalar,
+                                           WalkEngine::kBatchedSingle,
+                                           WalkEngine::kBatchedFull),
+                         [](const auto& info) {
+                           return EngineName(info.param);
+                         });
+
+TEST(WalkPlanTest, CsrLayoutMatchesAdjacency) {
+  SchemaBuilder b("r");
+  ElementId a = b.SetRcd(b.Root(), "a");
+  ElementId c = b.SetRcd(a, "c");
+  SchemaGraph g = std::move(b).Build();
+  EdgeFactors f = UniformFactors(g, 0.25);
+  const WalkPlan plan = WalkPlan::Build(g, f);
+  ASSERT_EQ(plan.size(), g.size());
+  ASSERT_EQ(plan.row_offsets.size(), g.size() + 1);
+  size_t edges = 0;
+  for (ElementId u = 0; u < g.size(); ++u) {
+    const auto& nbrs = g.neighbors(u);
+    ASSERT_EQ(plan.row_offsets[u + 1] - plan.row_offsets[u], nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(plan.neighbor_ids[plan.row_offsets[u] + i], nbrs[i].other);
+      EXPECT_DOUBLE_EQ(plan.edge_factors[plan.row_offsets[u] + i], 0.25);
+    }
+    edges += nbrs.size();
+  }
+  EXPECT_EQ(plan.num_edges(), edges);
+  // The CSR arrays honor the cache-line alignment the kernel assumes.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(plan.edge_factors.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(plan.neighbor_ids.data()) % 64, 0u);
+
+  // Zero-factor records are pruned from the snapshot (value-preserving:
+  // zero products never win the max; see the WalkPlan contract).
+  f[a].assign(g.neighbors(a).size(), 0.0);
+  const WalkPlan pruned = WalkPlan::Build(g, f);
+  EXPECT_EQ(pruned.row_offsets[a + 1], pruned.row_offsets[a]);
+  EXPECT_LT(pruned.num_edges(), edges);
+  (void)c;
 }
 
 TEST(PathEngineTest, ProductsMultiplyAlongChains) {

@@ -19,9 +19,11 @@
 #   cache  warm-start cache round-trip via the CLI on the asan build:
 #          populate, assert the re-run recomputes nothing, corrupt a
 #          container, assert a graceful miss-and-recompute
-#   bench  bench-sanity gates on the release build: parallel_scaling and
-#          annotate_scaling in gate-only mode (determinism + no-slower-than
-#          regression gates; the checked-in BENCH_*.json are NOT updated)
+#   bench  bench-sanity gates on a dedicated Release tree (build-bench):
+#          parallel_scaling, annotate_scaling, and walk_scaling in gate-only
+#          mode (determinism + regression + walk-speedup gates; the
+#          checked-in BENCH_*.json are NOT updated). SSUM_NATIVE=ON builds
+#          the tree with -march=native (the CI native bench leg)
 #   all    every stage above, in that order
 #
 # The toolchain comes from $CC/$CXX (default gcc). Non-default toolchains
@@ -211,14 +213,23 @@ XML
 }
 
 stage_bench() {
-  echo "== [$TOOLCHAIN] bench-sanity gates (gate-only; JSONs untouched) =="
-  configure "$BUILD"
-  cmake --build "$BUILD" --target parallel_scaling annotate_scaling -j "$JOBS"
+  # Benches run from a dedicated Release tree (the gated binaries refuse to
+  # emit JSON from anything else, and the walk-engine speedup gate is only
+  # meaningful with optimization on). SSUM_NATIVE=ON adds the host-tuned
+  # leg; results must stay bit-identical (the determinism gates verify it).
+  local native="${SSUM_NATIVE:-OFF}"
+  echo "== [$TOOLCHAIN] bench-sanity gates (Release, native=$native; JSONs untouched) =="
+  local bench_build="$BUILD-bench"
+  configure "$bench_build" -DCMAKE_BUILD_TYPE=Release -DSSUM_NATIVE="$native"
+  cmake --build "$bench_build" --target parallel_scaling annotate_scaling \
+    walk_scaling -j "$JOBS"
   # parallel_scaling has no gate-only flag: its determinism gate is always
   # hard and it only writes JSON when asked, so running it without --json
-  # IS the gate. annotate_scaling adds its regression gates via --gate-only.
-  "$BUILD/bench/parallel_scaling"
-  "$BUILD/bench/annotate_scaling" --gate-only
+  # IS the gate. annotate_scaling and walk_scaling add their regression
+  # gates via --gate-only.
+  "$bench_build/bench/parallel_scaling"
+  "$bench_build/bench/annotate_scaling" --gate-only
+  "$bench_build/bench/walk_scaling" --gate-only
 }
 
 case "$STAGE" in
