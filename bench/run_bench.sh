@@ -7,6 +7,9 @@
 #   bench/BENCH_perf.json     — google-benchmark microbench suite (JSON)
 #   bench/BENCH_cache.json    — cold-vs-warm snapshot-store pipeline timing
 #                               (gates warm >= 5x cold, zero warm installs)
+#   bench/BENCH_approx.json   — approximate-vs-exact MaxCoverage quality and
+#                               wall clock (gates quality >= 0.95x exact and
+#                               >= 20x speedup on the 10k synthetic schema)
 # Every record is also copied to the repo root so trajectory tooling can
 # pick up BENCH_*.json from either location.
 #
@@ -23,7 +26,7 @@ BUILD="${1:-$ROOT/build-bench}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
-  walk_scaling perf_microbench cache_warm -j "$(nproc)"
+  walk_scaling approx_scaling perf_microbench cache_warm -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
@@ -37,9 +40,11 @@ cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
 
 "$BUILD/bench/cache_warm" --json "$ROOT/bench/BENCH_cache.json"
 
+"$BUILD/bench/approx_scaling" --json "$ROOT/bench/BENCH_approx.json"
+
 echo "perf trajectory updated:"
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
-              BENCH_perf.json BENCH_cache.json; do
+              BENCH_perf.json BENCH_cache.json BENCH_approx.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

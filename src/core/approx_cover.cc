@@ -1,0 +1,203 @@
+#include "core/approx_cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace ssum {
+
+namespace {
+
+/// Binary-exponent bucket index of a positive double. ilogb ranges over
+/// [-1074, 1023] for positive finite doubles (subnormals included), shifted
+/// to [0, kNumExponentBuckets).
+constexpr int kExponentBias = 1074;
+constexpr int kNumExponentBuckets = 1024 + kExponentBias + 1;
+
+int BucketOf(double v) { return std::ilogb(v) + kExponentBias; }
+
+/// Builds the sketch of one coverage-matrix row. `bucket_mass` is caller
+/// scratch of kNumExponentBuckets entries, zeroed on entry and re-zeroed
+/// before returning (only touched buckets are cleared, so reuse is O(row)).
+CoverageSketch SketchRow(const SchemaGraph& graph,
+                         const CoverageMatrix& coverage, ElementId candidate,
+                         double epsilon, std::vector<double>& bucket_mass) {
+  const size_t n = graph.size();
+  const ElementId root = graph.root();
+  CoverageSketch sketch;
+  sketch.candidate = candidate;
+
+  double total = 0.0;
+  int hi = -1, lo = kNumExponentBuckets;
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == root) continue;
+    const double v = coverage.At(candidate, e);
+    if (!(v > 0.0)) continue;
+    const int b = BucketOf(v);
+    bucket_mass[b] += v;
+    hi = std::max(hi, b);
+    lo = std::min(lo, b);
+    total += v;
+  }
+  if (hi < 0) return sketch;  // row is all zeros: empty sketch
+
+  // Threshold bucket: the first (scanning from the largest magnitudes down)
+  // at which the cumulative mass reaches (1 - epsilon) of the row total.
+  // epsilon <= 0 keeps every positive entry.
+  int threshold = lo;
+  if (epsilon > 0.0) {
+    const double want = (1.0 - std::min(epsilon, 1.0)) * total;
+    double acc = 0.0;
+    for (int b = hi; b >= lo; --b) {
+      acc += bucket_mass[b];
+      if (acc >= want) {
+        threshold = b;
+        break;
+      }
+    }
+  }
+  for (int b = lo; b <= hi; ++b) bucket_mass[b] = 0.0;
+
+  for (ElementId e = 0; e < n; ++e) {
+    if (e == root) continue;
+    const double v = coverage.At(candidate, e);
+    if (!(v > 0.0) || BucketOf(v) < threshold) continue;
+    sketch.elems.push_back(e);
+    sketch.values.push_back(v);
+    sketch.mass += v;
+  }
+  return sketch;
+}
+
+/// True when sketch `a` covers every entry of sketch `c` at least as well.
+/// Both entry lists are element-id ascending, so this is one merge scan.
+bool SketchDominates(const CoverageSketch& a, const CoverageSketch& c) {
+  size_t ia = 0;
+  for (size_t ic = 0; ic < c.elems.size(); ++ic) {
+    while (ia < a.elems.size() && a.elems[ia] < c.elems[ic]) ++ia;
+    if (ia == a.elems.size() || a.elems[ia] != c.elems[ic] ||
+        a.values[ia] < c.values[ic]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CoverageSketch> BuildCoverageSketches(
+    const SchemaGraph& graph, const CoverageMatrix& coverage,
+    const std::vector<ElementId>& candidates,
+    const ApproxCoverOptions& options) {
+  std::vector<CoverageSketch> sketches(candidates.size());
+  // One writer per sketch; chunked so each worker allocates its exponent
+  // scratch once per chunk, not once per row.
+  Status st = ParallelForChunked(
+      0, candidates.size(), /*grain=*/16,
+      [&](size_t, size_t begin, size_t end) {
+        std::vector<double> bucket_mass(kNumExponentBuckets, 0.0);
+        for (size_t i = begin; i < end; ++i) {
+          sketches[i] = SketchRow(graph, coverage, candidates[i],
+                                  options.epsilon, bucket_mass);
+        }
+      },
+      options.parallel.threads);
+  SSUM_CHECK(st.ok(), st.ToString());
+  return sketches;
+}
+
+std::vector<uint32_t> PruneDominatedSketches(
+    const std::vector<CoverageSketch>& sketches) {
+  std::vector<uint32_t> order(sketches.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (sketches[a].mass != sketches[b].mass) {
+      return sketches[a].mass > sketches[b].mass;
+    }
+    return sketches[a].candidate < sketches[b].candidate;
+  });
+  std::vector<uint32_t> kept;
+  kept.reserve(order.size());
+  for (uint32_t idx : order) {
+    const CoverageSketch& c = sketches[idx];
+    bool dominated = false;
+    // Kept order is mass-descending, so every probe already has
+    // mass >= c.mass; only the entrywise check remains.
+    const size_t probes = std::min(kept.size(), kApproxPruneProbe);
+    for (size_t p = 0; p < probes; ++p) {
+      if (SketchDominates(sketches[kept[p]], c)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(idx);
+  }
+  return kept;
+}
+
+std::vector<ElementId> SelectLazyGreedy(
+    size_t num_elements, const std::vector<CoverageSketch>& sketches,
+    const std::vector<uint32_t>& kept, size_t k) {
+  struct HeapEntry {
+    double gain;
+    ElementId candidate;  // deterministic tie-break key
+    uint32_t sketch_idx;
+    uint32_t stamp;  // number of selections when `gain` was computed
+  };
+  auto worse = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.candidate > b.candidate;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(worse)> heap(
+      worse);
+  for (uint32_t idx : kept) {
+    // The empty-set marginal gain of a sketch is exactly its mass.
+    heap.push({sketches[idx].mass, sketches[idx].candidate, idx, 0});
+  }
+
+  std::vector<double> best(num_elements, 0.0);
+  std::vector<ElementId> selected;
+  selected.reserve(std::min(k, kept.size()));
+  while (selected.size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.gain <= 0.0) break;  // nothing contributes anymore
+    const CoverageSketch& s = sketches[top.sketch_idx];
+    if (top.stamp == selected.size()) {
+      // Fresh bound: submodularity makes it the true (maximal) gain.
+      for (size_t i = 0; i < s.elems.size(); ++i) {
+        double& b = best[s.elems[i]];
+        b = std::max(b, s.values[i]);
+      }
+      selected.push_back(s.candidate);
+      continue;
+    }
+    // Stale bound: recompute against the current best-values and re-insert.
+    // Gains only shrink as `best` grows, so candidates whose stale bound
+    // already loses to the heap top are never touched this round.
+    double gain = 0.0;
+    for (size_t i = 0; i < s.elems.size(); ++i) {
+      const double d = s.values[i] - best[s.elems[i]];
+      if (d > 0.0) gain += d;
+    }
+    heap.push({gain, top.candidate, top.sketch_idx,
+               static_cast<uint32_t>(selected.size())});
+  }
+  return selected;
+}
+
+std::vector<ElementId> ApproxMaxCoverage(
+    const SchemaGraph& graph, const CoverageMatrix& coverage,
+    const std::vector<ElementId>& candidates, size_t k,
+    const ApproxCoverOptions& options) {
+  if (candidates.empty() || k == 0) return {};
+  const std::vector<CoverageSketch> sketches =
+      BuildCoverageSketches(graph, coverage, candidates, options);
+  const std::vector<uint32_t> kept = PruneDominatedSketches(sketches);
+  return SelectLazyGreedy(graph.size(), sketches, kept, k);
+}
+
+}  // namespace ssum

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "core/approx_cover.h"
 #include "core/metrics.h"
 #include "store/artifact_cache.h"
 #include "store/fingerprint.h"
@@ -18,6 +19,16 @@ const char* AlgorithmName(Algorithm a) {
       return "MaxCoverage";
     case Algorithm::kBalanceSummary:
       return "BalanceSummary";
+  }
+  return "?";
+}
+
+const char* SummaryModeName(SummaryMode m) {
+  switch (m) {
+    case SummaryMode::kExact:
+      return "exact";
+    case SummaryMode::kApprox:
+      return "approx";
   }
   return "?";
 }
@@ -202,11 +213,21 @@ std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
                                         const std::vector<ElementId>& cands,
                                         size_t k, uint64_t total) {
   const size_t n = cands.size();
-  const uint64_t width = ResolveThreadCount(context.options().parallel.threads);
-  // ~8 shards per thread for balance; shard boundaries depend only on the
-  // total and the grain, and the reduction is order-independent, so the
-  // chunking never affects the selected set.
-  const uint64_t grain = std::max<uint64_t>(1, total / (width * 8) + 1);
+  // Sharding only pays when each shard has its own core: requesting more
+  // threads than the hardware offers just adds scheduling overhead on top of
+  // an unchanged serial scan (a 0.58x slowdown at 4 requested threads on a
+  // 1-core host, BENCH_parallel.json). Clamp the enumeration width to the
+  // hardware, scan serially when the rank space is too small to amortize the
+  // pool, and cut ~4 shards per thread otherwise. Shard boundaries depend
+  // only on the total and the grain, and the reduction is order-independent,
+  // so none of this affects the selected set.
+  const uint64_t width =
+      std::min<uint64_t>(ResolveThreadCount(context.options().parallel.threads),
+                         HardwareThreadCount());
+  constexpr uint64_t kSerialScanThreshold = 16384;
+  const uint64_t grain = (width <= 1 || total < kSerialScanThreshold)
+                             ? total
+                             : total / (width * 4) + 1;
   std::vector<ShardBest> shards(ParallelNumChunks(0, total, grain));
   Status st = ParallelForChunked(
       0, static_cast<size_t>(total), static_cast<size_t>(grain),
@@ -215,7 +236,7 @@ std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
             ScanCombinations(context, cands, UnrankCombination(n, k, rank_begin),
                              rank_end - rank_begin);
       },
-      context.options().parallel.threads);
+      static_cast<uint32_t>(width));
   SSUM_CHECK(st.ok(), st.ToString());
   ShardBest best;
   for (const ShardBest& s : shards) {
@@ -308,6 +329,20 @@ Result<std::vector<ElementId>> SelectMaxCoverage(
     // Degenerate: everything non-dominated fits; top up with dominated
     // elements by coverage-of-self to reach k.
     std::vector<ElementId> out = cands;
+    for (ElementId e = 0; e < context.graph().size() && out.size() < k; ++e) {
+      if (e == context.graph().root()) continue;
+      if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
+    }
+    return out;
+  }
+  if (context.options().mode == SummaryMode::kApprox) {
+    ApproxCoverOptions approx;
+    approx.epsilon = context.options().approx_epsilon;
+    approx.parallel = context.options().parallel;
+    std::vector<ElementId> out =
+        ApproxMaxCoverage(context.graph(), context.coverage(), cands, k, approx);
+    // The sketches can run out of positive marginal gain before k; top up
+    // the same way the degenerate branch does.
     for (ElementId e = 0; e < context.graph().size() && out.size() < k; ++e) {
       if (e == context.graph().root()) continue;
       if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
@@ -446,6 +481,11 @@ Fingerprint SummaryFingerprint(const SchemaGraph& graph,
   h.UpdateU64(static_cast<uint64_t>(options.importance.max_iterations));
   h.UpdateU64(options.importance.cardinality_init ? 1 : 0);
   h.UpdateU64(options.max_coverage_enumeration_budget);
+  // Mode and epsilon keep approximate and exact summaries of the same schema
+  // apart in the ArtifactCache (hashed unconditionally; pre-existing entries
+  // just miss once).
+  h.UpdateU64(static_cast<uint64_t>(options.mode));
+  h.UpdateDouble(options.approx_epsilon);
   return MixFingerprints(
       MixFingerprints(FingerprintSchema(graph),
                       FingerprintAnnotations(annotations)),

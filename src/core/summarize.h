@@ -27,6 +27,18 @@ enum class Algorithm : unsigned char {
 
 const char* AlgorithmName(Algorithm a);
 
+/// MaxCoverage selection strategy: the paper-exact Figure 6 search (with its
+/// budgeted greedy fallback) or the approximate lazy-greedy engine over
+/// sketched coverage rows (core/approx_cover.h). Approximate selection is
+/// near-linear and reaches schema sizes where the exact path is infeasible;
+/// bench/approx_scaling gates its quality at >= 0.95x exact.
+enum class SummaryMode : unsigned char {
+  kExact = 0,
+  kApprox,
+};
+
+const char* SummaryModeName(SummaryMode m);
+
 struct SummarizeOptions {
   ImportanceOptions importance;
   AffinityOptions affinity;
@@ -38,6 +50,13 @@ struct SummarizeOptions {
   /// deterministic reduction), which is what makes a budget this size
   /// practical; it was 20000 when the scan was serial.
   uint64_t max_coverage_enumeration_budget = 200000;
+  /// MaxCoverage strategy; kApprox routes SelectMaxCoverage through the
+  /// sketched lazy-greedy engine instead of the enumeration above.
+  SummaryMode mode = SummaryMode::kExact;
+  /// Sketch-truncation knob for kApprox (see ApproxCoverOptions::epsilon):
+  /// each candidate keeps the dominant coverage entries holding at least
+  /// (1 - epsilon) of its row mass. Ignored in kExact mode.
+  double approx_epsilon = 0.1;
   /// Thread count for the parallel kernels (matrix construction, MaxCoverage
   /// enumeration, concurrent context build). Results are bit-identical for
   /// every thread count; see docs/performance.md.

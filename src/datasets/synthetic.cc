@@ -1,0 +1,100 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "schema/schema_builder.h"
+
+namespace ssum {
+
+namespace {
+
+/// Skew-biased index into [0, n): u^skew concentrates picks near 0 (the
+/// oldest elements) for skew > 1.
+size_t SkewedIndex(Rng* rng, size_t n, double skew) {
+  const double u = rng->NextDouble();
+  size_t idx = static_cast<size_t>(static_cast<double>(n) * std::pow(u, skew));
+  return std::min(idx, n - 1);
+}
+
+}  // namespace
+
+SyntheticSchema BuildSyntheticSchema(const SyntheticSchemaParams& params) {
+  SSUM_CHECK(params.elements >= 2, "synthetic schema needs >= 2 elements");
+  SSUM_CHECK(params.skew > 0.0, "synthetic skew must be positive");
+  Rng root_rng(params.seed);
+  Rng grow_rng = root_rng.Fork(0);
+  Rng link_rng = root_rng.Fork(1);
+  Rng card_rng = root_rng.Fork(2);
+
+  SchemaBuilder builder("synthetic");
+  // Non-Simple elements, eligible as parents and as value-link endpoints.
+  std::vector<ElementId> interior = {builder.Root()};
+  while (builder.graph().size() < params.elements) {
+    const ElementId parent =
+        interior[SkewedIndex(&grow_rng, interior.size(), params.skew)];
+    std::string label = "e" + std::to_string(builder.graph().size());
+    const bool set_of = grow_rng.NextBool(params.set_fraction);
+    if (grow_rng.NextBool(params.simple_fraction)) {
+      if (set_of) {
+        builder.SetSimple(parent, std::move(label));
+      } else {
+        builder.Simple(parent, std::move(label));
+      }
+    } else {
+      const ElementId e = set_of ? builder.SetRcd(parent, std::move(label))
+                                 : builder.Rcd(parent, std::move(label));
+      interior.push_back(e);
+    }
+  }
+
+  // Value links between record elements (relational-FK flavor). Both
+  // endpoints are skew-picked so references concentrate on hub elements;
+  // self-links are simply skipped (the graph rejects them).
+  std::vector<LinkId> vlinks_of;  // parallel to the referrer list below
+  std::vector<ElementId> vlink_referrer;
+  for (size_t i = 1; i < interior.size(); ++i) {
+    if (!link_rng.NextBool(params.value_link_fraction)) continue;
+    const ElementId referrer = interior[i];
+    const ElementId referee =
+        interior[SkewedIndex(&link_rng, interior.size(), params.skew)];
+    if (referee == referrer) continue;
+    vlinks_of.push_back(builder.Link(referrer, referee));
+    vlink_referrer.push_back(referrer);
+  }
+
+  SyntheticSchema out{std::move(builder).Build(), Annotations{}};
+  const SchemaGraph& graph = out.graph;
+
+  // Top-down cardinalities: children follow parents in id order, so one
+  // forward pass sees every parent before its children. Set-valued elements
+  // multiply by a Poisson multiplicity with an occasional 32x heavy tail
+  // (Zipf-ish hot spots); single-valued elements inherit the parent count.
+  Annotations ann(graph);
+  ann.set_card(graph.root(), 1);
+  for (ElementId e = 1; e < graph.size(); ++e) {
+    const uint64_t parent_card = ann.card(graph.parent(e));
+    uint64_t card = parent_card;
+    if (graph.type(e).set_of) {
+      uint64_t mult = 1 + card_rng.NextPoisson(params.mean_multiplicity);
+      if (card_rng.NextBool(0.05)) mult *= 32;
+      card = parent_card * mult;
+    }
+    card = std::min(card, params.max_card);
+    ann.set_card(e, card);
+    // Every child instance is one structural-link instance.
+    ann.set_structural_count(graph.parent_link(e), card);
+  }
+  // Each referrer instance carries one reference.
+  for (size_t i = 0; i < vlinks_of.size(); ++i) {
+    ann.set_value_count(vlinks_of[i], ann.card(vlink_referrer[i]));
+  }
+  out.annotations = std::move(ann);
+  return out;
+}
+
+}  // namespace ssum

@@ -307,6 +307,45 @@ TEST(CacheTest, SummaryStoreLoad) {
   EXPECT_EQ(hit->representative, summary->representative);
 }
 
+TEST(CacheTest, ApproxAndExactSummariesNeverCollide) {
+  Fixture f;
+  Annotations ann = f.MakeAnnotations();
+  SummarizeOptions exact_opts;
+  SummarizeOptions approx_opts;
+  approx_opts.mode = SummaryMode::kApprox;
+
+  // Mode and epsilon are part of the summary key...
+  const Fingerprint exact_key = SummaryFingerprint(
+      f.schema, ann, exact_opts, 3, Algorithm::kMaxCoverage);
+  const Fingerprint approx_key = SummaryFingerprint(
+      f.schema, ann, approx_opts, 3, Algorithm::kMaxCoverage);
+  EXPECT_FALSE(exact_key == approx_key);
+  SummarizeOptions tighter = approx_opts;
+  tighter.approx_epsilon = 0.02;
+  EXPECT_FALSE(approx_key == SummaryFingerprint(f.schema, ann, tighter, 3,
+                                                Algorithm::kMaxCoverage));
+
+  // ...so a cached exact summary can never satisfy an approx request, and
+  // the round-trip returns each mode its own stored summary.
+  ArtifactCache cache(MakeCacheDir("mode_collision"));
+  SummarizerContext context(f.schema, ann, exact_opts);
+  auto exact = Summarize(context, 3, Algorithm::kMaxCoverage);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(cache.StoreSummary(exact_key, *exact).ok());
+  EXPECT_FALSE(cache.LoadSummary(f.schema, approx_key).has_value());
+
+  SummarizerContext approx_ctx(f.schema, ann, approx_opts);
+  auto approx = Summarize(approx_ctx, 3, Algorithm::kMaxCoverage);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(cache.StoreSummary(approx_key, *approx).ok());
+  auto exact_hit = cache.LoadSummary(f.schema, exact_key);
+  auto approx_hit = cache.LoadSummary(f.schema, approx_key);
+  ASSERT_TRUE(exact_hit.has_value());
+  ASSERT_TRUE(approx_hit.has_value());
+  EXPECT_EQ(exact_hit->abstract_elements, exact->abstract_elements);
+  EXPECT_EQ(approx_hit->abstract_elements, approx->abstract_elements);
+}
+
 TEST(CacheTest, OptionChangesChangeTheKey) {
   Fixture f;
   Annotations ann = f.MakeAnnotations();

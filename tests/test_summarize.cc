@@ -75,6 +75,27 @@ TEST(SummarizeTest, SizeValidation) {
   EXPECT_FALSE(SelectBalanced(context, 0).ok());
 }
 
+TEST(SummarizeTest, MaxCoverageTopsUpWhenCandidatesDoNotReachK) {
+  Fixture f;
+  // 7-element schema: for k=6 the non-dominated candidate set is smaller
+  // than k, so the degenerate branch must top up with dominated elements —
+  // cleanly, without touching the enumeration — in both modes.
+  for (SummaryMode mode : {SummaryMode::kExact, SummaryMode::kApprox}) {
+    SummarizeOptions opts;
+    opts.mode = mode;
+    SummarizerContext context(f.schema, f.ann, opts);
+    ASSERT_LT(context.dominance().candidates.size(), 6u);
+    auto selected = SelectMaxCoverage(context, 6);
+    ASSERT_TRUE(selected.ok()) << SummaryModeName(mode);
+    EXPECT_EQ(selected->size(), 6u);
+    std::vector<ElementId> sorted = *selected;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    EXPECT_EQ(std::find(selected->begin(), selected->end(), f.schema.root()),
+              selected->end());
+  }
+}
+
 TEST(SummarizeTest, ExactMaxCoverageBeatsOrMatchesGreedy) {
   Fixture f;
   SummarizeOptions exact_opts;

@@ -20,10 +20,11 @@
 #          populate, assert the re-run recomputes nothing, corrupt a
 #          container, assert a graceful miss-and-recompute
 #   bench  bench-sanity gates on a dedicated Release tree (build-bench):
-#          parallel_scaling, annotate_scaling, and walk_scaling in gate-only
-#          mode (determinism + regression + walk-speedup gates; the
-#          checked-in BENCH_*.json are NOT updated). SSUM_NATIVE=ON builds
-#          the tree with -march=native (the CI native bench leg)
+#          parallel_scaling, annotate_scaling, walk_scaling, and
+#          approx_scaling in gate-only mode (determinism + regression +
+#          walk-speedup + approx-quality/speedup gates; the checked-in
+#          BENCH_*.json are NOT updated). SSUM_NATIVE=ON builds the tree
+#          with -march=native (the CI native bench leg)
 #   all    every stage above, in that order
 #
 # The toolchain comes from $CC/$CXX (default gcc). Non-default toolchains
@@ -222,14 +223,16 @@ stage_bench() {
   local bench_build="$BUILD-bench"
   configure "$bench_build" -DCMAKE_BUILD_TYPE=Release -DSSUM_NATIVE="$native"
   cmake --build "$bench_build" --target parallel_scaling annotate_scaling \
-    walk_scaling -j "$JOBS"
-  # parallel_scaling has no gate-only flag: its determinism gate is always
-  # hard and it only writes JSON when asked, so running it without --json
-  # IS the gate. annotate_scaling and walk_scaling add their regression
-  # gates via --gate-only.
+    walk_scaling approx_scaling -j "$JOBS"
+  # parallel_scaling has no gate-only flag: its determinism and
+  # no-regression gates are always hard and it only writes JSON when asked,
+  # so running it without --json IS the gate. annotate_scaling,
+  # walk_scaling, and approx_scaling add their regression gates via
+  # --gate-only.
   "$bench_build/bench/parallel_scaling"
   "$bench_build/bench/annotate_scaling" --gate-only
   "$bench_build/bench/walk_scaling" --gate-only
+  "$bench_build/bench/approx_scaling" --gate-only
 }
 
 case "$STAGE" in

@@ -96,6 +96,7 @@ void PrintUsage(std::FILE* to) {
       "  ssum annotate <schema.ssg> <input.xml> [-o annotations.txt]\n"
       "  ssum summarize <schema.ssg> -k N [-a annotations.txt]\n"
       "                 [-g balance|importance|coverage] [-o summary.txt]\n"
+      "                 [--mode exact|approx] [--epsilon E]\n"
       "                 [--dot summary.dot]\n"
       "  ssum dot <schema.ssg> [-o schema.dot] [--hide-simple] "
       "[--max-depth N]\n"
@@ -256,6 +257,32 @@ int CmdAnnotate(const Args& args) {
   return s.ok() ? 0 : Fail(s);
 }
 
+/// --mode / --epsilon for the coverage algorithm: approx routes MaxCoverage
+/// through the sketched lazy-greedy engine (near-linear, quality gated at
+/// >= 0.95x exact by bench/approx_scaling); epsilon trades sketch width for
+/// quality (docs/performance.md).
+Result<SummarizeOptions> ParseSummarizeOptions(const Args& args) {
+  SummarizeOptions options;
+  if (const std::string* m = args.Get("--mode")) {
+    if (*m == "exact") {
+      options.mode = SummaryMode::kExact;
+    } else if (*m == "approx") {
+      options.mode = SummaryMode::kApprox;
+    } else {
+      return Status::InvalidArgument("unknown mode '" + *m +
+                                     "' (exact|approx)");
+    }
+  }
+  if (const std::string* e = args.Get("--epsilon")) {
+    auto eps = ParseDouble(*e);
+    if (!eps.ok() || *eps < 0.0 || *eps >= 1.0) {
+      return Status::InvalidArgument("--epsilon needs a number in [0, 1)");
+    }
+    options.approx_epsilon = *eps;
+  }
+  return options;
+}
+
 Result<Algorithm> ParseAlgorithm(const Args& args) {
   const std::string* g = args.Get("-g");
   if (g == nullptr || *g == "balance") return Algorithm::kBalanceSummary;
@@ -289,11 +316,17 @@ int CmdSummarize(const Args& args) {
     if (!parsed.ok()) return Fail(parsed.status());
     alg = *parsed;
   }
+  SummarizeOptions options;
+  {
+    auto parsed = ParseSummarizeOptions(args);
+    if (!parsed.ok()) return Fail(parsed.status());
+    options = *parsed;
+  }
   // The library's warm-start one-shot consults three cache layers: a summary
   // hit skips everything; otherwise the context constructor tries the two
   // matrices; whatever was computed is installed for the next invocation.
   auto summary =
-      Summarize(*schema, ann, static_cast<size_t>(*k), alg, SummarizeOptions{},
+      Summarize(*schema, ann, static_cast<size_t>(*k), alg, options,
                 GetCache());
   if (!summary.ok()) return Fail(summary.status());
   std::fprintf(stderr, "ssum: %s selected:\n", AlgorithmName(alg));
@@ -619,7 +652,8 @@ int Main(int argc, char** argv) {
     return kExitOk;
   }
   const std::vector<std::string> value_flags = {
-      "-o", "-k", "-a", "-g", "--max-depth", "--dot", "--data", "--dialect"};
+      "-o",     "-k",     "-a",        "-g",     "--max-depth",
+      "--dot",  "--data", "--dialect", "--mode", "--epsilon"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
   int code = Dispatch(cmd, args);
   // One flush per command keeps the persistent counters the cross-invocation
