@@ -10,6 +10,10 @@
 #   bench/BENCH_approx.json   — approximate-vs-exact MaxCoverage quality and
 #                               wall clock (gates quality >= 0.95x exact and
 #                               >= 20x speedup on the 10k synthetic schema)
+#   bench/BENCH_fault.json    — fault-injecting Env overhead + crash-recovery
+#                               heal throughput (gates warm-path Env overhead
+#                               <= 2% and a 50 ms deadline abort on the 10k
+#                               synthetic summarize)
 # Every record is also copied to the repo root so trajectory tooling can
 # pick up BENCH_*.json from either location.
 #
@@ -26,7 +30,8 @@ BUILD="${1:-$ROOT/build-bench}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
-  walk_scaling approx_scaling perf_microbench cache_warm -j "$(nproc)"
+  walk_scaling approx_scaling perf_microbench cache_warm fault_recovery \
+  -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
@@ -42,9 +47,12 @@ cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
 
 "$BUILD/bench/approx_scaling" --json "$ROOT/bench/BENCH_approx.json"
 
+"$BUILD/bench/fault_recovery" --json "$ROOT/bench/BENCH_fault.json"
+
 echo "perf trajectory updated:"
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
-              BENCH_perf.json BENCH_cache.json BENCH_approx.json; do
+              BENCH_perf.json BENCH_cache.json BENCH_approx.json \
+              BENCH_fault.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

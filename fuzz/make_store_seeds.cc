@@ -104,5 +104,16 @@ int main(int argc, char** argv) {
 
   rc |= Write(dir + "/truncated.ssb",
               ann_bytes.substr(0, ann_bytes.size() / 2));
+
+  // Crash artifacts: the torn prefixes a power cut mid-write leaves behind
+  // (see FaultInjectingEnv's torn-write faults). The reader must classify
+  // every one as a miss, never crash on it.
+  rc |= Write(dir + "/crash_partial_header.ssb",
+              ann_bytes.substr(0, ssum::kContainerHeaderSize / 2));
+  rc |= Write(dir + "/crash_torn_mid_section.ssb",
+              ann_bytes.substr(0, ssum::kContainerHeaderSize + 11));
+  rc |= Write(dir + "/crash_torn_trailer.ssb",
+              ann_bytes.substr(0, ann_bytes.size() -
+                                      ssum::kContainerTrailerSize / 2));
   return rc;
 }

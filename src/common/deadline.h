@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace ssum {
+
+/// Cooperative cancellation signal. A token is shared (by pointer) between
+/// the party that may cancel and the kernels doing the work; kernels observe
+/// it through Deadline::Check() at chunk and instance-batch boundaries.
+/// Cancellation is sticky: once set it never clears.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A copyable time budget + optional cancellation handle, carried by value
+/// inside ParallelOptions (and therefore SummarizeOptions /
+/// ShardedAnnotateOptions). The default-constructed Deadline is unlimited
+/// and Check() is a two-load fast path, so plumbing it everywhere costs
+/// nothing on the common path.
+///
+/// The contract is cooperative, not preemptive: kernels call Check() at
+/// their natural grain boundaries (a ParallelFor chunk claim, an instance
+/// shard, a combination-scan stride) and propagate kDeadlineExceeded
+/// upward as an ordinary Status. Work already done is discarded; nothing
+/// half-written ever becomes visible because the store only installs
+/// complete artifacts (see docs/robustness.md).
+class Deadline {
+ public:
+  /// Unlimited: Check() always passes.
+  Deadline() = default;
+
+  static Deadline Unlimited() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (0 = already expired, which makes
+  /// deadline handling deterministic to test).
+  static Deadline After(int64_t ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  /// Attaches a cancellation token; Check() fails once it is cancelled.
+  /// A Deadline may carry a token with or without a time budget.
+  void AttachCancel(std::shared_ptr<const CancelToken> token) {
+    cancel_ = std::move(token);
+  }
+
+  bool unlimited() const { return !has_deadline_ && cancel_ == nullptr; }
+
+  /// True when the time budget ran out or the token was cancelled.
+  bool expired() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// OK while alive; kDeadlineExceeded (naming `what`) once expired or
+  /// cancelled. This is the one call kernels make at their boundaries.
+  Status Check(const char* what = "operation") const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::DeadlineExceeded(std::string(what) + " was cancelled");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= at_) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " exceeded its deadline");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point at_{};
+  std::shared_ptr<const CancelToken> cancel_;
+};
+
+}  // namespace ssum

@@ -1,0 +1,472 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace ssum {
+
+namespace fs = std::filesystem;
+
+WritableFile::~WritableFile() = default;
+Env::~Env() = default;
+
+namespace {
+
+/// stdio-buffered sequential writer; Sync() fsyncs the descriptor.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) {
+      return Status::IoError("'" + path_ + "' is closed");
+    }
+    if (data.empty()) return Status::OK();
+    const size_t written = std::fwrite(data.data(), 1, data.size(), file_);
+    if (written != data.size()) {
+      return Status::IoError("write failed for '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) {
+      return Status::IoError("'" + path_ + "' is closed");
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::IoError("flush failed for '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    SSUM_RETURN_NOT_OK(Flush());
+    if (::fsync(fileno(file_)) != 0) {
+      return Status::IoError("fsync failed for '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      return Status::IoError("close failed for '" + path_ + "': " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<WritableFile>> PosixEnv::NewWritableFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing: " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<PosixWritableFile>(file, path));
+}
+
+Result<std::string> PosixEnv::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      return Status::NotFound("'" + path + "' does not exist");
+    }
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
+  return bytes;
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("rename '" + from + "' -> '" + to +
+                           "' failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::RemoveFile(const std::string& path) {
+  std::error_code ec;
+  const bool removed = fs::remove(path, ec);
+  if (ec) {
+    return Status::IoError("cannot remove '" + path + "': " + ec.message());
+  }
+  if (!removed) return Status::NotFound("'" + path + "' does not exist");
+  return Status::OK();
+}
+
+Status PosixEnv::CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory '" + path +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync failed for directory '" + path +
+                           "': " + std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+Result<bool> PosixEnv::FileExists(const std::string& path) {
+  std::error_code ec;
+  const bool exists = fs::exists(path, ec);
+  if (ec) {
+    return Status::IoError("cannot stat '" + path + "': " + ec.message());
+  }
+  return exists;
+}
+
+Env* Env::Default() {
+  // Leaked on purpose, mirroring ThreadPool::Shared(): destroying it during
+  // static teardown would race with other translation units.
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "open";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kFlush:
+      return "flush";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kRename:
+      return "rename";
+    case FaultOp::kUnlink:
+      return "unlink";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kMkdir:
+      return "mkdir";
+    case FaultOp::kSyncDir:
+      return "syncdir";
+  }
+  return "?";
+}
+
+/// Wraps a base WritableFile, routing write/flush/sync through the env's
+/// fault schedule. A torn write appends only the scheduled prefix before
+/// failing — exactly the on-disk state a crash mid-write leaves behind.
+/// (Namespace-scope, not anonymous: it is a friend of FaultInjectingEnv.)
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingEnv* env,
+                             std::unique_ptr<WritableFile> base,
+                             std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override;
+  Status Flush() override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base) : base_(base) {}
+
+FaultInjectingEnv::Injection FaultInjectingEnv::Observe(FaultOp op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t o = static_cast<size_t>(op);
+  const uint64_t global_index = global_count_++;
+  const uint64_t per_op = ++per_op_count_[o];
+  history_.push_back(op);
+
+  Injection inj;
+  // Dead-disk mode armed earlier by a permanent fault of this kind.
+  if (permanent_[o]) {
+    inj.fire = true;
+    inj.kind = permanent_kind_[o];
+  }
+  for (auto it = global_faults_.begin(); it != global_faults_.end(); ++it) {
+    if (global_index < it->index) continue;
+    if (global_index == it->index) {
+      inj.fire = true;
+      inj.kind = it->kind;
+      inj.torn_bytes = it->torn_bytes;
+      if (it->transient) global_faults_.erase(it);
+      break;
+    }
+    // Past a permanent global fault: the "process" is dead — every later
+    // operation fails too, so crash residue (a stale tmp file) survives
+    // cleanup exactly as it would a real crash.
+    if (!it->transient) {
+      inj.fire = true;
+      inj.kind = FaultKind::kEio;
+      break;
+    }
+  }
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (it->op != op || per_op != it->nth) continue;
+    inj.fire = true;
+    inj.kind = it->kind;
+    inj.torn_bytes = it->torn_bytes;
+    if (it->transient) {
+      faults_.erase(it);
+    } else {
+      permanent_[o] = true;
+      permanent_kind_[o] = it->kind;
+    }
+    break;
+  }
+  if (inj.fire) ++injected_;
+  return inj;
+}
+
+Status FaultInjectingEnv::FaultStatus(FaultKind kind, FaultOp op,
+                                      const std::string& path) {
+  std::string msg = std::string("injected ") + FaultOpName(op) +
+                    " fault on '" + path + "'";
+  switch (kind) {
+    case FaultKind::kEnospc:
+      return Status::IoError(msg + ": no space left on device");
+    case FaultKind::kTorn:
+      return Status::IoError(msg + ": torn write");
+    case FaultKind::kEio:
+      break;
+  }
+  return Status::IoError(msg + ": input/output error");
+}
+
+Status FaultInjectingWritableFile::Append(std::string_view data) {
+  const FaultInjectingEnv::Injection inj = env_->Observe(FaultOp::kWrite);
+  if (!inj.fire) return base_->Append(data);
+  if (inj.kind == FaultKind::kTorn) {
+    const size_t keep =
+        static_cast<size_t>(std::min<uint64_t>(inj.torn_bytes, data.size()));
+    // Best-effort prefix write + flush: the torn bytes must actually land so
+    // a reopened reader sees the truncated state, not an empty file.
+    (void)base_->Append(data.substr(0, keep));
+    (void)base_->Flush();
+  }
+  return FaultInjectingEnv::FaultStatus(inj.kind, FaultOp::kWrite, path_);
+}
+
+Status FaultInjectingWritableFile::Flush() {
+  const FaultInjectingEnv::Injection inj = env_->Observe(FaultOp::kFlush);
+  if (!inj.fire) return base_->Flush();
+  return FaultInjectingEnv::FaultStatus(inj.kind, FaultOp::kFlush, path_);
+}
+
+Status FaultInjectingWritableFile::Sync() {
+  const FaultInjectingEnv::Injection inj = env_->Observe(FaultOp::kSync);
+  if (!inj.fire) return base_->Sync();
+  // A failed fsync still leaves the flushed bytes in the file — only the
+  // durability promise is broken — so the base file is left as-is.
+  return FaultInjectingEnv::FaultStatus(inj.kind, FaultOp::kSync, path_);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  const Injection inj = Observe(FaultOp::kOpen);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kOpen, path);
+  std::unique_ptr<WritableFile> base;
+  SSUM_ASSIGN_OR_RETURN(base, base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingWritableFile>(this, std::move(base),
+                                                   path));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  const Injection inj = Observe(FaultOp::kRead);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kRead, path);
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  const Injection inj = Observe(FaultOp::kRename);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kRename, from);
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  const Injection inj = Observe(FaultOp::kUnlink);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kUnlink, path);
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::CreateDirs(const std::string& path) {
+  const Injection inj = Observe(FaultOp::kMkdir);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kMkdir, path);
+  return base_->CreateDirs(path);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  const Injection inj = Observe(FaultOp::kSyncDir);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kSyncDir, path);
+  return base_->SyncDir(path);
+}
+
+Result<bool> FaultInjectingEnv::FileExists(const std::string& path) {
+  // Existence probes are metadata-only; not a fault point.
+  return base_->FileExists(path);
+}
+
+void FaultInjectingEnv::ScheduleFault(const Fault& fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.push_back(fault);
+}
+
+void FaultInjectingEnv::FailAtOpIndex(uint64_t index, FaultKind kind,
+                                      uint64_t torn_bytes, bool transient) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  global_faults_.push_back(GlobalFault{index, kind, torn_bytes, transient});
+}
+
+Status FaultInjectingEnv::LoadSchedule(std::string_view spec) {
+  std::vector<Fault> parsed;
+  for (const std::string& raw : SplitString(std::string(spec), ';')) {
+    std::string entry = raw;
+    if (entry.empty()) continue;
+    Fault f;
+    if (!entry.empty() && entry.back() == '~') {
+      f.transient = true;
+      entry.pop_back();
+    }
+    const size_t hash = entry.find('#');
+    const size_t eq = entry.find('=', hash == std::string::npos ? 0 : hash);
+    if (hash == std::string::npos || eq == std::string::npos || eq < hash) {
+      return Status::InvalidArgument(
+          "fault entry '" + raw + "' is not op#N=kind[:K][~]");
+    }
+    const std::string op = entry.substr(0, hash);
+    bool known_op = false;
+    for (size_t o = 0; o < kNumFaultOps; ++o) {
+      if (op == FaultOpName(static_cast<FaultOp>(o))) {
+        f.op = static_cast<FaultOp>(o);
+        known_op = true;
+        break;
+      }
+    }
+    if (!known_op) {
+      return Status::InvalidArgument("unknown fault op '" + op + "'");
+    }
+    auto nth = ParseInt64(entry.substr(hash + 1, eq - hash - 1));
+    if (!nth.ok() || *nth <= 0) {
+      return Status::InvalidArgument(
+          "fault entry '" + raw + "' needs a positive occurrence number");
+    }
+    f.nth = static_cast<uint64_t>(*nth);
+    std::string kind = entry.substr(eq + 1);
+    const size_t colon = kind.find(':');
+    if (colon != std::string::npos) {
+      auto k = ParseInt64(kind.substr(colon + 1));
+      if (!k.ok() || *k < 0) {
+        return Status::InvalidArgument(
+            "fault entry '" + raw + "' has a malformed torn byte count");
+      }
+      f.torn_bytes = static_cast<uint64_t>(*k);
+      kind = kind.substr(0, colon);
+    }
+    if (kind == "eio") {
+      f.kind = FaultKind::kEio;
+    } else if (kind == "enospc") {
+      f.kind = FaultKind::kEnospc;
+    } else if (kind == "torn") {
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument(
+            "fault entry '" + raw + "': torn needs ':K' (bytes kept)");
+      }
+      f.kind = FaultKind::kTorn;
+    } else {
+      return Status::InvalidArgument("unknown fault kind '" + kind + "'");
+    }
+    parsed.push_back(f);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Fault& f : parsed) faults_.push_back(f);
+  return Status::OK();
+}
+
+std::vector<FaultOp> FaultInjectingEnv::history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+uint64_t FaultInjectingEnv::total_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return global_count_;
+}
+
+uint64_t FaultInjectingEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+uint64_t FaultInjectingEnv::ops(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_op_count_[static_cast<size_t>(op)];
+}
+
+void FaultInjectingEnv::ClearSchedule() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.clear();
+  global_faults_.clear();
+  for (size_t o = 0; o < kNumFaultOps; ++o) permanent_[o] = false;
+}
+
+void FaultInjectingEnv::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t o = 0; o < kNumFaultOps; ++o) per_op_count_[o] = 0;
+  global_count_ = 0;
+  injected_ = 0;
+  history_.clear();
+}
+
+}  // namespace ssum

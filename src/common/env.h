@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ssum {
+
+/// Sequential write handle returned by Env::NewWritableFile. The durability
+/// split follows the LevelDB/RocksDB contract:
+///   Append  — bytes into the file (user-space buffered),
+///   Flush   — user-space buffers to the OS,
+///   Sync    — OS buffers to durable media (fsync),
+///   Close   — releases the handle (idempotent; flushes first).
+/// Every call returns Status; nothing throws.
+class WritableFile {
+ public:
+  virtual ~WritableFile();
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem abstraction the snapshot store does all of its IO through
+/// (store/container.cc, store/artifact_cache.cc). Production code uses the
+/// process-wide PosixEnv behind Env::Default(); tests and the
+/// crash-consistency sweeps substitute a FaultInjectingEnv to make every IO
+/// step fail deterministically. Implementations must be safe for concurrent
+/// use from multiple threads.
+class Env {
+ public:
+  virtual ~Env();
+
+  /// Opens (creates/truncates) `path` for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file. NotFound when it does not exist, IoError for
+  /// anything else.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Removes a file. NotFound when absent.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates a directory and any missing parents (no error when present).
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// fsyncs a directory so a preceding rename/create within it is durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+
+  /// Process-wide PosixEnv (never destroyed).
+  static Env* Default();
+};
+
+/// POSIX implementation: stdio writes, fsync-backed Sync, std::filesystem
+/// metadata operations.
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+};
+
+/// IO operation kinds a fault can target. Close is deliberately not a fault
+/// point: a failing close is indistinguishable from a failing flush, which
+/// is already enumerable.
+enum class FaultOp : uint8_t {
+  kOpen = 0,
+  kWrite,
+  kFlush,
+  kSync,
+  kRename,
+  kUnlink,
+  kRead,
+  kMkdir,
+  kSyncDir,
+};
+inline constexpr size_t kNumFaultOps = 9;
+
+const char* FaultOpName(FaultOp op);
+
+/// What an injected fault does to the matched operation.
+enum class FaultKind : uint8_t {
+  kEio = 0,    ///< generic IO error; the operation has no effect
+  kEnospc,     ///< "no space" flavor of the same
+  kTorn,       ///< writes only the first `torn_bytes` bytes, then fails
+};
+
+/// One scheduled fault: the Nth operation of kind `op` (1-based, counted
+/// per kind across the env's lifetime) fails with `kind`. A *transient*
+/// fault fires exactly once — the retried operation succeeds (a blip). A
+/// *permanent* fault also fails every later operation of that kind (a dead
+/// disk), which is what exhausts RetryPolicy in tests.
+struct Fault {
+  FaultOp op = FaultOp::kWrite;
+  uint64_t nth = 1;
+  FaultKind kind = FaultKind::kEio;
+  uint64_t torn_bytes = 0;  ///< kTorn: bytes actually written before failing
+  bool transient = false;
+};
+
+/// Deterministic fault injection around a base Env. Faults are scheduled
+/// either individually (ScheduleFault / FailAtOpIndex) or from a compact
+/// schedule string (LoadSchedule):
+///
+///   schedule  := entry (';' entry)*
+///   entry     := op '#' N '=' kind [':' K] ['~']
+///   op        := open|write|flush|sync|rename|unlink|read|mkdir|syncdir
+///   kind      := eio | enospc | torn        (torn requires ':K')
+///
+/// "write#2=torn:17~;sync#1=enospc" truncates the 2nd write after 17 bytes
+/// (transient, '~'), and makes every sync from the 1st on fail with ENOSPC
+/// (permanent, the default). Matching is purely count-based — no wall
+/// clock, no randomness — so a schedule replays identically every run.
+///
+/// The env also records every operation it sees (history()), which is what
+/// lets the crash-consistency sweep in tests/test_cache.cc first trace a
+/// clean install and then re-run it once per recorded op with that op
+/// failing.
+class FaultInjectingEnv : public Env {
+ public:
+  /// Does not take ownership of `base`; pass Env::Default() normally.
+  explicit FaultInjectingEnv(Env* base);
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+
+  void ScheduleFault(const Fault& fault);
+
+  /// Fails the operation with global index `index` (0-based position in
+  /// history()) regardless of kind — the sweep-friendly addressing mode.
+  void FailAtOpIndex(uint64_t index, FaultKind kind, uint64_t torn_bytes = 0,
+                     bool transient = false);
+
+  /// Parses the schedule grammar above and schedules every entry.
+  Status LoadSchedule(std::string_view spec);
+
+  /// Operations observed so far, in order (faulted attempts included).
+  std::vector<FaultOp> history() const;
+  uint64_t total_ops() const;
+  uint64_t faults_injected() const;
+  uint64_t ops(FaultOp op) const;
+
+  /// Drops pending faults / zeroes counters and history.
+  void ClearSchedule();
+  void ResetCounters();
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  struct Injection {
+    bool fire = false;
+    FaultKind kind = FaultKind::kEio;
+    uint64_t torn_bytes = 0;
+  };
+
+  /// Counts one operation of `op` and reports whether it must fail.
+  Injection Observe(FaultOp op);
+  static Status FaultStatus(FaultKind kind, FaultOp op,
+                            const std::string& path);
+
+  Env* base_;
+  mutable std::mutex mutex_;
+  uint64_t per_op_count_[kNumFaultOps] = {};
+  uint64_t global_count_ = 0;
+  uint64_t injected_ = 0;
+  /// Permanent fault armed for an op kind (dead-disk mode).
+  bool permanent_[kNumFaultOps] = {};
+  FaultKind permanent_kind_[kNumFaultOps] = {};
+  std::vector<Fault> faults_;                  // per-kind (op, nth) faults
+  struct GlobalFault {
+    uint64_t index;
+    FaultKind kind;
+    uint64_t torn_bytes;
+    bool transient;
+  };
+  std::vector<GlobalFault> global_faults_;
+  std::vector<FaultOp> history_;
+};
+
+}  // namespace ssum

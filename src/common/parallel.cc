@@ -152,11 +152,16 @@ size_t ParallelNumChunks(size_t begin, size_t end, size_t grain) {
 
 Status ParallelForChunked(
     size_t begin, size_t end, size_t grain,
-    const std::function<void(size_t, size_t, size_t)>& fn, uint32_t threads) {
+    const std::function<void(size_t, size_t, size_t)>& fn,
+    const ParallelOptions& options) {
   const size_t chunks = ParallelNumChunks(begin, end, grain);
   if (chunks == 0) return Status::OK();
   const size_t g = std::max<size_t>(grain, 1);
   auto run_chunk = [&](size_t c) -> Status {
+    // Cooperative deadline/cancellation check at every chunk claim: once the
+    // budget is gone each remaining chunk fails fast, and the reduction
+    // below surfaces kDeadlineExceeded like any other per-chunk failure.
+    SSUM_RETURN_NOT_OK(options.deadline.Check("parallel task"));
     const size_t chunk_begin = begin + c * g;
     const size_t chunk_end = std::min(end, chunk_begin + g);
     try {
@@ -171,7 +176,7 @@ Status ParallelForChunked(
   };
 
   const uint32_t width = static_cast<uint32_t>(std::min<size_t>(
-      ResolveThreadCount(threads), chunks));
+      ResolveThreadCount(options.threads), chunks));
   if (width <= 1) {
     for (size_t c = 0; c < chunks; ++c) SSUM_RETURN_NOT_OK(run_chunk(c));
     return Status::OK();
@@ -224,14 +229,30 @@ Status ParallelForChunked(
   return Status::OK();
 }
 
+Status ParallelForChunked(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn, uint32_t threads) {
+  ParallelOptions options;
+  options.threads = threads;
+  return ParallelForChunked(begin, end, grain, fn, options);
+}
+
 Status ParallelFor(size_t begin, size_t end, size_t grain,
-                   const std::function<void(size_t)>& fn, uint32_t threads) {
+                   const std::function<void(size_t)>& fn,
+                   const ParallelOptions& options) {
   return ParallelForChunked(
       begin, end, grain,
       [&fn](size_t, size_t chunk_begin, size_t chunk_end) {
         for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
       },
-      threads);
+      options);
+}
+
+Status ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn, uint32_t threads) {
+  ParallelOptions options;
+  options.threads = threads;
+  return ParallelFor(begin, end, grain, fn, options);
 }
 
 }  // namespace ssum

@@ -8,18 +8,24 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 
 namespace ssum {
 
 /// Thread-count knob shared by every parallel kernel. Plumbed through
 /// SummarizeOptions and the `--threads` flag of the CLIs and benches.
+/// (Still an aggregate: `ParallelOptions{1}` keeps meaning one thread.)
 struct ParallelOptions {
   /// Worker threads for parallel kernels. 0 resolves via SSUM_THREADS, then
   /// SetDefaultThreadCount, then the hardware concurrency; 1 always takes
   /// the serial path. Every kernel guarantees bit-identical results across
   /// thread counts (see docs/performance.md).
   uint32_t threads = 0;
+  /// Cooperative time budget / cancellation, checked before every chunk a
+  /// worker claims; an expired deadline surfaces as kDeadlineExceeded from
+  /// ParallelFor. Defaults to unlimited (a two-load no-op per chunk).
+  Deadline deadline;
 };
 
 /// std::thread::hardware_concurrency(), never 0.
@@ -98,19 +104,29 @@ size_t ParallelNumChunks(size_t begin, size_t end, size_t grain);
 /// ResolveThreadCount(threads) chunks run concurrently; the serial path is
 /// taken for threads == 1 or a single chunk.
 ///
-/// Exceptions escaping fn are captured and converted to Status::Internal
-/// (Arrow idiom); with several failing chunks the earliest chunk's status is
-/// returned.
+/// Error contract: the first failing chunk *in chunk order* determines the
+/// returned Status, independent of scheduling — exceptions escaping fn are
+/// captured and converted to Status::Internal (Arrow idiom), and an expired
+/// options.deadline fails every not-yet-started chunk with
+/// kDeadlineExceeded. Nothing terminates the process; callers propagate.
 Status ParallelForChunked(
     size_t begin, size_t end, size_t grain,
     const std::function<void(size_t chunk, size_t chunk_begin,
                              size_t chunk_end)>& fn,
-    uint32_t threads = 0);
+    const ParallelOptions& options = {});
+/// Thread-count-only overload kept for callers without a deadline.
+Status ParallelForChunked(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t chunk, size_t chunk_begin,
+                             size_t chunk_end)>& fn,
+    uint32_t threads);
 
 /// Per-index convenience over ParallelForChunked: runs fn(i) for i in
 /// [begin, end). Same determinism and error contract.
 Status ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t)>& fn,
-                   uint32_t threads = 0);
+                   const ParallelOptions& options = {});
+Status ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn, uint32_t threads);
 
 }  // namespace ssum

@@ -1,0 +1,59 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace ssum {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer — cheap, stateless, and good
+/// enough to decorrelate per-attempt jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsRetriableIo(const Status& status) { return status.IsIoError(); }
+
+uint64_t BackoffDelayMs(const RetryPolicy& policy, uint32_t attempt) {
+  if (attempt == 0) return 0;
+  double nominal = static_cast<double>(policy.initial_backoff_ms);
+  for (uint32_t i = 1; i < attempt; ++i) {
+    nominal *= policy.multiplier;
+    if (nominal >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  nominal = std::min(nominal, static_cast<double>(policy.max_backoff_ms));
+  // Deterministic jitter in [1/2, 1): top 53 bits of the hash as a fraction.
+  const uint64_t h = Mix64(policy.seed ^ (uint64_t{attempt} << 32));
+  const double fraction =
+      static_cast<double>(h >> 11) / 9007199254740992.0;  // [0, 1)
+  return static_cast<uint64_t>(nominal * (0.5 + fraction / 2.0));
+}
+
+Status RunWithRetry(const RetryPolicy& policy, const char* what,
+                    const std::function<Status()>& op) {
+  const uint32_t attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  Status last;
+  for (uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    if (last.ok() || !IsRetriableIo(last)) return last;
+    if (attempt == attempts) break;
+    const uint64_t delay = BackoffDelayMs(policy, attempt);
+    if (policy.sleeper) {
+      policy.sleeper(delay);
+    } else if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  return last.WithContext(std::string(what) + " failed after " +
+                          std::to_string(attempts) + " attempts");
+}
+
+}  // namespace ssum

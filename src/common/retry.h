@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace ssum {
+
+/// Bounded exponential backoff for *transient* IO failures (the kind a
+/// FaultInjectingEnv schedules with '~', or a real blip under load). The
+/// jitter is deterministic — a hash of (seed, attempt) scales each delay
+/// into [1/2, 1) of its nominal value — so retry timing is replayable and
+/// tests never sleep an unpredictable amount. Delays are milliseconds:
+/// attempt n waits jitter * min(initial * multiplier^(n-1), max).
+///
+/// Only Status::IoError is retried. DataLoss/OutOfRange mean the bytes are
+/// wrong, not the disk — retrying cannot help; the quarantine-and-heal path
+/// of the ArtifactCache owns those (docs/robustness.md).
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  uint32_t max_attempts = 3;
+  uint64_t initial_backoff_ms = 1;
+  uint64_t max_backoff_ms = 100;
+  double multiplier = 4.0;
+  /// Jitter seed; same seed + attempt => same delay, always.
+  uint64_t seed = 0x5353554d;  // "SSUM"
+  /// Test hook: receives each computed delay instead of sleeping. Null
+  /// sleeps for real (std::this_thread::sleep_for).
+  std::function<void(uint64_t delay_ms)> sleeper;
+};
+
+/// True for the status codes RunWithRetry considers transient.
+bool IsRetriableIo(const Status& status);
+
+/// Backoff before retry `attempt` (1-based: the delay after the attempt-th
+/// failure). Deterministic in (policy.seed, attempt).
+uint64_t BackoffDelayMs(const RetryPolicy& policy, uint32_t attempt);
+
+/// Runs `op` up to policy.max_attempts times, sleeping the backoff between
+/// attempts. Returns the first success, the first non-retriable failure
+/// immediately, or the last failure when attempts run out (with the attempt
+/// count appended to the message).
+Status RunWithRetry(const RetryPolicy& policy, const char* what,
+                    const std::function<Status()>& op);
+
+}  // namespace ssum

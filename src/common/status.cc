@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode : unsigned char {
   kDataLoss,
   kNotImplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("OK", "ParseError", ...).
@@ -69,6 +70,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// The request ran out of time (or was cancelled) before the work
+  /// completed. Cooperative: kernels check at chunk/batch boundaries, so the
+  /// partial work is simply discarded — nothing aborts (see
+  /// common/deadline.h and docs/robustness.md).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +90,9 @@ class Status {
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

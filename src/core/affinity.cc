@@ -4,10 +4,9 @@
 
 namespace ssum {
 
-AffinityMatrix AffinityMatrix::Compute(const SchemaGraph& graph,
-                                       const EdgeMetrics& metrics,
-                                       const AffinityOptions& options,
-                                       const ParallelOptions& parallel) {
+Result<AffinityMatrix> AffinityMatrix::TryCompute(
+    const SchemaGraph& graph, const EdgeMetrics& metrics,
+    const AffinityOptions& options, const ParallelOptions& parallel) {
   const size_t n = graph.size();
   AffinityMatrix out;
   out.m_ = SquareMatrix(n, 0.0);
@@ -34,9 +33,18 @@ AffinityMatrix AffinityMatrix::Compute(const SchemaGraph& graph,
           rows[i][begin + i] = 1.0;  // Formula 2 special case
         }
       },
-      parallel.threads);
-  SSUM_CHECK(st.ok(), st.ToString());
+      parallel);
+  SSUM_RETURN_NOT_OK(st);
   return out;
+}
+
+AffinityMatrix AffinityMatrix::Compute(const SchemaGraph& graph,
+                                       const EdgeMetrics& metrics,
+                                       const AffinityOptions& options,
+                                       const ParallelOptions& parallel) {
+  auto out = TryCompute(graph, metrics, options, parallel);
+  SSUM_CHECK(out.ok(), out.status().ToString());
+  return std::move(*out);
 }
 
 }  // namespace ssum

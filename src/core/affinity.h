@@ -1,6 +1,7 @@
 #pragma once
 
 #include "common/parallel.h"
+#include "common/result.h"
 #include "core/path_engine.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
@@ -32,7 +33,15 @@ class AffinityMatrix {
 
   /// Each source row is an independent MaxProductWalks, so rows are computed
   /// in parallel per `parallel`; any thread count yields bit-identical
-  /// matrices (each row has exactly one writer, no reduction).
+  /// matrices (each row has exactly one writer, no reduction). An expired
+  /// `parallel.deadline` aborts between row blocks with kDeadlineExceeded.
+  static Result<AffinityMatrix> TryCompute(const SchemaGraph& graph,
+                                           const EdgeMetrics& metrics,
+                                           const AffinityOptions& options = {},
+                                           const ParallelOptions& parallel = {});
+
+  /// TryCompute for callers without a deadline; aborts on failure (the
+  /// kernels themselves cannot fail).
   static AffinityMatrix Compute(const SchemaGraph& graph,
                                 const EdgeMetrics& metrics,
                                 const AffinityOptions& options = {},

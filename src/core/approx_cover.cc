@@ -88,7 +88,7 @@ bool SketchDominates(const CoverageSketch& a, const CoverageSketch& c) {
 
 }  // namespace
 
-std::vector<CoverageSketch> BuildCoverageSketches(
+Result<std::vector<CoverageSketch>> TryBuildCoverageSketches(
     const SchemaGraph& graph, const CoverageMatrix& coverage,
     const std::vector<ElementId>& candidates,
     const ApproxCoverOptions& options) {
@@ -104,9 +104,18 @@ std::vector<CoverageSketch> BuildCoverageSketches(
                                   options.epsilon, bucket_mass);
         }
       },
-      options.parallel.threads);
-  SSUM_CHECK(st.ok(), st.ToString());
+      options.parallel);
+  SSUM_RETURN_NOT_OK(st);
   return sketches;
+}
+
+std::vector<CoverageSketch> BuildCoverageSketches(
+    const SchemaGraph& graph, const CoverageMatrix& coverage,
+    const std::vector<ElementId>& candidates,
+    const ApproxCoverOptions& options) {
+  auto sketches = TryBuildCoverageSketches(graph, coverage, candidates, options);
+  SSUM_CHECK(sketches.ok(), sketches.status().ToString());
+  return std::move(*sketches);
 }
 
 std::vector<uint32_t> PruneDominatedSketches(
@@ -189,15 +198,25 @@ std::vector<ElementId> SelectLazyGreedy(
   return selected;
 }
 
+Result<std::vector<ElementId>> TryApproxMaxCoverage(
+    const SchemaGraph& graph, const CoverageMatrix& coverage,
+    const std::vector<ElementId>& candidates, size_t k,
+    const ApproxCoverOptions& options) {
+  if (candidates.empty() || k == 0) return std::vector<ElementId>{};
+  std::vector<CoverageSketch> sketches;
+  SSUM_ASSIGN_OR_RETURN(
+      sketches, TryBuildCoverageSketches(graph, coverage, candidates, options));
+  const std::vector<uint32_t> kept = PruneDominatedSketches(sketches);
+  return SelectLazyGreedy(graph.size(), sketches, kept, k);
+}
+
 std::vector<ElementId> ApproxMaxCoverage(
     const SchemaGraph& graph, const CoverageMatrix& coverage,
     const std::vector<ElementId>& candidates, size_t k,
     const ApproxCoverOptions& options) {
-  if (candidates.empty() || k == 0) return {};
-  const std::vector<CoverageSketch> sketches =
-      BuildCoverageSketches(graph, coverage, candidates, options);
-  const std::vector<uint32_t> kept = PruneDominatedSketches(sketches);
-  return SelectLazyGreedy(graph.size(), sketches, kept, k);
+  auto out = TryApproxMaxCoverage(graph, coverage, candidates, k, options);
+  SSUM_CHECK(out.ok(), out.status().ToString());
+  return std::move(*out);
 }
 
 }  // namespace ssum

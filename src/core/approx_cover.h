@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/result.h"
 #include "core/coverage.h"
 #include "schema/schema_graph.h"
 
@@ -74,6 +75,13 @@ std::vector<CoverageSketch> BuildCoverageSketches(
     const std::vector<ElementId>& candidates,
     const ApproxCoverOptions& options = {});
 
+/// BuildCoverageSketches that propagates instead of aborting — an expired
+/// `options.parallel.deadline` surfaces as kDeadlineExceeded.
+Result<std::vector<CoverageSketch>> TryBuildCoverageSketches(
+    const SchemaGraph& graph, const CoverageMatrix& coverage,
+    const std::vector<ElementId>& candidates,
+    const ApproxCoverOptions& options = {});
+
 /// Deterministic near-duplicate pruning: processes sketches in (mass
 /// descending, candidate id ascending) order and drops a sketch when one of
 /// the first `kApproxPruneProbe` kept sketches covers every one of its
@@ -101,6 +109,13 @@ std::vector<ElementId> SelectLazyGreedy(
 /// the root. Returns fewer than k elements when the candidates (or their
 /// positive gains) run out; callers top up (see SelectMaxCoverage).
 std::vector<ElementId> ApproxMaxCoverage(
+    const SchemaGraph& graph, const CoverageMatrix& coverage,
+    const std::vector<ElementId>& candidates, size_t k,
+    const ApproxCoverOptions& options = {});
+
+/// ApproxMaxCoverage that propagates instead of aborting — an expired
+/// `options.parallel.deadline` surfaces as kDeadlineExceeded.
+Result<std::vector<ElementId>> TryApproxMaxCoverage(
     const SchemaGraph& graph, const CoverageMatrix& coverage,
     const std::vector<ElementId>& candidates, size_t k,
     const ApproxCoverOptions& options = {});

@@ -4,11 +4,10 @@
 
 namespace ssum {
 
-CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
-                                       const Annotations& annotations,
-                                       const EdgeMetrics& metrics,
-                                       const CoverageOptions& options,
-                                       const ParallelOptions& parallel) {
+Result<CoverageMatrix> CoverageMatrix::TryCompute(
+    const SchemaGraph& graph, const Annotations& annotations,
+    const EdgeMetrics& metrics, const CoverageOptions& options,
+    const ParallelOptions& parallel) {
   const size_t n = graph.size();
   // Step factor for u -> v (adjacency entry i at u):
   //   edge_affinity(u->v) * W(v->u)
@@ -55,9 +54,19 @@ CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
               static_cast<ElementId>(begin + i)));  // special case
         }
       },
-      parallel.threads);
-  SSUM_CHECK(st.ok(), st.ToString());
+      parallel);
+  SSUM_RETURN_NOT_OK(st);
   return out;
+}
+
+CoverageMatrix CoverageMatrix::Compute(const SchemaGraph& graph,
+                                       const Annotations& annotations,
+                                       const EdgeMetrics& metrics,
+                                       const CoverageOptions& options,
+                                       const ParallelOptions& parallel) {
+  auto out = TryCompute(graph, annotations, metrics, options, parallel);
+  SSUM_CHECK(out.ok(), out.status().ToString());
+  return std::move(*out);
 }
 
 }  // namespace ssum

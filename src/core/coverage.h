@@ -1,6 +1,7 @@
 #pragma once
 
 #include "common/parallel.h"
+#include "common/result.h"
 #include "core/path_engine.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
@@ -32,7 +33,16 @@ class CoverageMatrix {
   const SquareMatrix& matrix() const { return m_; }
 
   /// Rows (one MaxProductWalks per source) are computed in parallel per
-  /// `parallel`; any thread count yields bit-identical matrices.
+  /// `parallel`; any thread count yields bit-identical matrices. An expired
+  /// `parallel.deadline` aborts between row blocks with kDeadlineExceeded.
+  static Result<CoverageMatrix> TryCompute(const SchemaGraph& graph,
+                                           const Annotations& annotations,
+                                           const EdgeMetrics& metrics,
+                                           const CoverageOptions& options = {},
+                                           const ParallelOptions& parallel = {});
+
+  /// TryCompute for callers without a deadline; aborts on failure (the
+  /// kernels themselves cannot fail).
   static CoverageMatrix Compute(const SchemaGraph& graph,
                                 const Annotations& annotations,
                                 const EdgeMetrics& metrics,

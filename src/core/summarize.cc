@@ -41,11 +41,29 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
 SummarizerContext::SummarizerContext(const SchemaGraph& graph,
                                      const Annotations& annotations,
                                      const SummarizeOptions& options,
-                                     ArtifactCache* cache)
-    : graph_(&graph),
-      annotations_(&annotations),
-      options_(options),
-      metrics_(EdgeMetrics::Compute(graph, annotations)) {
+                                     ArtifactCache* cache) {
+  Status st = Init(graph, annotations, options, cache);
+  SSUM_CHECK(st.ok(), st.ToString());
+}
+
+Result<SummarizerContext> SummarizerContext::Make(
+    const SchemaGraph& graph, const Annotations& annotations,
+    const SummarizeOptions& options, ArtifactCache* cache) {
+  SummarizerContext context;
+  SSUM_RETURN_NOT_OK(context.Init(graph, annotations, options, cache));
+  return context;
+}
+
+Status SummarizerContext::Init(const SchemaGraph& graph,
+                               const Annotations& annotations,
+                               const SummarizeOptions& options,
+                               ArtifactCache* cache) {
+  SSUM_RETURN_NOT_OK(
+      options.parallel.deadline.Check("summarizer context build"));
+  graph_ = &graph;
+  annotations_ = &annotations;
+  options_ = options;
+  metrics_ = EdgeMetrics::Compute(graph, annotations);
   // Warm-start lookup: both matrix artifacts share one content fingerprint
   // (schema + statistics + the option fields the matrices depend on); the
   // artifact family tells them apart. A hit replaces the all-pairs
@@ -71,11 +89,12 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
     matrices_from_cache_ = (have_affinity ? 1 : 0) + (have_coverage ? 1 : 0);
   }
   // Importance, affinity, and coverage depend only on EdgeMetrics; with more
-  // than one thread they build concurrently, each task writing one member.
-  // Each computation is internally deterministic, so the result is
-  // bit-identical to the serial order (and to any mix of cached and
-  // computed matrices).
+  // than one thread they build concurrently, each task writing one member
+  // (and its status slot). Each computation is internally deterministic, so
+  // the result is bit-identical to the serial order (and to any mix of
+  // cached and computed matrices).
   const ParallelOptions& parallel = options_.parallel;
+  Status task_status[3];
   Status st = ParallelFor(
       0, 3, /*grain=*/1,
       [&](size_t task) {
@@ -84,20 +103,27 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
             importance_ = ComputeImportance(graph, annotations, metrics_,
                                             options_.importance);
             break;
-          case 1:
+          case 1: {
             if (have_affinity) break;
-            affinity_ = AffinityMatrix::Compute(graph, metrics_,
+            auto m = AffinityMatrix::TryCompute(graph, metrics_,
                                                 options_.affinity, parallel);
+            if (m.ok()) affinity_ = std::move(*m);
+            task_status[task] = m.status();
             break;
-          case 2:
+          }
+          case 2: {
             if (have_coverage) break;
-            coverage_ = CoverageMatrix::Compute(
+            auto m = CoverageMatrix::TryCompute(
                 graph, annotations, metrics_, options_.coverage, parallel);
+            if (m.ok()) coverage_ = std::move(*m);
+            task_status[task] = m.status();
             break;
+          }
         }
       },
-      parallel.threads);
-  SSUM_CHECK(st.ok(), st.ToString());
+      parallel);
+  SSUM_RETURN_NOT_OK(st);
+  for (const Status& ts : task_status) SSUM_RETURN_NOT_OK(ts);
   if (cache != nullptr && !have_affinity) {
     Status stored = cache->StoreMatrix(ArtifactCache::kAffinityFamily, key,
                                        affinity_.matrix());
@@ -115,6 +141,7 @@ SummarizerContext::SummarizerContext(const SchemaGraph& graph,
     }
   }
   dominance_ = ComputeDominance(graph, annotations, coverage_);
+  return Status::OK();
 }
 
 namespace {
@@ -184,14 +211,24 @@ struct ShardBest {
 };
 
 /// Evaluates `count` combinations in lexicographic order starting at `idx`,
-/// keeping the first maximum encountered (the serial rule).
+/// keeping the first maximum encountered (the serial rule). The deadline is
+/// checked every 4096 combinations — a shard can hold the whole rank space
+/// (serial scan), so the per-chunk check in ParallelForChunked is not
+/// granular enough on its own. On expiry `*status` is set and the partial
+/// best is returned (the caller discards it).
 ShardBest ScanCombinations(const SummarizerContext& context,
                            const std::vector<ElementId>& cands,
-                           std::vector<size_t> idx, uint64_t count) {
+                           std::vector<size_t> idx, uint64_t count,
+                           Status* status) {
+  const Deadline& deadline = context.options().parallel.deadline;
   const size_t k = idx.size();
   ShardBest best;
   std::vector<ElementId> cur(k);
   for (uint64_t it = 0; it < count; ++it) {
+    if ((it & 0xFFFu) == 0u) {
+      *status = deadline.Check("MaxCoverage enumeration");
+      if (!status->ok()) return best;
+    }
     for (size_t i = 0; i < k; ++i) cur[i] = cands[idx[i]];
     double cov = CoverageOfSet(context.graph(), context.affinity(),
                                context.coverage(), cur);
@@ -209,9 +246,9 @@ ShardBest ScanCombinations(const SummarizerContext& context,
 /// are reduced in rank order with ties broken toward the lexicographically
 /// smaller index vector — exactly the serial loop's "first maximum wins"
 /// rule, so every thread count selects the same set.
-std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
-                                        const std::vector<ElementId>& cands,
-                                        size_t k, uint64_t total) {
+Result<std::vector<ElementId>> ExactMaxCoverage(
+    const SummarizerContext& context, const std::vector<ElementId>& cands,
+    size_t k, uint64_t total) {
   const size_t n = cands.size();
   // Sharding only pays when each shard has its own core: requesting more
   // threads than the hardware offers just adds scheduling overhead on top of
@@ -229,15 +266,19 @@ std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
                              ? total
                              : total / (width * 4) + 1;
   std::vector<ShardBest> shards(ParallelNumChunks(0, total, grain));
+  std::vector<Status> shard_status(shards.size());
+  ParallelOptions shard_options = context.options().parallel;
+  shard_options.threads = static_cast<uint32_t>(width);
   Status st = ParallelForChunked(
       0, static_cast<size_t>(total), static_cast<size_t>(grain),
       [&](size_t shard, size_t rank_begin, size_t rank_end) {
         shards[shard] =
             ScanCombinations(context, cands, UnrankCombination(n, k, rank_begin),
-                             rank_end - rank_begin);
+                             rank_end - rank_begin, &shard_status[shard]);
       },
-      static_cast<uint32_t>(width));
-  SSUM_CHECK(st.ok(), st.ToString());
+      shard_options);
+  SSUM_RETURN_NOT_OK(st);
+  for (const Status& s : shard_status) SSUM_RETURN_NOT_OK(s);
   ShardBest best;
   for (const ShardBest& s : shards) {
     if (s.idx.empty()) continue;
@@ -251,9 +292,9 @@ std::vector<ElementId> ExactMaxCoverage(const SummarizerContext& context,
   return out;
 }
 
-std::vector<ElementId> GreedyMaxCoverage(const SummarizerContext& context,
-                                         const std::vector<ElementId>& cands,
-                                         size_t k) {
+Result<std::vector<ElementId>> GreedyMaxCoverage(
+    const SummarizerContext& context, const std::vector<ElementId>& cands,
+    size_t k) {
   std::vector<ElementId> chosen;
   std::vector<bool> used(context.graph().size(), false);
   chosen.reserve(k);
@@ -271,8 +312,8 @@ std::vector<ElementId> GreedyMaxCoverage(const SummarizerContext& context,
           cov[i] = CoverageOfSet(context.graph(), context.affinity(),
                                  context.coverage(), trial);
         },
-        context.options().parallel.threads);
-    SSUM_CHECK(st.ok(), st.ToString());
+        context.options().parallel);
+    SSUM_RETURN_NOT_OK(st);
     ElementId best = kInvalidElement;
     double best_cov = -1.0;
     for (size_t i = 0; i < cands.size(); ++i) {
@@ -339,8 +380,10 @@ Result<std::vector<ElementId>> SelectMaxCoverage(
     ApproxCoverOptions approx;
     approx.epsilon = context.options().approx_epsilon;
     approx.parallel = context.options().parallel;
-    std::vector<ElementId> out =
-        ApproxMaxCoverage(context.graph(), context.coverage(), cands, k, approx);
+    std::vector<ElementId> out;
+    SSUM_ASSIGN_OR_RETURN(out, TryApproxMaxCoverage(context.graph(),
+                                                    context.coverage(), cands,
+                                                    k, approx));
     // The sketches can run out of positive marginal gain before k; top up
     // the same way the degenerate branch does.
     for (ElementId e = 0; e < context.graph().size() && out.size() < k; ++e) {
@@ -444,6 +487,7 @@ Result<std::vector<ElementId>> SelectBalanced(const SummarizerContext& context,
 
 Result<SchemaSummary> Summarize(const SummarizerContext& context, size_t k,
                                 Algorithm algorithm) {
+  SSUM_RETURN_NOT_OK(context.options().parallel.deadline.Check("summarize"));
   std::vector<ElementId> selected;
   switch (algorithm) {
     case Algorithm::kMaxImportance:
@@ -464,8 +508,9 @@ Result<SchemaSummary> Summarize(const SchemaGraph& graph,
                                 const Annotations& annotations, size_t k,
                                 Algorithm algorithm,
                                 const SummarizeOptions& options) {
-  SummarizerContext context(graph, annotations, options);
-  return Summarize(context, k, algorithm);
+  auto context = SummarizerContext::Make(graph, annotations, options);
+  SSUM_RETURN_NOT_OK(context.status());
+  return Summarize(*context, k, algorithm);
 }
 
 Fingerprint SummaryFingerprint(const SchemaGraph& graph,
@@ -502,13 +547,15 @@ Result<SchemaSummary> Summarize(const SchemaGraph& graph,
   // Three cache layers, each a strict subset of the work below it: a summary
   // hit skips everything; otherwise the context constructor tries the two
   // matrices; whatever was computed is installed for the next invocation.
+  SSUM_RETURN_NOT_OK(options.parallel.deadline.Check("summarize"));
   if (cache == nullptr) return Summarize(graph, annotations, k, algorithm, options);
   const Fingerprint key =
       SummaryFingerprint(graph, annotations, options, k, algorithm);
   if (auto hit = cache->LoadSummary(graph, key)) return std::move(*hit);
-  SummarizerContext context(graph, annotations, options, cache);
+  auto context = SummarizerContext::Make(graph, annotations, options, cache);
+  SSUM_RETURN_NOT_OK(context.status());
   SchemaSummary summary;
-  SSUM_ASSIGN_OR_RETURN(summary, Summarize(context, k, algorithm));
+  SSUM_ASSIGN_OR_RETURN(summary, Summarize(*context, k, algorithm));
   if (Status s = cache->StoreSummary(key, summary); !s.ok()) {
     SSUM_LOG(kWarning) << "summary install failed: " << s.ToString();
   }

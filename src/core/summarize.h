@@ -82,6 +82,16 @@ class SummarizerContext {
   SummarizerContext(const SchemaGraph& graph, const Annotations& annotations,
                     const SummarizeOptions& options, ArtifactCache* cache);
 
+  /// Construction that propagates instead of aborting: an expired
+  /// `options.parallel.deadline` surfaces as kDeadlineExceeded (checked on
+  /// entry and between matrix row blocks). The legacy constructors wrap this
+  /// and abort, matching their historical contract. `graph` and
+  /// `annotations` must outlive the context.
+  static Result<SummarizerContext> Make(const SchemaGraph& graph,
+                                        const Annotations& annotations,
+                                        const SummarizeOptions& options = {},
+                                        ArtifactCache* cache = nullptr);
+
   const SchemaGraph& graph() const { return *graph_; }
   const Annotations& annotations() const { return *annotations_; }
   const SummarizeOptions& options() const { return options_; }
@@ -96,8 +106,12 @@ class SummarizerContext {
   int matrices_loaded_from_cache() const { return matrices_from_cache_; }
 
  private:
-  const SchemaGraph* graph_;
-  const Annotations* annotations_;
+  SummarizerContext() = default;  // Make()/Init() fill every member
+  Status Init(const SchemaGraph& graph, const Annotations& annotations,
+              const SummarizeOptions& options, ArtifactCache* cache);
+
+  const SchemaGraph* graph_ = nullptr;
+  const Annotations* annotations_ = nullptr;
   SummarizeOptions options_;
   EdgeMetrics metrics_;
   ImportanceResult importance_;

@@ -207,6 +207,7 @@ Result<Annotations> AnnotateUnits(const ShardedInstanceSource& source,
 
 Result<Annotations> AnnotateSchemaSharded(const ShardedInstanceSource& source,
                                           const ShardedAnnotateOptions& options) {
+  SSUM_RETURN_NOT_OK(options.parallel.deadline.Check("sharded annotation"));
   const uint64_t units = source.NumUnits();
   uint64_t shards = options.shards;
   if (shards == 0) {
@@ -223,6 +224,9 @@ Result<Annotations> AnnotateSchemaSharded(const ShardedInstanceSource& source,
   // One private Annotations per shard; ParallelFor's chunk schedule never
   // affects which shard writes which slot, so the reduction below is the
   // same for any thread count.
+  // Passing the full ParallelOptions (not just the width) is what carries
+  // the deadline to every shard claim: an expired budget fails the
+  // remaining shards with kDeadlineExceeded instead of parsing them.
   std::vector<Annotations> parts(shards);
   std::vector<Status> statuses(shards, Status::OK());
   SSUM_RETURN_NOT_OK(ParallelFor(
@@ -236,7 +240,7 @@ Result<Annotations> AnnotateSchemaSharded(const ShardedInstanceSource& source,
           statuses[s] = part.status();
         }
       },
-      options.parallel.threads));
+      options.parallel));
   for (const Status& s : statuses) SSUM_RETURN_NOT_OK(s);
   // Counter addition is associative and commutative over uint64, but merge
   // in index order anyway: the reduction order is then a fixed, documented

@@ -26,6 +26,8 @@ std::string RenderCounters(const CacheCounters& c) {
   out += "\ncorrupt\t" + std::to_string(c.corrupt);
   out += "\nforeign\t" + std::to_string(c.foreign);
   out += "\nmismatch\t" + std::to_string(c.mismatch);
+  out += "\nquarantined\t" + std::to_string(c.quarantined);
+  out += "\nhealed\t" + std::to_string(c.healed);
   out += "\n";
   return out;
 }
@@ -47,6 +49,8 @@ CacheCounters ParseCounters(const std::string& text) {
     else if (fields[0] == "corrupt") c.corrupt = v;
     else if (fields[0] == "foreign") c.foreign = v;
     else if (fields[0] == "mismatch") c.mismatch = v;
+    else if (fields[0] == "quarantined") c.quarantined = v;
+    else if (fields[0] == "healed") c.healed = v;
   }
   return c;
 }
@@ -64,20 +68,18 @@ CacheCounters& CacheCounters::operator+=(const CacheCounters& other) {
   corrupt += other.corrupt;
   foreign += other.foreign;
   mismatch += other.mismatch;
+  quarantined += other.quarantined;
+  healed += other.healed;
   return *this;
 }
 
-ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {}
+ArtifactCache::ArtifactCache(std::string dir)
+    : ArtifactCache(std::move(dir), Env::Default()) {}
 
-Status ArtifactCache::EnsureDir() const {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) {
-    return Status::IoError("cannot create cache directory '" + dir_ +
-                           "': " + ec.message());
-  }
-  return Status::OK();
-}
+ArtifactCache::ArtifactCache(std::string dir, Env* env, RetryPolicy retry)
+    : dir_(std::move(dir)), env_(env), retry_(std::move(retry)) {}
+
+Status ArtifactCache::EnsureDir() const { return env_->CreateDirs(dir_); }
 
 std::string ArtifactCache::PathFor(const char* family,
                                    const Fingerprint& key) const {
@@ -95,6 +97,7 @@ void ArtifactCache::LogOnce(const std::string& path,
 
 void ArtifactCache::CountMiss(const std::string& path, const Status& why,
                               bool foreign) {
+  bool corrupt = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.misses;
@@ -102,6 +105,7 @@ void ArtifactCache::CountMiss(const std::string& path, const Status& why,
       ++counters_.foreign;
     } else if (why.IsDataLoss() || why.IsOutOfRange()) {
       ++counters_.corrupt;
+      corrupt = true;
     } else if (why.IsFailedPrecondition()) {
       ++counters_.mismatch;
     }
@@ -114,13 +118,48 @@ void ArtifactCache::CountMiss(const std::string& path, const Status& why,
             "'" + path + "' failed verification (" + why.ToString() +
                 "); treating as a miss, the artifact will be recomputed");
   }
+  // Quarantine-and-heal: move the provably bad bytes aside so they cannot
+  // fail another lookup, and let the caller's recompute reinstall over the
+  // key. Wrong bytes (DataLoss/OutOfRange) are quarantined; absent files,
+  // version skew, and shape mismatches are not — those bytes are fine.
+  if (corrupt) Quarantine(path);
+}
+
+bool ArtifactCache::Quarantine(const std::string& path) {
+  const std::string qdir = dir_ + "/.quarantine";
+  if (!env_->CreateDirs(qdir).ok()) return false;
+  const size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (!env_->RenameFile(path, qdir + "/" + name).ok()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.quarantined;
+    quarantine_pending_.insert(path);
+  }
+  LogOnce(path + "#quarantined",
+          "'" + path + "' quarantined to " + qdir +
+              "/; the next install of the key heals it");
+  return true;
+}
+
+Result<std::string> ArtifactCache::ReadWithRetry(
+    const std::string& path) const {
+  std::string out;
+  SSUM_RETURN_NOT_OK(RunWithRetry(retry_, "cache read", [&]() -> Status {
+    auto bytes = env_->ReadFile(path);
+    if (!bytes.ok()) return bytes.status();
+    out = std::move(*bytes);
+    return Status::OK();
+  }));
+  return out;
 }
 
 std::optional<std::string> ArtifactCache::LoadVerified(const char* family,
                                                        const Fingerprint& key,
                                                        uint32_t kind) {
   const std::string path = PathFor(family, key);
-  auto bytes = ReadFileBytes(path);
+  auto bytes = ReadWithRetry(path);
   if (!bytes.ok()) {
     CountMiss(path, bytes.status(), /*foreign=*/false);
     return std::nullopt;
@@ -158,9 +197,15 @@ std::optional<std::string> ArtifactCache::LoadVerified(const char* family,
 Status ArtifactCache::StoreBytes(const char* family, const Fingerprint& key,
                                  std::string_view bytes) {
   SSUM_RETURN_NOT_OK(EnsureDir());
-  SSUM_RETURN_NOT_OK(AtomicWriteFile(PathFor(family, key), bytes));
+  const std::string path = PathFor(family, key);
+  // Each retry attempt re-runs the whole atomic install (fresh tmp file);
+  // a failed attempt already cleaned its staging file up best-effort.
+  SSUM_RETURN_NOT_OK(RunWithRetry(retry_, "cache install", [&]() -> Status {
+    return AtomicWriteFile(env_, path, bytes);
+  }));
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.installs;
+  if (quarantine_pending_.erase(path) > 0) ++counters_.healed;
   return Status::OK();
 }
 
@@ -239,7 +284,8 @@ Status ArtifactCache::FlushCounters() {
     std::lock_guard<std::mutex> lock(mutex_);
     session = counters_;
   }
-  if (session.hits == 0 && session.misses == 0 && session.installs == 0) {
+  if (session.hits == 0 && session.misses == 0 && session.installs == 0 &&
+      session.quarantined == 0 && session.healed == 0) {
     return Status::OK();
   }
   SSUM_RETURN_NOT_OK(EnsureDir());
@@ -247,7 +293,7 @@ Status ArtifactCache::FlushCounters() {
   auto persisted = ReadPersistentCounters();
   if (persisted.ok()) total = *persisted;
   total += session;
-  SSUM_RETURN_NOT_OK(AtomicWriteFile(dir_ + "/" + kCountersFile,
+  SSUM_RETURN_NOT_OK(AtomicWriteFile(env_, dir_ + "/" + kCountersFile,
                                      RenderCounters(total)));
   std::lock_guard<std::mutex> lock(mutex_);
   counters_ = CacheCounters{};
@@ -255,7 +301,7 @@ Status ArtifactCache::FlushCounters() {
 }
 
 Result<CacheCounters> ArtifactCache::ReadPersistentCounters() const {
-  auto bytes = ReadFileBytes(dir_ + "/" + kCountersFile);
+  auto bytes = ReadWithRetry(dir_ + "/" + kCountersFile);
   if (!bytes.ok()) {
     if (bytes.status().IsNotFound()) return CacheCounters{};
     return bytes.status();
@@ -275,7 +321,7 @@ Result<std::vector<CacheEntry>> ArtifactCache::List() const {
     CacheEntry entry;
     entry.file = dirent.path().filename().string();
     entry.bytes = dirent.file_size(ec);
-    auto bytes = ReadFileBytes(dirent.path().string());
+    auto bytes = ReadFileBytes(env_, dirent.path().string());
     if (bytes.ok()) {
       auto info = PeekContainer(*bytes);
       if (info.ok()) {
@@ -297,29 +343,32 @@ Result<std::vector<CacheEntry>> ArtifactCache::List() const {
   return entries;
 }
 
-Result<ArtifactCache::VerifyReport> ArtifactCache::Verify() const {
+Result<ArtifactCache::VerifyReport> ArtifactCache::Verify(
+    bool quarantine_corrupt) {
   VerifyReport report;
   std::vector<CacheEntry> entries;
   SSUM_ASSIGN_OR_RETURN(entries, List());
   for (const CacheEntry& entry : entries) {
     const std::string path = dir_ + "/" + entry.file;
-    auto bytes = ReadFileBytes(path);
+    bool corrupt = false;
+    auto bytes = ReadFileBytes(env_, path);
     if (!bytes.ok()) {
-      ++report.corrupt;
-      report.corrupt_files.push_back(entry.file);
-      continue;
-    }
-    auto info = PeekContainer(*bytes);
-    if (info.ok() && info->format_version != kContainerFormatVersion) {
-      ++report.foreign;  // other generations are not ours to judge
-      continue;
-    }
-    if (info.ok() && ParseContainer(*bytes).ok()) {
-      ++report.ok;
+      corrupt = true;
     } else {
-      ++report.corrupt;
-      report.corrupt_files.push_back(entry.file);
+      auto info = PeekContainer(*bytes);
+      if (info.ok() && info->format_version != kContainerFormatVersion) {
+        ++report.foreign;  // other generations are not ours to judge
+        continue;
+      }
+      corrupt = !(info.ok() && ParseContainer(*bytes).ok());
     }
+    if (!corrupt) {
+      ++report.ok;
+      continue;
+    }
+    ++report.corrupt;
+    report.corrupt_files.push_back(entry.file);
+    if (quarantine_corrupt && Quarantine(path)) ++report.quarantined;
   }
   return report;
 }
@@ -341,6 +390,17 @@ Result<uint64_t> ArtifactCache::Clear() {
   if (ec) {
     return Status::IoError("cannot clear cache directory '" + dir_ +
                            "': " + ec.message());
+  }
+  // Quarantined containers are cache files too.
+  const fs::path qdir = fs::path(dir_) / ".quarantine";
+  std::error_code qec;
+  if (fs::exists(qdir, qec)) {
+    for (const auto& dirent : fs::directory_iterator(qdir, qec)) {
+      if (qec) break;
+      if (!dirent.is_regular_file(qec)) continue;
+      if (fs::remove(dirent.path(), qec)) ++removed;
+    }
+    fs::remove(qdir, qec);  // the now-empty directory itself
   }
   return removed;
 }

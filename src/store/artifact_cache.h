@@ -7,7 +7,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/path_engine.h"
 #include "core/summary.h"
 #include "schema/schema_graph.h"
@@ -20,7 +22,10 @@ namespace ssum {
 /// `corrupt` / `foreign` / `mismatch` break down *why* beyond plain
 /// absence (corrupt = checksum/structure failure, foreign = other format
 /// version or unknown payload kind — a clean miss by policy, mismatch =
-/// decoded fine but shaped for a different schema).
+/// decoded fine but shaped for a different schema). `quarantined` counts
+/// corrupt containers moved aside to `.quarantine/`; `healed` counts
+/// reinstalls over a previously quarantined key (the recover half of
+/// quarantine-and-heal, docs/robustness.md).
 struct CacheCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -28,6 +33,8 @@ struct CacheCounters {
   uint64_t corrupt = 0;
   uint64_t foreign = 0;
   uint64_t mismatch = 0;
+  uint64_t quarantined = 0;
+  uint64_t healed = 0;
 
   CacheCounters& operator+=(const CacheCounters& other);
 };
@@ -67,7 +74,14 @@ class ArtifactCache {
 
   explicit ArtifactCache(std::string dir);
 
+  /// All IO goes through `env` (not owned; outlives the cache) and
+  /// transient IoError failures are retried per `retry`. The default
+  /// constructor uses Env::Default() and the default RetryPolicy; tests and
+  /// the crash-consistency sweeps pass a FaultInjectingEnv.
+  ArtifactCache(std::string dir, Env* env, RetryPolicy retry = {});
+
   const std::string& dir() const { return dir_; }
+  Env* env() const { return env_; }
 
   /// Creates the cache directory (and parents) if absent.
   Status EnsureDir() const;
@@ -108,16 +122,20 @@ class ArtifactCache {
     uint64_t ok = 0;
     uint64_t corrupt = 0;
     uint64_t foreign = 0;  ///< other format versions / unknown kinds: skipped
+    uint64_t quarantined = 0;  ///< corrupt files moved to .quarantine/
     std::vector<std::string> corrupt_files;
   };
 
   /// Fully re-verifies every container (all checksums). Foreign-version
   /// files are skipped, not failed — a shared cache directory may legally
-  /// hold containers written by other format generations.
-  Result<VerifyReport> Verify() const;
+  /// hold containers written by other format generations. With
+  /// `quarantine_corrupt`, every corrupt container is moved to
+  /// `.quarantine/` so the next lookup is a clean miss (what `ssum cache
+  /// verify` does).
+  Result<VerifyReport> Verify(bool quarantine_corrupt = false);
 
-  /// Removes every cache file (containers, counters, stray temp files).
-  /// Returns the number of files removed.
+  /// Removes every cache file (containers, counters, stray temp files,
+  /// quarantined containers). Returns the number of files removed.
   Result<uint64_t> Clear();
 
  private:
@@ -132,11 +150,21 @@ class ArtifactCache {
                     std::string_view bytes);
   void CountMiss(const std::string& path, const Status& why, bool foreign);
   void LogOnce(const std::string& path, const std::string& message);
+  /// Reads a file through env_, retrying transient IoErrors per retry_.
+  Result<std::string> ReadWithRetry(const std::string& path) const;
+  /// Moves a corrupt container into `.quarantine/` (best effort) and
+  /// remembers the path so its reinstall counts as a heal. True when the
+  /// file was actually moved.
+  bool Quarantine(const std::string& path);
 
   std::string dir_;
+  Env* env_;
+  RetryPolicy retry_;
   mutable std::mutex mutex_;
   CacheCounters counters_;
   std::unordered_set<std::string> logged_;
+  /// Paths quarantined by this instance, pending a healing reinstall.
+  std::unordered_set<std::string> quarantine_pending_;
 };
 
 }  // namespace ssum

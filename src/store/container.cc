@@ -2,12 +2,8 @@
 
 #include <unistd.h>
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iterator>
-#include <system_error>
+#include <memory>
 
 #include "common/hash.h"
 #include "common/status_builder.h"
@@ -183,8 +179,8 @@ std::string ContainerWriter::Finish() && {
   return out;
 }
 
-Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
-  namespace fs = std::filesystem;
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view bytes) {
   // Unique-enough temp name: pid + address entropy keeps concurrent
   // installers of the same artifact from clobbering each other's staging
   // file; the final rename is last-writer-wins either way.
@@ -192,41 +188,38 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
       path + ".tmp." + std::to_string(static_cast<unsigned long>(getpid())) +
       "." + HashToHex(reinterpret_cast<uintptr_t>(&path) ^
                       HashBytes(path));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open '" + tmp + "' for writing");
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      return Status::IoError("write failed for '" + tmp + "'");
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code rm_ec;
-    fs::remove(tmp, rm_ec);
-    return Status::IoError("rename '" + tmp + "' -> '" + path +
-                           "' failed: " + ec.message());
-  }
-  return Status::OK();
+  Status st = [&]() -> Status {
+    std::unique_ptr<WritableFile> out;
+    SSUM_ASSIGN_OR_RETURN(out, env->NewWritableFile(tmp));
+    SSUM_RETURN_NOT_OK(out->Append(bytes));
+    SSUM_RETURN_NOT_OK(out->Flush());
+    // Durability barrier: the tmp file's bytes must be on media *before*
+    // the rename publishes them, or a crash could expose a renamed
+    // half-write as the current artifact.
+    SSUM_RETURN_NOT_OK(out->Sync());
+    SSUM_RETURN_NOT_OK(out->Close());
+    SSUM_RETURN_NOT_OK(env->RenameFile(tmp, path));
+    // And the rename itself: fsync the directory so the publish survives a
+    // crash too (the file was durable; the directory entry must be).
+    const size_t slash = path.find_last_of('/');
+    const std::string parent =
+        slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+    return env->SyncDir(parent);
+  }();
+  if (!st.ok()) (void)env->RemoveFile(tmp);  // best-effort staging cleanup
+  return st;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  return AtomicWriteFile(Env::Default(), path, bytes);
+}
+
+Result<std::string> ReadFileBytes(Env* env, const std::string& path) {
+  return env->ReadFile(path);
 }
 
 Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec)) {
-      return Status::NotFound("'" + path + "' does not exist");
-    }
-    return Status::IoError("cannot open '" + path + "'");
-  }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
-  return bytes;
+  return Env::Default()->ReadFile(path);
 }
 
 }  // namespace ssum

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 
 namespace ssum {
@@ -113,13 +114,21 @@ class ContainerWriter {
   std::string body_;  // section stream, accumulated
 };
 
-/// Writes `bytes` to `path` atomically: write to "<path>.tmp.<unique>" in
-/// the same directory, flush, then rename over the target. Readers never
-/// observe a half-written container; a crash leaves at worst a stale .tmp
-/// file, which cache maintenance sweeps.
+/// Writes `bytes` to `path` atomically and durably through `env`: write to
+/// "<path>.tmp.<unique>" in the same directory, flush, **fsync**, close,
+/// rename over the target, then fsync the parent directory. The fsync
+/// before the rename is the durability barrier: a crash at any step leaves
+/// either the old file or the complete new file — never a renamed
+/// half-write — and at worst a stale .tmp file, which cache maintenance
+/// sweeps. A failed step after the tmp file exists unlinks it (best
+/// effort).
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view bytes);
+/// Convenience over Env::Default().
 Status AtomicWriteFile(const std::string& path, std::string_view bytes);
 
 /// Reads a whole file; NotFound when it does not exist, IoError otherwise.
+Result<std::string> ReadFileBytes(Env* env, const std::string& path);
 Result<std::string> ReadFileBytes(const std::string& path);
 
 }  // namespace ssum

@@ -117,11 +117,12 @@ Status XmlInstanceStream::AcceptUnits(uint64_t begin, uint64_t end,
 }
 
 Result<Annotations> AnnotateXmlDocument(const SchemaGraph& schema,
-                                        const XmlDocument& doc) {
+                                        const XmlDocument& doc,
+                                        const ShardedAnnotateOptions& options) {
   // Sharded over the root's top-level children — bit-identical to the
   // serial walk for any shard/thread count, parallel for large documents.
   XmlInstanceStream stream(&schema, &doc);
-  return AnnotateSchemaSharded(stream);
+  return AnnotateSchemaSharded(stream, options);
 }
 
 }  // namespace ssum

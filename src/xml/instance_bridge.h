@@ -57,8 +57,11 @@ class XmlInstanceStream : public InstanceStream,
   std::vector<std::vector<std::pair<LinkId, std::string>>> carriers_;
 };
 
-/// Convenience: annotates `doc` against an explicit schema.
+/// Convenience: annotates `doc` against an explicit schema. `options`
+/// carries the shard/thread split and the cooperative deadline (checked at
+/// shard boundaries; an expired budget returns kDeadlineExceeded).
 Result<Annotations> AnnotateXmlDocument(const SchemaGraph& schema,
-                                        const XmlDocument& doc);
+                                        const XmlDocument& doc,
+                                        const ShardedAnnotateOptions& options = {});
 
 }  // namespace ssum

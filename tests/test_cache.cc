@@ -5,6 +5,8 @@
 #include <fstream>
 #include <string>
 
+#include "common/env.h"
+#include "common/retry.h"
 #include "core/summarize.h"
 #include "instance/data_tree.h"
 #include "schema/schema_builder.h"
@@ -344,6 +346,171 @@ TEST(CacheTest, ApproxAndExactSummariesNeverCollide) {
   ASSERT_TRUE(approx_hit.has_value());
   EXPECT_EQ(exact_hit->abstract_elements, exact->abstract_elements);
   EXPECT_EQ(approx_hit->abstract_elements, approx->abstract_elements);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistency: crash an install at every fault point, reopen the
+// cache with a healthy Env, and check the recovery invariant — the lookup
+// returns the old artifact, the new artifact, or a clean miss. It never
+// returns corrupt bytes as a hit.
+// ---------------------------------------------------------------------------
+
+TEST(CacheCrashTest, CrashAtEveryInstallStepNeverCorruptsAHit) {
+  Fixture f;
+  Annotations old_ann = f.MakeAnnotations();
+  Annotations new_ann = old_ann;
+  new_ann.set_card(f.bidder, new_ann.card(f.bidder) + 5);
+  Fingerprint key{0x51};
+
+  // Record the op sequence of one clean install through the cache
+  // (directory creation plus the atomic write barrier).
+  size_t fault_points;
+  {
+    FaultInjectingEnv probe(Env::Default());
+    ArtifactCache probe_cache(MakeCacheDir("crash_probe"), &probe);
+    ASSERT_TRUE(probe_cache.StoreAnnotations(key, new_ann).ok());
+    fault_points = probe.total_ops();
+  }
+  ASSERT_GE(fault_points, 6u);
+
+  for (size_t crash_at = 0; crash_at < fault_points; ++crash_at) {
+    for (bool preexisting : {false, true}) {
+      std::string dir =
+          MakeCacheDir("crash_" + std::to_string(crash_at) +
+                       (preexisting ? "_old" : "_fresh"));
+      if (preexisting) {
+        ArtifactCache seed(dir);
+        ASSERT_TRUE(seed.StoreAnnotations(key, old_ann).ok());
+      }
+      {
+        // Permanent fault at `crash_at`: every subsequent env op fails
+        // too, simulating a power cut mid-install (no cleanup runs).
+        FaultInjectingEnv env(Env::Default());
+        env.FailAtOpIndex(crash_at, FaultKind::kEio);
+        ArtifactCache dying(dir, &env);
+        EXPECT_FALSE(dying.StoreAnnotations(key, new_ann).ok())
+            << "crash_at=" << crash_at;
+      }
+      // Recovery: a fresh process over the same directory.
+      ArtifactCache cache(dir);
+      auto hit = cache.LoadAnnotations(f.schema, key);
+      if (hit.has_value()) {
+        EXPECT_TRUE(*hit == old_ann || *hit == new_ann)
+            << "crash_at=" << crash_at << ": hit is neither artifact";
+      } else {
+        // A miss is legal only as a *clean* miss or a detected-and-
+        // quarantined corruption — never silent acceptance of bad bytes.
+        EXPECT_EQ(cache.session_counters().misses, 1u)
+            << "crash_at=" << crash_at;
+      }
+      // Either way the caller's recompute-and-reinstall path must recover
+      // completely.
+      ASSERT_TRUE(cache.StoreAnnotations(key, new_ann).ok())
+          << "crash_at=" << crash_at;
+      auto healed = cache.LoadAnnotations(f.schema, key);
+      ASSERT_TRUE(healed.has_value()) << "crash_at=" << crash_at;
+      EXPECT_EQ(*healed, new_ann) << "crash_at=" << crash_at;
+    }
+  }
+}
+
+TEST(CacheCrashTest, TransientFaultsHealInsideTheCacheRetryLoop) {
+  Fixture f;
+  Annotations ann = f.MakeAnnotations();
+  Fingerprint key{0x52};
+  for (const char* spec :
+       {"sync#1=eio~", "rename#1=eio~", "write#1=torn:9~", "read#1=eio~"}) {
+    FaultInjectingEnv env(Env::Default());
+    ASSERT_TRUE(env.LoadSchedule(spec).ok()) << spec;
+    RetryPolicy policy;
+    policy.sleeper = [](uint64_t) {};  // don't actually sleep in tests
+    ArtifactCache cache(MakeCacheDir("transient"), &env, policy);
+    ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok()) << spec;
+    auto hit = cache.LoadAnnotations(f.schema, key);
+    ASSERT_TRUE(hit.has_value()) << spec;
+    EXPECT_EQ(*hit, ann) << spec;
+    EXPECT_GE(env.faults_injected(), 1u) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine and heal
+// ---------------------------------------------------------------------------
+
+TEST(CacheQuarantineTest, CorruptLookupQuarantinesThenReinstallHeals) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("quarantine"));
+  Annotations ann = f.MakeAnnotations();
+  Fingerprint key{0x53};
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());
+  std::string path =
+      ContainerPath(cache, ArtifactCache::kAnnotationsFamily, key);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string bad = *bytes;
+  bad[kContainerHeaderSize + 8] ^= 0x10;
+  ASSERT_TRUE(AtomicWriteFile(path, bad).ok());
+
+  // Corrupt lookup: miss + the evidence moves aside instead of being
+  // destroyed or re-read forever.
+  EXPECT_FALSE(cache.LoadAnnotations(f.schema, key).has_value());
+  EXPECT_EQ(cache.session_counters().corrupt, 1u);
+  EXPECT_EQ(cache.session_counters().quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::string qdir = cache.dir() + "/.quarantine";
+  ASSERT_TRUE(std::filesystem::exists(qdir));
+  size_t quarantined_files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(qdir)) {
+    (void)e;
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, 1u);
+
+  // Reinstalling over the quarantined path is the heal.
+  ASSERT_TRUE(cache.StoreAnnotations(key, ann).ok());
+  EXPECT_EQ(cache.session_counters().healed, 1u);
+  auto hit = cache.LoadAnnotations(f.schema, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, ann);
+
+  // Counters round-trip through the persistent ledger.
+  ASSERT_TRUE(cache.FlushCounters().ok());
+  auto lifetime = cache.ReadPersistentCounters();
+  ASSERT_TRUE(lifetime.ok());
+  EXPECT_EQ(lifetime->quarantined, 1u);
+  EXPECT_EQ(lifetime->healed, 1u);
+
+  // Clear() also empties the quarantine area.
+  ASSERT_TRUE(cache.Clear().ok());
+  EXPECT_FALSE(std::filesystem::exists(qdir));
+}
+
+TEST(CacheQuarantineTest, VerifyCanQuarantineCorruptEntries) {
+  Fixture f;
+  ArtifactCache cache(MakeCacheDir("verify_q"));
+  Annotations ann = f.MakeAnnotations();
+  ASSERT_TRUE(cache.StoreAnnotations(Fingerprint{1}, ann).ok());
+  ASSERT_TRUE(cache.StoreAnnotations(Fingerprint{2}, ann).ok());
+  std::string path =
+      ContainerPath(cache, ArtifactCache::kAnnotationsFamily, Fingerprint{2});
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string bad = *bytes;
+  bad[bad.size() - 1] ^= 0xff;
+  ASSERT_TRUE(AtomicWriteFile(path, bad).ok());
+
+  auto report = cache.Verify(/*quarantine_corrupt=*/true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ok, 1u);
+  EXPECT_EQ(report->corrupt, 1u);
+  EXPECT_EQ(report->quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // A second verify over the healed directory is clean.
+  auto again = cache.Verify(/*quarantine_corrupt=*/true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->corrupt, 0u);
+  EXPECT_EQ(again->quarantined, 0u);
 }
 
 TEST(CacheTest, OptionChangesChangeTheKey) {

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -112,6 +113,74 @@ TEST(CliTest, ErrorsPropagateAsNonZeroExit) {
   WriteFile(bad, "not a schema\n");
   EXPECT_NE(RunCli("summarize " + bad + " -k 3"), 0);
   EXPECT_NE(RunCli("demo unknown-dataset"), 0);
+}
+
+TEST(CliTest, DeadlineExceededExitsWithDedicatedCode) {
+  std::string xml = TempPath("shop3.xml");
+  std::string ssg = TempPath("shop3.ssg");
+  WriteFile(xml, kXml);
+  ASSERT_EQ(RunCli("infer " + xml + " -o " + ssg), 0);
+  // A zero budget is already expired before any work starts: the command
+  // must abort with the dedicated exit code, deterministically.
+  EXPECT_EQ(RunCli("summarize " + ssg + " -k 2 --deadline-ms 0"), 5);
+  EXPECT_EQ(RunCli("annotate " + ssg + " " + xml + " --deadline-ms 0"), 5);
+  // A generous budget changes nothing about the result path.
+  EXPECT_EQ(RunCli("summarize " + ssg + " -k 2 --deadline-ms 60000"), 0);
+  // Malformed budgets are usage errors, not deadline errors.
+  EXPECT_EQ(RunCli("summarize " + ssg + " -k 2 --deadline-ms -1"), 2);
+  EXPECT_EQ(RunCli("summarize " + ssg + " -k 2 --deadline-ms"), 2);
+}
+
+TEST(CliTest, CacheVerifyQuarantinesCorruptContainers) {
+  std::string xml = TempPath("shop4.xml");
+  std::string ssg = TempPath("shop4.ssg");
+  std::string cache_dir = TempPath("cli_cache");
+  std::filesystem::remove_all(cache_dir);
+  WriteFile(xml, kXml);
+  ASSERT_EQ(RunCli("infer " + xml + " -o " + ssg), 0);
+  ASSERT_EQ(
+      RunCli("summarize " + ssg + " -k 2 --cache-dir " + cache_dir), 0);
+
+  // Flip a byte in the middle of one installed container.
+  std::string victim;
+  for (const auto& e : std::filesystem::directory_iterator(cache_dir)) {
+    if (e.path().extension() == ".ssb") {
+      victim = e.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty()) << "summarize installed no containers";
+  {
+    std::ifstream in(victim, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  // First verify: reports + quarantines the corrupt container, exit 3.
+  std::string report;
+  EXPECT_EQ(RunCli("cache verify --cache-dir " + cache_dir, &report), 3);
+  EXPECT_NE(report.find("quarantined\t1"), std::string::npos) << report;
+  EXPECT_FALSE(std::filesystem::exists(victim));
+
+  // Second verify: the directory is clean again.
+  EXPECT_EQ(RunCli("cache verify --cache-dir " + cache_dir, &report), 0);
+  EXPECT_NE(report.find("corrupt\t0"), std::string::npos) << report;
+
+  // The lifetime ledger remembers the quarantine.
+  std::string stat;
+  EXPECT_EQ(RunCli("cache stat --cache-dir " + cache_dir, &stat), 0);
+  EXPECT_NE(stat.find("quarantined\t1"), std::string::npos) << stat;
+
+  // A warm re-run recomputes the quarantined artifact and heals it.
+  EXPECT_EQ(
+      RunCli("summarize " + ssg + " -k 2 --cache-dir " + cache_dir), 0);
+  EXPECT_EQ(RunCli("cache stat --cache-dir " + cache_dir, &stat), 0);
+  EXPECT_NE(stat.find("healed\t"), std::string::npos) << stat;
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "common/env.h"
+#include "common/retry.h"
 #include "core/summarize.h"
 #include "instance/data_tree.h"
 #include "schema/schema_builder.h"
@@ -310,6 +313,126 @@ TEST(ContainerTest, AtomicWriteReadBack) {
 TEST(ContainerTest, ReadMissingFileIsNotFound) {
   auto read = ReadFileBytes(testing::TempDir() + "/ssum_no_such_file.ssb");
   EXPECT_TRUE(read.status().IsNotFound()) << read.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistency sweep: fail AtomicWriteFile at *every* IO step and
+// check the invariant — the final path holds the complete old bytes, the
+// complete new bytes, or nothing. Never a torn container.
+// ---------------------------------------------------------------------------
+
+std::string MakeSweepDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/ssum_sweep_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void ExpectOldNewOrMissing(const std::string& path, const std::string& old_b,
+                           const std::string& new_b, const std::string& what) {
+  auto read = ReadFileBytes(path);
+  if (read.status().IsNotFound()) return;  // clean miss is legal
+  ASSERT_TRUE(read.ok()) << what << ": " << read.status().ToString();
+  EXPECT_TRUE(*read == old_b || *read == new_b)
+      << what << " left " << read->size() << " unexpected bytes at the final "
+      << "path (old=" << old_b.size() << "B new=" << new_b.size() << "B)";
+}
+
+TEST(CrashSweepTest, EveryFaultPointLeavesOldNewOrNothing) {
+  const std::string old_bytes = MakeTwoSectionContainer();
+  std::string new_bytes;
+  {
+    ContainerWriter w(PayloadKind::kAnnotations);
+    w.AddSection(7, "replacement payload with different length");
+    new_bytes = std::move(w).Finish();
+  }
+
+  // Trace one clean install to learn the op sequence, then replay it once
+  // per op index with a permanent fault at that index (crash semantics:
+  // every later op also fails, so no cleanup runs and tmp residue
+  // survives — exactly what a power cut leaves behind).
+  FaultInjectingEnv probe(Env::Default());
+  {
+    std::string dir = MakeSweepDir("probe");
+    ASSERT_TRUE(AtomicWriteFile(&probe, dir + "/k.ssb", new_bytes).ok());
+  }
+  const size_t fault_points = probe.total_ops();
+  ASSERT_GE(fault_points, 6u);  // open write flush sync rename syncdir
+
+  for (size_t crash_at = 0; crash_at < fault_points; ++crash_at) {
+    const std::string what =
+        "crash at op " + std::to_string(crash_at) + " (" +
+        FaultOpName(probe.history()[crash_at]) + ")";
+    for (bool preexisting : {false, true}) {
+      std::string dir =
+          MakeSweepDir("at" + std::to_string(crash_at) +
+                       (preexisting ? "_old" : "_fresh"));
+      std::string path = dir + "/k.ssb";
+      if (preexisting) {
+        ASSERT_TRUE(AtomicWriteFile(path, old_bytes).ok());
+      }
+      FaultInjectingEnv env(Env::Default());
+      env.FailAtOpIndex(crash_at, FaultKind::kEio);
+      Status st = AtomicWriteFile(&env, path, new_bytes);
+      EXPECT_TRUE(st.IsIoError()) << what << ": " << st.ToString();
+      ExpectOldNewOrMissing(path, preexisting ? old_bytes : "", new_bytes,
+                            what);
+      // Whatever survived at the final path must be a parseable container
+      // or absent — the reader never sees a torn write at the final path.
+      auto read = ReadFileBytes(path);
+      if (read.ok()) {
+        EXPECT_TRUE(ParseContainer(*read).ok()) << what;
+      }
+    }
+  }
+}
+
+TEST(CrashSweepTest, TornWritesNeverReachTheFinalPath) {
+  const std::string old_bytes = MakeTwoSectionContainer();
+  ContainerWriter w(PayloadKind::kAnnotations);
+  w.AddSection(3, "torn sweep payload");
+  const std::string new_bytes = std::move(w).Finish();
+
+  // Tear the single data write at every byte offset. The torn prefix may
+  // land in the *tmp* file, but rename never runs, so the final path keeps
+  // the old artifact bit-identically.
+  for (uint64_t keep = 0; keep <= new_bytes.size(); keep += 7) {
+    std::string dir = MakeSweepDir("torn" + std::to_string(keep));
+    std::string path = dir + "/k.ssb";
+    ASSERT_TRUE(AtomicWriteFile(path, old_bytes).ok());
+    FaultInjectingEnv env(Env::Default());
+    env.ScheduleFault({FaultOp::kWrite, 1, FaultKind::kTorn, keep,
+                       /*transient=*/false});
+    EXPECT_FALSE(AtomicWriteFile(&env, path, new_bytes).ok());
+    auto read = ReadFileBytes(path);
+    ASSERT_TRUE(read.ok()) << "keep=" << keep;
+    EXPECT_EQ(*read, old_bytes) << "keep=" << keep;
+  }
+}
+
+TEST(CrashSweepTest, TransientFaultsHealUnderRetry) {
+  const std::string bytes = MakeTwoSectionContainer();
+  // One transient fault per op kind of the install path: a single retry
+  // must produce a bit-identical artifact.
+  for (const char* spec :
+       {"open#1=eio~", "write#1=eio~", "write#1=torn:5~", "flush#1=eio~",
+        "sync#1=enospc~", "rename#1=eio~", "syncdir#1=eio~"}) {
+    std::string dir = MakeSweepDir(std::string("heal_") +
+                                   std::to_string(std::string(spec).find('#')) +
+                                   std::string(spec).substr(0, 4));
+    std::string path = dir + "/k.ssb";
+    FaultInjectingEnv env(Env::Default());
+    ASSERT_TRUE(env.LoadSchedule(spec).ok()) << spec;
+    RetryPolicy policy;
+    policy.sleeper = [](uint64_t) {};
+    Status st = RunWithRetry(policy, "install", [&]() {
+      return AtomicWriteFile(&env, path, bytes);
+    });
+    EXPECT_TRUE(st.ok()) << spec << ": " << st.ToString();
+    auto read = ReadFileBytes(path);
+    ASSERT_TRUE(read.ok()) << spec;
+    EXPECT_EQ(*read, bytes) << spec;
+  }
 }
 
 }  // namespace

@@ -19,6 +19,11 @@
 #   cache  warm-start cache round-trip via the CLI on the asan build:
 #          populate, assert the re-run recomputes nothing, corrupt a
 #          container, assert a graceful miss-and-recompute
+#   faults crash-consistency sweep on the asan build: the
+#          `robustness`-labelled fault-injection/deadline tests plus the
+#          store crash sweeps re-run under ASan/UBSan, then the
+#          fault_recovery bench runs its correctness gates (quarantine +
+#          heal + deadline abort) in --gate-only mode
 #   bench  bench-sanity gates on a dedicated Release tree (build-bench):
 #          parallel_scaling, annotate_scaling, walk_scaling, and
 #          approx_scaling in gate-only mode (determinism + regression +
@@ -213,6 +218,16 @@ XML
   echo "-- corruption classified, recomputed, and healed"
 }
 
+stage_faults() {
+  echo "== [$TOOLCHAIN] fault-injection crash sweep (labels: robustness|store, ASan/UBSan) =="
+  configure "$BUILD_ASAN" -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON
+  build_and_run_label "$BUILD_ASAN" 'robustness|store'
+  # Correctness gates of the robustness bench (timing gates skipped:
+  # sanitizer timings are meaningless).
+  cmake --build "$BUILD_ASAN" --target fault_recovery -j "$JOBS"
+  "$BUILD_ASAN/bench/fault_recovery" --gate-only
+}
+
 stage_bench() {
   # Benches run from a dedicated Release tree (the gated binaries refuse to
   # emit JSON from anything else, and the walk-engine speedup gate is only
@@ -241,6 +256,7 @@ case "$STAGE" in
   asan)  stage_asan ;;
   fuzz)  stage_fuzz ;;
   cache) stage_cache ;;
+  faults) stage_faults ;;
   bench) stage_bench ;;
   all)
     stage_build
@@ -251,10 +267,12 @@ case "$STAGE" in
     echo
     stage_cache
     echo
+    stage_faults
+    echo
     stage_bench
     ;;
   *)
-    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|bench|all] [jobs]" >&2
+    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|faults|bench|all] [jobs]" >&2
     exit 2
     ;;
 esac

@@ -18,6 +18,7 @@
 //   2  usage error (unknown command, missing arguments)
 //   3  bad input (parse errors, limit violations, missing/unreadable files)
 //   4  internal error (a library invariant failed — please report)
+//   5  deadline exceeded (--deadline-ms budget ran out before completion)
 
 #include <algorithm>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "common/parse_limits.h"
 #include "common/string_util.h"
@@ -60,10 +62,16 @@ constexpr int kExitOk = 0;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitInternal = 4;
+constexpr int kExitDeadline = 5;
 
 /// Parse limits for every file ingested by the CLI; adjusted by the global
 /// --max-input-bytes / --max-parse-depth flags before dispatch.
 ParseLimits g_limits = ParseLimits::Defaults();
+
+/// Wall-clock budget from --deadline-ms; unlimited when the flag is absent.
+/// Checked cooperatively at parallel-chunk and instance-shard boundaries —
+/// an expired budget aborts the command with kExitDeadline.
+Deadline g_deadline;
 
 /// Warm-start cache directory from --cache-dir / SSUM_CACHE_DIR; empty
 /// means caching is off and every command computes from scratch.
@@ -118,6 +126,11 @@ void PrintUsage(std::FILE* to) {
       "                       (default: hardware concurrency; 1 = serial;\n"
       "                       results are identical for every value).\n"
       "                       SSUM_THREADS overrides.\n"
+      "  --deadline-ms N      wall-clock budget for the command. Checked\n"
+      "                       cooperatively at parallel-chunk and\n"
+      "                       instance-shard boundaries; an expired budget\n"
+      "                       aborts with exit code 5 (0 aborts\n"
+      "                       immediately). Default: unlimited.\n"
       "  --max-input-bytes N  reject input files larger than N bytes\n"
       "                       (default: 536870912 = 512 MiB)\n"
       "  --max-parse-depth N  reject XML nested deeper than N levels\n"
@@ -128,7 +141,9 @@ void PrintUsage(std::FILE* to) {
       "  2  usage error (unknown command, missing arguments)\n"
       "  3  bad input (parse errors, limit violations, unreadable files);\n"
       "     the diagnostic carries line and byte-offset context\n"
-      "  4  internal error (a library invariant failed — please report)\n");
+      "  4  internal error (a library invariant failed — please report)\n"
+      "  5  deadline exceeded (--deadline-ms ran out; partial work is\n"
+      "     discarded, caches are never left corrupt)\n");
 }
 
 int Usage() {
@@ -154,6 +169,8 @@ int ExitCodeFor(const Status& status) {
     case StatusCode::kNotImplemented:
     case StatusCode::kInternal:
       return kExitInternal;
+    case StatusCode::kDeadlineExceeded:
+      return kExitDeadline;
   }
   return kExitInternal;
 }
@@ -244,7 +261,9 @@ int CmdAnnotate(const Args& args) {
   }
   auto doc = ReadXmlFile(args.positional[1], g_limits);
   if (!doc.ok()) return Fail(doc.status());
-  auto ann = AnnotateXmlDocument(*schema, *doc);
+  ShardedAnnotateOptions aopts;
+  aopts.parallel.deadline = g_deadline;
+  auto ann = AnnotateXmlDocument(*schema, *doc, aopts);
   if (!ann.ok()) return Fail(ann.status());
   if (cache != nullptr) {
     if (Status s = cache->StoreAnnotations(key, *ann); !s.ok()) {
@@ -322,6 +341,7 @@ int CmdSummarize(const Args& args) {
     if (!parsed.ok()) return Fail(parsed.status());
     options = *parsed;
   }
+  options.parallel.deadline = g_deadline;
   // The library's warm-start one-shot consults three cache layers: a summary
   // hit skips everything; otherwise the context constructor tries the two
   // matrices; whatever was computed is installed for the next invocation.
@@ -433,16 +453,21 @@ int CmdRelational(const Args& args) {
                    catalog->tables()[t].name.c_str(), db.table(t).num_rows());
     }
     RelationalInstanceStream stream(&*mapping, &db);
-    auto annotated = AnnotateSchemaSharded(stream);
+    ShardedAnnotateOptions aopts;
+    aopts.parallel.deadline = g_deadline;
+    auto annotated = AnnotateSchemaSharded(stream, aopts);
     if (!annotated.ok()) return Fail(annotated.status());
     ann = std::move(*annotated);
   } else {
     std::fprintf(stderr,
                  "ssum: no --data directory; using uniform statistics\n");
   }
-  SummarizerContext context(mapping->graph, ann, SummarizeOptions{},
-                            GetCache());
-  auto summary = Summarize(context, static_cast<size_t>(*k));
+  SummarizeOptions options;
+  options.parallel.deadline = g_deadline;
+  auto context =
+      SummarizerContext::Make(mapping->graph, ann, options, GetCache());
+  if (!context.ok()) return Fail(context.status());
+  auto summary = Summarize(*context, static_cast<size_t>(*k));
   if (!summary.ok()) return Fail(summary.status());
   std::printf("size-%lld summary:\n", static_cast<long long>(*k));
   for (ElementId a : summary->abstract_elements) {
@@ -477,15 +502,18 @@ int CmdDemo(const Args& args) {
               FormatWithCommas(static_cast<int64_t>(bundle->data_elements))
                   .c_str(),
               bundle->workload.size());
-  SummarizerContext context(bundle->schema, bundle->annotations,
-                            SummarizeOptions{}, cache);
-  auto summary = Summarize(context, k);
+  SummarizeOptions options;
+  options.parallel.deadline = g_deadline;
+  auto context = SummarizerContext::Make(bundle->schema, bundle->annotations,
+                                         options, cache);
+  if (!context.ok()) return Fail(context.status());
+  auto summary = Summarize(*context, k);
   if (!summary.ok()) return Fail(summary.status());
   std::printf("\nsize-%zu BalanceSummary:\n", k);
   for (ElementId a : summary->abstract_elements) {
     std::printf("  %-55s (%zu elements, importance %.0f)\n",
                 bundle->schema.PathOf(a).c_str(), summary->Group(a).size(),
-                context.importance().importance[a]);
+                context->importance().importance[a]);
   }
   DiscoveryOracle oracle(bundle->schema);
   double best = AverageDiscoveryCost(oracle, bundle->workload,
@@ -535,6 +563,10 @@ int CmdCache(const Args& args) {
                 static_cast<unsigned long long>(counters->foreign));
     std::printf("mismatch\t%llu\n",
                 static_cast<unsigned long long>(counters->mismatch));
+    std::printf("quarantined\t%llu\n",
+                static_cast<unsigned long long>(counters->quarantined));
+    std::printf("healed\t%llu\n",
+                static_cast<unsigned long long>(counters->healed));
     return kExitOk;
   }
   if (sub == "ls") {
@@ -556,14 +588,18 @@ int CmdCache(const Args& args) {
     return kExitOk;
   }
   if (sub == "verify") {
-    auto report = cache->Verify();
+    // Corrupt containers are quarantined on the spot so that the next
+    // lookup is a clean miss (recompute + heal) instead of a repeat failure.
+    auto report = cache->Verify(/*quarantine_corrupt=*/true);
     if (!report.ok()) return Fail(report.status());
-    std::printf("ok\t%llu\ncorrupt\t%llu\nforeign\t%llu\n",
+    std::printf("ok\t%llu\ncorrupt\t%llu\nforeign\t%llu\nquarantined\t%llu\n",
                 static_cast<unsigned long long>(report->ok),
                 static_cast<unsigned long long>(report->corrupt),
-                static_cast<unsigned long long>(report->foreign));
+                static_cast<unsigned long long>(report->foreign),
+                static_cast<unsigned long long>(report->quarantined));
     for (const std::string& file : report->corrupt_files) {
-      std::fprintf(stderr, "ssum: corrupt container: %s\n", file.c_str());
+      std::fprintf(stderr, "ssum: corrupt container: %s (quarantined)\n",
+                   file.c_str());
     }
     return report->corrupt == 0 ? kExitOk : kExitBadInput;
   }
@@ -590,6 +626,31 @@ Status ConsumeLimitFlags(int* argc, char** argv) {
       } else {
         g_limits.max_depth = static_cast<size_t>(*v);
       }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return Status::OK();
+}
+
+/// Consumes the global --deadline-ms flag into g_deadline. 0 is legal and
+/// means "already expired" — the first cooperative check aborts, which is
+/// what makes the deadline path deterministically testable.
+Status ConsumeDeadlineFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--deadline-ms") {
+      if (i + 1 >= *argc) {
+        return Status::InvalidArgument("--deadline-ms needs a value");
+      }
+      auto v = ParseInt64(argv[++i]);
+      if (!v.ok() || *v < 0) {
+        return Status::InvalidArgument(
+            "--deadline-ms needs a non-negative integer");
+      }
+      g_deadline = Deadline::After(*v);
       continue;
     }
     argv[out++] = argv[i];
@@ -642,6 +703,10 @@ int Main(int argc, char** argv) {
     return kExitUsage;
   }
   if (Status s = ConsumeCacheFlag(&argc, argv); !s.ok()) {
+    std::fprintf(stderr, "ssum: error: %s\n", s.ToString().c_str());
+    return kExitUsage;
+  }
+  if (Status s = ConsumeDeadlineFlag(&argc, argv); !s.ok()) {
     std::fprintf(stderr, "ssum: error: %s\n", s.ToString().c_str());
     return kExitUsage;
   }
