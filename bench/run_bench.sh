@@ -14,8 +14,14 @@
 #                               heal throughput (gates warm-path Env overhead
 #                               <= 2% and a 50 ms deadline abort on the 10k
 #                               synthetic summarize)
+#   bench/BENCH_serve.json    — serving-daemon warm-path load test (gates
+#                               p99 < 5 ms and >= 500 QPS at 8 concurrent
+#                               clients, responses bit-identical to the
+#                               one-shot pipeline, overload -> kUnavailable,
+#                               deadline expiry -> wire error)
 # Every record is also copied to the repo root so trajectory tooling can
-# pick up BENCH_*.json from either location.
+# pick up BENCH_*.json from either location; a full run fails loudly if any
+# expected record is missing afterwards.
 #
 # The benches build in a dedicated Release tree (build-bench/ by default):
 # every record embeds its build type, and the gated binaries exit 2 rather
@@ -31,7 +37,7 @@ BUILD="${1:-$ROOT/build-bench}"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
   walk_scaling approx_scaling perf_microbench cache_warm fault_recovery \
-  -j "$(nproc)"
+  serve_scaling -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
@@ -49,10 +55,25 @@ cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
 
 "$BUILD/bench/fault_recovery" --json "$ROOT/bench/BENCH_fault.json"
 
+"$BUILD/bench/serve_scaling" --json "$ROOT/bench/BENCH_serve.json"
+
+# A bench that silently failed to write its record must fail the run here,
+# not surface later as a stale checked-in trajectory.
+missing=0
+for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
+              BENCH_perf.json BENCH_cache.json BENCH_approx.json \
+              BENCH_fault.json BENCH_serve.json; do
+  if [[ ! -s "$ROOT/bench/$record" ]]; then
+    echo "ERROR: expected record bench/$record is missing or empty" >&2
+    missing=1
+  fi
+done
+[[ "$missing" -eq 0 ]] || exit 1
+
 echo "perf trajectory updated:"
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
               BENCH_perf.json BENCH_cache.json BENCH_approx.json \
-              BENCH_fault.json; do
+              BENCH_fault.json BENCH_serve.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

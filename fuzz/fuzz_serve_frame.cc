@@ -1,0 +1,57 @@
+// Fuzz harness for the serving daemon's wire codec (src/serve/wire.h).
+//
+// Arbitrary bytes are fed to DecodeRequest and DecodeResponse — the exact
+// bytes a hostile client can put on the socket after the length prefix.
+// The contract is the same abort-free guarantee the store harness checks:
+// corrupt, truncated, hostile, or version-skewed frames must map to a
+// Status — never a crash, assert, sanitizer report, or oversized
+// allocation. Accepted messages must re-encode and re-decode to the same
+// message (the server relies on this to echo request parameters back in
+// diagnostics, and the bench relies on byte-stable responses).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "fuzz_util.h"
+#include "serve/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes = ssum::fuzz::AsString(data, size);
+
+  auto request = ssum::DecodeRequest(bytes);
+  if (request.ok()) {
+    auto again = ssum::DecodeRequest(ssum::EncodeRequest(*request));
+    SSUM_CHECK(again.ok(), "request re-encode round trip rejected");
+    SSUM_CHECK(again->verb == request->verb &&
+                   again->dataset == request->dataset &&
+                   again->k == request->k &&
+                   again->algorithm == request->algorithm &&
+                   again->mode == request->mode &&
+                   again->epsilon == request->epsilon &&
+                   again->has_deadline == request->has_deadline &&
+                   again->deadline_ms == request->deadline_ms &&
+                   again->stall_ms == request->stall_ms &&
+                   again->paths == request->paths,
+               "request re-encode round trip changed fields");
+  }
+
+  auto response = ssum::DecodeResponse(bytes);
+  if (response.ok()) {
+    auto again = ssum::DecodeResponse(ssum::EncodeResponse(*response));
+    SSUM_CHECK(again.ok(), "response re-encode round trip rejected");
+    SSUM_CHECK(again->status == response->status &&
+                   again->message == response->message &&
+                   again->payload == response->payload,
+               "response re-encode round trip changed fields");
+    // The wire Status reconstruction must agree with the raw code.
+    SSUM_CHECK(response->ToStatus().code() == response->status,
+               "ToStatus changed the wire status code");
+  }
+
+  // A single frame cannot be both: request and response use distinct
+  // container payload kinds, so at most one decoder may accept.
+  SSUM_CHECK(!(request.ok() && response.ok()),
+             "one body decoded as both request and response");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Writes the seed corpus for fuzz_serve_frame (fuzz/corpus/serve/): one
+// valid request per interesting verb shape, a valid and an error response,
+// plus envelope edge cases (foreign format version, truncation, bad verb,
+// wrong payload kind). Run from the repo root:
+//
+//   build/fuzz/make_serve_seeds fuzz/corpus/serve
+//
+// The seeds are committed; this tool only exists to regenerate them when
+// the wire protocol or the container format changes.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/env.h"
+#include "serve/wire.h"
+#include "store/container.h"
+
+namespace {
+
+int Write(const std::string& path, const std::string& bytes) {
+  if (!ssum::AtomicWriteFile(path, bytes).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return 0;
+}
+
+std::string U32Bytes(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return std::string(buf, sizeof(buf));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_serve_seeds <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  int rc = 0;
+
+  ssum::ServeRequest health;
+  health.verb = ssum::ServeVerb::kHealth;
+  rc |= Write(dir + "/request_health.ssb", ssum::EncodeRequest(health));
+
+  ssum::ServeRequest summarize;
+  summarize.verb = ssum::ServeVerb::kSummarize;
+  summarize.dataset = "xmark";
+  summarize.k = 10;
+  summarize.mode = ssum::SummaryMode::kApprox;
+  summarize.epsilon = 0.25;
+  summarize.has_deadline = true;
+  summarize.deadline_ms = 1500;
+  const std::string summarize_bytes = ssum::EncodeRequest(summarize);
+  rc |= Write(dir + "/request_summarize.ssb", summarize_bytes);
+
+  ssum::ServeRequest discover;
+  discover.verb = ssum::ServeVerb::kDiscover;
+  discover.dataset = "xmark";
+  discover.k = 5;
+  discover.paths = {"site/people/person", "site/people/person/name"};
+  rc |= Write(dir + "/request_discover.ssb", ssum::EncodeRequest(discover));
+
+  ssum::ServeResponse ok;
+  ok.status = ssum::StatusCode::kOk;
+  ok.payload = "summary 2\nabstract site/people/person *\n";
+  rc |= Write(dir + "/response_ok.ssb", ssum::EncodeResponse(ok));
+
+  ssum::ServeResponse error;
+  error.status = ssum::StatusCode::kDeadlineExceeded;
+  error.message = "deadline expired after 0 ms in queue";
+  rc |= Write(dir + "/response_error.ssb", ssum::EncodeResponse(error));
+
+  // A structurally perfect request container whose verb value is garbage:
+  // must decode to an error, never be served.
+  ssum::ContainerWriter bad_verb(ssum::PayloadKind::kServeRequest);
+  bad_verb.AddSection(ssum::kServeTagVerb, U32Bytes(99));
+  rc |= Write(dir + "/bad_verb.ssb", std::move(bad_verb).Finish());
+
+  // A valid container of a non-serve payload kind: both decoders reject.
+  ssum::ContainerWriter wrong_kind(ssum::PayloadKind::kSummary);
+  wrong_kind.AddSection(1, "not a serve frame");
+  rc |= Write(dir + "/wrong_kind.ssb", std::move(wrong_kind).Finish());
+
+  ssum::ContainerWriter foreign(
+      static_cast<uint32_t>(ssum::PayloadKind::kServeRequest),
+      ssum::kContainerFormatVersion + 1);
+  foreign.AddSection(ssum::kServeTagVerb, U32Bytes(1));
+  rc |= Write(dir + "/foreign_version.ssb", std::move(foreign).Finish());
+
+  rc |= Write(dir + "/truncated.ssb",
+              summarize_bytes.substr(0, summarize_bytes.size() / 2));
+  return rc;
+}

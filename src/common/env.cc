@@ -1,6 +1,11 @@
 #include "common/env.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,7 +24,19 @@ namespace ssum {
 namespace fs = std::filesystem;
 
 WritableFile::~WritableFile() = default;
+Connection::~Connection() = default;
+Listener::~Listener() = default;
 Env::~Env() = default;
+
+Result<std::unique_ptr<Listener>> Env::NewListener(const std::string& addr) {
+  return Status::NotImplemented("this Env has no listener support (addr '" +
+                                addr + "')");
+}
+
+Result<std::unique_ptr<Connection>> Env::Connect(const std::string& addr) {
+  return Status::NotImplemented("this Env has no connect support (addr '" +
+                                addr + "')");
+}
 
 namespace {
 
@@ -80,6 +97,146 @@ class PosixWritableFile : public WritableFile {
  private:
   std::FILE* file_;
   std::string path_;
+};
+
+/// Splits "host:port" (host may be empty → loopback). Port is required.
+Status ParseHostPort(const std::string& addr, std::string* host, int* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address '" + addr +
+                                   "' is not host:port");
+  }
+  *host = addr.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  auto parsed = ParseInt64(addr.substr(colon + 1));
+  if (!parsed.ok() || *parsed < 0 || *parsed > 65535) {
+    return Status::InvalidArgument("address '" + addr +
+                                   "' has a malformed port");
+  }
+  *port = static_cast<int>(*parsed);
+  return Status::OK();
+}
+
+Status FillSockAddr(const std::string& host, int port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("address host '" + host +
+                                   "' is not a dotted IPv4 literal");
+  }
+  return Status::OK();
+}
+
+class PosixConnection : public Connection {
+ public:
+  explicit PosixConnection(int fd) : fd_(fd) {}
+  ~PosixConnection() override { (void)Close(); }
+
+  Result<size_t> Read(void* buf, size_t max) override {
+    if (fd_ < 0) return Status::IoError("connection is closed");
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, max, 0);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+  }
+
+  Result<bool> Readable(int timeout_ms) override {
+    if (fd_ < 0) return Status::IoError("connection is closed");
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc >= 0) return rc > 0;
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll failed: ") +
+                             std::strerror(errno));
+    }
+  }
+
+  Status WriteAll(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError("connection is closed");
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      // MSG_NOSIGNAL: a peer that went away yields EPIPE, not SIGPIPE.
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("send failed: ") +
+                               std::strerror(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IoError(std::string("close failed: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixListener : public Listener {
+ public:
+  PosixListener(int fd, int port) : fd_(fd), port_(port) {}
+  ~PosixListener() override { (void)Close(); }
+
+  Result<std::unique_ptr<Connection>> Accept(int timeout_ms) override {
+    if (fd_ < 0) return Status::IoError("listener is closed");
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("poll failed: ") +
+                               std::strerror(errno));
+      }
+      if (rc == 0) return Status::NotFound("accept timed out");
+      break;
+    }
+    for (;;) {
+      const int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) {
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return std::unique_ptr<Connection>(
+            std::make_unique<PosixConnection>(client));
+      }
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("accept failed: ") +
+                             std::strerror(errno));
+    }
+  }
+
+  int port() const override { return port_; }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IoError(std::string("close failed: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  int port_;
 };
 
 }  // namespace
@@ -165,6 +322,72 @@ Result<bool> PosixEnv::FileExists(const std::string& path) {
   return exists;
 }
 
+Result<std::unique_ptr<Listener>> PosixEnv::NewListener(
+    const std::string& addr) {
+  std::string host;
+  int port = 0;
+  SSUM_RETURN_NOT_OK(ParseHostPort(addr, &host, &port));
+  sockaddr_in sa;
+  SSUM_RETURN_NOT_OK(FillSockAddr(host, port, &sa));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return Status::IoError("cannot bind '" + addr +
+                           "': " + std::strerror(saved_errno));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return Status::IoError("cannot listen on '" + addr +
+                           "': " + std::strerror(saved_errno));
+  }
+  // Resolve the ephemeral port a ":0" bind actually got.
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return Status::IoError(std::string("getsockname failed: ") +
+                           std::strerror(saved_errno));
+  }
+  return std::unique_ptr<Listener>(
+      std::make_unique<PosixListener>(fd, ntohs(bound.sin_port)));
+}
+
+Result<std::unique_ptr<Connection>> PosixEnv::Connect(
+    const std::string& addr) {
+  std::string host;
+  int port = 0;
+  SSUM_RETURN_NOT_OK(ParseHostPort(addr, &host, &port));
+  sockaddr_in sa;
+  SSUM_RETURN_NOT_OK(FillSockAddr(host, port, &sa));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    const int saved_errno = errno;
+    ::close(fd);
+    return Status::IoError("cannot connect to '" + addr +
+                           "': " + std::strerror(saved_errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Connection>(std::make_unique<PosixConnection>(fd));
+}
+
 Env* Env::Default() {
   // Leaked on purpose, mirroring ThreadPool::Shared(): destroying it during
   // static teardown would race with other translation units.
@@ -192,6 +415,16 @@ const char* FaultOpName(FaultOp op) {
       return "mkdir";
     case FaultOp::kSyncDir:
       return "syncdir";
+    case FaultOp::kListen:
+      return "listen";
+    case FaultOp::kConnect:
+      return "connect";
+    case FaultOp::kAccept:
+      return "accept";
+    case FaultOp::kSend:
+      return "send";
+    case FaultOp::kRecv:
+      return "recv";
   }
   return "?";
 }
@@ -216,6 +449,73 @@ class FaultInjectingWritableFile : public WritableFile {
   FaultInjectingEnv* env_;
   std::unique_ptr<WritableFile> base_;
   std::string path_;
+};
+
+/// Wraps a base Connection, counting each recv/send as a fault point. A
+/// kTorn send writes only the scheduled prefix before failing — the peer
+/// sees a half frame, exactly what a connection cut mid-message leaves.
+class FaultInjectingConnection : public Connection {
+ public:
+  FaultInjectingConnection(FaultInjectingEnv* env,
+                           std::unique_ptr<Connection> base, std::string peer)
+      : env_(env), base_(std::move(base)), peer_(std::move(peer)) {}
+
+  Result<size_t> Read(void* buf, size_t max) override {
+    const FaultInjectingEnv::Injection inj = env_->Observe(FaultOp::kRecv);
+    if (inj.fire) {
+      return FaultInjectingEnv::FaultStatus(inj.kind, FaultOp::kRecv, peer_);
+    }
+    return base_->Read(buf, max);
+  }
+
+  // Readability probes are metadata-only, like FileExists; not a fault point.
+  Result<bool> Readable(int timeout_ms) override {
+    return base_->Readable(timeout_ms);
+  }
+
+  Status WriteAll(std::string_view data) override {
+    const FaultInjectingEnv::Injection inj = env_->Observe(FaultOp::kSend);
+    if (!inj.fire) return base_->WriteAll(data);
+    if (inj.kind == FaultKind::kTorn) {
+      const size_t keep =
+          static_cast<size_t>(std::min<uint64_t>(inj.torn_bytes, data.size()));
+      (void)base_->WriteAll(data.substr(0, keep));
+    }
+    return FaultInjectingEnv::FaultStatus(inj.kind, FaultOp::kSend, peer_);
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<Connection> base_;
+  std::string peer_;
+};
+
+class FaultInjectingListener : public Listener {
+ public:
+  FaultInjectingListener(FaultInjectingEnv* env, std::unique_ptr<Listener> base,
+                         std::string addr)
+      : env_(env), base_(std::move(base)), addr_(std::move(addr)) {}
+
+  Result<std::unique_ptr<Connection>> Accept(int timeout_ms) override {
+    const FaultInjectingEnv::Injection inj = env_->Observe(FaultOp::kAccept);
+    if (inj.fire) {
+      return FaultInjectingEnv::FaultStatus(inj.kind, FaultOp::kAccept, addr_);
+    }
+    std::unique_ptr<Connection> conn;
+    SSUM_ASSIGN_OR_RETURN(conn, base_->Accept(timeout_ms));
+    return std::unique_ptr<Connection>(std::make_unique<FaultInjectingConnection>(
+        env_, std::move(conn), addr_));
+  }
+
+  int port() const override { return base_->port(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<Listener> base_;
+  std::string addr_;
 };
 
 FaultInjectingEnv::FaultInjectingEnv(Env* base) : base_(base) {}
@@ -356,6 +656,26 @@ Status FaultInjectingEnv::SyncDir(const std::string& path) {
 Result<bool> FaultInjectingEnv::FileExists(const std::string& path) {
   // Existence probes are metadata-only; not a fault point.
   return base_->FileExists(path);
+}
+
+Result<std::unique_ptr<Listener>> FaultInjectingEnv::NewListener(
+    const std::string& addr) {
+  const Injection inj = Observe(FaultOp::kListen);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kListen, addr);
+  std::unique_ptr<Listener> base;
+  SSUM_ASSIGN_OR_RETURN(base, base_->NewListener(addr));
+  return std::unique_ptr<Listener>(
+      std::make_unique<FaultInjectingListener>(this, std::move(base), addr));
+}
+
+Result<std::unique_ptr<Connection>> FaultInjectingEnv::Connect(
+    const std::string& addr) {
+  const Injection inj = Observe(FaultOp::kConnect);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kConnect, addr);
+  std::unique_ptr<Connection> base;
+  SSUM_ASSIGN_OR_RETURN(base, base_->Connect(addr));
+  return std::unique_ptr<Connection>(
+      std::make_unique<FaultInjectingConnection>(this, std::move(base), addr));
 }
 
 void FaultInjectingEnv::ScheduleFault(const Fault& fault) {

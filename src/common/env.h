@@ -28,12 +28,60 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
-/// Filesystem abstraction the snapshot store does all of its IO through
-/// (store/container.cc, store/artifact_cache.cc). Production code uses the
+/// One byte stream between a client and the serving daemon (src/serve).
+/// Implementations must tolerate Read and WriteAll being issued from
+/// different threads than the one that created the connection (but not
+/// concurrent calls to the same method).
+class Connection {
+ public:
+  virtual ~Connection();
+
+  /// Reads up to `max` bytes into `buf`. Returns the byte count actually
+  /// read; 0 means the peer closed the stream cleanly (EOF). Transport
+  /// failures are IoError.
+  virtual Result<size_t> Read(void* buf, size_t max) = 0;
+
+  /// Waits up to `timeout_ms` for the stream to become readable (data or
+  /// EOF). False on timeout. Lets a server poll a connection without
+  /// parking a thread in an unbounded Read — the stop flag stays checkable.
+  /// Default: immediately readable (suits in-memory test doubles).
+  virtual Result<bool> Readable(int timeout_ms) {
+    (void)timeout_ms;
+    return true;
+  }
+
+  /// Writes all of `data`, looping over partial sends. A peer that went
+  /// away mid-write is IoError, never a signal or a crash.
+  virtual Status WriteAll(std::string_view data) = 0;
+
+  /// Closes the stream (idempotent).
+  virtual Status Close() = 0;
+};
+
+/// A listening server endpoint, produced by Env::NewListener.
+class Listener {
+ public:
+  virtual ~Listener();
+
+  /// Waits up to `timeout_ms` for an inbound connection. A timeout is
+  /// NotFound (the accept loop's idle tick, not an error); a closed
+  /// listener is IoError.
+  virtual Result<std::unique_ptr<Connection>> Accept(int timeout_ms) = 0;
+
+  /// The port actually bound — resolves ":0" (ephemeral) requests.
+  virtual int port() const = 0;
+
+  /// Stops accepting (idempotent). In-flight connections are unaffected.
+  virtual Status Close() = 0;
+};
+
+/// Filesystem + socket abstraction the snapshot store and the serving
+/// daemon do all of their IO through (store/container.cc,
+/// store/artifact_cache.cc, serve/server.cc). Production code uses the
 /// process-wide PosixEnv behind Env::Default(); tests and the
 /// crash-consistency sweeps substitute a FaultInjectingEnv to make every IO
-/// step fail deterministically. Implementations must be safe for concurrent
-/// use from multiple threads.
+/// step — disk *and* network — fail deterministically. Implementations must
+/// be safe for concurrent use from multiple threads.
 class Env {
  public:
   virtual ~Env();
@@ -61,12 +109,23 @@ class Env {
 
   virtual Result<bool> FileExists(const std::string& path) = 0;
 
+  /// Binds and listens on `addr` ("host:port"; host defaults to 127.0.0.1
+  /// when empty, port 0 picks an ephemeral port — read it back from
+  /// Listener::port()). Default implementation: NotImplemented, so
+  /// filesystem-only Env substitutes keep working unchanged.
+  virtual Result<std::unique_ptr<Listener>> NewListener(
+      const std::string& addr);
+
+  /// Connects to a listening `addr` ("host:port"). NotImplemented by
+  /// default, like NewListener.
+  virtual Result<std::unique_ptr<Connection>> Connect(const std::string& addr);
+
   /// Process-wide PosixEnv (never destroyed).
   static Env* Default();
 };
 
 /// POSIX implementation: stdio writes, fsync-backed Sync, std::filesystem
-/// metadata operations.
+/// metadata operations, loopback-friendly TCP sockets for the serving layer.
 class PosixEnv : public Env {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -77,6 +136,9 @@ class PosixEnv : public Env {
   Status CreateDirs(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
   Result<bool> FileExists(const std::string& path) override;
+  Result<std::unique_ptr<Listener>> NewListener(
+      const std::string& addr) override;
+  Result<std::unique_ptr<Connection>> Connect(const std::string& addr) override;
 };
 
 /// IO operation kinds a fault can target. Close is deliberately not a fault
@@ -92,8 +154,15 @@ enum class FaultOp : uint8_t {
   kRead,
   kMkdir,
   kSyncDir,
+  // Network operations of the serving layer; faultable like disk IO so the
+  // request boundary's failure handling is deterministic to test too.
+  kListen,
+  kConnect,
+  kAccept,
+  kSend,
+  kRecv,
 };
-inline constexpr size_t kNumFaultOps = 9;
+inline constexpr size_t kNumFaultOps = 14;
 
 const char* FaultOpName(FaultOp op);
 
@@ -124,6 +193,7 @@ struct Fault {
 ///   schedule  := entry (';' entry)*
 ///   entry     := op '#' N '=' kind [':' K] ['~']
 ///   op        := open|write|flush|sync|rename|unlink|read|mkdir|syncdir
+///              | listen|connect|accept|send|recv
 ///   kind      := eio | enospc | torn        (torn requires ':K')
 ///
 /// "write#2=torn:17~;sync#1=enospc" truncates the 2nd write after 17 bytes
@@ -148,6 +218,12 @@ class FaultInjectingEnv : public Env {
   Status CreateDirs(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
   Result<bool> FileExists(const std::string& path) override;
+  /// Network ops delegate to the base Env with kListen / kConnect /
+  /// kAccept / kSend / kRecv fault points wrapped around them, so a serve
+  /// test can kill exactly the Nth recv without touching real sockets' luck.
+  Result<std::unique_ptr<Listener>> NewListener(
+      const std::string& addr) override;
+  Result<std::unique_ptr<Connection>> Connect(const std::string& addr) override;
 
   void ScheduleFault(const Fault& fault);
 
@@ -171,6 +247,8 @@ class FaultInjectingEnv : public Env {
 
  private:
   friend class FaultInjectingWritableFile;
+  friend class FaultInjectingConnection;
+  friend class FaultInjectingListener;
 
   struct Injection {
     bool fire = false;

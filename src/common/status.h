@@ -21,6 +21,7 @@ enum class StatusCode : unsigned char {
   kNotImplemented,
   kInternal,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "ParseError", ...).
@@ -77,6 +78,13 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  /// The service cannot take the request *right now* — admission control
+  /// shed it (full queue, connection cap). Retrying later is expected to
+  /// succeed; nothing about the request itself is wrong. This is the code
+  /// the serving layer returns at the wire on overload (docs/serving.md).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,6 +102,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

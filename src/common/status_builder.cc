@@ -28,6 +28,10 @@ Status MakeStatus(StatusCode code, std::string msg) {
       return Status::NotImplemented(std::move(msg));
     case StatusCode::kInternal:
       return Status::Internal(std::move(msg));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
   }
   return Status::Internal("StatusBuilder built with OK code: " +
                           std::move(msg));

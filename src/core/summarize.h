@@ -105,6 +105,11 @@ class SummarizerContext {
   /// (0 = cold, 2 = fully warm). Benches assert warm runs compute nothing.
   int matrices_loaded_from_cache() const { return matrices_from_cache_; }
 
+  /// Clears the deadline captured at construction. A pooled context built
+  /// under one request's budget (serve/server.cc) would otherwise poison
+  /// every later selection with an expired deadline.
+  void ResetDeadline() { options_.parallel.deadline = Deadline::Unlimited(); }
+
  private:
   SummarizerContext() = default;  // Make()/Init() fill every member
   Status Init(const SchemaGraph& graph, const Annotations& annotations,

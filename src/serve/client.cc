@@ -1,0 +1,28 @@
+#include "serve/client.h"
+
+namespace ssum {
+
+Result<ServeClient> ServeClient::Connect(const std::string& addr, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::unique_ptr<Connection> conn;
+  SSUM_ASSIGN_OR_RETURN(conn, env->Connect(addr));
+  return ServeClient(std::move(conn));
+}
+
+Result<ServeResponse> ServeClient::Call(const ServeRequest& request) {
+  if (conn_ == nullptr) {
+    return Status::FailedPrecondition("client is closed");
+  }
+  SSUM_RETURN_NOT_OK(WriteFrame(conn_.get(), EncodeRequest(request)));
+  std::string body;
+  SSUM_ASSIGN_OR_RETURN(body, ReadFrame(conn_.get()));
+  return DecodeResponse(body);
+}
+
+Status ServeClient::Close() {
+  if (conn_ == nullptr) return Status::OK();
+  std::unique_ptr<Connection> conn = std::move(conn_);
+  return conn->Close();
+}
+
+}  // namespace ssum

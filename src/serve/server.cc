@@ -1,0 +1,482 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <future>
+
+#include "common/logging.h"
+#include "core/summary_io.h"
+#include "query/discovery.h"
+#include "query/intention.h"
+#include "store/fingerprint.h"
+
+namespace ssum {
+
+namespace {
+
+/// The latency ring keeps the most recent window; large enough that p99
+/// over it is meaningful, small enough to snapshot under the metrics lock.
+constexpr size_t kLatencyRingCapacity = 2048;
+
+/// The memo can hold this many serialized summaries before being cleared
+/// wholesale (distinct request shapes are few; wholesale is simpler and the
+/// cost of a flush is one ArtifactCache hit per shape).
+constexpr size_t kSummaryMemoBudget = 1024;
+
+Result<DatasetKind> ParseDatasetName(const std::string& name) {
+  if (name == "xmark") return DatasetKind::kXMark;
+  if (name == "tpch") return DatasetKind::kTpch;
+  if (name == "mimi") return DatasetKind::kMimi;
+  if (name.empty()) {
+    return Status::InvalidArgument("request needs a dataset (xmark|tpch|mimi)");
+  }
+  return Status::InvalidArgument("unknown dataset '" + name +
+                                 "' (xmark|tpch|mimi)");
+}
+
+ServeResponse ErrorResponse(const Status& status) {
+  ServeResponse response;
+  response.status = status.code();
+  response.message = status.message();
+  return response;
+}
+
+ServeResponse OkResponse(std::string payload) {
+  ServeResponse response;
+  response.payload = std::move(payload);
+  return response;
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendCounter(std::string* out, const char* key, uint64_t value) {
+  out->append(key);
+  out->push_back('\t');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+SummarizeServer::SummarizeServer(ServeServerOptions options)
+    : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Default()),
+      latency_ring_(kLatencyRingCapacity, 0) {
+  if (!options_.cache_dir.empty()) {
+    cache_.emplace(options_.cache_dir, env_);
+    if (Status s = cache_->EnsureDir(); !s.ok()) {
+      SSUM_LOG(kWarning) << "serve: cache disabled: " << s.ToString();
+      cache_.reset();
+    }
+  }
+  pool_ = std::make_unique<ThreadPool>(std::max<uint32_t>(1, options_.workers));
+}
+
+SummarizeServer::~SummarizeServer() { Stop(); }
+
+Status SummarizeServer::Start() {
+  SSUM_ASSIGN_OR_RETURN(listener_, env_->NewListener(options_.listen));
+  port_ = listener_->port();
+  const size_t colon = options_.listen.rfind(':');
+  std::string host =
+      colon == std::string::npos ? "" : options_.listen.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  address_ = host + ":" + std::to_string(port_);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SummarizeServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return stop_.load(); });
+}
+
+void SummarizeServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    stop_.store(true);
+  }
+  shutdown_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Connection threads exit on their next Readable tick (<= 100 ms).
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (pool_ != nullptr) pool_->Shutdown();
+  if (listener_ != nullptr) (void)listener_->Close();
+  if (cache_.has_value()) {
+    if (Status s = cache_->FlushCounters(); !s.ok()) {
+      SSUM_LOG(kWarning) << "serve: cache counter flush failed: "
+                         << s.ToString();
+    }
+  }
+}
+
+void SummarizeServer::AcceptLoop() {
+  while (!stop_.load()) {
+    auto accepted = listener_->Accept(/*timeout_ms=*/100);
+    if (!accepted.ok()) {
+      if (accepted.status().IsNotFound()) continue;  // idle tick
+      if (stop_.load()) break;
+      SSUM_LOG(kWarning) << "serve: accept failed: "
+                         << accepted.status().ToString();
+      continue;
+    }
+    std::unique_ptr<Connection> conn = std::move(*accepted);
+    if (open_connections_.fetch_add(1) >= options_.max_connections) {
+      open_connections_.fetch_sub(1);
+      // Over the connection cap: still a protocol-level answer, never a
+      // silent close, so the client can tell overload from a crash.
+      (void)WriteFrame(conn.get(),
+                       EncodeResponse(ErrorResponse(Status::Unavailable(
+                           "server is at its connection limit"))));
+      (void)conn->Close();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_threads_.emplace_back(
+        [this, c = std::move(conn)]() mutable { ServeConnection(std::move(c)); });
+  }
+}
+
+void SummarizeServer::ServeConnection(std::unique_ptr<Connection> conn) {
+  while (!stop_.load()) {
+    auto readable = conn->Readable(/*timeout_ms=*/100);
+    if (!readable.ok()) break;
+    if (!*readable) continue;  // idle tick; recheck the stop flag
+    auto body = ReadFrame(conn.get());
+    if (!body.ok()) {
+      // Clean EOF (NotFound) ends the stream silently; anything else gets a
+      // best-effort diagnostic frame before the close.
+      if (!body.status().IsNotFound()) {
+        (void)WriteFrame(conn.get(),
+                         EncodeResponse(ErrorResponse(body.status())));
+      }
+      break;
+    }
+    auto request = DecodeRequest(*body);
+    if (!request.ok()) {
+      (void)WriteFrame(conn.get(),
+                       EncodeResponse(ErrorResponse(request.status())));
+      break;
+    }
+    // The deadline arms here, before admission: time spent queued behind
+    // busy workers counts against the request's budget.
+    Deadline deadline = request->has_deadline
+                            ? Deadline::After(static_cast<int64_t>(
+                                  request->deadline_ms))
+                            : Deadline::Unlimited();
+    ServeResponse response = HandleDecoded(*request, deadline);
+    if (Status s = WriteFrame(conn.get(), EncodeResponse(response));
+        !s.ok()) {
+      break;
+    }
+    if (request->verb == ServeVerb::kShutdown && response.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        stop_.store(true);
+      }
+      shutdown_cv_.notify_all();
+      break;
+    }
+  }
+  (void)conn->Close();
+  open_connections_.fetch_sub(1);
+}
+
+ServeResponse SummarizeServer::HandleDecoded(const ServeRequest& request,
+                                             const Deadline& deadline) {
+  const uint64_t started = NowMicros();
+  const uint32_t capacity = std::max<uint32_t>(1, options_.workers) +
+                            options_.queue_depth;
+  ServeResponse response;
+  if (in_flight_.fetch_add(1) >= capacity) {
+    in_flight_.fetch_sub(1);
+    response = ErrorResponse(Status::Unavailable(
+        "server is over capacity (" + std::to_string(capacity) +
+        " requests in flight); retry"));
+  } else {
+    std::promise<ServeResponse> promise;
+    std::future<ServeResponse> future = promise.get_future();
+    pool_->Submit([this, &request, &deadline, &promise] {
+      promise.set_value(Execute(request, deadline));
+    });
+    response = future.get();
+    in_flight_.fetch_sub(1);
+  }
+  RecordOutcome(request.verb, response.status, NowMicros() - started);
+  return response;
+}
+
+ServeResponse SummarizeServer::Execute(const ServeRequest& request,
+                                       const Deadline& deadline) {
+  if (Status s = deadline.Check("request"); !s.ok()) {
+    return ErrorResponse(s);
+  }
+  // Testing aid: hold this worker for stall_ms in deadline-checked slices,
+  // so overload and deadline-expiry paths are reachable deterministically.
+  for (uint64_t slept = 0; slept < request.stall_ms; ++slept) {
+    if (Status s = deadline.Check("request"); !s.ok()) {
+      return ErrorResponse(s);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  switch (request.verb) {
+    case ServeVerb::kHealth:
+      return OkResponse("ok\n");
+    case ServeVerb::kShutdown:
+      return OkResponse("shutting down\n");
+    case ServeVerb::kSummarize:
+      return DoSummarize(request, deadline);
+    case ServeVerb::kDiscover:
+      return DoDiscover(request, deadline);
+    case ServeVerb::kCacheStat:
+      return DoCacheStat();
+    case ServeVerb::kMetrics:
+      return DoMetrics();
+  }
+  return ErrorResponse(Status::Internal("unhandled verb"));
+}
+
+Result<SummarizeServer::DatasetEntry*> SummarizeServer::GetDataset(
+    const std::string& name, const Deadline& deadline) {
+  DatasetKind kind;
+  SSUM_ASSIGN_OR_RETURN(kind, ParseDatasetName(name));
+  DatasetEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mutex_);
+    auto& slot = datasets_[name];
+    if (slot == nullptr) slot = std::make_unique<DatasetEntry>();
+    entry = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->bundle == nullptr) {
+    SSUM_RETURN_NOT_OK(deadline.Check("dataset load"));
+    auto bundle = LoadDataset(kind, options_.dataset_scale,
+                              cache_.has_value() ? &*cache_ : nullptr);
+    SSUM_RETURN_NOT_OK(bundle.status());
+    entry->bundle = std::make_shared<DatasetBundle>(std::move(*bundle));
+  }
+  return entry;
+}
+
+Result<std::string> SummarizeServer::SummaryPayload(const ServeRequest& request,
+                                                    const Deadline& deadline) {
+  DatasetEntry* entry;
+  SSUM_ASSIGN_OR_RETURN(entry, GetDataset(request.dataset, deadline));
+
+  SummarizeOptions options;
+  options.mode = request.mode;
+  options.approx_epsilon = request.epsilon;
+  const Fingerprint fp =
+      SummaryFingerprint(entry->bundle->schema, entry->bundle->annotations,
+                         options, static_cast<size_t>(request.k),
+                         request.algorithm);
+  const std::string memo_key = request.dataset + ":" + fp.ToHex();
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = summary_memo_.find(memo_key);
+    if (it != summary_memo_.end()) return it->second;
+  }
+
+  std::string payload;
+  if (cache_.has_value()) {
+    if (auto hit = cache_->LoadSummary(entry->bundle->schema, fp)) {
+      payload = SerializeSummary(*hit);
+    }
+  }
+  if (payload.empty()) {
+    std::shared_ptr<const SummarizerContext> context;
+    const std::pair<uint32_t, uint64_t> context_key = {
+        static_cast<uint32_t>(request.mode),
+        std::bit_cast<uint64_t>(request.epsilon)};
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      auto it = entry->contexts.find(context_key);
+      if (it != entry->contexts.end()) {
+        context = it->second;
+      } else {
+        SSUM_RETURN_NOT_OK(deadline.Check("context build"));
+        SummarizeOptions build_options = options;
+        build_options.parallel.deadline = deadline;
+        auto built = SummarizerContext::Make(
+            entry->bundle->schema, entry->bundle->annotations, build_options,
+            cache_.has_value() ? &*cache_ : nullptr);
+        SSUM_RETURN_NOT_OK(built.status());
+        // Pooled contexts outlive this request: drop its deadline so a
+        // later request is not poisoned by an expired budget.
+        built->ResetDeadline();
+        context =
+            std::make_shared<SummarizerContext>(std::move(*built));
+        entry->contexts.emplace(context_key, context);
+      }
+    }
+    SSUM_RETURN_NOT_OK(deadline.Check("selection"));
+    auto summary = Summarize(*context, static_cast<size_t>(request.k),
+                             request.algorithm);
+    SSUM_RETURN_NOT_OK(summary.status());
+    if (cache_.has_value()) {
+      if (Status s = cache_->StoreSummary(fp, *summary); !s.ok()) {
+        SSUM_LOG(kWarning) << "serve: summary install failed: "
+                           << s.ToString();
+      }
+    }
+    payload = SerializeSummary(*summary);
+  }
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (summary_memo_.size() >= kSummaryMemoBudget) summary_memo_.clear();
+    summary_memo_.emplace(memo_key, payload);
+  }
+  return payload;
+}
+
+ServeResponse SummarizeServer::DoSummarize(const ServeRequest& request,
+                                           const Deadline& deadline) {
+  auto payload = SummaryPayload(request, deadline);
+  if (!payload.ok()) return ErrorResponse(payload.status());
+  return OkResponse(std::move(*payload));
+}
+
+ServeResponse SummarizeServer::DoDiscover(const ServeRequest& request,
+                                          const Deadline& deadline) {
+  if (request.paths.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("discover needs at least one path"));
+  }
+  DatasetEntry* entry;
+  {
+    auto got = GetDataset(request.dataset, deadline);
+    if (!got.ok()) return ErrorResponse(got.status());
+    entry = *got;
+  }
+  auto payload = SummaryPayload(request, deadline);
+  if (!payload.ok()) return ErrorResponse(payload.status());
+  auto summary = ParseSummary(entry->bundle->schema, *payload,
+                              options_.limits);
+  if (!summary.ok()) return ErrorResponse(summary.status());
+  auto intention = MakeIntention(entry->bundle->schema, "serve",
+                                 request.paths);
+  if (!intention.ok()) return ErrorResponse(intention.status());
+  if (Status s = deadline.Check("discovery"); !s.ok()) {
+    return ErrorResponse(s);
+  }
+  DiscoveryOracle oracle(entry->bundle->schema);
+  DiscoveryResult without =
+      Discover(oracle, *intention, TraversalStrategy::kBestFirst);
+  DiscoveryResult with = DiscoverWithSummary(oracle, *summary, *intention);
+  std::string text;
+  AppendCounter(&text, "cost_without_summary", without.cost);
+  AppendCounter(&text, "cost_with_summary", with.cost);
+  AppendCounter(&text, "complete", with.complete ? 1 : 0);
+  return OkResponse(std::move(text));
+}
+
+ServeResponse SummarizeServer::DoCacheStat() {
+  if (!cache_.has_value()) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "the server has no cache directory (--cache-dir)"));
+  }
+  auto entries = cache_->List();
+  if (!entries.ok()) return ErrorResponse(entries.status());
+  uint64_t bytes = 0;
+  for (const CacheEntry& e : *entries) bytes += e.bytes;
+  const CacheCounters counters = cache_->session_counters();
+  std::string text = "dir\t" + cache_->dir() + "\n";
+  AppendCounter(&text, "containers", entries->size());
+  AppendCounter(&text, "bytes", bytes);
+  AppendCounter(&text, "hits", counters.hits);
+  AppendCounter(&text, "misses", counters.misses);
+  AppendCounter(&text, "installs", counters.installs);
+  AppendCounter(&text, "corrupt", counters.corrupt);
+  AppendCounter(&text, "foreign", counters.foreign);
+  AppendCounter(&text, "mismatch", counters.mismatch);
+  AppendCounter(&text, "quarantined", counters.quarantined);
+  AppendCounter(&text, "healed", counters.healed);
+  return OkResponse(std::move(text));
+}
+
+ServeResponse SummarizeServer::DoMetrics() {
+  const ServeMetrics snapshot = metrics();
+  std::string text;
+  AppendCounter(&text, "requests", snapshot.requests);
+  AppendCounter(&text, "ok", snapshot.ok);
+  AppendCounter(&text, "errors", snapshot.errors);
+  AppendCounter(&text, "unavailable", snapshot.unavailable);
+  AppendCounter(&text, "deadline_expired", snapshot.deadline_expired);
+  for (uint32_t v = static_cast<uint32_t>(ServeVerb::kHealth);
+       v <= static_cast<uint32_t>(ServeVerb::kShutdown); ++v) {
+    std::string key = std::string("verb_") +
+                      ServeVerbName(static_cast<ServeVerb>(v));
+    AppendCounter(&text, key.c_str(), snapshot.per_verb[v]);
+  }
+  AppendCounter(&text, "p50_us", snapshot.p50_us);
+  AppendCounter(&text, "p99_us", snapshot.p99_us);
+  if (cache_.has_value()) {
+    const CacheCounters counters = cache_->session_counters();
+    AppendCounter(&text, "cache_hits", counters.hits);
+    AppendCounter(&text, "cache_misses", counters.misses);
+    AppendCounter(&text, "cache_quarantined", counters.quarantined);
+  }
+  return OkResponse(std::move(text));
+}
+
+void SummarizeServer::RecordOutcome(ServeVerb verb, StatusCode code,
+                                    uint64_t micros) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ++counters_.requests;
+  const size_t v = static_cast<size_t>(verb);
+  if (v < 7) ++counters_.per_verb[v];
+  switch (code) {
+    case StatusCode::kOk:
+      ++counters_.ok;
+      break;
+    case StatusCode::kUnavailable:
+      ++counters_.unavailable;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counters_.deadline_expired;
+      break;
+    default:
+      ++counters_.errors;
+      break;
+  }
+  latency_ring_[latency_next_] = static_cast<uint32_t>(
+      std::min<uint64_t>(micros, UINT32_MAX));
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+ServeMetrics SummarizeServer::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ServeMetrics snapshot = counters_;
+  if (latency_count_ > 0) {
+    std::vector<uint32_t> window(latency_ring_.begin(),
+                                 latency_ring_.begin() +
+                                     static_cast<long>(latency_count_));
+    auto nth = [&window](double q) {
+      const size_t rank = std::min(
+          window.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(window.size())));
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<long>(rank), window.end());
+      return static_cast<uint64_t>(window[rank]);
+    };
+    snapshot.p50_us = nth(0.50);
+    snapshot.p99_us = nth(0.99);
+  }
+  return snapshot;
+}
+
+}  // namespace ssum

@@ -1,0 +1,356 @@
+#include "serve/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "store/container.h"
+
+namespace ssum {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodedU32(uint32_t v) {
+  std::string s;
+  AppendU32(&s, v);
+  return s;
+}
+
+std::string EncodedU64(uint64_t v) {
+  std::string s;
+  AppendU64(&s, v);
+  return s;
+}
+
+/// Fixed-size fields must be exactly their size — a short or long section
+/// is a malformed message, not a tolerable variant.
+Result<uint32_t> SectionU32(std::string_view payload, const char* what) {
+  if (payload.size() != 4) {
+    return Status::ParseError(std::string(what) + " section must be 4 bytes");
+  }
+  return LoadU32(payload.data());
+}
+
+Result<uint64_t> SectionU64(std::string_view payload, const char* what) {
+  if (payload.size() != 8) {
+    return Status::ParseError(std::string(what) + " section must be 8 bytes");
+  }
+  return LoadU64(payload.data());
+}
+
+}  // namespace
+
+const char* ServeVerbName(ServeVerb verb) {
+  switch (verb) {
+    case ServeVerb::kHealth:
+      return "health";
+    case ServeVerb::kSummarize:
+      return "summarize";
+    case ServeVerb::kDiscover:
+      return "discover";
+    case ServeVerb::kCacheStat:
+      return "cache-stat";
+    case ServeVerb::kMetrics:
+      return "metrics";
+    case ServeVerb::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+Result<ServeVerb> ParseServeVerb(std::string_view name) {
+  for (uint32_t v = static_cast<uint32_t>(ServeVerb::kHealth);
+       v <= static_cast<uint32_t>(ServeVerb::kShutdown); ++v) {
+    if (name == ServeVerbName(static_cast<ServeVerb>(v))) {
+      return static_cast<ServeVerb>(v);
+    }
+  }
+  return Status::InvalidArgument(
+      "unknown verb '" + std::string(name) +
+      "' (health|summarize|discover|cache-stat|metrics|shutdown)");
+}
+
+Status ServeResponse::ToStatus() const {
+  switch (status) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kParseError:
+      return Status::ParseError(message);
+    case StatusCode::kIoError:
+      return Status::IoError(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+  }
+  return Status::Internal("response carried an unknown status code");
+}
+
+std::string EncodeRequest(const ServeRequest& request) {
+  ContainerWriter writer(PayloadKind::kServeRequest);
+  writer.AddSection(kServeTagVerb,
+                    EncodedU32(static_cast<uint32_t>(request.verb)));
+  if (!request.dataset.empty()) {
+    writer.AddSection(kServeTagDataset, request.dataset);
+  }
+  writer.AddSection(kServeTagK, EncodedU64(request.k));
+  writer.AddSection(kServeTagAlgorithm,
+                    EncodedU32(static_cast<uint32_t>(request.algorithm)));
+  writer.AddSection(kServeTagMode,
+                    EncodedU32(static_cast<uint32_t>(request.mode)));
+  writer.AddSection(kServeTagEpsilon,
+                    EncodedU64(std::bit_cast<uint64_t>(request.epsilon)));
+  if (request.has_deadline) {
+    writer.AddSection(kServeTagDeadlineMs, EncodedU64(request.deadline_ms));
+  }
+  if (request.stall_ms > 0) {
+    writer.AddSection(kServeTagStallMs, EncodedU64(request.stall_ms));
+  }
+  for (const std::string& path : request.paths) {
+    writer.AddSection(kServeTagPath, path);
+  }
+  return std::move(writer).Finish();
+}
+
+std::string EncodeResponse(const ServeResponse& response) {
+  ContainerWriter writer(PayloadKind::kServeResponse);
+  writer.AddSection(kServeTagStatus,
+                    EncodedU32(static_cast<uint32_t>(response.status)));
+  if (!response.message.empty()) {
+    writer.AddSection(kServeTagMessage, response.message);
+  }
+  if (!response.payload.empty()) {
+    writer.AddSection(kServeTagPayload, response.payload);
+  }
+  return std::move(writer).Finish();
+}
+
+Result<ServeRequest> DecodeRequest(std::string_view body) {
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container, ParseContainer(body));
+  if (container.info.payload_kind !=
+      static_cast<uint32_t>(PayloadKind::kServeRequest)) {
+    return Status::InvalidArgument(
+        std::string("frame is not a serve request (payload kind ") +
+        PayloadKindName(container.info.payload_kind) + ")");
+  }
+  ServeRequest request;
+  bool have_verb = false;
+  for (const ContainerSection& section : container.sections) {
+    switch (section.tag) {
+      case kServeTagVerb: {
+        uint32_t raw;
+        SSUM_ASSIGN_OR_RETURN(raw, SectionU32(section.payload, "verb"));
+        if (raw < static_cast<uint32_t>(ServeVerb::kHealth) ||
+            raw > static_cast<uint32_t>(ServeVerb::kShutdown)) {
+          return Status::InvalidArgument("unknown verb code " +
+                                         std::to_string(raw));
+        }
+        request.verb = static_cast<ServeVerb>(raw);
+        have_verb = true;
+        break;
+      }
+      case kServeTagDataset:
+        request.dataset = std::string(section.payload);
+        break;
+      case kServeTagK: {
+        uint64_t k;
+        SSUM_ASSIGN_OR_RETURN(k, SectionU64(section.payload, "k"));
+        if (k == 0) {
+          return Status::InvalidArgument("k must be positive");
+        }
+        request.k = k;
+        break;
+      }
+      case kServeTagAlgorithm: {
+        uint32_t raw;
+        SSUM_ASSIGN_OR_RETURN(raw, SectionU32(section.payload, "algorithm"));
+        if (raw > static_cast<uint32_t>(Algorithm::kBalanceSummary)) {
+          return Status::InvalidArgument("unknown algorithm code " +
+                                         std::to_string(raw));
+        }
+        request.algorithm = static_cast<Algorithm>(raw);
+        break;
+      }
+      case kServeTagMode: {
+        uint32_t raw;
+        SSUM_ASSIGN_OR_RETURN(raw, SectionU32(section.payload, "mode"));
+        if (raw > static_cast<uint32_t>(SummaryMode::kApprox)) {
+          return Status::InvalidArgument("unknown mode code " +
+                                         std::to_string(raw));
+        }
+        request.mode = static_cast<SummaryMode>(raw);
+        break;
+      }
+      case kServeTagEpsilon: {
+        uint64_t bits;
+        SSUM_ASSIGN_OR_RETURN(bits, SectionU64(section.payload, "epsilon"));
+        const double eps = std::bit_cast<double>(bits);
+        if (!(eps >= 0.0 && eps < 1.0)) {  // rejects NaN too
+          return Status::InvalidArgument("epsilon must be in [0, 1)");
+        }
+        request.epsilon = eps;
+        break;
+      }
+      case kServeTagDeadlineMs: {
+        uint64_t ms;
+        SSUM_ASSIGN_OR_RETURN(ms, SectionU64(section.payload, "deadline_ms"));
+        request.has_deadline = true;
+        request.deadline_ms = ms;
+        break;
+      }
+      case kServeTagStallMs: {
+        uint64_t ms;
+        SSUM_ASSIGN_OR_RETURN(ms, SectionU64(section.payload, "stall_ms"));
+        request.stall_ms = ms;
+        break;
+      }
+      case kServeTagPath:
+        request.paths.emplace_back(section.payload);
+        break;
+      default:
+        break;  // forward compatibility: unknown tags are skippable
+    }
+  }
+  if (!have_verb) {
+    return Status::ParseError("request frame has no verb section");
+  }
+  return request;
+}
+
+Result<ServeResponse> DecodeResponse(std::string_view body) {
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container, ParseContainer(body));
+  if (container.info.payload_kind !=
+      static_cast<uint32_t>(PayloadKind::kServeResponse)) {
+    return Status::InvalidArgument(
+        std::string("frame is not a serve response (payload kind ") +
+        PayloadKindName(container.info.payload_kind) + ")");
+  }
+  ServeResponse response;
+  bool have_status = false;
+  for (const ContainerSection& section : container.sections) {
+    switch (section.tag) {
+      case kServeTagStatus: {
+        uint32_t raw;
+        SSUM_ASSIGN_OR_RETURN(raw, SectionU32(section.payload, "status"));
+        if (raw > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+          return Status::InvalidArgument("unknown status code " +
+                                         std::to_string(raw));
+        }
+        response.status = static_cast<StatusCode>(raw);
+        have_status = true;
+        break;
+      }
+      case kServeTagMessage:
+        response.message = std::string(section.payload);
+        break;
+      case kServeTagPayload:
+        response.payload = std::string(section.payload);
+        break;
+      default:
+        break;
+    }
+  }
+  if (!have_status) {
+    return Status::ParseError("response frame has no status section");
+  }
+  return response;
+}
+
+namespace {
+
+/// Fills `out` completely, or reports how the stream ended: NotFound for a
+/// clean EOF before the first byte (when allowed), OutOfRange mid-buffer.
+Status ReadExactly(Connection* conn, char* out, size_t n,
+                   bool clean_eof_allowed) {
+  size_t got = 0;
+  while (got < n) {
+    size_t chunk;
+    SSUM_ASSIGN_OR_RETURN(chunk, conn->Read(out + got, n - got));
+    if (chunk == 0) {
+      if (got == 0 && clean_eof_allowed) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::OutOfRange("connection closed mid-frame after " +
+                                std::to_string(got) + " bytes");
+    }
+    got += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(Connection* conn, size_t max_bytes) {
+  char prefix[4];
+  SSUM_RETURN_NOT_OK(
+      ReadExactly(conn, prefix, sizeof(prefix), /*clean_eof_allowed=*/true));
+  const uint32_t length = LoadU32(prefix);
+  if (length > max_bytes) {
+    return Status::OutOfRange("frame of " + std::to_string(length) +
+                              " bytes exceeds the " +
+                              std::to_string(max_bytes) + "-byte limit");
+  }
+  std::string body(length, '\0');
+  SSUM_RETURN_NOT_OK(
+      ReadExactly(conn, body.data(), length, /*clean_eof_allowed=*/false));
+  return body;
+}
+
+Status WriteFrame(Connection* conn, std::string_view body) {
+  if (body.size() > kMaxServeFrameBytes) {
+    return Status::OutOfRange("frame of " + std::to_string(body.size()) +
+                              " bytes exceeds the wire limit");
+  }
+  std::string framed;
+  framed.reserve(4 + body.size());
+  AppendU32(&framed, static_cast<uint32_t>(body.size()));
+  framed.append(body);
+  return conn->WriteAll(framed);
+}
+
+}  // namespace ssum

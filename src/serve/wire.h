@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "core/summarize.h"
+
+namespace ssum {
+
+/// Wire protocol of the summarization daemon (serve/server.h).
+///
+/// Every message is one length-prefixed frame:
+///
+///   u32 LE  body length in bytes
+///   body    a binary snapshot container (store/container.h) of payload
+///           kind kServeRequest or kServeResponse
+///
+/// Reusing the container envelope buys the protocol the same integrity
+/// story the store already has: magic, per-section CRC32C, trailer CRC —
+/// any corrupted byte decodes to a Status, never a crash. Unknown section
+/// tags are ignored (a newer client may send fields an older server skips);
+/// a missing required field or a wrong-size fixed field is ParseError.
+///
+/// Request sections (tag → payload):
+///   1  verb        u32 LE (ServeVerb, required)
+///   2  dataset     UTF-8 dataset name (xmark|tpch|mimi)
+///   3  k           u64 LE summary size
+///   4  algorithm   u32 LE (core Algorithm enum)
+///   5  mode        u32 LE (core SummaryMode enum)
+///   6  epsilon     u64 LE IEEE-754 double bits (approx sketch epsilon)
+///   7  deadline_ms u64 LE wall-clock budget; presence arms a Deadline at
+///                  decode time (queue wait counts); 0 = already expired
+///   8  stall_ms    u64 LE artificial handler stall — a testing aid the
+///                  overload and deadline-expiry checks use to hold workers
+///                  busy deterministically (docs/serving.md)
+///   9  path        UTF-8 schema path, repeated (discover)
+///
+/// Response sections:
+///   1  status      u32 LE StatusCode
+///   2  message     UTF-8 diagnostic (errors) or short note
+///   3  payload     verb-specific bytes (summarize: SerializeSummary text,
+///                  bit-identical to the one-shot CLI's -o output)
+inline constexpr uint32_t kServeTagVerb = 1;
+inline constexpr uint32_t kServeTagDataset = 2;
+inline constexpr uint32_t kServeTagK = 3;
+inline constexpr uint32_t kServeTagAlgorithm = 4;
+inline constexpr uint32_t kServeTagMode = 5;
+inline constexpr uint32_t kServeTagEpsilon = 6;
+inline constexpr uint32_t kServeTagDeadlineMs = 7;
+inline constexpr uint32_t kServeTagStallMs = 8;
+inline constexpr uint32_t kServeTagPath = 9;
+
+inline constexpr uint32_t kServeTagStatus = 1;
+inline constexpr uint32_t kServeTagMessage = 2;
+inline constexpr uint32_t kServeTagPayload = 3;
+
+/// Hard per-frame ceiling both sides enforce before allocating: a garbage
+/// length prefix cannot make either side buffer gigabytes.
+inline constexpr size_t kMaxServeFrameBytes = 16u << 20;
+
+enum class ServeVerb : uint32_t {
+  kHealth = 1,
+  kSummarize = 2,
+  kDiscover = 3,
+  kCacheStat = 4,
+  kMetrics = 5,
+  kShutdown = 6,
+};
+
+const char* ServeVerbName(ServeVerb verb);
+Result<ServeVerb> ParseServeVerb(std::string_view name);
+
+struct ServeRequest {
+  ServeVerb verb = ServeVerb::kHealth;
+  std::string dataset;
+  uint64_t k = 10;
+  Algorithm algorithm = Algorithm::kBalanceSummary;
+  SummaryMode mode = SummaryMode::kExact;
+  double epsilon = 0.1;
+  bool has_deadline = false;
+  uint64_t deadline_ms = 0;
+  uint64_t stall_ms = 0;
+  std::vector<std::string> paths;
+};
+
+struct ServeResponse {
+  StatusCode status = StatusCode::kOk;
+  std::string message;
+  std::string payload;
+
+  bool ok() const { return status == StatusCode::kOk; }
+  /// Reconstructs the wire error as a Status (OK for an OK response).
+  Status ToStatus() const;
+};
+
+/// Container-body encoders; frame them with WriteFrame.
+std::string EncodeRequest(const ServeRequest& request);
+std::string EncodeResponse(const ServeResponse& response);
+
+/// Verifying decoders. Corruption is DataLoss, truncation OutOfRange,
+/// structurally valid containers with bad field values ParseError /
+/// InvalidArgument — exactly the store's error taxonomy.
+Result<ServeRequest> DecodeRequest(std::string_view body);
+Result<ServeResponse> DecodeResponse(std::string_view body);
+
+/// Reads one length-prefixed frame body. A peer that closed before sending
+/// any byte is NotFound (a clean end of the request stream, not an error);
+/// a connection cut mid-frame is OutOfRange; a length prefix above
+/// `max_bytes` is rejected before any allocation.
+Result<std::string> ReadFrame(Connection* conn,
+                              size_t max_bytes = kMaxServeFrameBytes);
+
+/// Writes the length prefix and `body` as one send.
+Status WriteFrame(Connection* conn, std::string_view body);
+
+}  // namespace ssum

@@ -54,6 +54,10 @@ const char* PayloadKindName(uint32_t kind) {
       return "matrix";
     case PayloadKind::kSummary:
       return "summary";
+    case PayloadKind::kServeRequest:
+      return "serve-request";
+    case PayloadKind::kServeResponse:
+      return "serve-response";
   }
   return "unknown";
 }

@@ -53,6 +53,11 @@ enum class PayloadKind : uint32_t {
   kAnnotations = 1,
   kSquareMatrix = 2,
   kSummary = 3,
+  // Wire messages of the serving daemon (src/serve/wire.h). They share the
+  // container envelope but never land in the artifact cache, whose
+  // known-kind check deliberately stops at kSummary.
+  kServeRequest = 4,
+  kServeResponse = 5,
 };
 
 const char* PayloadKindName(uint32_t kind);

@@ -13,6 +13,7 @@
 
 #include "core/summary_io.h"
 #include "relational/csv.h"
+#include "serve/wire.h"
 #include "relational/ddl.h"
 #include "schema/schema_io.h"
 #include "stats/annotate.h"
@@ -213,6 +214,58 @@ TEST(FuzzRegressionTest, StoreCorpus) {
       // Unnamed seeds only need the abort-free guarantee (checked by
       // running at all); decoders may accept or reject.
       (void)DecodeSummary(schema, bytes);
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, ServeCorpus) {
+  for (const fs::path& p : CorpusFiles("serve")) {
+    const std::string bytes = ReadFileOrDie(p);
+    const std::string name = p.filename().string();
+    auto request = DecodeRequest(bytes);
+    auto response = DecodeResponse(bytes);
+    // Request and response use distinct payload kinds, so no body may
+    // decode as both (the fuzz harness checks the same invariant).
+    EXPECT_FALSE(request.ok() && response.ok()) << name;
+    if (name.rfind("request_", 0) == 0) {
+      ASSERT_TRUE(request.ok()) << name << ": " << request.status().ToString();
+      // The fuzz oracle: accepted requests re-encode to identical bytes.
+      EXPECT_EQ(EncodeRequest(*request), bytes) << name;
+      if (name == "request_discover.ssb") {
+        EXPECT_EQ(request->verb, ServeVerb::kDiscover);
+        EXPECT_EQ(request->paths.size(), 2u);
+      } else if (name == "request_summarize.ssb") {
+        EXPECT_EQ(request->verb, ServeVerb::kSummarize);
+        EXPECT_TRUE(request->has_deadline);
+        EXPECT_EQ(request->deadline_ms, 1500u);
+      }
+    } else if (name.rfind("response_", 0) == 0) {
+      ASSERT_TRUE(response.ok()) << name << ": "
+                                 << response.status().ToString();
+      EXPECT_EQ(EncodeResponse(*response), bytes) << name;
+      if (name == "response_error.ssb") {
+        EXPECT_TRUE(response->ToStatus().IsDeadlineExceeded())
+            << response->ToStatus().ToString();
+      } else {
+        EXPECT_TRUE(response->ok()) << name;
+      }
+    } else if (name == "bad_verb.ssb") {
+      EXPECT_TRUE(request.status().IsInvalidArgument())
+          << request.status().ToString();
+    } else if (name == "wrong_kind.ssb") {
+      EXPECT_TRUE(request.status().IsInvalidArgument())
+          << request.status().ToString();
+      EXPECT_TRUE(response.status().IsInvalidArgument())
+          << response.status().ToString();
+    } else if (name == "foreign_version.ssb") {
+      EXPECT_TRUE(request.status().IsFailedPrecondition())
+          << request.status().ToString();
+    } else if (name == "truncated.ssb") {
+      EXPECT_TRUE(request.status().IsOutOfRange())
+          << request.status().ToString();
+    } else {
+      // Unnamed seeds (minimized fuzzer finds) only need the abort-free
+      // guarantee; the decoders may accept or reject.
     }
   }
 }

@@ -24,12 +24,17 @@
 #          store crash sweeps re-run under ASan/UBSan, then the
 #          fault_recovery bench runs its correctness gates (quarantine +
 #          heal + deadline abort) in --gate-only mode
+#   serve  serving-daemon end-to-end on the asan build: start `ssum serve`
+#          on an ephemeral port, round-trip `ssum query` (warm response
+#          byte-identical to cold), overload -> exit 6, expired
+#          --deadline-ms -> exit 5 with the daemon still healthy, clean
+#          shutdown via the wire verb
 #   bench  bench-sanity gates on a dedicated Release tree (build-bench):
-#          parallel_scaling, annotate_scaling, walk_scaling, and
-#          approx_scaling in gate-only mode (determinism + regression +
-#          walk-speedup + approx-quality/speedup gates; the checked-in
-#          BENCH_*.json are NOT updated). SSUM_NATIVE=ON builds the tree
-#          with -march=native (the CI native bench leg)
+#          parallel_scaling, annotate_scaling, walk_scaling, approx_scaling,
+#          and serve_scaling in gate-only mode (determinism + regression +
+#          walk-speedup + approx-quality/speedup + serve-latency/QPS gates;
+#          the checked-in BENCH_*.json are NOT updated). SSUM_NATIVE=ON
+#          builds the tree with -march=native (the CI native bench leg)
 #   all    every stage above, in that order
 #
 # The toolchain comes from $CC/$CXX (default gcc). Non-default toolchains
@@ -44,7 +49,8 @@ JOBS="${2:-$(nproc)}"
 FUZZ_ITERATIONS="${FUZZ_ITERATIONS:-20000}"
 FUZZ_SEED="${FUZZ_SEED:-7}"
 FUZZ_TOTAL_TIME="${FUZZ_TOTAL_TIME:-30}"   # seconds per libFuzzer target
-FUZZ_TARGETS=(fuzz_xml fuzz_ddl fuzz_csv fuzz_summary fuzz_store)
+FUZZ_TARGETS=(fuzz_xml fuzz_ddl fuzz_csv fuzz_summary fuzz_store
+              fuzz_serve_frame)
 
 # Per-toolchain build trees. Plain gcc keeps the historical names (build,
 # build-tsan, build-asan) so local incremental builds stay warm.
@@ -124,6 +130,7 @@ run_fuzz_targets() {  # run_fuzz_targets smoke|full
   for f in "${FUZZ_TARGETS[@]}"; do
     local bin="$BUILD_ASAN/fuzz/$f"
     local corpus="$ROOT/fuzz/corpus/${f#fuzz_}"
+    [ "$f" = fuzz_serve_frame ] && corpus="$ROOT/fuzz/corpus/serve"
     if uses_libfuzzer "$BUILD_ASAN"; then
       # Real libFuzzer: coverage-guided from the seed corpus, fixed time
       # budget, fixed seed. Crashes land in fuzz-artifacts/ (uploaded by
@@ -228,6 +235,73 @@ stage_faults() {
   "$BUILD_ASAN/bench/fault_recovery" --gate-only
 }
 
+stage_serve() {
+  echo "== [$TOOLCHAIN] serving-daemon end-to-end (ASan/UBSan) =="
+  configure "$BUILD_ASAN" -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON
+  cmake --build "$BUILD_ASAN" --target ssum-cli -j "$JOBS"
+  local CLI="$BUILD_ASAN/ssum"
+  local WORK
+  WORK="$(mktemp -d)"
+  local SERVER_PID=""
+  # shellcheck disable=SC2317  # invoked via trap
+  serve_cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+  }
+  trap serve_cleanup RETURN
+
+  # Tight capacity (1 worker, empty queue) so one stalled request provably
+  # trips admission control.
+  "$CLI" --cache-dir "$WORK/cache" serve --listen 127.0.0.1:0 \
+    --workers 1 --queue 0 --port-file "$WORK/port" \
+    2>"$WORK/server.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "FAIL: server died during startup"; cat "$WORK/server.log"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || { echo "FAIL: server never wrote its port"; exit 1; }
+  local ADDR="127.0.0.1:$(cat "$WORK/port")"
+
+  # Round trip: a cold summarize and a warm re-request must answer with
+  # byte-identical payloads.
+  "$CLI" query --connect "$ADDR" health >/dev/null
+  "$CLI" query --connect "$ADDR" summarize xmark -k 3 > "$WORK/cold.txt"
+  "$CLI" query --connect "$ADDR" summarize xmark -k 3 > "$WORK/warm.txt"
+  cmp "$WORK/cold.txt" "$WORK/warm.txt"
+  [ -s "$WORK/cold.txt" ] || { echo "FAIL: empty summarize payload"; exit 1; }
+  echo "-- warm response byte-identical to cold"
+
+  # Overload: while a staller holds the only worker, a probe must be shed
+  # with kUnavailable (exit 6) — not hang, not a dropped connection.
+  "$CLI" query --connect "$ADDR" health --stall-ms 3000 >/dev/null &
+  local STALLER=$!
+  sleep 0.5
+  local rc=0
+  "$CLI" query --connect "$ADDR" health >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 6 ] || { echo "FAIL: overload probe exited $rc, want 6"; exit 1; }
+  wait "$STALLER" || { echo "FAIL: stalled request did not complete"; exit 1; }
+  echo "-- overload shed with exit 6, staller still served"
+
+  # Deadline: an already-expired budget is a wire-level deadline error
+  # (exit 5), and the daemon keeps serving afterwards.
+  rc=0
+  "$CLI" query --connect "$ADDR" summarize tpch -k 3 --deadline-ms 0 \
+    >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 5 ] || { echo "FAIL: expired deadline exited $rc, want 5"; exit 1; }
+  "$CLI" query --connect "$ADDR" health >/dev/null
+  echo "-- expired deadline is exit 5, server still healthy"
+
+  # Clean shutdown through the wire verb.
+  "$CLI" query --connect "$ADDR" shutdown >/dev/null
+  wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; exit 1; }
+  SERVER_PID=""
+  echo "-- wire shutdown joined the daemon cleanly"
+}
+
 stage_bench() {
   # Benches run from a dedicated Release tree (the gated binaries refuse to
   # emit JSON from anything else, and the walk-engine speedup gate is only
@@ -238,7 +312,7 @@ stage_bench() {
   local bench_build="$BUILD-bench"
   configure "$bench_build" -DCMAKE_BUILD_TYPE=Release -DSSUM_NATIVE="$native"
   cmake --build "$bench_build" --target parallel_scaling annotate_scaling \
-    walk_scaling approx_scaling -j "$JOBS"
+    walk_scaling approx_scaling serve_scaling -j "$JOBS"
   # parallel_scaling has no gate-only flag: its determinism and
   # no-regression gates are always hard and it only writes JSON when asked,
   # so running it without --json IS the gate. annotate_scaling,
@@ -248,6 +322,7 @@ stage_bench() {
   "$bench_build/bench/annotate_scaling" --gate-only
   "$bench_build/bench/walk_scaling" --gate-only
   "$bench_build/bench/approx_scaling" --gate-only
+  "$bench_build/bench/serve_scaling" --gate-only
 }
 
 case "$STAGE" in
@@ -257,6 +332,7 @@ case "$STAGE" in
   fuzz)  stage_fuzz ;;
   cache) stage_cache ;;
   faults) stage_faults ;;
+  serve) stage_serve ;;
   bench) stage_bench ;;
   all)
     stage_build
@@ -269,10 +345,12 @@ case "$STAGE" in
     echo
     stage_faults
     echo
+    stage_serve
+    echo
     stage_bench
     ;;
   *)
-    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|faults|bench|all] [jobs]" >&2
+    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|faults|serve|bench|all] [jobs]" >&2
     exit 2
     ;;
 esac

@@ -10,6 +10,9 @@
 //   ssum discover <schema.ssg> <summary.txt> <path> [path...]
 //   ssum demo <xmark|tpch|mimi> [-k N]
 //   ssum cache <stat|ls|clear|verify>
+//   ssum serve [--listen host:port] [--workers N] [--queue N] [--scale S]
+//              [--port-file P]
+//   ssum query --connect host:port <verb> [dataset] [path...] [-k N] ...
 //   ssum help | --help
 //
 // All commands exit non-zero with a diagnostic on stderr when anything
@@ -18,7 +21,9 @@
 //   2  usage error (unknown command, missing arguments)
 //   3  bad input (parse errors, limit violations, missing/unreadable files)
 //   4  internal error (a library invariant failed — please report)
-//   5  deadline exceeded (--deadline-ms budget ran out before completion)
+//   5  deadline exceeded (--deadline-ms budget ran out before completion,
+//      locally or as a wire-level deadline error from a serving daemon)
+//   6  unavailable (the daemon shed the request under admission control)
 
 #include <algorithm>
 #include <cstdio>
@@ -40,6 +45,8 @@
 #include "datasets/registry.h"
 #include "query/discovery.h"
 #include "query/formulate.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "relational/bridge.h"
 #include "relational/csv.h"
 #include "relational/ddl.h"
@@ -63,6 +70,7 @@ constexpr int kExitUsage = 2;
 constexpr int kExitBadInput = 3;
 constexpr int kExitInternal = 4;
 constexpr int kExitDeadline = 5;
+constexpr int kExitUnavailable = 6;
 
 /// Parse limits for every file ingested by the CLI; adjusted by the global
 /// --max-input-bytes / --max-parse-depth flags before dispatch.
@@ -72,6 +80,11 @@ ParseLimits g_limits = ParseLimits::Defaults();
 /// Checked cooperatively at parallel-chunk and instance-shard boundaries —
 /// an expired budget aborts the command with kExitDeadline.
 Deadline g_deadline;
+
+/// Raw --deadline-ms value (-1 = absent), forwarded verbatim as the
+/// wire-level deadline_ms field by `ssum query` so the *daemon* enforces
+/// the budget; a wire kDeadlineExceeded maps back to kExitDeadline.
+int64_t g_deadline_ms = -1;
 
 /// Warm-start cache directory from --cache-dir / SSUM_CACHE_DIR; empty
 /// means caching is off and every command computes from scratch.
@@ -113,6 +126,13 @@ void PrintUsage(std::FILE* to) {
       "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
       "  ssum demo <xmark|tpch|mimi> [-k N]\n"
       "  ssum cache <stat|ls|clear|verify>\n"
+      "  ssum serve [--listen host:port] [--workers N] [--queue N]\n"
+      "             [--scale S] [--port-file P]\n"
+      "  ssum query --connect host:port <verb> [dataset] [path...]\n"
+      "             [-k N] [-g balance|importance|coverage]\n"
+      "             [--mode exact|approx] [--epsilon E] [--stall-ms N]\n"
+      "             verbs: health summarize discover cache-stat metrics\n"
+      "                    shutdown\n"
       "  ssum help | --help\n"
       "\n"
       "global flags:\n"
@@ -126,11 +146,15 @@ void PrintUsage(std::FILE* to) {
       "                       (default: hardware concurrency; 1 = serial;\n"
       "                       results are identical for every value).\n"
       "                       SSUM_THREADS overrides.\n"
-      "  --deadline-ms N      wall-clock budget for the command. Checked\n"
+      "  --deadline-ms N      wall-clock budget for the command, checked\n"
       "                       cooperatively at parallel-chunk and\n"
-      "                       instance-shard boundaries; an expired budget\n"
-      "                       aborts with exit code 5 (0 aborts\n"
-      "                       immediately). Default: unlimited.\n"
+      "                       instance-shard boundaries. An expired budget\n"
+      "                       always exits 5 (0 = already expired, so the\n"
+      "                       first check aborts). With `query`, the budget\n"
+      "                       rides the wire as deadline_ms and is enforced\n"
+      "                       by the daemon; its kDeadlineExceeded response\n"
+      "                       maps to the same exit code 5.\n"
+      "                       Default: unlimited.\n"
       "  --max-input-bytes N  reject input files larger than N bytes\n"
       "                       (default: 536870912 = 512 MiB)\n"
       "  --max-parse-depth N  reject XML nested deeper than N levels\n"
@@ -142,8 +166,11 @@ void PrintUsage(std::FILE* to) {
       "  3  bad input (parse errors, limit violations, unreadable files);\n"
       "     the diagnostic carries line and byte-offset context\n"
       "  4  internal error (a library invariant failed — please report)\n"
-      "  5  deadline exceeded (--deadline-ms ran out; partial work is\n"
-      "     discarded, caches are never left corrupt)\n");
+      "  5  deadline exceeded (--deadline-ms ran out — locally or at the\n"
+      "     daemon; partial work is discarded, caches are never left\n"
+      "     corrupt)\n"
+      "  6  unavailable (the daemon shed the request under admission\n"
+      "     control; retrying later is expected to succeed)\n");
 }
 
 int Usage() {
@@ -171,6 +198,8 @@ int ExitCodeFor(const Status& status) {
       return kExitInternal;
     case StatusCode::kDeadlineExceeded:
       return kExitDeadline;
+    case StatusCode::kUnavailable:
+      return kExitUnavailable;
   }
   return kExitInternal;
 }
@@ -606,6 +635,107 @@ int CmdCache(const Args& args) {
   return Usage();
 }
 
+int CmdServe(const Args& args) {
+  ServeServerOptions options;
+  options.cache_dir = g_cache_dir;
+  options.limits = g_limits;
+  if (const std::string* listen = args.Get("--listen")) {
+    options.listen = *listen;
+  }
+  if (const std::string* workers = args.Get("--workers")) {
+    auto v = ParseInt64(*workers);
+    if (!v.ok() || *v <= 0) {
+      return Fail(Status::InvalidArgument("--workers needs a positive integer"));
+    }
+    options.workers = static_cast<uint32_t>(*v);
+  }
+  if (const std::string* queue = args.Get("--queue")) {
+    auto v = ParseInt64(*queue);
+    if (!v.ok() || *v < 0) {
+      return Fail(
+          Status::InvalidArgument("--queue needs a non-negative integer"));
+    }
+    options.queue_depth = static_cast<uint32_t>(*v);
+  }
+  if (const std::string* scale = args.Get("--scale")) {
+    auto v = ParseDouble(*scale);
+    if (!v.ok() || *v <= 0.0) {
+      return Fail(Status::InvalidArgument("--scale needs a positive number"));
+    }
+    options.dataset_scale = *v;
+  }
+  SummarizeServer server(std::move(options));
+  if (Status s = server.Start(); !s.ok()) return Fail(s);
+  // The actual bound address resolves an ephemeral ":0" port; scripts read
+  // it from --port-file instead of scraping stderr.
+  std::fprintf(stderr, "ssum: serving on %s\n", server.address().c_str());
+  if (const std::string* port_file = args.Get("--port-file")) {
+    std::ofstream out(*port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    out.flush();
+    if (!out) {
+      server.Stop();
+      return Fail(Status::IoError("cannot write '" + *port_file + "'"));
+    }
+  }
+  server.WaitForShutdown();
+  server.Stop();
+  std::fprintf(stderr, "ssum: server stopped\n");
+  return kExitOk;
+}
+
+int CmdQuery(const Args& args) {
+  const std::string* addr = args.Get("--connect");
+  if (addr == nullptr || args.positional.empty()) return Usage();
+  ServeRequest request;
+  {
+    auto verb = ParseServeVerb(args.positional[0]);
+    if (!verb.ok()) return Fail(verb.status());
+    request.verb = *verb;
+  }
+  if (args.positional.size() > 1) request.dataset = args.positional[1];
+  for (size_t i = 2; i < args.positional.size(); ++i) {
+    request.paths.push_back(args.positional[i]);
+  }
+  if (const std::string* kflag = args.Get("-k")) {
+    auto v = ParseInt64(*kflag);
+    if (!v.ok() || *v <= 0) {
+      return Fail(Status::InvalidArgument("-k needs a positive integer"));
+    }
+    request.k = static_cast<uint64_t>(*v);
+  }
+  {
+    auto alg = ParseAlgorithm(args);
+    if (!alg.ok()) return Fail(alg.status());
+    request.algorithm = *alg;
+  }
+  {
+    auto options = ParseSummarizeOptions(args);
+    if (!options.ok()) return Fail(options.status());
+    request.mode = options->mode;
+    request.epsilon = options->approx_epsilon;
+  }
+  if (const std::string* stall = args.Get("--stall-ms")) {
+    auto v = ParseInt64(*stall);
+    if (!v.ok() || *v < 0) {
+      return Fail(
+          Status::InvalidArgument("--stall-ms needs a non-negative integer"));
+    }
+    request.stall_ms = static_cast<uint64_t>(*v);
+  }
+  if (g_deadline_ms >= 0) {
+    request.has_deadline = true;
+    request.deadline_ms = static_cast<uint64_t>(g_deadline_ms);
+  }
+  auto client = ServeClient::Connect(*addr);
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok()) return Fail(response->ToStatus());
+  std::fputs(response->payload.c_str(), stdout);
+  return kExitOk;
+}
+
 /// Consumes the global --max-input-bytes / --max-parse-depth flags (and
 /// their values) from argv, updating g_limits. Returns non-OK on a
 /// malformed value; the flags may appear anywhere on the command line.
@@ -651,6 +781,7 @@ Status ConsumeDeadlineFlag(int* argc, char** argv) {
             "--deadline-ms needs a non-negative integer");
       }
       g_deadline = Deadline::After(*v);
+      g_deadline_ms = *v;
       continue;
     }
     argv[out++] = argv[i];
@@ -691,6 +822,8 @@ int Dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "discover") return CmdDiscover(args);
   if (cmd == "demo") return CmdDemo(args);
   if (cmd == "cache") return CmdCache(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "query") return CmdQuery(args);
   return Usage();
 }
 
@@ -717,8 +850,10 @@ int Main(int argc, char** argv) {
     return kExitOk;
   }
   const std::vector<std::string> value_flags = {
-      "-o",     "-k",     "-a",        "-g",     "--max-depth",
-      "--dot",  "--data", "--dialect", "--mode", "--epsilon"};
+      "-o",       "-k",        "-a",         "-g",        "--max-depth",
+      "--dot",    "--data",    "--dialect",  "--mode",    "--epsilon",
+      "--listen", "--workers", "--queue",    "--scale",   "--port-file",
+      "--connect", "--stall-ms"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
   int code = Dispatch(cmd, args);
   // One flush per command keeps the persistent counters the cross-invocation
