@@ -19,6 +19,12 @@
 #                               clients, responses bit-identical to the
 #                               one-shot pipeline, overload -> kUnavailable,
 #                               deadline expiry -> wire error)
+#   bench/BENCH_scenario.json — scenario-matrix pipeline timings over every
+#                               bench/scenarios/ case (gates per-case
+#                               determinism: sharded annotation == serial,
+#                               summaries identical across threads/reruns;
+#                               sanity: budget respected, coverage monotone
+#                               in k)
 # Every record is also copied to the repo root so trajectory tooling can
 # pick up BENCH_*.json from either location; a full run fails loudly if any
 # expected record is missing afterwards.
@@ -37,7 +43,7 @@ BUILD="${1:-$ROOT/build-bench}"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
   walk_scaling approx_scaling perf_microbench cache_warm fault_recovery \
-  serve_scaling -j "$(nproc)"
+  serve_scaling scenario_matrix -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
@@ -57,12 +63,15 @@ cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
 
 "$BUILD/bench/serve_scaling" --json "$ROOT/bench/BENCH_serve.json"
 
+"$BUILD/bench/scenario_matrix" --tier all \
+  --json "$ROOT/bench/BENCH_scenario.json"
+
 # A bench that silently failed to write its record must fail the run here,
 # not surface later as a stale checked-in trajectory.
 missing=0
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
               BENCH_perf.json BENCH_cache.json BENCH_approx.json \
-              BENCH_fault.json BENCH_serve.json; do
+              BENCH_fault.json BENCH_serve.json BENCH_scenario.json; do
   if [[ ! -s "$ROOT/bench/$record" ]]; then
     echo "ERROR: expected record bench/$record is missing or empty" >&2
     missing=1
@@ -73,7 +82,7 @@ done
 echo "perf trajectory updated:"
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
               BENCH_perf.json BENCH_cache.json BENCH_approx.json \
-              BENCH_fault.json BENCH_serve.json; do
+              BENCH_fault.json BENCH_serve.json BENCH_scenario.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

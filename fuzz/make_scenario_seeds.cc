@@ -1,0 +1,129 @@
+// Writes scenario-generated seed documents into the fuzz corpora: three
+// materialized instance XMLs into fuzz/corpus/xml/ (structurally richer
+// than the hand-written fixtures — recursion, Choice branches, SetOf runs,
+// idref webs) and one annotation container into fuzz/corpus/store/. Run
+// from the repo root:
+//
+//   build/fuzz/make_scenario_seeds fuzz/corpus
+//
+// The seeds are committed; this tool only exists to regenerate them when
+// the generator revision (datasets/scenario.cc kScenarioRevision) or the
+// XML/container formats change. tests/test_fuzz_regression.cc ScenarioCorpus
+// replays the seeds and re-derives scenario_small.xml and
+// scenario_annotations.ssb from kSmallSeedSpec, so a generator change that
+// forgets to regenerate fails visibly.
+//
+// Every document must stay within fuzz_util.h TightLimits(): < 1 MiB,
+// depth <= 64, < 65536 nodes — hence the tight unit counts and
+// max_unit_nodes caps below.
+
+#include <cstdio>
+#include <string>
+
+#include "datasets/scenario.h"
+#include "instance/materialize.h"
+#include "stats/annotate.h"
+#include "store/codec.h"
+#include "store/container.h"
+#include "xml/writer.h"
+
+namespace {
+
+/// Must stay identical to kSmallSeedSpec in tests/test_fuzz_regression.cc.
+constexpr char kSmallSeedSpec[] =
+    "name: seed_small\n"
+    "seed: 5\n"
+    "schema.elements: 40\n"
+    "schema.entity_classes: 3\n"
+    "instance.units: 20\n"
+    "workload.queries: 5\n";
+
+constexpr char kDeepSeedSpec[] =
+    "name: seed_deep\n"
+    "seed: 19\n"
+    "schema.elements: 60\n"
+    "schema.entity_classes: 2\n"
+    "schema.max_depth: 20\n"
+    "schema.simple_fraction: 0.35\n"
+    "schema.fanout_skew: 0.5\n"
+    "instance.units: 10\n"
+    "instance.max_unit_nodes: 256\n"
+    "workload.queries: 5\n";
+
+constexpr char kChoiceSeedSpec[] =
+    "name: seed_choice\n"
+    "seed: 29\n"
+    "schema.elements: 50\n"
+    "schema.entity_classes: 3\n"
+    "schema.choice_fraction: 0.35\n"
+    "schema.simple_fraction: 0.40\n"
+    "schema.value_link_fraction: 0.20\n"
+    "instance.reference_prob: 0.9\n"
+    "instance.units: 15\n"
+    "instance.max_unit_nodes: 256\n"
+    "workload.queries: 5\n";
+
+int WriteScenarioXml(const char* spec_text, const std::string& path) {
+  auto spec = ssum::ParseScenarioSpecText(spec_text, path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s: bad spec: %s\n", path.c_str(),
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  auto ds = ssum::ScenarioDataset::Make(*spec);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 ds.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = ssum::MaterializeToXml(*ds->MakeStream());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  if (ssum::Status st = ssum::WriteXmlFile(*doc, path); !st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_scenario_seeds <corpus-root>\n");
+    return 2;
+  }
+  const std::string root = argv[1];
+
+  int rc = 0;
+  rc |= WriteScenarioXml(kSmallSeedSpec, root + "/xml/scenario_small.xml");
+  rc |= WriteScenarioXml(kDeepSeedSpec, root + "/xml/scenario_deep.xml");
+  rc |= WriteScenarioXml(kChoiceSeedSpec, root + "/xml/scenario_choice.xml");
+
+  // Annotations of the small scenario as a store seed: a realistically
+  // shaped container (40+ elements vs the harness schema's 8) for
+  // fuzz_store to mutate.
+  auto spec = ssum::ParseScenarioSpecText(kSmallSeedSpec, "seed_small");
+  auto ds = ssum::ScenarioDataset::Make(*spec);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "seed_small: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto ann = ssum::AnnotateSchema(*ds->MakeStream());
+  if (!ann.ok()) {
+    std::fprintf(stderr, "seed_small annotate: %s\n",
+                 ann.status().ToString().c_str());
+    return 1;
+  }
+  const std::string path = root + "/store/scenario_annotations.ssb";
+  if (!ssum::AtomicWriteFile(path, ssum::EncodeAnnotations(*ann)).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return rc;
+}

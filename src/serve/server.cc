@@ -6,7 +6,9 @@
 #include <future>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "core/summary_io.h"
+#include "datasets/scenario.h"
 #include "query/discovery.h"
 #include "query/intention.h"
 #include "store/fingerprint.h"
@@ -24,15 +26,21 @@ constexpr size_t kLatencyRingCapacity = 2048;
 /// cost of a flush is one ArtifactCache hit per shape).
 constexpr size_t kSummaryMemoBudget = 1024;
 
+/// "scenario:<path>" names a generated dataset by its case-file path; the
+/// scenario layer re-validates the config, so a hostile name degrades to a
+/// Status like any other bad request.
+constexpr std::string_view kScenarioPrefix = "scenario:";
+
 Result<DatasetKind> ParseDatasetName(const std::string& name) {
   if (name == "xmark") return DatasetKind::kXMark;
   if (name == "tpch") return DatasetKind::kTpch;
   if (name == "mimi") return DatasetKind::kMimi;
   if (name.empty()) {
-    return Status::InvalidArgument("request needs a dataset (xmark|tpch|mimi)");
+    return Status::InvalidArgument(
+        "request needs a dataset (xmark|tpch|mimi|scenario:<config>)");
   }
-  return Status::InvalidArgument("unknown dataset '" + name +
-                                 "' (xmark|tpch|mimi)");
+  return Status::InvalidArgument(
+      "unknown dataset '" + name + "' (xmark|tpch|mimi|scenario:<config>)");
 }
 
 ServeResponse ErrorResponse(const Status& status) {
@@ -251,8 +259,11 @@ ServeResponse SummarizeServer::Execute(const ServeRequest& request,
 
 Result<SummarizeServer::DatasetEntry*> SummarizeServer::GetDataset(
     const std::string& name, const Deadline& deadline) {
-  DatasetKind kind;
-  SSUM_ASSIGN_OR_RETURN(kind, ParseDatasetName(name));
+  const bool is_scenario = StartsWith(name, kScenarioPrefix);
+  DatasetKind kind = DatasetKind::kXMark;
+  if (!is_scenario) {
+    SSUM_ASSIGN_OR_RETURN(kind, ParseDatasetName(name));
+  }
   DatasetEntry* entry;
   {
     std::lock_guard<std::mutex> lock(datasets_mutex_);
@@ -263,8 +274,12 @@ Result<SummarizeServer::DatasetEntry*> SummarizeServer::GetDataset(
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->bundle == nullptr) {
     SSUM_RETURN_NOT_OK(deadline.Check("dataset load"));
-    auto bundle = LoadDataset(kind, options_.dataset_scale,
-                              cache_.has_value() ? &*cache_ : nullptr);
+    ArtifactCache* cache = cache_.has_value() ? &*cache_ : nullptr;
+    auto bundle =
+        is_scenario
+            ? LoadScenarioFile(
+                  std::string(name.substr(kScenarioPrefix.size())), cache)
+            : LoadDataset(kind, options_.dataset_scale, cache);
     SSUM_RETURN_NOT_OK(bundle.status());
     entry->bundle = std::make_shared<DatasetBundle>(std::move(*bundle));
   }

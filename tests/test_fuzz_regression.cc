@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/summary_io.h"
+#include "datasets/scenario.h"
+#include "instance/materialize.h"
 #include "relational/csv.h"
 #include "serve/wire.h"
 #include "relational/ddl.h"
@@ -20,6 +22,7 @@
 #include "store/codec.h"
 #include "store/container.h"
 #include "xml/parser.h"
+#include "xml/writer.h"
 
 #ifndef SSUM_FUZZ_CORPUS_DIR
 #error "SSUM_FUZZ_CORPUS_DIR must point at fuzz/corpus (set in CMakeLists)"
@@ -63,7 +66,10 @@ TEST(FuzzRegressionTest, XmlCorpus) {
     const std::string text = ReadFileOrDie(p);
     auto doc = ParseXml(text, TightLimits());
     const std::string name = p.filename().string();
-    if (name == "valid.xml" || name == "entities_cdata.xml") {
+    if (name == "valid.xml" || name == "entities_cdata.xml" ||
+        name.rfind("scenario", 0) == 0) {
+      // Scenario-generated seeds (fuzz/make_scenario_seeds.cc) are
+      // well-formed by construction; ScenarioCorpus below pins their bytes.
       EXPECT_TRUE(doc.ok()) << name << ": " << doc.status().ToString();
     } else {
       EXPECT_TRUE(doc.status().IsParseError()) << name;
@@ -215,6 +221,56 @@ TEST(FuzzRegressionTest, StoreCorpus) {
       // running at all); decoders may accept or reject.
       (void)DecodeSummary(schema, bytes);
     }
+  }
+}
+
+TEST(FuzzRegressionTest, ScenarioCorpus) {
+  // Must stay identical to kSmallSeedSpec in fuzz/make_scenario_seeds.cc.
+  constexpr char kSmallSeedSpec[] =
+      "name: seed_small\n"
+      "seed: 5\n"
+      "schema.elements: 40\n"
+      "schema.entity_classes: 3\n"
+      "instance.units: 20\n"
+      "workload.queries: 5\n";
+
+  // Re-derive the small seed from its spec: the checked-in XML and
+  // annotation container must match bit-for-bit. A generator change
+  // (datasets/scenario.cc kScenarioRevision bump) without regenerated seeds
+  // fails here, not silently in a fuzz run that starts from stale inputs.
+  auto spec = ParseScenarioSpecText(kSmallSeedSpec, "seed_small");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto ds = ScenarioDataset::Make(*spec);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+  auto doc = MaterializeToXml(*ds->MakeStream());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const fs::path xml_path =
+      fs::path(SSUM_FUZZ_CORPUS_DIR) / "xml" / "scenario_small.xml";
+  EXPECT_EQ(ReadFileOrDie(xml_path), WriteXml(*doc))
+      << "scenario_small.xml is stale — rerun "
+         "build/fuzz/make_scenario_seeds fuzz/corpus";
+
+  auto ann = AnnotateSchema(*ds->MakeStream());
+  ASSERT_TRUE(ann.ok()) << ann.status().ToString();
+  const fs::path store_path =
+      fs::path(SSUM_FUZZ_CORPUS_DIR) / "store" / "scenario_annotations.ssb";
+  const std::string bytes = ReadFileOrDie(store_path);
+  EXPECT_EQ(bytes, EncodeAnnotations(*ann))
+      << "scenario_annotations.ssb is stale — rerun "
+         "build/fuzz/make_scenario_seeds fuzz/corpus";
+  auto decoded = DecodeAnnotations(ds->schema(), bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, *ann);
+
+  // Every scenario XML seed re-parses under the harness limits and its
+  // parse tree is non-trivial (the generator really emitted instances).
+  for (const fs::path& p : CorpusFiles("xml")) {
+    const std::string name = p.filename().string();
+    if (name.rfind("scenario", 0) != 0) continue;
+    auto parsed = ParseXml(ReadFileOrDie(p), TightLimits());
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+    EXPECT_FALSE(parsed->root.children.empty()) << name;
   }
 }
 

@@ -29,6 +29,14 @@
 #          byte-identical to cold), overload -> exit 6, expired
 #          --deadline-ms -> exit 5 with the daemon still healthy, clean
 #          shutdown via the wire verb
+#   scenarios  scenario-matrix gate on a dedicated Release tree: every
+#          quick-tier case in bench/scenarios/ runs the full annotate ->
+#          matrices -> summarize pipeline in --gate-only mode (sharded
+#          annotation bit-identical to serial, summaries identical across
+#          threads/reruns, budget respected, coverage monotone in k), then
+#          one scenario config replays end-to-end under ASan/UBSan via
+#          `ssum gen`. SCENARIO_TIER overrides the tier (the nightly
+#          comprehensive matrix sets SCENARIO_TIER=full)
 #   bench  bench-sanity gates on a dedicated Release tree (build-bench):
 #          parallel_scaling, annotate_scaling, walk_scaling, approx_scaling,
 #          and serve_scaling in gate-only mode (determinism + regression +
@@ -302,6 +310,33 @@ stage_serve() {
   echo "-- wire shutdown joined the daemon cleanly"
 }
 
+stage_scenarios() {
+  # Gate half: Release tree (generation + the pipeline are compute-bound;
+  # the determinism gates are identical in every build type). Replay half:
+  # one config end-to-end under ASan/UBSan so the generator itself — not
+  # just its outputs — runs sanitized in every PR.
+  local tier="${SCENARIO_TIER:-quick}"
+  echo "== [$TOOLCHAIN] scenario-matrix gates (Release, tier $tier) + ASan replay =="
+  local bench_build="$BUILD-bench"
+  configure "$bench_build" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$bench_build" --target scenario_matrix -j "$JOBS"
+  "$bench_build/bench/scenario_matrix" --gate-only --tier "$tier"
+
+  configure "$BUILD_ASAN" -DSSUM_SANITIZE=address,undefined -DSSUM_FUZZ=ON
+  cmake --build "$BUILD_ASAN" --target ssum-cli -j "$JOBS"
+  local WORK
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' RETURN
+  "$BUILD_ASAN/ssum" gen --config "$ROOT/bench/scenarios/quick.scn" \
+    --out-dir "$WORK/out" --xml "$WORK/quick.xml"
+  for artifact in schema.ssg annotations.txt workload.txt spec.scn; do
+    [ -s "$WORK/out/$artifact" ] || {
+      echo "FAIL: ssum gen did not write $artifact"; exit 1; }
+  done
+  [ -s "$WORK/quick.xml" ] || { echo "FAIL: ssum gen wrote no XML"; exit 1; }
+  echo "-- scenario replay under ASan produced all artifacts"
+}
+
 stage_bench() {
   # Benches run from a dedicated Release tree (the gated binaries refuse to
   # emit JSON from anything else, and the walk-engine speedup gate is only
@@ -333,6 +368,7 @@ case "$STAGE" in
   cache) stage_cache ;;
   faults) stage_faults ;;
   serve) stage_serve ;;
+  scenarios) stage_scenarios ;;
   bench) stage_bench ;;
   all)
     stage_build
@@ -347,10 +383,12 @@ case "$STAGE" in
     echo
     stage_serve
     echo
+    stage_scenarios
+    echo
     stage_bench
     ;;
   *)
-    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|faults|serve|bench|all] [jobs]" >&2
+    echo "usage: tools/ci.sh [build|tsan|asan|fuzz|cache|faults|serve|scenarios|bench|all] [jobs]" >&2
     exit 2
     ;;
 esac

@@ -9,6 +9,7 @@
 //   ssum relational <schema.sql> -k N [--data <dir>] [--dialect csv|pipe]
 //   ssum discover <schema.ssg> <summary.txt> <path> [path...]
 //   ssum demo <xmark|tpch|mimi> [-k N]
+//   ssum gen --config <case.scn> [--out-dir DIR] [--xml FILE]
 //   ssum cache <stat|ls|clear|verify>
 //   ssum serve [--listen host:port] [--workers N] [--queue N] [--scale S]
 //              [--port-file P]
@@ -29,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -43,6 +45,8 @@
 #include "core/summarize.h"
 #include "core/summary_io.h"
 #include "datasets/registry.h"
+#include "datasets/scenario.h"
+#include "instance/materialize.h"
 #include "query/discovery.h"
 #include "query/formulate.h"
 #include "serve/client.h"
@@ -60,6 +64,7 @@
 #include "xml/infer_schema.h"
 #include "xml/instance_bridge.h"
 #include "xml/parser.h"
+#include "xml/writer.h"
 
 namespace ssum {
 namespace {
@@ -125,6 +130,10 @@ void PrintUsage(std::FILE* to) {
       "[--dialect csv|pipe]\n"
       "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
       "  ssum demo <xmark|tpch|mimi> [-k N]\n"
+      "  ssum gen --config <case.scn> [--out-dir DIR] [--xml FILE]\n"
+      "           generate + annotate a scenario dataset (docs/scenarios.md);\n"
+      "           --out-dir exports schema.ssg/annotations.txt/workload.txt,\n"
+      "           --xml materializes the instance as an XML document\n"
       "  ssum cache <stat|ls|clear|verify>\n"
       "  ssum serve [--listen host:port] [--workers N] [--queue N]\n"
       "             [--scale S] [--port-file P]\n"
@@ -557,6 +566,59 @@ int CmdDemo(const Args& args) {
   return 0;
 }
 
+/// `ssum gen --config case.scn`: generate a scenario dataset from a config
+/// (docs/scenarios.md), annotate it (cache-aware, like the built-ins), and
+/// optionally export the artifacts and a materialized XML instance.
+int CmdGen(const Args& args) {
+  const std::string* config_path = args.Get("--config");
+  if (config_path == nullptr) return Usage();
+  auto spec = LoadScenarioSpecFile(*config_path, g_limits);
+  if (!spec.ok()) return Fail(spec.status());
+  auto bundle = LoadScenario(*spec, GetCache());
+  if (!bundle.ok()) return Fail(bundle.status());
+  std::printf(
+      "%s: %zu schema elements, %zu value links, %s units, %s data nodes, "
+      "%zu queries (tier %s)\n",
+      bundle->name.c_str(), bundle->schema.size(),
+      bundle->schema.value_links().size(),
+      FormatWithCommas(static_cast<int64_t>(spec->instance_units)).c_str(),
+      FormatWithCommas(static_cast<int64_t>(bundle->data_elements)).c_str(),
+      bundle->workload.size(), spec->tier.c_str());
+  if (const std::string* dir = args.Get("--out-dir")) {
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);
+    if (ec) {
+      return Fail(Status::IoError("cannot create '" + *dir + "': " +
+                                  ec.message()));
+    }
+    struct Artifact {
+      const char* file;
+      std::string content;
+    };
+    const Artifact artifacts[] = {
+        {"schema.ssg", SerializeSchema(bundle->schema)},
+        {"annotations.txt", SerializeAnnotations(bundle->annotations)},
+        {"workload.txt", SerializeWorkload(bundle->schema, bundle->workload)},
+        {"spec.scn", SerializeScenarioSpec(*spec)},
+    };
+    for (const Artifact& a : artifacts) {
+      std::string path = *dir + "/" + a.file;
+      Status s = WriteOrPrint(a.content, &path, a.file);
+      if (!s.ok()) return Fail(s);
+    }
+  }
+  if (const std::string* xml_path = args.Get("--xml")) {
+    auto ds = ScenarioDataset::Make(*spec);
+    if (!ds.ok()) return Fail(ds.status());
+    auto doc = MaterializeToXml(*ds->MakeStream());
+    if (!doc.ok()) return Fail(doc.status());
+    if (Status s = WriteXmlFile(*doc, *xml_path); !s.ok()) return Fail(s);
+    std::fprintf(stderr, "ssum: instance XML written to %s\n",
+                 xml_path->c_str());
+  }
+  return 0;
+}
+
 int CmdCache(const Args& args) {
   if (args.positional.empty()) return Usage();
   const std::string& sub = args.positional[0];
@@ -821,6 +883,7 @@ int Dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "relational") return CmdRelational(args);
   if (cmd == "discover") return CmdDiscover(args);
   if (cmd == "demo") return CmdDemo(args);
+  if (cmd == "gen") return CmdGen(args);
   if (cmd == "cache") return CmdCache(args);
   if (cmd == "serve") return CmdServe(args);
   if (cmd == "query") return CmdQuery(args);
@@ -853,7 +916,7 @@ int Main(int argc, char** argv) {
       "-o",       "-k",        "-a",         "-g",        "--max-depth",
       "--dot",    "--data",    "--dialect",  "--mode",    "--epsilon",
       "--listen", "--workers", "--queue",    "--scale",   "--port-file",
-      "--connect", "--stall-ms"};
+      "--connect", "--stall-ms", "--config", "--out-dir", "--xml"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
   int code = Dispatch(cmd, args);
   // One flush per command keeps the persistent counters the cross-invocation
