@@ -108,6 +108,11 @@ int main(int argc, char** argv) {
   // shaped container (40+ elements vs the harness schema's 8) for
   // fuzz_store to mutate.
   auto spec = ssum::ParseScenarioSpecText(kSmallSeedSpec, "seed_small");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "seed_small: bad spec: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
   auto ds = ssum::ScenarioDataset::Make(*spec);
   if (!ds.ok()) {
     std::fprintf(stderr, "seed_small: %s\n", ds.status().ToString().c_str());

@@ -23,6 +23,23 @@ bool IsValidKey(std::string_view key) {
   return true;
 }
 
+/// Quoted input text in parse errors: clipped and with non-printable bytes
+/// replaced, so a Status message never carries a raw dump of the file it
+/// failed on (parse errors can travel over the serve wire).
+std::string Preview(std::string_view text) {
+  constexpr size_t kMaxPreviewBytes = 48;
+  const bool clipped = text.size() > kMaxPreviewBytes;
+  if (clipped) text = text.substr(0, kMaxPreviewBytes);
+  std::string out;
+  out.reserve(text.size() + 3);
+  for (char c : text) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back((b < 0x20 || b == 0x7f) ? '?' : c);
+  }
+  if (clipped) out += "...";
+  return out;
+}
+
 }  // namespace
 
 Result<ConfigMap> ConfigMap::Parse(std::string_view text,
@@ -57,13 +74,13 @@ Result<ConfigMap> ConfigMap::Parse(std::string_view text,
     size_t colon = line.find(':');
     if (colon == std::string_view::npos) {
       return ParseErrorAt(line_number, line_start).Source(source)
-             << "expected 'key: value', got '" << line << "'";
+             << "expected 'key: value', got '" << Preview(line) << "'";
     }
     std::string_view key = TrimWhitespace(line.substr(0, colon));
     std::string_view value = TrimWhitespace(line.substr(colon + 1));
     if (!IsValidKey(key)) {
       return ParseErrorAt(line_number, line_start).Source(source)
-             << "invalid config key '" << key
+             << "invalid config key '" << Preview(key)
              << "' (allowed: [A-Za-z0-9_.-]+)";
     }
     auto it = config.entries_.find(key);
@@ -137,8 +154,8 @@ Status ConfigMap::TypedError(std::string_view key, const char* type,
   return StatusBuilder(StatusCode::kInvalidArgument)
              .Source(source_)
              .Line(line)
-         << "config key '" << key << "': '" << value << "' is not a valid "
-         << type;
+         << "config key '" << key << "': '" << Preview(value)
+         << "' is not a valid " << type;
 }
 
 Result<int64_t> ConfigMap::GetInt(std::string_view key) const {

@@ -134,7 +134,8 @@ Status ValidateSpec(const ScenarioSpec& s) {
   if (s.queries < 1 || s.queries > 100000) {
     return Status::InvalidArgument("workload.queries must be in [1, 100000]");
   }
-  if (s.query_mean_size < 1.0 || s.query_mean_size > 100.0) {
+  if (s.query_mean_size < 1.0 || s.query_mean_size > 100.0 ||
+      !std::isfinite(s.query_mean_size)) {
     return Status::InvalidArgument("workload.mean_size must be in [1, 100]");
   }
   SSUM_RETURN_NOT_OK(CheckFraction(s.query_focus, "workload.focus"));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <climits>
+#include <cstdlib>
 #include <future>
 
 #include "common/logging.h"
@@ -26,10 +28,43 @@ constexpr size_t kLatencyRingCapacity = 2048;
 /// cost of a flush is one ArtifactCache hit per shape).
 constexpr size_t kSummaryMemoBudget = 1024;
 
-/// "scenario:<path>" names a generated dataset by its case-file path; the
-/// scenario layer re-validates the config, so a hostile name degrades to a
-/// Status like any other bad request.
+/// "scenario:<file>" names a generated dataset by a case file inside the
+/// operator-configured scenario directory. The name never reaches the
+/// filesystem directly: ResolveScenarioPath rejects anything outside that
+/// directory first, and with no directory configured every scenario name
+/// is refused outright.
 constexpr std::string_view kScenarioPrefix = "scenario:";
+
+/// Scenario datasets the server will hold at once. Resolution caps the
+/// reachable set at the case files under scenario_dir; this additionally
+/// bounds the memory a burst of distinct valid names can pin.
+constexpr size_t kMaxScenarioDatasets = 16;
+
+/// Lexical screen before any filesystem access: relative, '/'-separated,
+/// no empty/"."/".." components, printable bytes only.
+Status CheckScenarioName(const std::string& name) {
+  const Status reject = Status::InvalidArgument(
+      "scenario name must be a relative path inside the scenario directory "
+      "(no absolute paths, no '..')");
+  if (name.empty() || name.size() > 256) return reject;
+  for (char c : name) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f || c == '\\') {
+      return reject;
+    }
+  }
+  size_t pos = 0;
+  while (pos <= name.size()) {
+    size_t slash = name.find('/', pos);
+    std::string_view part =
+        std::string_view(name).substr(pos, slash == std::string::npos
+                                               ? std::string::npos
+                                               : slash - pos);
+    if (part.empty() || part == "." || part == "..") return reject;
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  return Status::OK();
+}
 
 Result<DatasetKind> ParseDatasetName(const std::string& name) {
   if (name == "xmark") return DatasetKind::kXMark;
@@ -257,30 +292,90 @@ ServeResponse SummarizeServer::Execute(const ServeRequest& request,
   return ErrorResponse(Status::Internal("unhandled verb"));
 }
 
-Result<SummarizeServer::DatasetEntry*> SummarizeServer::GetDataset(
-    const std::string& name, const Deadline& deadline) {
+Result<std::string> SummarizeServer::ResolveScenarioPath(
+    const std::string& name) const {
+  if (options_.scenario_dir.empty()) {
+    return Status::FailedPrecondition(
+        "scenario datasets are disabled (the server was started without a "
+        "scenario directory)");
+  }
+  SSUM_RETURN_NOT_OK(CheckScenarioName(name));
+  char dir_buf[PATH_MAX];
+  if (::realpath(options_.scenario_dir.c_str(), dir_buf) == nullptr) {
+    return Status::FailedPrecondition(
+        "the configured scenario directory does not resolve");
+  }
+  const std::string dir(dir_buf);
+  char path_buf[PATH_MAX];
+  if (::realpath((dir + "/" + name).c_str(), path_buf) == nullptr) {
+    return Status::NotFound("unknown scenario '" + name + "'");
+  }
+  const std::string path(path_buf);
+  // realpath follows symlinks, so a link pointing outside the directory
+  // resolves outside it and fails this containment check.
+  if (!StartsWith(path, dir + "/")) {
+    return Status::InvalidArgument(
+        "scenario '" + name + "' escapes the scenario directory");
+  }
+  return path;
+}
+
+Result<std::shared_ptr<SummarizeServer::DatasetEntry>>
+SummarizeServer::GetDataset(const std::string& name,
+                            const Deadline& deadline) {
   const bool is_scenario = StartsWith(name, kScenarioPrefix);
   DatasetKind kind = DatasetKind::kXMark;
-  if (!is_scenario) {
+  std::string key = name;
+  std::string scenario_path;
+  if (is_scenario) {
+    // Validate and canonicalize before touching the dataset map: hostile
+    // names never insert anything, and every spelling of one case file
+    // shares one entry.
+    SSUM_ASSIGN_OR_RETURN(
+        scenario_path,
+        ResolveScenarioPath(std::string(name.substr(kScenarioPrefix.size()))));
+    key = std::string(kScenarioPrefix) + scenario_path;
+  } else {
     SSUM_ASSIGN_OR_RETURN(kind, ParseDatasetName(name));
   }
-  DatasetEntry* entry;
+  std::shared_ptr<DatasetEntry> entry;
   {
     std::lock_guard<std::mutex> lock(datasets_mutex_);
-    auto& slot = datasets_[name];
-    if (slot == nullptr) slot = std::make_unique<DatasetEntry>();
-    entry = slot.get();
+    auto it = datasets_.find(key);
+    if (it == datasets_.end()) {
+      if (is_scenario) {
+        size_t loaded = 0;
+        for (const auto& [k, unused] : datasets_) {
+          loaded += StartsWith(k, kScenarioPrefix) ? 1 : 0;
+        }
+        if (loaded >= kMaxScenarioDatasets) {
+          return Status::Unavailable(
+              "server already holds " +
+              std::to_string(kMaxScenarioDatasets) +
+              " scenario datasets; retry later");
+        }
+      }
+      it = datasets_.emplace(key, std::make_shared<DatasetEntry>()).first;
+    }
+    entry = it->second;
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->bundle == nullptr) {
-    SSUM_RETURN_NOT_OK(deadline.Check("dataset load"));
     ArtifactCache* cache = cache_.has_value() ? &*cache_ : nullptr;
-    auto bundle =
-        is_scenario
-            ? LoadScenarioFile(
-                  std::string(name.substr(kScenarioPrefix.size())), cache)
-            : LoadDataset(kind, options_.dataset_scale, cache);
-    SSUM_RETURN_NOT_OK(bundle.status());
+    auto bundle = [&]() -> Result<DatasetBundle> {
+      SSUM_RETURN_NOT_OK(deadline.Check("dataset load"));
+      return is_scenario ? LoadScenarioFile(scenario_path, cache)
+                         : LoadDataset(kind, options_.dataset_scale, cache);
+    }();
+    if (!bundle.ok()) {
+      // Drop the placeholder so failed loads (bad config, expired deadline)
+      // do not grow the map; threads already holding the orphan retry
+      // against it and the next request starts clean.
+      std::lock_guard<std::mutex> map_lock(datasets_mutex_);
+      auto it = datasets_.find(key);
+      if (it != datasets_.end() && it->second == entry) datasets_.erase(it);
+      return bundle.status();
+    }
     entry->bundle = std::make_shared<DatasetBundle>(std::move(*bundle));
   }
   return entry;
@@ -288,7 +383,7 @@ Result<SummarizeServer::DatasetEntry*> SummarizeServer::GetDataset(
 
 Result<std::string> SummarizeServer::SummaryPayload(const ServeRequest& request,
                                                     const Deadline& deadline) {
-  DatasetEntry* entry;
+  std::shared_ptr<DatasetEntry> entry;
   SSUM_ASSIGN_OR_RETURN(entry, GetDataset(request.dataset, deadline));
 
   SummarizeOptions options;
@@ -370,11 +465,11 @@ ServeResponse SummarizeServer::DoDiscover(const ServeRequest& request,
     return ErrorResponse(
         Status::InvalidArgument("discover needs at least one path"));
   }
-  DatasetEntry* entry;
+  std::shared_ptr<DatasetEntry> entry;
   {
     auto got = GetDataset(request.dataset, deadline);
     if (!got.ok()) return ErrorResponse(got.status());
-    entry = *got;
+    entry = std::move(*got);
   }
   auto payload = SummaryPayload(request, deadline);
   if (!payload.ok()) return ErrorResponse(payload.status());

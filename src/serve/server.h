@@ -40,6 +40,12 @@ struct ServeServerOptions {
   /// Dataset scale for summarize/discover (matches `ssum demo`'s reduced
   /// scale; statistics-derived RCs are scale-invariant).
   double dataset_scale = 0.05;
+  /// Directory holding the scenario case files clients may name as
+  /// "scenario:<file>". Names resolve relative to this directory and must
+  /// stay inside it (no absolute paths, no "..", no symlink escapes).
+  /// Empty disables scenario datasets entirely — the server never opens a
+  /// client-chosen file path.
+  std::string scenario_dir;
   /// Parse limits applied to every request-driven ingestion.
   ParseLimits limits = ParseLimits::Defaults();
   /// All network IO goes through this Env (not owned; must outlive the
@@ -130,8 +136,15 @@ class SummarizeServer {
              std::shared_ptr<const SummarizerContext>>
         contexts;
   };
-  Result<DatasetEntry*> GetDataset(const std::string& name,
-                                   const Deadline& deadline);
+  /// Maps a client-supplied scenario name to the canonical path of a case
+  /// file inside options_.scenario_dir, rejecting anything that would
+  /// escape it. The canonical path doubles as the dataset-map key, so
+  /// distinct spellings of one file share one entry.
+  Result<std::string> ResolveScenarioPath(const std::string& name) const;
+  /// Returned entries are shared_ptr so a concurrent eviction of a failed
+  /// load can never leave a caller with a dangling pointer.
+  Result<std::shared_ptr<DatasetEntry>> GetDataset(const std::string& name,
+                                                   const Deadline& deadline);
 
   void RecordOutcome(ServeVerb verb, StatusCode code, uint64_t micros);
 
@@ -156,7 +169,9 @@ class SummarizeServer {
   std::atomic<uint32_t> in_flight_{0};
 
   std::mutex datasets_mutex_;
-  std::map<std::string, std::unique_ptr<DatasetEntry>> datasets_;
+  /// shared_ptr values: a failed load erases its placeholder entry while
+  /// other threads may still hold it (they retry against the orphan).
+  std::map<std::string, std::shared_ptr<DatasetEntry>> datasets_;
 
   /// Serialized-summary memo: dataset + fingerprint hex -> wire payload.
   /// Bounded; cleared wholesale when it outgrows its budget.

@@ -79,6 +79,20 @@ TEST(ConfigTest, RejectsMalformedKeysAndValues) {
   EXPECT_NE(v.status().message().find("notanumber"), std::string::npos);
 }
 
+TEST(ConfigTest, ErrorPreviewsAreClippedAndEscaped) {
+  // Parse errors quote the offending text, but only a bounded, printable
+  // preview — a Status can travel over the serve wire, so it must never
+  // carry a raw dump of the file it failed on.
+  std::string line(200, 'x');
+  line[0] = '\x01';
+  auto config = ConfigMap::Parse(line + "\n", "t");
+  ASSERT_FALSE(config.ok());
+  const std::string msg = config.status().message();
+  EXPECT_EQ(msg.find(line), std::string::npos);
+  EXPECT_NE(msg.find("..."), std::string::npos) << msg;
+  EXPECT_EQ(msg.find('\x01'), std::string::npos) << msg;
+}
+
 TEST(ConfigTest, UnreadKeysSurfaceInLineOrder) {
   auto config = ConfigMap::Parse("zz: 1\naa: 2\n", "t");
   ASSERT_TRUE(config.ok());
@@ -109,6 +123,9 @@ TEST(ScenarioSpecTest, OutOfRangeValuesAreRejected) {
   EXPECT_FALSE(
       ParseScenarioSpecText("schema.simple_fraction: 1.5\n", "t").ok());
   EXPECT_FALSE(ParseScenarioSpecText("bench.tier: hourly\n", "t").ok());
+  // strtod accepts "nan"/"inf"; validation must still refuse them.
+  EXPECT_FALSE(ParseScenarioSpecText("workload.mean_size: nan\n", "t").ok());
+  EXPECT_FALSE(ParseScenarioSpecText("workload.mean_size: inf\n", "t").ok());
 }
 
 TEST(ScenarioSpecTest, CanonicalSerializationRoundTrips) {

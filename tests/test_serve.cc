@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -285,6 +286,90 @@ TEST_F(ServeE2ETest, UnknownDatasetIsWireErrorNotDisconnect) {
       << response->ToStatus().ToString();
 
   // The connection survives a request-level error.
+  ServeRequest health;
+  health.verb = ServeVerb::kHealth;
+  auto pong = client.Call(health);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->ok());
+}
+
+TEST_F(ServeE2ETest, ScenarioDatasetsDisabledWithoutDirectory) {
+  StartServer({});
+  ServeClient client = Connect();
+  ServeRequest request;
+  request.verb = ServeVerb::kSummarize;
+  request.dataset = "scenario:quick.scn";
+  request.k = 3;
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ToStatus().IsFailedPrecondition())
+      << response->ToStatus().ToString();
+}
+
+TEST_F(ServeE2ETest, ScenarioNamesConfinedToConfiguredDirectory) {
+  const std::string root = MakeServeDir("scenario_confined");
+  const std::string dir = root + "/cases";
+  std::filesystem::create_directories(dir);
+  const char kCase[] =
+      "name: serve_small\n"
+      "seed: 7\n"
+      "schema.elements: 40\n"
+      "schema.entity_classes: 3\n"
+      "instance.units: 20\n"
+      "workload.queries: 5\n";
+  {
+    std::ofstream out(dir + "/small.scn", std::ios::trunc);
+    out << kCase;
+  }
+  // A readable file *outside* the scenario directory, plus a symlink to it
+  // from inside: both must be unreachable through "scenario:*" names.
+  {
+    std::ofstream out(root + "/outside.scn", std::ios::trunc);
+    out << kCase;
+  }
+  std::filesystem::create_symlink(root + "/outside.scn", dir + "/escape.scn");
+
+  ServeServerOptions options;
+  options.scenario_dir = dir;
+  StartServer(std::move(options));
+  ServeClient client = Connect();
+
+  ServeRequest request;
+  request.verb = ServeVerb::kSummarize;
+  request.k = 3;
+
+  // The case file inside the directory serves; a warm repeat is identical.
+  request.dataset = "scenario:small.scn";
+  auto cold = client.Call(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->ok()) << cold->message;
+  EXPECT_FALSE(cold->payload.empty());
+  auto warm = client.Call(request);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_TRUE(warm->ok()) << warm->message;
+  EXPECT_EQ(warm->payload, cold->payload);
+
+  // Traversal, absolute paths, and symlink escapes are refused before any
+  // file is opened; a missing case is a plain not-found.
+  const char* hostile[] = {"scenario:sub/../small.scn", "scenario:../outside.scn",
+                           "scenario:..", "scenario:/etc/passwd",
+                           "scenario:escape.scn", "scenario:"};
+  for (const char* name : hostile) {
+    request.dataset = name;
+    auto response = client.Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->ToStatus().IsInvalidArgument())
+        << name << ": " << response->ToStatus().ToString();
+    // Nothing about the refused file leaks into the diagnostic.
+    EXPECT_EQ(response->message.find("root"), std::string::npos) << name;
+  }
+  request.dataset = "scenario:missing.scn";
+  auto missing = client.Call(request);
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_TRUE(missing->ToStatus().IsNotFound())
+      << missing->ToStatus().ToString();
+
+  // Request-level refusals leave the connection healthy.
   ServeRequest health;
   health.verb = ServeVerb::kHealth;
   auto pong = client.Call(health);

@@ -12,7 +12,7 @@
 //   ssum gen --config <case.scn> [--out-dir DIR] [--xml FILE]
 //   ssum cache <stat|ls|clear|verify>
 //   ssum serve [--listen host:port] [--workers N] [--queue N] [--scale S]
-//              [--port-file P]
+//              [--scenario-dir DIR] [--port-file P]
 //   ssum query --connect host:port <verb> [dataset] [path...] [-k N] ...
 //   ssum help | --help
 //
@@ -136,7 +136,9 @@ void PrintUsage(std::FILE* to) {
       "           --xml materializes the instance as an XML document\n"
       "  ssum cache <stat|ls|clear|verify>\n"
       "  ssum serve [--listen host:port] [--workers N] [--queue N]\n"
-      "             [--scale S] [--port-file P]\n"
+      "             [--scale S] [--scenario-dir DIR] [--port-file P]\n"
+      "             --scenario-dir exposes its case files as\n"
+      "             scenario:<file> datasets (off when omitted)\n"
       "  ssum query --connect host:port <verb> [dataset] [path...]\n"
       "             [-k N] [-g balance|importance|coverage]\n"
       "             [--mode exact|approx] [--epsilon E] [--stall-ms N]\n"
@@ -726,6 +728,9 @@ int CmdServe(const Args& args) {
     }
     options.dataset_scale = *v;
   }
+  if (const std::string* dir = args.Get("--scenario-dir")) {
+    options.scenario_dir = *dir;
+  }
   SummarizeServer server(std::move(options));
   if (Status s = server.Start(); !s.ok()) return Fail(s);
   // The actual bound address resolves an ephemeral ":0" port; scripts read
@@ -916,7 +921,8 @@ int Main(int argc, char** argv) {
       "-o",       "-k",        "-a",         "-g",        "--max-depth",
       "--dot",    "--data",    "--dialect",  "--mode",    "--epsilon",
       "--listen", "--workers", "--queue",    "--scale",   "--port-file",
-      "--connect", "--stall-ms", "--config", "--out-dir", "--xml"};
+      "--connect", "--stall-ms", "--config", "--out-dir", "--xml",
+      "--scenario-dir"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
   int code = Dispatch(cmd, args);
   // One flush per command keeps the persistent counters the cross-invocation
