@@ -281,6 +281,34 @@ void BM_WalkEngineBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_WalkEngineBatched)->Unit(benchmark::kMillisecond);
 
+/// Lane-width head-to-head (arg = lanes): both widths are compiled into
+/// every build, so this compares 8-wide (one cache line per lane block)
+/// against 16-wide (two lines, fewer per-edge gathers) on the same plan
+/// regardless of the configure-time SSUM_WALK_LANE_WIDTH choice.
+void BM_WalkEngineLaneWidth(benchmark::State& state) {
+  const WalkFixture& f = WalkFixture::Get();
+  const size_t n = f.plan.size();
+  std::vector<double> buf(n * n);
+  std::vector<ElementId> sources(n);
+  std::vector<std::span<double>> rows(n);
+  for (ElementId s = 0; s < n; ++s) {
+    sources[s] = s;
+    rows[s] = {buf.data() + static_cast<size_t>(s) * n, n};
+  }
+  const size_t lanes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    if (lanes == 8) {
+      MaxProductWalksBatchW<8>(f.plan, sources, f.walk, rows);
+    } else {
+      MaxProductWalksBatchW<16>(f.plan, sources, f.walk, rows);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_WalkEngineLaneWidth)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN so --threads can be consumed before

@@ -25,6 +25,10 @@
 #                               summaries identical across threads/reruns;
 #                               sanity: budget respected, coverage monotone
 #                               in k)
+#   bench/BENCH_delta.json    — incremental delta-summarization over a
+#                               versioned scenario chain (gates: every step
+#                               incremental, < 20% of the cold pipeline,
+#                               bit-identical to cold at 1 and 8 threads)
 # Every record is also copied to the repo root so trajectory tooling can
 # pick up BENCH_*.json from either location; a full run fails loudly if any
 # expected record is missing afterwards.
@@ -43,7 +47,7 @@ BUILD="${1:-$ROOT/build-bench}"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
   walk_scaling approx_scaling perf_microbench cache_warm fault_recovery \
-  serve_scaling scenario_matrix -j "$(nproc)"
+  serve_scaling scenario_matrix delta_scaling -j "$(nproc)"
 
 "$BUILD/bench/parallel_scaling" --json "$ROOT/bench/BENCH_parallel.json"
 
@@ -66,12 +70,15 @@ cmake --build "$BUILD" --target parallel_scaling annotate_scaling \
 "$BUILD/bench/scenario_matrix" --tier all \
   --json "$ROOT/bench/BENCH_scenario.json"
 
+"$BUILD/bench/delta_scaling" --json "$ROOT/bench/BENCH_delta.json"
+
 # A bench that silently failed to write its record must fail the run here,
 # not surface later as a stale checked-in trajectory.
 missing=0
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
               BENCH_perf.json BENCH_cache.json BENCH_approx.json \
-              BENCH_fault.json BENCH_serve.json BENCH_scenario.json; do
+              BENCH_fault.json BENCH_serve.json BENCH_scenario.json \
+              BENCH_delta.json; do
   if [[ ! -s "$ROOT/bench/$record" ]]; then
     echo "ERROR: expected record bench/$record is missing or empty" >&2
     missing=1
@@ -82,7 +89,8 @@ done
 echo "perf trajectory updated:"
 for record in BENCH_parallel.json BENCH_annotate.json BENCH_walk.json \
               BENCH_perf.json BENCH_cache.json BENCH_approx.json \
-              BENCH_fault.json BENCH_serve.json BENCH_scenario.json; do
+              BENCH_fault.json BENCH_serve.json BENCH_scenario.json \
+              BENCH_delta.json; do
   cp "$ROOT/bench/$record" "$ROOT/$record"
   echo "  $ROOT/bench/$record (+ $ROOT/$record)"
 done

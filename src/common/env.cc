@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -24,9 +25,27 @@ namespace ssum {
 namespace fs = std::filesystem;
 
 WritableFile::~WritableFile() = default;
+FileLock::~FileLock() = default;
 Connection::~Connection() = default;
 Listener::~Listener() = default;
 Env::~Env() = default;
+
+namespace {
+
+/// The no-lock lock behind Env's default LockFile: Envs without locking
+/// support coordinate nothing, and callers already treat the lock as
+/// best-effort.
+class NoopFileLock : public FileLock {
+ public:
+  Status Release() override { return Status::OK(); }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FileLock>> Env::LockFile(const std::string& path) {
+  (void)path;
+  return std::unique_ptr<FileLock>(std::make_unique<NoopFileLock>());
+}
 
 Result<std::unique_ptr<Listener>> Env::NewListener(const std::string& addr) {
   return Status::NotImplemented("this Env has no listener support (addr '" +
@@ -96,6 +115,31 @@ class PosixWritableFile : public WritableFile {
 
  private:
   std::FILE* file_;
+  std::string path_;
+};
+
+/// flock(2)-backed advisory lock. The descriptor stays open for the lock's
+/// lifetime; closing it drops the lock even without an explicit LOCK_UN,
+/// so a crashed holder never wedges other writers.
+class PosixFileLock : public FileLock {
+ public:
+  PosixFileLock(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFileLock() override { (void)Release(); }
+
+  Status Release() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    ::flock(fd, LOCK_UN);  // best effort; close releases regardless
+    if (::close(fd) != 0) {
+      return Status::IoError("cannot close lock file '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
   std::string path_;
 };
 
@@ -322,6 +366,24 @@ Result<bool> PosixEnv::FileExists(const std::string& path) {
   return exists;
 }
 
+Result<std::unique_ptr<FileLock>> PosixEnv::LockFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open lock file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  for (;;) {
+    if (::flock(fd, LOCK_EX) == 0) break;
+    if (errno == EINTR) continue;
+    const int saved_errno = errno;
+    ::close(fd);
+    return Status::IoError("cannot lock '" + path +
+                           "': " + std::strerror(saved_errno));
+  }
+  return std::unique_ptr<FileLock>(
+      std::make_unique<PosixFileLock>(fd, path));
+}
+
 Result<std::unique_ptr<Listener>> PosixEnv::NewListener(
     const std::string& addr) {
   std::string host;
@@ -425,6 +487,8 @@ const char* FaultOpName(FaultOp op) {
       return "send";
     case FaultOp::kRecv:
       return "recv";
+    case FaultOp::kLock:
+      return "lock";
   }
   return "?";
 }
@@ -656,6 +720,13 @@ Status FaultInjectingEnv::SyncDir(const std::string& path) {
 Result<bool> FaultInjectingEnv::FileExists(const std::string& path) {
   // Existence probes are metadata-only; not a fault point.
   return base_->FileExists(path);
+}
+
+Result<std::unique_ptr<FileLock>> FaultInjectingEnv::LockFile(
+    const std::string& path) {
+  const Injection inj = Observe(FaultOp::kLock);
+  if (inj.fire) return FaultStatus(inj.kind, FaultOp::kLock, path);
+  return base_->LockFile(path);
 }
 
 Result<std::unique_ptr<Listener>> FaultInjectingEnv::NewListener(

@@ -28,6 +28,18 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+/// Advisory inter-process lock handle returned by Env::LockFile. The lock
+/// is held until Release() or destruction (whichever comes first; both are
+/// idempotent). Advisory means cooperating writers only — it serializes
+/// ArtifactCache counter merges across processes, it does not protect the
+/// files from non-ssum writers.
+class FileLock {
+ public:
+  virtual ~FileLock();
+
+  virtual Status Release() = 0;
+};
+
 /// One byte stream between a client and the serving daemon (src/serve).
 /// Implementations must tolerate Read and WriteAll being issued from
 /// different threads than the one that created the connection (but not
@@ -109,6 +121,14 @@ class Env {
 
   virtual Result<bool> FileExists(const std::string& path) = 0;
 
+  /// Takes an advisory exclusive lock on `path` (created if absent),
+  /// blocking until granted. Default implementation: a no-op lock that
+  /// always succeeds, so filesystem doubles without locking support keep
+  /// working — callers must treat the lock as best-effort coordination,
+  /// never as a correctness requirement (the cache's atomic installs are
+  /// safe without it).
+  virtual Result<std::unique_ptr<FileLock>> LockFile(const std::string& path);
+
   /// Binds and listens on `addr` ("host:port"; host defaults to 127.0.0.1
   /// when empty, port 0 picks an ephemeral port — read it back from
   /// Listener::port()). Default implementation: NotImplemented, so
@@ -136,6 +156,8 @@ class PosixEnv : public Env {
   Status CreateDirs(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
   Result<bool> FileExists(const std::string& path) override;
+  /// flock(2)-backed exclusive lock; blocks until the holder releases.
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override;
   Result<std::unique_ptr<Listener>> NewListener(
       const std::string& addr) override;
   Result<std::unique_ptr<Connection>> Connect(const std::string& addr) override;
@@ -161,8 +183,12 @@ enum class FaultOp : uint8_t {
   kAccept,
   kSend,
   kRecv,
+  /// Advisory lock acquisition (Env::LockFile). Faultable so tests can
+  /// prove lock-acquisition failure degrades to lock-free operation
+  /// instead of failing the caller's install.
+  kLock,
 };
-inline constexpr size_t kNumFaultOps = 14;
+inline constexpr size_t kNumFaultOps = 15;
 
 const char* FaultOpName(FaultOp op);
 
@@ -193,7 +219,7 @@ struct Fault {
 ///   schedule  := entry (';' entry)*
 ///   entry     := op '#' N '=' kind [':' K] ['~']
 ///   op        := open|write|flush|sync|rename|unlink|read|mkdir|syncdir
-///              | listen|connect|accept|send|recv
+///              | listen|connect|accept|send|recv|lock
 ///   kind      := eio | enospc | torn        (torn requires ':K')
 ///
 /// "write#2=torn:17~;sync#1=enospc" truncates the 2nd write after 17 bytes
@@ -218,6 +244,8 @@ class FaultInjectingEnv : public Env {
   Status CreateDirs(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
   Result<bool> FileExists(const std::string& path) override;
+  /// Counts a kLock fault point, then delegates to the base Env.
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override;
   /// Network ops delegate to the base Env with kListen / kConnect /
   /// kAccept / kSend / kRecv fault points wrapped around them, so a serve
   /// test can kill exactly the Nth recv without touching real sockets' luck.

@@ -52,9 +52,19 @@ using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
 
 /// Lane width of the batched walk kernel: MaxProductWalksBatch advances this
 /// many sources through each relaxation step simultaneously. 8 doubles fill
-/// one cache line (and one AVX-512 register / two AVX ones); the last block
+/// one cache line (and one AVX-512 register / two AVX ones); 16 spans two
+/// lines and amortizes the per-edge gather further on wide cores. The width
+/// is a configure-time choice (-DSSUM_WALK_LANE_WIDTH=8|16, CMake cache
+/// variable of the same name); both kernels are always compiled, so
+/// perf_microbench compares them head-to-head on any build. The last block
 /// of a batch is padded with inactive lanes.
-inline constexpr size_t kWalkLaneWidth = 8;
+#ifndef SSUM_WALK_LANE_WIDTH
+#define SSUM_WALK_LANE_WIDTH 8
+#endif
+inline constexpr size_t kWalkLaneWidth = SSUM_WALK_LANE_WIDTH;
+static_assert(kWalkLaneWidth == 8 || kWalkLaneWidth == 16,
+              "SSUM_WALK_LANE_WIDTH must be 8 or 16 (lane blocks must fill "
+              "whole 64-byte cache lines)");
 
 /// Immutable CSR snapshot of (graph, factors), built once per matrix and
 /// shared by every walk from it. Replaces the pointer-chasing
@@ -129,6 +139,54 @@ void MaxProductWalksBatch(const WalkPlan& plan,
                           std::span<const ElementId> sources,
                           const WalkSearchOptions& options,
                           std::span<const std::span<double>> out_rows);
+
+/// Width-explicit batched walk search: identical contract to
+/// MaxProductWalksBatch but with the lane width as a template parameter.
+/// Both widths are instantiated in every build (path_engine.cc), so the
+/// lane-width microbench can compare 8 vs 16 without reconfiguring;
+/// MaxProductWalksBatch itself forwards to the kWalkLaneWidth instance.
+template <size_t kLanes>
+void MaxProductWalksBatchW(const WalkPlan& plan,
+                           std::span<const ElementId> sources,
+                           const WalkSearchOptions& options,
+                           std::span<const std::span<double>> out_rows);
+
+extern template void MaxProductWalksBatchW<8>(
+    const WalkPlan&, std::span<const ElementId>, const WalkSearchOptions&,
+    std::span<const std::span<double>>);
+extern template void MaxProductWalksBatchW<16>(
+    const WalkPlan&, std::span<const ElementId>, const WalkSearchOptions&,
+    std::span<const std::span<double>>);
+
+/// Dirty-frontier closure for incremental matrix patching: the set of
+/// elements (as an n-byte 0/1 mask) within `max_steps` hops of any element
+/// in `dirty`, over the schema's full adjacency. A walk row outside the
+/// closure cannot traverse an edge owned by a dirty element within the step
+/// bound — schema adjacency is symmetric, so distance-to-dirty bounds
+/// dirty-to-row reachability — which makes copying that row from the base
+/// matrix bit-identical to recomputing it (see docs/incremental.md for the
+/// argument covering both matrices).
+std::vector<uint8_t> DirtyFrontierClosure(const SchemaGraph& graph,
+                                          std::span<const ElementId> dirty,
+                                          uint32_t max_steps);
+
+/// Knobs for the incremental matrix patch (AffinityMatrix::TryPatch /
+/// CoverageMatrix::TryPatch).
+struct MatrixPatchOptions {
+  /// When the dirty-frontier closure covers more than this fraction of the
+  /// rows, patching recomputes almost everything anyway; fall back to a
+  /// full TryCompute (which skips the closure bookkeeping and the base-copy
+  /// write traffic).
+  double max_dirty_fraction = 0.5;
+};
+
+/// What a TryPatch actually did — for logging, `cache lineage`, and the
+/// bench gates.
+struct MatrixPatchStats {
+  size_t dirty_rows = 0;  ///< rows inside the closure (recomputed if patched)
+  size_t total_rows = 0;
+  bool patched = false;   ///< false = fell back to a full recompute
+};
 
 /// Dense square matrix helper used by the affinity/coverage caches. Rows are
 /// the unit of parallel writing (one owner per row, see common/parallel.h);

@@ -54,6 +54,102 @@ Result<SummarizerContext> SummarizerContext::Make(
   return context;
 }
 
+namespace {
+
+/// Shared content key of the two matrix artifacts (the family tells them
+/// apart). MakeIncremental must produce exactly the key Init would, or
+/// patched installs would never be hit by later cold runs.
+Fingerprint MatrixCacheKey(const SchemaGraph& graph,
+                           const Annotations& annotations,
+                           const SummarizeOptions& options) {
+  return MixFingerprints(
+      MixFingerprints(FingerprintSchema(graph),
+                      FingerprintAnnotations(annotations)),
+      FingerprintMatrixOptions(options.affinity, options.coverage));
+}
+
+void InstallMatrix(ArtifactCache* cache, const char* family,
+                   const Fingerprint& key, const SquareMatrix& matrix,
+                   const char* what) {
+  if (cache == nullptr) return;
+  if (Status stored = cache->StoreMatrix(family, key, matrix); !stored.ok()) {
+    SSUM_LOG(kWarning) << "cache: " << what
+                       << " install failed: " << stored.ToString();
+  }
+}
+
+}  // namespace
+
+Result<SummarizerContext> SummarizerContext::MakeIncremental(
+    const SummarizerContext& base, const Annotations& annotations,
+    ArtifactCache* cache, const MatrixPatchOptions& patch,
+    MatrixPatchStats* affinity_stats, MatrixPatchStats* coverage_stats) {
+  const SchemaGraph& graph = base.graph();
+  const SummarizeOptions& options = base.options();
+  SSUM_RETURN_NOT_OK(
+      options.parallel.deadline.Check("incremental summarizer context build"));
+  if (annotations.num_elements() != graph.size()) {
+    return Status::FailedPrecondition(
+        "incremental context: annotations describe " +
+        std::to_string(annotations.num_elements()) + " elements, schema has " +
+        std::to_string(graph.size()));
+  }
+  SummarizerContext context;
+  context.graph_ = &graph;
+  context.annotations_ = &annotations;
+  context.options_ = options;
+  context.metrics_ = EdgeMetrics::Compute(graph, annotations);
+  // Seed set for the frontier closure: every element whose cardinality,
+  // edge-affinity row, or neighbor-weight row moved between the versions.
+  const std::vector<ElementId> dirty = DirtyMetricElements(
+      base.annotations(), base.metrics(), annotations, context.metrics_);
+  // Same 3-task shape as Init: importance has no incremental structure (the
+  // iteration is global), so it recomputes; the two matrices patch. Each
+  // task writes one member, so the concurrent build stays bit-identical.
+  const ParallelOptions& parallel = options.parallel;
+  Status task_status[3];
+  Status st = ParallelFor(
+      0, 3, /*grain=*/1,
+      [&](size_t task) {
+        switch (task) {
+          case 0:
+            context.importance_ = ComputeImportance(
+                graph, annotations, context.metrics_, options.importance);
+            break;
+          case 1: {
+            auto m = AffinityMatrix::TryPatch(
+                graph, context.metrics_, base.affinity(), dirty,
+                options.affinity, parallel, patch, affinity_stats);
+            if (m.ok()) context.affinity_ = std::move(*m);
+            task_status[task] = m.status();
+            break;
+          }
+          case 2: {
+            auto m = CoverageMatrix::TryPatch(
+                graph, annotations, context.metrics_, base.coverage(), dirty,
+                options.coverage, parallel, patch, coverage_stats);
+            if (m.ok()) context.coverage_ = std::move(*m);
+            task_status[task] = m.status();
+            break;
+          }
+        }
+      },
+      parallel);
+  SSUM_RETURN_NOT_OK(st);
+  for (const Status& ts : task_status) SSUM_RETURN_NOT_OK(ts);
+  // Patched matrices are bit-identical to computed ones, so installing them
+  // under the new content key is indistinguishable from a cold install.
+  if (cache != nullptr) {
+    const Fingerprint key = MatrixCacheKey(graph, annotations, options);
+    InstallMatrix(cache, ArtifactCache::kAffinityFamily, key,
+                  context.affinity_.matrix(), "affinity");
+    InstallMatrix(cache, ArtifactCache::kCoverageFamily, key,
+                  context.coverage_.matrix(), "coverage");
+  }
+  context.dominance_ = ComputeDominance(graph, annotations, context.coverage_);
+  return context;
+}
+
 Status SummarizerContext::Init(const SchemaGraph& graph,
                                const Annotations& annotations,
                                const SummarizeOptions& options,
@@ -72,10 +168,7 @@ Status SummarizerContext::Init(const SchemaGraph& graph,
   bool have_coverage = false;
   Fingerprint key;
   if (cache != nullptr) {
-    key = MixFingerprints(
-        MixFingerprints(FingerprintSchema(graph),
-                        FingerprintAnnotations(annotations)),
-        FingerprintMatrixOptions(options_.affinity, options_.coverage));
+    key = MatrixCacheKey(graph, annotations, options_);
     if (auto m = cache->LoadMatrix(ArtifactCache::kAffinityFamily, key,
                                    graph.size())) {
       affinity_ = AffinityMatrix::FromMatrix(std::move(*m));
@@ -124,21 +217,13 @@ Status SummarizerContext::Init(const SchemaGraph& graph,
       parallel);
   SSUM_RETURN_NOT_OK(st);
   for (const Status& ts : task_status) SSUM_RETURN_NOT_OK(ts);
-  if (cache != nullptr && !have_affinity) {
-    Status stored = cache->StoreMatrix(ArtifactCache::kAffinityFamily, key,
-                                       affinity_.matrix());
-    if (!stored.ok()) {
-      SSUM_LOG(kWarning) << "cache: affinity install failed: "
-                         << stored.ToString();
-    }
+  if (!have_affinity) {
+    InstallMatrix(cache, ArtifactCache::kAffinityFamily, key,
+                  affinity_.matrix(), "affinity");
   }
-  if (cache != nullptr && !have_coverage) {
-    Status stored = cache->StoreMatrix(ArtifactCache::kCoverageFamily, key,
-                                       coverage_.matrix());
-    if (!stored.ok()) {
-      SSUM_LOG(kWarning) << "cache: coverage install failed: "
-                         << stored.ToString();
-    }
+  if (!have_coverage) {
+    InstallMatrix(cache, ArtifactCache::kCoverageFamily, key,
+                  coverage_.matrix(), "coverage");
   }
   dominance_ = ComputeDominance(graph, annotations, coverage_);
   return Status::OK();

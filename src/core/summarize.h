@@ -92,6 +92,25 @@ class SummarizerContext {
                                         const SummarizeOptions& options = {},
                                         ArtifactCache* cache = nullptr);
 
+  /// Incremental construction from a prior version's context: instead of the
+  /// all-pairs matrix computations, the base matrices are *patched* — only
+  /// walk rows inside the dirty-frontier closure of the elements whose
+  /// statistics changed (DirtyMetricElements) are re-walked against the new
+  /// metrics (AffinityMatrix::TryPatch / CoverageMatrix::TryPatch). The
+  /// result is bit-identical to Make(base.graph(), annotations, ...); past
+  /// `patch.max_dirty_fraction` the patchers fall back to the full
+  /// computation on their own. `annotations` must describe the same schema
+  /// as `base` (FailedPrecondition otherwise — callers fall back to Make)
+  /// and must outlive the context, as must `base`'s graph. Patched matrices
+  /// are installed in `cache` (may be null) under the *new* content key, so
+  /// later cold runs of the new version hit. `affinity_stats` /
+  /// `coverage_stats` (each may be null) report rows patched vs re-walked.
+  static Result<SummarizerContext> MakeIncremental(
+      const SummarizerContext& base, const Annotations& annotations,
+      ArtifactCache* cache = nullptr, const MatrixPatchOptions& patch = {},
+      MatrixPatchStats* affinity_stats = nullptr,
+      MatrixPatchStats* coverage_stats = nullptr);
+
   const SchemaGraph& graph() const { return *graph_; }
   const Annotations& annotations() const { return *annotations_; }
   const SummarizeOptions& options() const { return options_; }

@@ -10,8 +10,10 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/importance.h"
+#include "instance/unit_digest.h"
 #include "query/generate_workload.h"
 #include "schema/schema_builder.h"
+#include "stats/delta.h"
 #include "store/artifact_cache.h"
 
 namespace ssum {
@@ -20,7 +22,7 @@ namespace {
 /// Bump when generation changes for identical specs — the revision is part
 /// of every scenario cache key, so stale annotation snapshots from an older
 /// generator stop being addressed (same discipline as datasets/registry.cc).
-constexpr uint64_t kScenarioRevision = 1;
+constexpr uint64_t kScenarioRevision = 2;  // 2: mutate.* version-chain knobs
 
 /// Rng stream ids forked off the spec seed. Units use the high-bit scheme
 /// (stream << 48 | unit) so every unit replays standalone from the middle
@@ -29,6 +31,10 @@ constexpr uint64_t kGrowStream = 1;
 constexpr uint64_t kLinkStream = 2;
 constexpr uint64_t kWorkloadStream = 3;
 constexpr uint64_t kUnitStream = 4;
+/// Mutation streams fork off mutate_seed (not seed), so the same base
+/// scenario mutated two different ways shares every untouched unit.
+constexpr uint64_t kMutateUnitStream = 5;
+constexpr uint64_t kMutateGrowStream = 6;
 
 // --- spec parsing ----------------------------------------------------------
 
@@ -131,6 +137,14 @@ Status ValidateSpec(const ScenarioSpec& s) {
     return Status::InvalidArgument("instance.max_unit_nodes must be in "
                                    "[1, 1e7]");
   }
+  SSUM_RETURN_NOT_OK(CheckFraction(s.mutate_fraction, "mutate.fraction"));
+  SSUM_RETURN_NOT_OK(CheckFraction(s.mutate_amplitude, "mutate.amplitude"));
+  if (s.mutate_add_elements > 1000000) {
+    return Status::InvalidArgument("mutate.add_elements must be <= 1e6");
+  }
+  if (s.mutate_remove_elements > 1000000) {
+    return Status::InvalidArgument("mutate.remove_elements must be <= 1e6");
+  }
   if (s.queries < 1 || s.queries > 100000) {
     return Status::InvalidArgument("workload.queries must be in [1, 100000]");
   }
@@ -157,6 +171,18 @@ size_t SkewedIndex(Rng* rng, size_t n, double skew) {
   double u = rng->NextDouble();
   size_t i = static_cast<size_t>(static_cast<double>(n) * std::pow(u, skew));
   return std::min(i, n - 1);
+}
+
+/// Set-mean multiplier the mutation layer applies to `unit` (1.0 =
+/// untouched). Draws from its own forked Rng, never the unit stream, so an
+/// unselected unit replays byte-identically to the unmutated version — the
+/// invariant the whole delta path rests on. Shared by EmitUnit and
+/// DirtyUnitsBetween, which must agree exactly.
+double MutateUnitMultiplier(const ScenarioSpec& spec, uint64_t unit) {
+  if (spec.mutate_fraction <= 0.0) return 1.0;
+  Rng m = Rng(spec.mutate_seed).Fork((kMutateUnitStream << 48) | unit);
+  if (m.NextDouble() >= spec.mutate_fraction) return 1.0;
+  return 1.0 + spec.mutate_amplitude * (2.0 * m.NextDouble() - 1.0);
 }
 
 }  // namespace
@@ -188,6 +214,15 @@ Result<ScenarioSpec> ParseScenarioSpec(const ConfigMap& config) {
       ReadDouble(config, "instance.reference_prob", &spec.reference_prob));
   SSUM_RETURN_NOT_OK(
       ReadU32(config, "instance.max_unit_nodes", &spec.max_unit_nodes));
+  SSUM_RETURN_NOT_OK(ReadU64(config, "mutate.seed", &spec.mutate_seed));
+  SSUM_RETURN_NOT_OK(
+      ReadDouble(config, "mutate.fraction", &spec.mutate_fraction));
+  SSUM_RETURN_NOT_OK(
+      ReadDouble(config, "mutate.amplitude", &spec.mutate_amplitude));
+  SSUM_RETURN_NOT_OK(
+      ReadU32(config, "mutate.add_elements", &spec.mutate_add_elements));
+  SSUM_RETURN_NOT_OK(
+      ReadU32(config, "mutate.remove_elements", &spec.mutate_remove_elements));
   SSUM_RETURN_NOT_OK(ReadU32(config, "workload.queries", &spec.queries));
   SSUM_RETURN_NOT_OK(
       ReadDouble(config, "workload.mean_size", &spec.query_mean_size));
@@ -242,6 +277,11 @@ std::string SerializeScenarioSpec(const ScenarioSpec& s) {
   line("instance.presence", num(s.presence));
   line("instance.reference_prob", num(s.reference_prob));
   line("instance.max_unit_nodes", std::to_string(s.max_unit_nodes));
+  line("mutate.seed", std::to_string(s.mutate_seed));
+  line("mutate.fraction", num(s.mutate_fraction));
+  line("mutate.amplitude", num(s.mutate_amplitude));
+  line("mutate.add_elements", std::to_string(s.mutate_add_elements));
+  line("mutate.remove_elements", std::to_string(s.mutate_remove_elements));
   line("workload.queries", std::to_string(s.queries));
   line("workload.mean_size", num(s.query_mean_size));
   line("workload.focus", num(s.query_focus));
@@ -257,6 +297,31 @@ Fingerprint ScenarioFingerprint(const ScenarioSpec& spec) {
   h.UpdateU64(kScenarioRevision);
   h.Update(SerializeScenarioSpec(spec));
   return Fingerprint{h.Digest()};
+}
+
+Result<std::vector<uint64_t>> DirtyUnitsBetween(const ScenarioSpec& base,
+                                                const ScenarioSpec& next) {
+  // Only the per-unit perturbation knobs may differ: anything else changes
+  // the schema or the unit layout, where this shortcut would lie.
+  ScenarioSpec a = base;
+  ScenarioSpec b = next;
+  a.mutate_seed = b.mutate_seed = 0;
+  a.mutate_fraction = b.mutate_fraction = 0.0;
+  a.mutate_amplitude = b.mutate_amplitude = 0.0;
+  if (SerializeScenarioSpec(a) != SerializeScenarioSpec(b)) {
+    return Status::InvalidArgument(
+        "DirtyUnitsBetween: specs differ beyond mutate seed/fraction/"
+        "amplitude; use unit digests instead");
+  }
+  std::vector<uint64_t> dirty;
+  for (uint64_t u = 0; u < base.instance_units; ++u) {
+    // A unit's bytes depend on the mutation layer only through this
+    // multiplier (EmitUnit), so equal multipliers mean identical bytes.
+    if (MutateUnitMultiplier(base, u) != MutateUnitMultiplier(next, u)) {
+      dirty.push_back(u);
+    }
+  }
+  return dirty;
 }
 
 // --- schema synthesis ------------------------------------------------------
@@ -309,6 +374,25 @@ Result<ScenarioDataset> ScenarioDataset::Make(const ScenarioSpec& spec) {
     }
     if (is_interior && builder.graph().depth(id) < spec.max_depth) {
       interior.push_back(id);
+    }
+  }
+
+  // Mutation-layer growth: extra elements appended *after* the base budget
+  // from a stream forked off mutate_seed, so the base schema is a stable
+  // id-prefix of every mutated version. (A schema change still moves the
+  // schema fingerprint — added elements key a cold path by design.)
+  if (spec.mutate_add_elements > 0) {
+    Rng mut_grow = Rng(spec.mutate_seed).Fork(kMutateGrowStream);
+    for (uint32_t i = 0; i < spec.mutate_add_elements; ++i) {
+      ElementId parent =
+          interior[SkewedIndex(&mut_grow, interior.size(), spec.fanout_skew)];
+      bool set_of = mut_grow.NextBool(spec.set_fraction);
+      std::string tag = std::to_string(builder.graph().size());
+      // Mutation growth only adds Simple leaves: enough to change the
+      // schema shape without re-running Choice repair bookkeeping.
+      ElementId id = set_of ? builder.SetSimple(parent, "ms" + tag)
+                            : builder.Simple(parent, "ms" + tag);
+      (void)id;
     }
   }
 
@@ -394,6 +478,21 @@ Result<ScenarioDataset> ScenarioDataset::Make(const ScenarioSpec& spec) {
     ds.vlinks_of_[vlinks[l].referrer].push_back(l);
   }
 
+  // Data-level removal: suppress the highest-id Simple leaves. Restricted
+  // to Simple on purpose — emitting a Simple instance consumes no Rng
+  // draws, so dropping it leaves every other byte of the unit identical to
+  // the unmutated version (only units that contained it go dirty).
+  ds.mutate_suppressed_.assign(ds.schema_.size(), 0);
+  if (spec.mutate_remove_elements > 0) {
+    uint32_t left = spec.mutate_remove_elements;
+    for (ElementId e = ds.schema_.size(); left > 0 && e-- > 1;) {
+      if (ds.schema_.type(e).kind == TypeKind::kSimple) {
+        ds.mutate_suppressed_[e] = 1;
+        --left;
+      }
+    }
+  }
+
   if (spec.unit_skew == "zipf") {
     ds.set_zipf_ = std::make_unique<ZipfTable>(16, spec.zipf_s);
   }
@@ -454,6 +553,7 @@ class ScenarioStream : public InstanceStream, public ShardedInstanceSource {
     if (ds_->set_zipf_ != nullptr) {
       set_mean *= 1.0 + static_cast<double>(ds_->set_zipf_->Sample(&rng));
     }
+    set_mean *= MutateUnitMultiplier(spec, unit);
     uint64_t budget = spec.max_unit_nodes;
     EmitElement(entity, set_mean, &rng, &budget, v);
   }
@@ -478,6 +578,9 @@ class ScenarioStream : public InstanceStream, public ShardedInstanceSource {
         uint64_t count = g.type(child).set_of
                              ? rng->NextPoisson(set_mean)
                              : (rng->NextBool(ds_->spec().presence) ? 1 : 0);
+        // Draw first, then drop: the Rng sequence every sibling sees stays
+        // identical whether or not this leaf is suppressed.
+        if (ds_->mutate_suppressed_[child] != 0) count = 0;
         for (uint64_t i = 0; i < count; ++i) {
           EmitElement(child, set_mean, rng, budget, v);
         }
@@ -564,6 +667,133 @@ Result<DatasetBundle> LoadScenarioFile(const std::string& path,
   ScenarioSpec spec;
   SSUM_ASSIGN_OR_RETURN(spec, LoadScenarioSpecFile(path));
   return LoadScenario(spec, cache);
+}
+
+namespace {
+
+/// The annotation cache key LoadScenario uses — delta lineage links must be
+/// keyed identically or resolution would never find them.
+Fingerprint ScenarioAnnotationKey(const ScenarioDataset& ds) {
+  return MixFingerprints(ScenarioFingerprint(ds.spec()),
+                         FingerprintSchema(ds.schema()));
+}
+
+/// Base annotations for the delta pass: lineage-aware cache lookup first,
+/// cold annotation (with install) otherwise.
+Result<Annotations> BaseAnnotations(const ScenarioDataset& base,
+                                    ArtifactCache* cache,
+                                    uint32_t* lineage_hops) {
+  if (cache != nullptr) {
+    if (auto hit =
+            cache->LoadAnnotationsLineage(base.schema(),
+                                          ScenarioAnnotationKey(base))) {
+      *lineage_hops = hit->delta_hops;
+      return std::move(hit->annotations);
+    }
+  }
+  auto source = base.MakeShardedSource();
+  Annotations ann;
+  SSUM_ASSIGN_OR_RETURN(ann, AnnotateSchemaSharded(*source));
+  if (cache != nullptr) {
+    if (Status s = cache->StoreAnnotations(ScenarioAnnotationKey(base), ann);
+        !s.ok()) {
+      SSUM_LOG(kWarning) << "cache: base annotations install failed: "
+                         << s.ToString();
+    }
+  }
+  return ann;
+}
+
+}  // namespace
+
+Result<ScenarioDeltaResult> AnnotateScenarioDelta(const ScenarioDataset& base,
+                                                  const ScenarioDataset& next,
+                                                  ArtifactCache* cache) {
+  ScenarioDeltaResult result;
+  result.total_units = next.NumUnits();
+  SSUM_ASSIGN_OR_RETURN(
+      result.base_annotations,
+      BaseAnnotations(base, cache, &result.lineage_hops));
+
+  // Preconditions of per-unit identity; violations are expected states
+  // (mutate.add_elements changes the schema by design), not errors.
+  if (FingerprintSchema(base.schema()) != FingerprintSchema(next.schema())) {
+    result.fallback_reason = "schema changed between versions";
+  } else if (base.NumUnits() != next.NumUnits()) {
+    result.fallback_reason = "unit count changed between versions";
+  }
+
+  std::vector<uint64_t> dirty;
+  if (result.fallback_reason.empty()) {
+    // Analytic fast path (two Rng draws per unit) when only the per-unit
+    // mutation knobs moved; the digest diff covers every other same-schema
+    // change at the cost of one hashing traversal per source.
+    auto analytic = DirtyUnitsBetween(base.spec(), next.spec());
+    if (analytic.ok()) {
+      dirty = std::move(*analytic);
+    } else {
+      auto base_digests = ComputeUnitDigests(*base.MakeShardedSource());
+      auto next_digests = ComputeUnitDigests(*next.MakeShardedSource());
+      if (base_digests.ok() && next_digests.ok()) {
+        auto diffed = DiffUnitDigests(*base_digests, *next_digests);
+        if (diffed.ok()) {
+          dirty = std::move(*diffed);
+        } else {
+          result.fallback_reason = diffed.status().message();
+        }
+      } else {
+        result.fallback_reason = "unit digest pass failed";
+      }
+    }
+  }
+
+  if (result.fallback_reason.empty()) {
+    auto base_source = base.MakeShardedSource();
+    auto next_source = next.MakeShardedSource();
+    auto delta_ann = DeltaAnnotate(*base_source, *next_source,
+                                   result.base_annotations, dirty);
+    if (delta_ann.ok()) {
+      result.annotations = std::move(*delta_ann);
+      result.dirty_units = dirty.size();
+      result.incremental = true;
+      if (cache != nullptr) {
+        // Install the lineage link, not the full child arrays: the next
+        // version stays loadable (LoadAnnotationsLineage replays the chain)
+        // at a fraction of the bytes, and a broken link only ever costs the
+        // cold recompute.
+        auto delta =
+            DiffAnnotations(result.base_annotations, result.annotations);
+        if (delta.ok()) {
+          delta->dirty_units = result.dirty_units;
+          delta->total_units = result.total_units;
+          Status s = cache->StoreAnnotationsDelta(
+              ScenarioAnnotationKey(next), ScenarioAnnotationKey(base),
+              *delta);
+          if (!s.ok()) {
+            SSUM_LOG(kWarning) << "cache: annotation delta install failed: "
+                               << s.ToString();
+          }
+        }
+      }
+      return result;
+    }
+    result.fallback_reason = delta_ann.status().message();
+  }
+
+  // Cold fallback: annotate `next` from scratch and install the full arrays
+  // (there is no usable lineage to link to).
+  auto source = next.MakeShardedSource();
+  SSUM_ASSIGN_OR_RETURN(result.annotations, AnnotateSchemaSharded(*source));
+  result.dirty_units = result.total_units;
+  if (cache != nullptr) {
+    if (Status s = cache->StoreAnnotations(ScenarioAnnotationKey(next),
+                                           result.annotations);
+        !s.ok()) {
+      SSUM_LOG(kWarning) << "cache: annotations install failed: "
+                         << s.ToString();
+    }
+  }
+  return result;
 }
 
 }  // namespace ssum

@@ -79,6 +79,27 @@ struct ScenarioSpec {
   /// configs (set_mean^depth blowups) generative rather than explosive.
   uint32_t max_unit_nodes = 4096;
 
+  // --- mutation (version chains) -------------------------------------------
+  /// Seeded mutation layer deriving a new *version* of the same scenario: a
+  /// chain of specs that keep every base knob fixed and vary only mutate.*
+  /// (what `ssum gen --chain` emits). Cardinality perturbation and element
+  /// removal leave the schema — and therefore every annotation shape —
+  /// unchanged, which is what makes delta-annotation applicable between
+  /// versions; added elements change the schema and deliberately key a cold
+  /// path (docs/incremental.md).
+  uint64_t mutate_seed = 0;
+  /// Fraction of units whose set cardinalities are perturbed. 0 = pristine.
+  double mutate_fraction = 0.0;
+  /// Relative set_mean swing of a perturbed unit: multiplier drawn
+  /// uniformly from [1 - amplitude, 1 + amplitude].
+  double mutate_amplitude = 0.25;
+  /// Extra schema elements grown by the mutation layer (schema change).
+  uint32_t mutate_add_elements = 0;
+  /// Highest-id Simple leaves whose instances stop being emitted (a
+  /// data-level removal; the schema keeps the element, its cardinality
+  /// drops toward zero).
+  uint32_t mutate_remove_elements = 0;
+
   // --- workload ------------------------------------------------------------
   uint32_t queries = 40;
   double query_mean_size = 3.0;
@@ -114,6 +135,15 @@ std::string SerializeScenarioSpec(const ScenarioSpec& spec);
 /// serialization. Stable across runs and processes; any knob change moves
 /// the fingerprint, so stale cache entries stop being addressed.
 Fingerprint ScenarioFingerprint(const ScenarioSpec& spec);
+
+/// Units whose generated bytes differ between two versions of one scenario
+/// — the analytic fast path of incremental annotation (no instance
+/// traversal; two Rng draws per unit). Valid only when the specs differ in
+/// the mutate seed/fraction/amplitude knobs alone (same schema, same unit
+/// count); anything else is InvalidArgument and callers fall back to
+/// digest diffing (instance/unit_digest.h), which is always correct.
+Result<std::vector<uint64_t>> DirtyUnitsBetween(const ScenarioSpec& base,
+                                                const ScenarioSpec& next);
 
 /// A generated scenario dataset: schema graph plus a splittable instance
 /// stream, one unit per top-level entity instance. Construction is cheap
@@ -155,6 +185,11 @@ class ScenarioDataset {
   std::vector<uint64_t> class_base_;
   /// Outgoing value links per element (referrer side), in link-id order.
   std::vector<std::vector<LinkId>> vlinks_of_;
+  /// Per-element emission suppression (mutate.remove_elements): 1 marks a
+  /// Simple leaf whose instances are dropped. Suppressed leaves consume no
+  /// Rng draws when emitted, so dropping them leaves every other byte of
+  /// the unit untouched.
+  std::vector<uint8_t> mutate_suppressed_;
   /// Per-unit set-count multiplier distribution in zipf mode.
   std::unique_ptr<ZipfTable> set_zipf_;
 };
@@ -170,5 +205,43 @@ Result<DatasetBundle> LoadScenario(const ScenarioSpec& spec,
 /// dataset names and the CLI's `ssum gen --config` both land here).
 Result<DatasetBundle> LoadScenarioFile(const std::string& path,
                                        ArtifactCache* cache = nullptr);
+
+/// Outcome of AnnotateScenarioDelta: the next version's Annotations plus
+/// everything a caller needs to report *how* they were obtained. The
+/// annotations are bit-identical to a full AnnotateSchemaSharded pass over
+/// `next` regardless of which path produced them.
+struct ScenarioDeltaResult {
+  /// Base version's annotations (always produced; the incremental matrix
+  /// patch needs them to seed the dirty-element set).
+  Annotations base_annotations;
+  /// Next version's annotations.
+  Annotations annotations;
+  /// Units re-walked by the delta pass (== all units on the cold path).
+  uint64_t dirty_units = 0;
+  uint64_t total_units = 0;
+  /// Delta containers replayed to reconstruct the base annotations (0 when
+  /// the base was a direct cache hit or computed cold).
+  uint32_t lineage_hops = 0;
+  /// True when the delta pass ran; false means the cold fallback annotated
+  /// `next` from scratch (see fallback_reason).
+  bool incremental = false;
+  /// Human-readable cause of a cold fallback ("schema changed", ...);
+  /// empty when incremental.
+  std::string fallback_reason;
+};
+
+/// Incremental annotation across two versions of one scenario: obtains the
+/// base annotations (cache lineage -> cold compute), derives the dirty-unit
+/// set (the analytic DirtyUnitsBetween fast path, else per-unit digest
+/// diffing), re-walks only the dirty units (stats/delta.h DeltaAnnotate),
+/// and installs the resulting AnnotationDelta in `cache` (may be null) as a
+/// lineage link keyed by the *next* version's annotation key — exactly the
+/// key LoadScenario uses, so later loads of the next version resolve the
+/// chain. Any precondition the delta path cannot meet (different schemas,
+/// different unit counts, a failed delta pass) degrades to the cold path;
+/// the function only fails when even cold annotation fails.
+Result<ScenarioDeltaResult> AnnotateScenarioDelta(const ScenarioDataset& base,
+                                                  const ScenarioDataset& next,
+                                                  ArtifactCache* cache = nullptr);
 
 }  // namespace ssum

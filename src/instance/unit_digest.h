@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "instance/sharded_stream.h"
+
+namespace ssum {
+
+/// Options for the per-unit digest pass.
+struct UnitDigestOptions {
+  /// Worker threads hashing unit subtrees (ParallelFor); the digests are
+  /// per-unit values written to disjoint slots, so the result is identical
+  /// for any thread count.
+  ParallelOptions parallel;
+};
+
+/// Per-unit content digests of a sharded instance source: digests[u] is a
+/// 64-bit FNV-1a over the enter/reference/leave event sequence of unit u's
+/// subtree. Two sources over the same schema with the same unit partition
+/// produce equal digests exactly where the unit subtrees are identical, so
+/// comparing digest vectors yields the changed-unit set for
+/// delta-annotation without materializing either instance.
+Result<std::vector<uint64_t>> ComputeUnitDigests(
+    const ShardedInstanceSource& source, const UnitDigestOptions& options = {});
+
+/// Indices (ascending) where `base` and `next` differ. Fails with
+/// FailedPrecondition when the vectors have different lengths — a changed
+/// unit partition invalidates per-unit identity, so the caller must fall
+/// back to a full re-annotation.
+Result<std::vector<uint64_t>> DiffUnitDigests(
+    const std::vector<uint64_t>& base, const std::vector<uint64_t>& next);
+
+}  // namespace ssum

@@ -194,6 +194,11 @@ void SummarizeServer::AcceptLoop() {
 }
 
 void SummarizeServer::ServeConnection(std::unique_ptr<Connection> conn) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++counters_.connections_opened;
+  }
+  uint64_t served = 0;
   while (!stop_.load()) {
     auto readable = conn->Readable(/*timeout_ms=*/100);
     if (!readable.ok()) break;
@@ -220,6 +225,13 @@ void SummarizeServer::ServeConnection(std::unique_ptr<Connection> conn) {
                             ? Deadline::After(static_cast<int64_t>(
                                   request->deadline_ms))
                             : Deadline::Unlimited();
+    // Every request after a connection's first rode keep-alive — the
+    // metrics verb reports the ratio so operators can see whether clients
+    // actually reuse connections.
+    if (served++ > 0) {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++counters_.keepalive_reused;
+    }
     ServeResponse response = HandleDecoded(*request, deadline);
     if (Status s = WriteFrame(conn.get(), EncodeResponse(response));
         !s.ok()) {
@@ -258,7 +270,19 @@ ServeResponse SummarizeServer::HandleDecoded(const ServeRequest& request,
     response = future.get();
     in_flight_.fetch_sub(1);
   }
-  RecordOutcome(request.verb, response.status, NowMicros() - started);
+  const uint64_t elapsed_us = NowMicros() - started;
+  RecordOutcome(request.verb, response.status, elapsed_us);
+  if (options_.slow_request_ms > 0 &&
+      elapsed_us >= uint64_t{options_.slow_request_ms} * 1000) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++counters_.slow_requests;
+    }
+    SSUM_LOG(kWarning) << "serve: slow request: verb="
+                       << ServeVerbName(request.verb) << " dataset="
+                       << (request.dataset.empty() ? "-" : request.dataset)
+                       << " latency_ms=" << elapsed_us / 1000;
+  }
   return response;
 }
 
@@ -533,6 +557,9 @@ ServeResponse SummarizeServer::DoMetrics() {
   }
   AppendCounter(&text, "p50_us", snapshot.p50_us);
   AppendCounter(&text, "p99_us", snapshot.p99_us);
+  AppendCounter(&text, "connections_opened", snapshot.connections_opened);
+  AppendCounter(&text, "keepalive_reused", snapshot.keepalive_reused);
+  AppendCounter(&text, "slow_requests", snapshot.slow_requests);
   if (cache_.has_value()) {
     const CacheCounters counters = cache_->session_counters();
     AppendCounter(&text, "cache_hits", counters.hits);

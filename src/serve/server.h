@@ -48,6 +48,10 @@ struct ServeServerOptions {
   std::string scenario_dir;
   /// Parse limits applied to every request-driven ingestion.
   ParseLimits limits = ParseLimits::Defaults();
+  /// Requests whose end-to-end latency (queueing included) reaches this
+  /// many milliseconds are logged with verb, dataset, and latency, and
+  /// counted in ServeMetrics::slow_requests. 0 disables the log.
+  uint32_t slow_request_ms = 0;
   /// All network IO goes through this Env (not owned; must outlive the
   /// server through Stop()); tests pass a FaultInjectingEnv to fault
   /// accept/recv/send deterministically.
@@ -64,6 +68,12 @@ struct ServeMetrics {
   uint64_t per_verb[7] = {};  ///< indexed by ServeVerb value (0 unused)
   uint64_t p50_us = 0;        ///< over the last <= 2048 requests
   uint64_t p99_us = 0;
+  /// Keep-alive effectiveness: connections accepted vs requests served on
+  /// an already-open connection (every request after a connection's first).
+  uint64_t connections_opened = 0;
+  uint64_t keepalive_reused = 0;
+  /// Requests at or over ServeServerOptions::slow_request_ms.
+  uint64_t slow_requests = 0;
 };
 
 /// The summarization daemon: accepts connections, decodes request frames

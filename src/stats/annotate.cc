@@ -55,6 +55,53 @@ Status Annotations::Merge(const Annotations& other) {
   return Status::OK();
 }
 
+Status Annotations::Subtract(const Annotations& other) {
+  if (card_.size() != other.card_.size() ||
+      slink_count_.size() != other.slink_count_.size() ||
+      vlink_count_.size() != other.vlink_count_.size()) {
+    return Status::FailedPrecondition(
+        "Annotations::Subtract: shape mismatch (" +
+        std::to_string(card_.size()) + "/" +
+        std::to_string(slink_count_.size()) + "/" +
+        std::to_string(vlink_count_.size()) + " vs " +
+        std::to_string(other.card_.size()) + "/" +
+        std::to_string(other.slink_count_.size()) + "/" +
+        std::to_string(other.vlink_count_.size()) +
+        " elements/structural/value entries)");
+  }
+  // Validate before mutating: a failed Subtract must leave this intact so
+  // the caller can fall back to a cold pass on the unharmed base.
+  for (size_t e = 0; e < card_.size(); ++e) {
+    if (other.card_[e] > card_[e]) {
+      return Status::FailedPrecondition(
+          "Annotations::Subtract: cardinality underflow at element " +
+          std::to_string(e));
+    }
+  }
+  for (size_t l = 0; l < slink_count_.size(); ++l) {
+    if (other.slink_count_[l] > slink_count_[l]) {
+      return Status::FailedPrecondition(
+          "Annotations::Subtract: structural-count underflow at link " +
+          std::to_string(l));
+    }
+  }
+  for (size_t l = 0; l < vlink_count_.size(); ++l) {
+    if (other.vlink_count_[l] > vlink_count_[l]) {
+      return Status::FailedPrecondition(
+          "Annotations::Subtract: value-count underflow at link " +
+          std::to_string(l));
+    }
+  }
+  for (size_t e = 0; e < card_.size(); ++e) card_[e] -= other.card_[e];
+  for (size_t l = 0; l < slink_count_.size(); ++l) {
+    slink_count_[l] -= other.slink_count_[l];
+  }
+  for (size_t l = 0; l < vlink_count_.size(); ++l) {
+    vlink_count_[l] -= other.vlink_count_[l];
+  }
+  return Status::OK();
+}
+
 double Annotations::RelativeCardinality(const SchemaGraph& graph,
                                         ElementId owner,
                                         const Neighbor& nbr) const {
@@ -247,6 +294,25 @@ Result<Annotations> AnnotateSchemaSharded(const ShardedInstanceSource& source,
   // property rather than an accident of scheduling.
   for (Annotations& part : parts) SSUM_RETURN_NOT_OK(total.Merge(part));
   return total;
+}
+
+std::vector<ElementId> DirtyMetricElements(const Annotations& base,
+                                           const EdgeMetrics& base_metrics,
+                                           const Annotations& next,
+                                           const EdgeMetrics& next_metrics) {
+  SSUM_CHECK(base.num_elements() == next.num_elements() &&
+                 base_metrics.edge_affinity.size() ==
+                     next_metrics.edge_affinity.size(),
+             "DirtyMetricElements: annotations of different schemas");
+  std::vector<ElementId> dirty;
+  for (ElementId e = 0; e < base.num_elements(); ++e) {
+    if (base.card(e) != next.card(e) ||
+        base_metrics.edge_affinity[e] != next_metrics.edge_affinity[e] ||
+        base_metrics.w[e] != next_metrics.w[e]) {
+      dirty.push_back(e);
+    }
+  }
+  return dirty;
 }
 
 EdgeMetrics EdgeMetrics::Compute(const SchemaGraph& graph,

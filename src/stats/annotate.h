@@ -60,6 +60,14 @@ class Annotations {
   /// shapes differ (annotations of different schemas).
   Status Merge(const Annotations& other);
 
+  /// Element-wise subtraction of `other` from this — the inverse of Merge,
+  /// used by delta-annotation to retire the counts of units that changed
+  /// before merging their re-walked replacements. Fails with
+  /// FailedPrecondition on shape mismatch or when any counter would
+  /// underflow (the subtrahend was not produced from a subset of this
+  /// instance), leaving this unmodified in both cases.
+  Status Subtract(const Annotations& other);
+
   /// RC along an adjacency record owned by `owner` (the average number of
   /// `nbr.other` data nodes connected to each `owner` node). Returns 0 when
   /// owner has no instances.
@@ -134,5 +142,18 @@ struct EdgeMetrics {
   static EdgeMetrics Compute(const SchemaGraph& graph,
                              const Annotations& annotations);
 };
+
+/// Elements whose matrix-relevant statistics differ between two
+/// (annotations, metrics) pairs over the same schema: cardinality, per-edge
+/// affinity row, or neighbor-weight row. This is the seed set for the
+/// dirty-frontier closure of incremental matrix patching
+/// (AffinityMatrix::TryPatch / CoverageMatrix::TryPatch): a walk row can
+/// only change if it traverses an edge owned by one of these elements or
+/// scales by a changed cardinality. Both metrics must be computed over the
+/// same graph (mirror indices are structural and always match).
+std::vector<ElementId> DirtyMetricElements(const Annotations& base,
+                                           const EdgeMetrics& base_metrics,
+                                           const Annotations& next,
+                                           const EdgeMetrics& next_metrics);
 
 }  // namespace ssum

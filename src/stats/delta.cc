@@ -1,0 +1,190 @@
+#include "stats/delta.h"
+
+#include <algorithm>
+
+#include "store/fingerprint.h"
+
+namespace ssum {
+
+namespace {
+
+/// Signed difference with an overflow guard: annotation counters are
+/// instance node counts, far below 2^63 in practice, but a delta built from
+/// hostile inputs must not wrap silently.
+Result<int64_t> SignedDiff(uint64_t child, uint64_t parent) {
+  const uint64_t magnitude = child >= parent ? child - parent : parent - child;
+  if (magnitude > static_cast<uint64_t>(INT64_MAX)) {
+    return Status::FailedPrecondition(
+        "annotation delta: counter difference overflows int64");
+  }
+  return child >= parent ? static_cast<int64_t>(magnitude)
+                         : -static_cast<int64_t>(magnitude);
+}
+
+/// parent + d with underflow detection; DataLoss because a bad sum means
+/// the delta is not the one that was recorded for this parent.
+Result<uint64_t> CheckedApply(uint64_t parent, int64_t d, const char* what) {
+  if (d < 0) {
+    const uint64_t mag = static_cast<uint64_t>(-(d + 1)) + 1;
+    if (mag > parent) {
+      return Status::DataLoss(std::string("annotation delta: ") + what +
+                              " underflows its parent counter");
+    }
+    return parent - mag;
+  }
+  return parent + static_cast<uint64_t>(d);
+}
+
+}  // namespace
+
+Result<AnnotationDelta> DiffAnnotations(const Annotations& parent,
+                                        const Annotations& child) {
+  if (parent.num_elements() != child.num_elements() ||
+      parent.num_structural_links() != child.num_structural_links() ||
+      parent.num_value_links() != child.num_value_links()) {
+    return Status::FailedPrecondition(
+        "DiffAnnotations: shape mismatch (annotations of different schemas)");
+  }
+  AnnotationDelta delta;
+  delta.parent_fingerprint = FingerprintAnnotations(parent).value;
+  delta.child_fingerprint = FingerprintAnnotations(child).value;
+  delta.d_card.resize(parent.num_elements());
+  delta.d_slink.resize(parent.num_structural_links());
+  delta.d_vlink.resize(parent.num_value_links());
+  for (size_t e = 0; e < parent.num_elements(); ++e) {
+    SSUM_ASSIGN_OR_RETURN(delta.d_card[e],
+                          SignedDiff(child.card(e), parent.card(e)));
+  }
+  for (size_t l = 0; l < parent.num_structural_links(); ++l) {
+    SSUM_ASSIGN_OR_RETURN(
+        delta.d_slink[l],
+        SignedDiff(child.structural_count(l), parent.structural_count(l)));
+  }
+  for (size_t l = 0; l < parent.num_value_links(); ++l) {
+    SSUM_ASSIGN_OR_RETURN(
+        delta.d_vlink[l],
+        SignedDiff(child.value_count(l), parent.value_count(l)));
+  }
+  return delta;
+}
+
+Result<Annotations> ApplyAnnotationDelta(const SchemaGraph& graph,
+                                         const Annotations& parent,
+                                         const AnnotationDelta& delta) {
+  if (FingerprintAnnotations(parent).value != delta.parent_fingerprint) {
+    return Status::FailedPrecondition(
+        "annotation delta: parent fingerprint mismatch (delta recorded "
+        "against a different base)");
+  }
+  Annotations child(graph);
+  if (parent.num_elements() != child.num_elements() ||
+      parent.num_structural_links() != child.num_structural_links() ||
+      parent.num_value_links() != child.num_value_links()) {
+    return Status::FailedPrecondition(
+        "annotation delta: parent annotations do not match the schema");
+  }
+  if (delta.d_card.size() != child.num_elements() ||
+      delta.d_slink.size() != child.num_structural_links() ||
+      delta.d_vlink.size() != child.num_value_links()) {
+    return Status::DataLoss(
+        "annotation delta: delta arrays do not match the schema shape");
+  }
+  for (size_t e = 0; e < child.num_elements(); ++e) {
+    uint64_t v;
+    SSUM_ASSIGN_OR_RETURN(
+        v, CheckedApply(parent.card(e), delta.d_card[e], "cardinality"));
+    child.set_card(e, v);
+  }
+  for (size_t l = 0; l < child.num_structural_links(); ++l) {
+    uint64_t v;
+    SSUM_ASSIGN_OR_RETURN(v, CheckedApply(parent.structural_count(l),
+                                          delta.d_slink[l],
+                                          "structural count"));
+    child.set_structural_count(l, v);
+  }
+  for (size_t l = 0; l < child.num_value_links(); ++l) {
+    uint64_t v;
+    SSUM_ASSIGN_OR_RETURN(
+        v, CheckedApply(parent.value_count(l), delta.d_vlink[l],
+                        "value count"));
+    child.set_value_count(l, v);
+  }
+  if (FingerprintAnnotations(child).value != delta.child_fingerprint) {
+    return Status::DataLoss(
+        "annotation delta: reconstructed child fingerprint mismatch");
+  }
+  return child;
+}
+
+Result<Annotations> DeltaAnnotate(const ShardedInstanceSource& base,
+                                  const ShardedInstanceSource& next,
+                                  const Annotations& base_annotations,
+                                  const std::vector<uint64_t>& dirty_units,
+                                  const DeltaAnnotateOptions& options) {
+  SSUM_RETURN_NOT_OK(options.parallel.deadline.Check("delta annotation"));
+  const uint64_t units = next.NumUnits();
+  if (base.NumUnits() != units) {
+    return Status::FailedPrecondition(
+        "DeltaAnnotate: unit partition changed (" +
+        std::to_string(base.NumUnits()) + " vs " + std::to_string(units) +
+        " units); fall back to a full pass");
+  }
+  for (uint64_t u : dirty_units) {
+    if (u >= units) {
+      return Status::FailedPrecondition(
+          "DeltaAnnotate: dirty unit " + std::to_string(u) +
+          " out of range (" + std::to_string(units) + " units)");
+    }
+  }
+
+  // Shard the dirty list like AnnotateSchemaSharded shards the full unit
+  // range: per-shard private partials, reduced in index order, so the
+  // result is bit-identical for any thread count.
+  uint64_t shards = static_cast<uint64_t>(
+                        ResolveThreadCount(options.parallel.threads)) *
+                    4;
+  shards = std::max<uint64_t>(
+      1, std::min(shards, std::max<uint64_t>(1, dirty_units.size())));
+  std::vector<Annotations> old_parts(shards);
+  std::vector<Annotations> new_parts(shards);
+  std::vector<Status> statuses(shards, Status::OK());
+  SSUM_RETURN_NOT_OK(ParallelFor(
+      0, shards, 1,
+      [&](size_t s) {
+        UnitRange range = ShardUnitRange(dirty_units.size(), s, shards);
+        Annotations old_sum(base.schema());
+        Annotations new_sum(next.schema());
+        for (uint64_t i = range.begin; i < range.end; ++i) {
+          const uint64_t u = dirty_units[i];
+          auto old_unit = AnnotateUnits(base, u, u + 1);
+          if (!old_unit.ok()) {
+            statuses[s] = old_unit.status();
+            return;
+          }
+          auto new_unit = AnnotateUnits(next, u, u + 1);
+          if (!new_unit.ok()) {
+            statuses[s] = new_unit.status();
+            return;
+          }
+          if (Status st = old_sum.Merge(*old_unit); !st.ok()) {
+            statuses[s] = std::move(st);
+            return;
+          }
+          if (Status st = new_sum.Merge(*new_unit); !st.ok()) {
+            statuses[s] = std::move(st);
+            return;
+          }
+        }
+        old_parts[s] = std::move(old_sum);
+        new_parts[s] = std::move(new_sum);
+      },
+      options.parallel));
+  for (const Status& s : statuses) SSUM_RETURN_NOT_OK(s);
+
+  Annotations result = base_annotations;
+  for (Annotations& part : old_parts) SSUM_RETURN_NOT_OK(result.Subtract(part));
+  for (Annotations& part : new_parts) SSUM_RETURN_NOT_OK(result.Merge(part));
+  return result;
+}
+
+}  // namespace ssum

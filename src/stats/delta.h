@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "instance/sharded_stream.h"
+#include "schema/schema_graph.h"
+#include "stats/annotate.h"
+
+namespace ssum {
+
+/// The difference between two Annotations of the same schema, as signed
+/// per-counter deltas (child - parent). Because annotation counting is exact
+/// uint64 arithmetic, parent + delta reproduces the child bit-identically —
+/// the store persists a delta plus the parent's identity instead of the full
+/// child arrays (snapshot lineage, store/artifact_cache.h).
+///
+/// The parent/child fields are content fingerprints of the annotation
+/// *arrays* (store/fingerprint.h FingerprintAnnotations), not cache keys:
+/// Apply checks them so a delta can never be applied to the wrong base
+/// (clean miss) and a corrupted-but-CRC-colliding payload can never produce
+/// a wrong child (DataLoss).
+struct AnnotationDelta {
+  uint64_t parent_fingerprint = 0;  ///< FingerprintAnnotations(parent).value
+  uint64_t child_fingerprint = 0;   ///< FingerprintAnnotations(child).value
+  std::vector<int64_t> d_card;      ///< child.card - parent.card
+  std::vector<int64_t> d_slink;     ///< child structural counts - parent's
+  std::vector<int64_t> d_vlink;     ///< child value counts - parent's
+  /// Provenance stats (informational, carried for `cache lineage`).
+  uint64_t dirty_units = 0;
+  uint64_t total_units = 0;
+
+  bool operator==(const AnnotationDelta&) const = default;
+};
+
+/// Builds the delta child - parent. Fails with FailedPrecondition when the
+/// shapes differ (annotations of different schemas).
+Result<AnnotationDelta> DiffAnnotations(const Annotations& parent,
+                                        const Annotations& child);
+
+/// Applies `delta` to `parent`, returning the reconstructed child.
+///   - parent fingerprint mismatch -> FailedPrecondition (wrong base: a
+///     clean miss for the lineage resolver, never an error surfaced to the
+///     pipeline);
+///   - shape mismatch vs `graph`, counter underflow, or a result whose
+///     fingerprint differs from the recorded child -> DataLoss (the delta
+///     bytes decoded but are not the delta that was stored).
+Result<Annotations> ApplyAnnotationDelta(const SchemaGraph& graph,
+                                         const Annotations& parent,
+                                         const AnnotationDelta& delta);
+
+/// Options for the delta-annotation pass.
+struct DeltaAnnotateOptions {
+  /// Worker threads re-walking the dirty units (ParallelFor). Per-shard
+  /// partial annotations are reduced in index order, so the result is
+  /// bit-identical for any thread count.
+  ParallelOptions parallel;
+};
+
+/// Incremental annotateSchema: given the base instance, the next instance,
+/// the base's full Annotations, and the set of units whose subtrees changed,
+/// re-walks only the dirty units in both sources and returns
+///
+///   base_annotations - sum(dirty old units) + sum(dirty new units).
+///
+/// Counting is additive and exact, so this is bit-identical to a full
+/// AnnotateSchemaSharded pass over `next` — provided the two sources share
+/// the schema, the skeleton, and the unit partition, and `dirty_units`
+/// covers every differing unit (ComputeUnitDigests/DiffUnitDigests, or an
+/// analytic dirty set from a generator). Violations the pass can detect —
+/// unit-count mismatch, shape mismatch, counter underflow — fail with
+/// FailedPrecondition; the caller falls back to the cold path.
+Result<Annotations> DeltaAnnotate(const ShardedInstanceSource& base,
+                                  const ShardedInstanceSource& next,
+                                  const Annotations& base_annotations,
+                                  const std::vector<uint64_t>& dirty_units,
+                                  const DeltaAnnotateOptions& options = {});
+
+}  // namespace ssum

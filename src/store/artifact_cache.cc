@@ -17,6 +17,7 @@ namespace fs = std::filesystem;
 constexpr const char* kCountersFile = "cache-counters.v1.txt";
 constexpr const char* kCountersHeader = "ssum-cache-counters v1";
 constexpr const char* kContainerSuffix = ".ssb";
+constexpr const char* kLockFile = ".lock";
 
 std::string RenderCounters(const CacheCounters& c) {
   std::string out(kCountersHeader);
@@ -171,9 +172,13 @@ std::optional<std::string> ArtifactCache::LoadVerified(const char* family,
     CountMiss(path, info.status(), /*foreign=*/false);
     return std::nullopt;
   }
+  // Serve wire kinds (4/5) share the envelope but never belong in the
+  // cache, so they stay foreign even though this reader knows their names.
   const bool known_kind =
-      info->payload_kind >= 1 &&
-      info->payload_kind <= static_cast<uint32_t>(PayloadKind::kSummary);
+      (info->payload_kind >= 1 &&
+       info->payload_kind <= static_cast<uint32_t>(PayloadKind::kSummary)) ||
+      info->payload_kind ==
+          static_cast<uint32_t>(PayloadKind::kAnnotationDelta);
   if (info->format_version != kContainerFormatVersion || !known_kind) {
     CountMiss(path, Status::OK(), /*foreign=*/true);
     return std::nullopt;
@@ -194,9 +199,25 @@ std::optional<std::string> ArtifactCache::LoadVerified(const char* family,
   return std::move(*bytes);
 }
 
+std::unique_ptr<FileLock> ArtifactCache::AcquireWriterLock() {
+  auto lock = env_->LockFile(dir_ + "/" + kLockFile);
+  if (!lock.ok()) {
+    LogOnce(dir_ + "#lock",
+            "cannot take the writer lock on '" + dir_ + "' (" +
+                lock.status().ToString() +
+                "); proceeding unlocked — installs stay atomic, only "
+                "concurrent counter merges may race");
+    return nullptr;
+  }
+  return std::move(*lock);
+}
+
 Status ArtifactCache::StoreBytes(const char* family, const Fingerprint& key,
                                  std::string_view bytes) {
   SSUM_RETURN_NOT_OK(EnsureDir());
+  // Advisory discipline for concurrent writers of the same directory.
+  // Best-effort on purpose: a lock failure must never fail an install.
+  std::unique_ptr<FileLock> writer_lock = AcquireWriterLock();
   const std::string path = PathFor(family, key);
   // Each retry attempt re-runs the whole atomic install (fresh tmp file);
   // a failed attempt already cleaned its staging file up best-effort.
@@ -273,6 +294,114 @@ Status ArtifactCache::StoreSummary(const Fingerprint& key,
   return StoreBytes(kSummaryFamily, key, EncodeSummary(summary));
 }
 
+Status ArtifactCache::StoreAnnotationsDelta(const Fingerprint& child_key,
+                                            const Fingerprint& parent_key,
+                                            const AnnotationDelta& delta) {
+  return StoreBytes(kDeltaFamily, child_key,
+                    EncodeAnnotationDelta(parent_key, delta));
+}
+
+std::optional<ArtifactCache::LineageHit> ArtifactCache::LoadAnnotationsLineage(
+    const SchemaGraph& graph, const Fingerprint& key, uint32_t max_depth) {
+  auto direct = LoadAnnotations(graph, key);
+  if (direct.has_value()) {
+    return LineageHit{std::move(*direct), /*delta_hops=*/0};
+  }
+  // Chase the delta chain parent-ward until an ancestor is directly
+  // present. Each link remembers the key it was loaded under so a failing
+  // application can point at (and quarantine) the right file.
+  struct Link {
+    Fingerprint child_key;
+    DecodedAnnotationDelta decoded;
+  };
+  std::vector<Link> chain;
+  Fingerprint cur = key;
+  std::optional<Annotations> ancestor;
+  for (uint32_t depth = 0; depth < max_depth && !ancestor.has_value();
+       ++depth) {
+    auto bytes =
+        LoadVerified(kDeltaFamily, cur,
+                     static_cast<uint32_t>(PayloadKind::kAnnotationDelta));
+    if (!bytes.has_value()) return std::nullopt;  // miss already counted
+    auto decoded = DecodeAnnotationDelta(graph, *bytes);
+    if (!decoded.ok()) {
+      CountMiss(PathFor(kDeltaFamily, cur), decoded.status(),
+                /*foreign=*/false);
+      return std::nullopt;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.hits;  // the delta artifact itself
+    }
+    const Fingerprint parent = decoded->parent_key;
+    chain.push_back(Link{cur, std::move(*decoded)});
+    cur = parent;
+    ancestor = LoadAnnotations(graph, cur);
+  }
+  if (!ancestor.has_value()) {
+    // Depth cap reached with the chain still dangling: a clean miss by
+    // policy (also what breaks key cycles).
+    LogOnce(PathFor(kDeltaFamily, key) + "#depth",
+            "lineage of '" + PathFor(kDeltaFamily, key) + "' exceeds " +
+                std::to_string(max_depth) +
+                " hops without a present ancestor; treating as a miss");
+    return std::nullopt;
+  }
+  // Replay the deltas child-ward. ApplyAnnotationDelta verifies the parent
+  // fingerprint before touching anything and the child fingerprint after,
+  // so a failure here can only yield "no result", never a wrong one.
+  Annotations annotations = std::move(*ancestor);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    auto child = ApplyAnnotationDelta(graph, annotations, it->decoded.delta);
+    if (!child.ok()) {
+      // FailedPrecondition = stale/foreign parent (mismatch, bytes are
+      // fine); DataLoss = the delta lies about itself (quarantined).
+      CountMiss(PathFor(kDeltaFamily, it->child_key), child.status(),
+                /*foreign=*/false);
+      return std::nullopt;
+    }
+    annotations = std::move(*child);
+  }
+  return LineageHit{std::move(annotations),
+                    static_cast<uint32_t>(chain.size())};
+}
+
+Result<std::vector<ArtifactCache::LineageEntry>> ArtifactCache::ListLineage()
+    const {
+  std::vector<LineageEntry> out;
+  std::vector<CacheEntry> entries;
+  SSUM_ASSIGN_OR_RETURN(entries, List());
+  const std::string prefix = std::string(kDeltaFamily) + "-";
+  const size_t suffix_len = std::string(kContainerSuffix).size();
+  for (const CacheEntry& entry : entries) {
+    if (entry.file.rfind(prefix, 0) != 0) continue;
+    LineageEntry le;
+    le.file = entry.file;
+    le.child_key_hex = entry.file.substr(
+        prefix.size(), entry.file.size() - prefix.size() - suffix_len);
+    auto bytes = ReadFileBytes(env_, dir_ + "/" + entry.file);
+    if (bytes.ok()) {
+      auto peek = PeekAnnotationDelta(*bytes);
+      if (peek.ok()) {
+        le.readable = true;
+        le.parent_key_hex = peek->parent_key.ToHex();
+        le.dirty_units = peek->delta.dirty_units;
+        le.total_units = peek->delta.total_units;
+        // The parent is resolvable either as a full annotations snapshot or
+        // as another delta link (the chain continues parent-ward).
+        auto full = env_->FileExists(dir_ + "/" + kAnnotationsFamily + "-" +
+                                     le.parent_key_hex + kContainerSuffix);
+        auto link = env_->FileExists(dir_ + "/" + prefix +
+                                     le.parent_key_hex + kContainerSuffix);
+        le.parent_present =
+            (full.ok() && *full) || (link.ok() && *link);
+      }
+    }
+    out.push_back(std::move(le));
+  }
+  return out;
+}
+
 CacheCounters ArtifactCache::session_counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
@@ -289,6 +418,10 @@ Status ArtifactCache::FlushCounters() {
     return Status::OK();
   }
   SSUM_RETURN_NOT_OK(EnsureDir());
+  // The lock makes the read-merge-write below atomic across processes;
+  // without it a concurrent flush could lose one side's increments (never
+  // anything worse — the write itself is still atomic).
+  std::unique_ptr<FileLock> writer_lock = AcquireWriterLock();
   CacheCounters total;
   auto persisted = ReadPersistentCounters();
   if (persisted.ok()) total = *persisted;

@@ -14,6 +14,7 @@
 #include "core/summary.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
+#include "stats/delta.h"
 #include "store/fingerprint.h"
 
 namespace ssum {
@@ -71,6 +72,14 @@ class ArtifactCache {
   static constexpr const char* kAffinityFamily = "affinity";
   static constexpr const char* kCoverageFamily = "coverage";
   static constexpr const char* kSummaryFamily = "summary";
+  /// Lineage links: "delta-<child key>.ssb" rebuilds the child annotations
+  /// from the parent artifact named inside the container.
+  static constexpr const char* kDeltaFamily = "delta";
+
+  /// Longest parent chain LoadAnnotationsLineage will chase. Past this the
+  /// lookup is a clean miss — rebuilding through arbitrarily long chains
+  /// costs more than recomputing, and a key cycle must terminate.
+  static constexpr uint32_t kMaxLineageDepth = 8;
 
   explicit ArtifactCache(std::string dir);
 
@@ -102,6 +111,52 @@ class ArtifactCache {
   std::optional<SchemaSummary> LoadSummary(const SchemaGraph& graph,
                                            const Fingerprint& key);
   Status StoreSummary(const Fingerprint& key, const SchemaSummary& summary);
+
+  /// Installs the lineage link for the child annotations artifact keyed
+  /// `child_key`: the delta that rebuilds it from the parent annotations
+  /// artifact keyed `parent_key` (see stats/delta.h for the delta itself).
+  Status StoreAnnotationsDelta(const Fingerprint& child_key,
+                               const Fingerprint& parent_key,
+                               const AnnotationDelta& delta);
+
+  /// Annotations resolved through the lineage chain. `delta_hops` is how
+  /// many deltas were applied on top of the nearest directly-present
+  /// ancestor (0 = plain direct hit).
+  struct LineageHit {
+    Annotations annotations;
+    uint32_t delta_hops = 0;
+  };
+
+  /// Lineage-aware annotations lookup: a direct hit on `key` wins; else
+  /// the delta chain is chased parent-by-parent (up to `max_depth` hops)
+  /// until a directly-present ancestor is found, and the deltas are
+  /// replayed child-ward on top of it. Every delta application verifies
+  /// the recorded parent and child content fingerprints, so a wrong or
+  /// stale parent is a clean miss (mismatch) and mangled delta bytes are
+  /// corruption (quarantined) — the result is never silently wrong, and
+  /// any failure degrades to the cold recompute path exactly like a plain
+  /// miss.
+  std::optional<LineageHit> LoadAnnotationsLineage(
+      const SchemaGraph& graph, const Fingerprint& key,
+      uint32_t max_depth = kMaxLineageDepth);
+
+  /// One delta container, as listed by `ssum cache lineage`. Key fields
+  /// are hex renderings (the file-name currency of the cache).
+  struct LineageEntry {
+    std::string file;
+    std::string child_key_hex;
+    std::string parent_key_hex;
+    uint64_t dirty_units = 0;
+    uint64_t total_units = 0;
+    /// Parent resolvable on disk — a full annotations snapshot or a further
+    /// delta link continuing the chain.
+    bool parent_present = false;
+    bool readable = false;  ///< lineage section decoded
+  };
+
+  /// All delta containers in the directory, lineage-peeked (no schema
+  /// needed; the diff arrays are not decoded).
+  Result<std::vector<LineageEntry>> ListLineage() const;
 
   /// Counters accumulated by this instance since construction.
   CacheCounters session_counters() const;
@@ -152,6 +207,11 @@ class ArtifactCache {
   void LogOnce(const std::string& path, const std::string& message);
   /// Reads a file through env_, retrying transient IoErrors per retry_.
   Result<std::string> ReadWithRetry(const std::string& path) const;
+  /// Best-effort advisory writer lock on the cache directory (".lock").
+  /// nullptr when acquisition failed — logged once, and the caller
+  /// proceeds unlocked: installs are atomic regardless, the lock only
+  /// serializes concurrent writers' counter merges.
+  std::unique_ptr<FileLock> AcquireWriterLock();
   /// Moves a corrupt container into `.quarantine/` (best effort) and
   /// remembers the path so its reinstall counts as a heal. True when the
   /// file was actually moved.

@@ -16,6 +16,10 @@ constexpr uint32_t kSecValueCounts = 3;
 constexpr uint32_t kSecMatrix = 1;
 constexpr uint32_t kSecAbstract = 1;
 constexpr uint32_t kSecRepresentative = 2;
+constexpr uint32_t kSecDeltaLineage = 1;
+constexpr uint32_t kSecDeltaCards = 2;
+constexpr uint32_t kSecDeltaStructural = 3;
+constexpr uint32_t kSecDeltaValue = 4;
 
 void AppendU32(std::string& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
@@ -280,6 +284,108 @@ Result<SchemaSummary> DecodeSummary(const SchemaGraph& graph,
   // reconstructs the derived abstract links, exactly like the text loader.
   return BuildSummaryFromAssignment(graph, std::move(abstract),
                                     std::move(representative));
+}
+
+namespace {
+
+/// Signed diffs travel as the two's-complement bit pattern in a u64 array,
+/// so the delta sections reuse the annotations array codec byte-for-byte.
+std::string EncodeI64Array(const std::vector<int64_t>& values) {
+  std::vector<uint64_t> bits(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    bits[i] = std::bit_cast<uint64_t>(values[i]);
+  }
+  return EncodeU64Array(bits);
+}
+
+Status DecodeI64Array(std::string_view payload, const char* what,
+                      size_t expected, std::vector<int64_t>* out) {
+  std::vector<uint64_t> bits;
+  SSUM_RETURN_NOT_OK(DecodeU64Array(payload, what, expected, &bits));
+  out->resize(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    (*out)[i] = std::bit_cast<int64_t>(bits[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeAnnotationDelta(const Fingerprint& parent_key,
+                                  const AnnotationDelta& delta) {
+  std::string lineage;
+  lineage.reserve(5 * 8);
+  AppendU64(lineage, parent_key.value);
+  AppendU64(lineage, delta.parent_fingerprint);
+  AppendU64(lineage, delta.child_fingerprint);
+  AppendU64(lineage, delta.dirty_units);
+  AppendU64(lineage, delta.total_units);
+  ContainerWriter writer(PayloadKind::kAnnotationDelta);
+  writer.AddSection(kSecDeltaLineage, lineage);
+  writer.AddSection(kSecDeltaCards, EncodeI64Array(delta.d_card));
+  writer.AddSection(kSecDeltaStructural, EncodeI64Array(delta.d_slink));
+  writer.AddSection(kSecDeltaValue, EncodeI64Array(delta.d_vlink));
+  return std::move(writer).Finish();
+}
+
+namespace {
+
+/// Parses + kind-checks the container and decodes the lineage section into
+/// `decoded`; shared by the full decoder and the schema-free peek.
+Result<Container> DecodeDeltaLineage(std::string_view container_bytes,
+                                     DecodedAnnotationDelta* decoded) {
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container, ParseContainer(container_bytes));
+  SSUM_RETURN_NOT_OK(CheckKind(container, PayloadKind::kAnnotationDelta));
+  std::string_view sec;
+  SSUM_ASSIGN_OR_RETURN(sec,
+                        RequireSection(container, kSecDeltaLineage, "lineage"));
+  PayloadReader r(sec);
+  if (sec.size() != 5 * 8 || !r.ReadU64(&decoded->parent_key.value) ||
+      !r.ReadU64(&decoded->delta.parent_fingerprint) ||
+      !r.ReadU64(&decoded->delta.child_fingerprint) ||
+      !r.ReadU64(&decoded->delta.dirty_units) ||
+      !r.ReadU64(&decoded->delta.total_units)) {
+    return Status::DataLoss("lineage section carries " +
+                            std::to_string(sec.size()) +
+                            " bytes, expected 40");
+  }
+  return container;
+}
+
+}  // namespace
+
+Result<DecodedAnnotationDelta> DecodeAnnotationDelta(
+    const SchemaGraph& graph, std::string_view container_bytes) {
+  DecodedAnnotationDelta decoded;
+  Container container;
+  SSUM_ASSIGN_OR_RETURN(container,
+                        DecodeDeltaLineage(container_bytes, &decoded));
+  std::string_view sec;
+  SSUM_ASSIGN_OR_RETURN(
+      sec, RequireSection(container, kSecDeltaCards, "cardinality-delta"));
+  SSUM_RETURN_NOT_OK(DecodeI64Array(sec, "cardinality-delta", graph.size(),
+                                    &decoded.delta.d_card));
+  SSUM_ASSIGN_OR_RETURN(
+      sec, RequireSection(container, kSecDeltaStructural,
+                          "structural-count-delta"));
+  SSUM_RETURN_NOT_OK(DecodeI64Array(sec, "structural-count-delta",
+                                    graph.structural_links().size(),
+                                    &decoded.delta.d_slink));
+  SSUM_ASSIGN_OR_RETURN(
+      sec, RequireSection(container, kSecDeltaValue, "value-count-delta"));
+  SSUM_RETURN_NOT_OK(DecodeI64Array(sec, "value-count-delta",
+                                    graph.value_links().size(),
+                                    &decoded.delta.d_vlink));
+  return decoded;
+}
+
+Result<DecodedAnnotationDelta> PeekAnnotationDelta(
+    std::string_view container_bytes) {
+  DecodedAnnotationDelta decoded;
+  auto container = DecodeDeltaLineage(container_bytes, &decoded);
+  if (!container.ok()) return container.status();
+  return decoded;
 }
 
 }  // namespace ssum

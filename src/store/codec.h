@@ -8,6 +8,8 @@
 #include "core/summary.h"
 #include "schema/schema_graph.h"
 #include "stats/annotate.h"
+#include "stats/delta.h"
+#include "store/fingerprint.h"
 
 namespace ssum {
 
@@ -45,5 +47,28 @@ Result<SquareMatrix> DecodeSquareMatrix(std::string_view container_bytes,
 std::string EncodeSummary(const SchemaSummary& summary);
 Result<SchemaSummary> DecodeSummary(const SchemaGraph& graph,
                                     std::string_view container_bytes);
+
+/// Annotation delta (PayloadKind::kAnnotationDelta): one lineage link of
+/// the incremental store (docs/incremental.md). Besides the content
+/// fingerprints and signed per-counter diffs of stats/delta.h, the
+/// container carries the *cache key* of the parent annotations artifact so
+/// lineage resolution can chase the chain without recomputing keys.
+struct DecodedAnnotationDelta {
+  Fingerprint parent_key;
+  AnnotationDelta delta;
+};
+
+std::string EncodeAnnotationDelta(const Fingerprint& parent_key,
+                                  const AnnotationDelta& delta);
+/// Shape-checks the diff arrays against `graph` (FailedPrecondition on any
+/// mismatch, like the annotations decoder — the cache treats that as a
+/// stale entry, not corruption).
+Result<DecodedAnnotationDelta> DecodeAnnotationDelta(
+    const SchemaGraph& graph, std::string_view container_bytes);
+/// Lineage-only view of a delta container (no schema needed): decodes the
+/// lineage section, leaves the diff arrays empty. What `ssum cache
+/// lineage` lists.
+Result<DecodedAnnotationDelta> PeekAnnotationDelta(
+    std::string_view container_bytes);
 
 }  // namespace ssum

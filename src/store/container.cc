@@ -58,6 +58,8 @@ const char* PayloadKindName(uint32_t kind) {
       return "serve-request";
     case PayloadKind::kServeResponse:
       return "serve-response";
+    case PayloadKind::kAnnotationDelta:
+      return "annotation-delta";
   }
   return "unknown";
 }

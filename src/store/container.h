@@ -55,9 +55,13 @@ enum class PayloadKind : uint32_t {
   kSummary = 3,
   // Wire messages of the serving daemon (src/serve/wire.h). They share the
   // container envelope but never land in the artifact cache, whose
-  // known-kind check deliberately stops at kSummary.
+  // known-kind check deliberately excludes them.
   kServeRequest = 4,
   kServeResponse = 5,
+  // Annotation delta between two snapshot versions (stats/delta.h), keyed
+  // by the child annotations cache key and carrying its parent's key — the
+  // lineage links of the incremental summarization store.
+  kAnnotationDelta = 6,
 };
 
 const char* PayloadKindName(uint32_t kind);

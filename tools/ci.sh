@@ -39,10 +39,11 @@
 #          comprehensive matrix sets SCENARIO_TIER=full)
 #   bench  bench-sanity gates on a dedicated Release tree (build-bench):
 #          parallel_scaling, annotate_scaling, walk_scaling, approx_scaling,
-#          and serve_scaling in gate-only mode (determinism + regression +
-#          walk-speedup + approx-quality/speedup + serve-latency/QPS gates;
-#          the checked-in BENCH_*.json are NOT updated). SSUM_NATIVE=ON
-#          builds the tree with -march=native (the CI native bench leg)
+#          serve_scaling, and delta_scaling in gate-only mode (determinism +
+#          regression + walk-speedup + approx-quality/speedup +
+#          serve-latency/QPS + incremental-delta gates; the checked-in
+#          BENCH_*.json are NOT updated). SSUM_NATIVE=ON builds the tree
+#          with -march=native (the CI native bench leg)
 #   all    every stage above, in that order
 #
 # The toolchain comes from $CC/$CXX (default gcc). Non-default toolchains
@@ -347,7 +348,7 @@ stage_bench() {
   local bench_build="$BUILD-bench"
   configure "$bench_build" -DCMAKE_BUILD_TYPE=Release -DSSUM_NATIVE="$native"
   cmake --build "$bench_build" --target parallel_scaling annotate_scaling \
-    walk_scaling approx_scaling serve_scaling -j "$JOBS"
+    walk_scaling approx_scaling serve_scaling delta_scaling -j "$JOBS"
   # parallel_scaling has no gate-only flag: its determinism and
   # no-regression gates are always hard and it only writes JSON when asked,
   # so running it without --json IS the gate. annotate_scaling,
@@ -358,6 +359,7 @@ stage_bench() {
   "$bench_build/bench/walk_scaling" --gate-only
   "$bench_build/bench/approx_scaling" --gate-only
   "$bench_build/bench/serve_scaling" --gate-only
+  "$bench_build/bench/delta_scaling" --gate-only
 }
 
 case "$STAGE" in

@@ -124,6 +124,12 @@ void PrintUsage(std::FILE* to) {
       "                 [-g balance|importance|coverage] [-o summary.txt]\n"
       "                 [--mode exact|approx] [--epsilon E]\n"
       "                 [--dot summary.dot]\n"
+      "  ssum summarize <next.scn> --base <base.scn> -k N [...]\n"
+      "                 incremental: re-annotates only the units that\n"
+      "                 changed between the two scenario versions, patches\n"
+      "                 the affinity/coverage matrices, and stores the\n"
+      "                 annotation delta as a lineage link in the cache\n"
+      "                 (docs/incremental.md); bit-identical to a cold run\n"
       "  ssum dot <schema.ssg> [-o schema.dot] [--hide-simple] "
       "[--max-depth N]\n"
       "  ssum relational <schema.sql> -k N [--data <dir>] "
@@ -131,14 +137,23 @@ void PrintUsage(std::FILE* to) {
       "  ssum discover <schema.ssg> <summary.txt> <path> [path...]\n"
       "  ssum demo <xmark|tpch|mimi> [-k N]\n"
       "  ssum gen --config <case.scn> [--out-dir DIR] [--xml FILE]\n"
+      "           [--chain N]\n"
       "           generate + annotate a scenario dataset (docs/scenarios.md);\n"
       "           --out-dir exports schema.ssg/annotations.txt/workload.txt,\n"
-      "           --xml materializes the instance as an XML document\n"
-      "  ssum cache <stat|ls|clear|verify>\n"
+      "           --xml materializes the instance as an XML document,\n"
+      "           --chain N (with --out-dir) emits version specs v0..vN of\n"
+      "           the same scenario differing only in the mutate.* knobs —\n"
+      "           the inputs of `summarize --base` (docs/incremental.md)\n"
+      "  ssum cache <stat|ls|clear|verify|lineage>\n"
+      "             lineage lists the annotation-delta chain: each link's\n"
+      "             child/parent keys, dirty-unit counts, and whether the\n"
+      "             parent snapshot is still present\n"
       "  ssum serve [--listen host:port] [--workers N] [--queue N]\n"
       "             [--scale S] [--scenario-dir DIR] [--port-file P]\n"
+      "             [--slow-ms N]\n"
       "             --scenario-dir exposes its case files as\n"
-      "             scenario:<file> datasets (off when omitted)\n"
+      "             scenario:<file> datasets (off when omitted);\n"
+      "             --slow-ms logs any request at or over N ms end-to-end\n"
       "  ssum query --connect host:port <verb> [dataset] [path...]\n"
       "             [-k N] [-g balance|importance|coverage]\n"
       "             [--mode exact|approx] [--epsilon E] [--stall-ms N]\n"
@@ -351,7 +366,105 @@ Result<Algorithm> ParseAlgorithm(const Args& args) {
                                  "' (balance|importance|coverage)");
 }
 
+/// Shared tail of the summarize commands: report the selection, honor
+/// --dot and -o.
+int EmitSummary(const SchemaGraph& schema, const SchemaSummary& summary,
+                Algorithm alg, const Args& args) {
+  std::fprintf(stderr, "ssum: %s selected:\n", AlgorithmName(alg));
+  for (ElementId a : summary.abstract_elements) {
+    std::fprintf(stderr, "  %-55s (%zu elements)\n", schema.PathOf(a).c_str(),
+                 summary.Group(a).size());
+  }
+  if (const std::string* dot = args.Get("--dot")) {
+    Status s = WriteOrPrint(ExportSummaryDot(summary), dot, "summary DOT");
+    if (!s.ok()) return Fail(s);
+  }
+  Status s = WriteOrPrint(SerializeSummary(summary), args.Get("-o"),
+                          "summary");
+  return s.ok() ? 0 : Fail(s);
+}
+
+/// `ssum summarize <next.scn> --base <base.scn>`: the incremental pipeline —
+/// delta-annotate the changed units, patch the matrices from the base
+/// version's, record the annotation delta as a cache lineage link. Every
+/// step that cannot run (schema changed, no usable base) degrades to the
+/// cold equivalent; the summary is bit-identical either way.
+int CmdSummarizeIncremental(const Args& args) {
+  if (args.positional.empty() || args.Get("-k") == nullptr) return Usage();
+  auto base_spec = LoadScenarioSpecFile(*args.Get("--base"), g_limits);
+  if (!base_spec.ok()) return Fail(base_spec.status());
+  auto next_spec = LoadScenarioSpecFile(args.positional[0], g_limits);
+  if (!next_spec.ok()) return Fail(next_spec.status());
+  auto k = ParseInt64(*args.Get("-k"));
+  if (!k.ok() || *k <= 0) {
+    return Fail(Status::InvalidArgument("-k needs a positive integer"));
+  }
+  Algorithm alg;
+  {
+    auto parsed = ParseAlgorithm(args);
+    if (!parsed.ok()) return Fail(parsed.status());
+    alg = *parsed;
+  }
+  SummarizeOptions options;
+  {
+    auto parsed = ParseSummarizeOptions(args);
+    if (!parsed.ok()) return Fail(parsed.status());
+    options = *parsed;
+  }
+  options.parallel.deadline = g_deadline;
+  auto base_ds = ScenarioDataset::Make(*base_spec);
+  if (!base_ds.ok()) return Fail(base_ds.status());
+  auto next_ds = ScenarioDataset::Make(*next_spec);
+  if (!next_ds.ok()) return Fail(next_ds.status());
+  ArtifactCache* cache = GetCache();
+  auto delta = AnnotateScenarioDelta(*base_ds, *next_ds, cache);
+  if (!delta.ok()) return Fail(delta.status());
+  if (delta->incremental) {
+    std::fprintf(stderr,
+                 "ssum: delta annotation: %llu of %llu units re-walked "
+                 "(lineage hops %u)\n",
+                 static_cast<unsigned long long>(delta->dirty_units),
+                 static_cast<unsigned long long>(delta->total_units),
+                 delta->lineage_hops);
+  } else {
+    std::fprintf(stderr, "ssum: cold annotation fallback: %s\n",
+                 delta->fallback_reason.c_str());
+  }
+  std::optional<SummarizerContext> context;
+  if (delta->incremental) {
+    auto base_ctx = SummarizerContext::Make(
+        base_ds->schema(), delta->base_annotations, options, cache);
+    if (base_ctx.ok()) {
+      MatrixPatchStats affinity_stats, coverage_stats;
+      auto patched = SummarizerContext::MakeIncremental(
+          *base_ctx, delta->annotations, cache, MatrixPatchOptions{},
+          &affinity_stats, &coverage_stats);
+      if (patched.ok()) {
+        std::fprintf(
+            stderr,
+            "ssum: matrix patch: affinity %zu/%zu rows%s, coverage "
+            "%zu/%zu rows%s\n",
+            affinity_stats.dirty_rows, affinity_stats.total_rows,
+            affinity_stats.patched ? "" : " (full recompute)",
+            coverage_stats.dirty_rows, coverage_stats.total_rows,
+            coverage_stats.patched ? "" : " (full recompute)");
+        context.emplace(std::move(*patched));
+      }
+    }
+  }
+  if (!context.has_value()) {
+    auto cold = SummarizerContext::Make(next_ds->schema(), delta->annotations,
+                                        options, cache);
+    if (!cold.ok()) return Fail(cold.status());
+    context.emplace(std::move(*cold));
+  }
+  auto summary = Summarize(*context, static_cast<size_t>(*k), alg);
+  if (!summary.ok()) return Fail(summary.status());
+  return EmitSummary(next_ds->schema(), *summary, alg, args);
+}
+
 int CmdSummarize(const Args& args) {
+  if (args.Get("--base") != nullptr) return CmdSummarizeIncremental(args);
   if (args.positional.empty() || args.Get("-k") == nullptr) return Usage();
   auto schema = ReadSchemaFile(args.positional[0], g_limits);
   if (!schema.ok()) return Fail(schema.status());
@@ -389,18 +502,7 @@ int CmdSummarize(const Args& args) {
       Summarize(*schema, ann, static_cast<size_t>(*k), alg, options,
                 GetCache());
   if (!summary.ok()) return Fail(summary.status());
-  std::fprintf(stderr, "ssum: %s selected:\n", AlgorithmName(alg));
-  for (ElementId a : summary->abstract_elements) {
-    std::fprintf(stderr, "  %-55s (%zu elements)\n",
-                 schema->PathOf(a).c_str(), summary->Group(a).size());
-  }
-  if (const std::string* dot = args.Get("--dot")) {
-    Status s = WriteOrPrint(ExportSummaryDot(*summary), dot, "summary DOT");
-    if (!s.ok()) return Fail(s);
-  }
-  Status s = WriteOrPrint(SerializeSummary(*summary), args.Get("-o"),
-                          "summary");
-  return s.ok() ? 0 : Fail(s);
+  return EmitSummary(*schema, *summary, alg, args);
 }
 
 int CmdDot(const Args& args) {
@@ -618,6 +720,31 @@ int CmdGen(const Args& args) {
     std::fprintf(stderr, "ssum: instance XML written to %s\n",
                  xml_path->c_str());
   }
+  if (const std::string* chain = args.Get("--chain")) {
+    const std::string* dir = args.Get("--out-dir");
+    if (dir == nullptr) {
+      return Fail(Status::InvalidArgument("--chain needs --out-dir"));
+    }
+    auto n = ParseInt64(*chain);
+    if (!n.ok() || *n <= 0 || *n > 1000) {
+      return Fail(
+          Status::InvalidArgument("--chain needs an integer in [1, 1000]"));
+    }
+    // v0 is the base spec verbatim; each later version differs only in the
+    // per-unit mutation knobs (same name, same schema, same unit layout), so
+    // consecutive versions stay on the analytic dirty-unit fast path of
+    // `summarize --base`.
+    for (int64_t i = 0; i <= *n; ++i) {
+      ScenarioSpec v = *spec;
+      if (i > 0) {
+        v.mutate_seed = static_cast<uint64_t>(i);
+        if (v.mutate_fraction <= 0.0) v.mutate_fraction = 0.05;
+      }
+      std::string path = *dir + "/v" + std::to_string(i) + ".scn";
+      Status s = WriteOrPrint(SerializeScenarioSpec(v), &path, "version spec");
+      if (!s.ok()) return Fail(s);
+    }
+  }
   return 0;
 }
 
@@ -680,6 +807,30 @@ int CmdCache(const Args& args) {
                  static_cast<unsigned long long>(*removed));
     return kExitOk;
   }
+  if (sub == "lineage") {
+    // One line per annotation-delta container: which child it rebuilds,
+    // which parent it needs, how much of the instance was re-walked, and
+    // whether the chain is currently resolvable one hop up.
+    auto entries = cache->ListLineage();
+    if (!entries.ok()) return Fail(entries.status());
+    for (const ArtifactCache::LineageEntry& e : *entries) {
+      if (!e.readable) {
+        std::printf("%-44s [unreadable]\n", e.file.c_str());
+        continue;
+      }
+      std::printf("%-44s child %s <- parent %s  dirty %llu/%llu%s\n",
+                  e.file.c_str(), e.child_key_hex.c_str(),
+                  e.parent_key_hex.c_str(),
+                  static_cast<unsigned long long>(e.dirty_units),
+                  static_cast<unsigned long long>(e.total_units),
+                  e.parent_present ? "" : "  [parent missing]");
+    }
+    if (entries->empty()) {
+      std::fprintf(stderr, "ssum: no lineage links in %s\n",
+                   cache->dir().c_str());
+    }
+    return kExitOk;
+  }
   if (sub == "verify") {
     // Corrupt containers are quarantined on the spot so that the next
     // lookup is a clean miss (recompute + heal) instead of a repeat failure.
@@ -730,6 +881,14 @@ int CmdServe(const Args& args) {
   }
   if (const std::string* dir = args.Get("--scenario-dir")) {
     options.scenario_dir = *dir;
+  }
+  if (const std::string* slow = args.Get("--slow-ms")) {
+    auto v = ParseInt64(*slow);
+    if (!v.ok() || *v < 0) {
+      return Fail(
+          Status::InvalidArgument("--slow-ms needs a non-negative integer"));
+    }
+    options.slow_request_ms = static_cast<uint32_t>(*v);
   }
   SummarizeServer server(std::move(options));
   if (Status s = server.Start(); !s.ok()) return Fail(s);
@@ -922,7 +1081,7 @@ int Main(int argc, char** argv) {
       "--dot",    "--data",    "--dialect",  "--mode",    "--epsilon",
       "--listen", "--workers", "--queue",    "--scale",   "--port-file",
       "--connect", "--stall-ms", "--config", "--out-dir", "--xml",
-      "--scenario-dir"};
+      "--scenario-dir", "--base", "--chain", "--slow-ms"};
   Args args = Args::Parse(argc, argv, 2, value_flags);
   int code = Dispatch(cmd, args);
   // One flush per command keeps the persistent counters the cross-invocation
